@@ -1,0 +1,92 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  A. Overlap (WFBP) alone vs no overlap — how much of Poseidon's win is
+//     scheduling, independent of HybComm (paper §3.1 / Fig 5's PS-vs-WFBP
+//     gap isolated per bandwidth).
+//  B. KV sharding granularity — Poseidon's fine-grained 2 MB pairs vs
+//     TensorFlow's per-tensor placement, holding everything else fixed
+//     (paper §5.1's first explanation of TF's stalls).
+//  C. Straggler policy — BSP gated by the slowest worker vs the paper's
+//     drop-the-straggler rule (§4.1), under an injected 2x straggler.
+#include <cstdio>
+
+#include "src/cluster/protocol_sim.h"
+#include "src/common/table.h"
+#include "src/models/zoo.h"
+
+namespace poseidon {
+namespace {
+
+void OverlapAblation() {
+  std::printf("Ablation A: overlap only (no HybComm), VGG19, 16 nodes\n\n");
+  TextTable table({"GbE", "no overlap (img/s)", "WFBP (img/s)", "WFBP gain"});
+  const ModelSpec model = MakeVgg19();
+  for (double gbps : {10.0, 20.0, 40.0}) {
+    ClusterSpec cluster;
+    cluster.num_nodes = 16;
+    cluster.nic_gbps = gbps;
+    SystemConfig none = CaffePlusPs();
+    none.blocking_memcpy = false;  // isolate scheduling, not memcpy
+    const SimResult seq = RunProtocolSimulation(model, none, cluster, Engine::kCaffe);
+    const SimResult wfbp =
+        RunProtocolSimulation(model, CaffePlusWfbp(), cluster, Engine::kCaffe);
+    table.AddRow({TextTable::Num(gbps, 0), TextTable::Num(seq.images_per_sec, 0),
+                  TextTable::Num(wfbp.images_per_sec, 0),
+                  TextTable::Num(wfbp.images_per_sec / seq.images_per_sec, 2) + "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void ShardingAblation() {
+  std::printf("Ablation B: KV-pair sharding vs per-tensor placement (WFBP overlap,\n");
+  std::printf("dense PS), 16 nodes, 40 GbE\n\n");
+  TextTable table({"model", "per-tensor (img/s)", "KV pairs (img/s)", "gain"});
+  for (const char* name : {"googlenet", "vgg19", "vgg19-22k"}) {
+    const ModelSpec model = ModelByName(name).value();
+    ClusterSpec cluster;
+    cluster.num_nodes = 16;
+    cluster.nic_gbps = 40.0;
+    SystemConfig per_tensor = TfPlusWfbp();
+    per_tensor.name = "per-tensor";
+    per_tensor.sharding = ShardingMode::kPerTensor;
+    const SimResult coarse =
+        RunProtocolSimulation(model, per_tensor, cluster, Engine::kTensorFlow);
+    const SimResult fine =
+        RunProtocolSimulation(model, TfPlusWfbp(), cluster, Engine::kTensorFlow);
+    table.AddRow({model.name, TextTable::Num(coarse.images_per_sec, 0),
+                  TextTable::Num(fine.images_per_sec, 0),
+                  TextTable::Num(fine.images_per_sec / coarse.images_per_sec, 2) + "x"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void StragglerAblation() {
+  std::printf("Ablation C: straggler policy, GoogLeNet on 8 nodes (one node slowed)\n\n");
+  TextTable table({"slowdown", "BSP wait (img/s)", "drop straggler (img/s)"});
+  const ModelSpec model = MakeGoogLeNet();
+  for (double slowdown : {1.0, 1.5, 2.0, 4.0}) {
+    ClusterSpec cluster;
+    cluster.num_nodes = 8;
+    cluster.nic_gbps = 40.0;
+    cluster.straggler_node = 7;  // not node 0: node 0 is the timing reference
+    cluster.straggler_slowdown = slowdown;
+    SystemConfig drop = PoseidonSystem();
+    drop.drop_stragglers = true;
+    const SimResult wait =
+        RunProtocolSimulation(model, PoseidonSystem(), cluster, Engine::kCaffe);
+    const SimResult dropped = RunProtocolSimulation(model, drop, cluster, Engine::kCaffe);
+    table.AddRow({TextTable::Num(slowdown, 1), TextTable::Num(wait.images_per_sec, 0),
+                  TextTable::Num(dropped.images_per_sec, 0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::OverlapAblation();
+  poseidon::ShardingAblation();
+  poseidon::StragglerAblation();
+  return 0;
+}

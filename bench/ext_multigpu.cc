@@ -1,0 +1,40 @@
+// Extension experiment (paper §5.1 "Multi-GPU Settings"): scaling with
+// multiple GPUs per node, where Poseidon aggregates gradients on a leader
+// GPU over device-to-device copies before touching the NIC. Reproduces the
+// reported AWS p2.8xlarge result: ~32x / ~28x speedup for GoogLeNet / VGG19
+// on 4 nodes x 8 GPUs.
+#include <cstdio>
+
+#include "src/cluster/protocol_sim.h"
+#include "src/common/table.h"
+#include "src/models/zoo.h"
+
+namespace poseidon {
+namespace {
+
+void Run() {
+  std::printf("Multi-GPU extension: speedup vs single GPU (Poseidon, 40 GbE)\n\n");
+  TextTable table({"model", "nodes", "gpus/node", "total gpus", "speedup"});
+  for (const char* name : {"googlenet", "vgg19"}) {
+    const ModelSpec model = ModelByName(name).value();
+    for (int gpus : {1, 2, 4, 8}) {
+      ClusterSpec cluster;
+      cluster.num_nodes = 4;
+      cluster.nic_gbps = 40.0;
+      cluster.gpus_per_node = gpus;
+      const SimResult result =
+          RunProtocolSimulation(model, PoseidonSystem(), cluster, Engine::kCaffe);
+      table.AddRow({model.name, "4", std::to_string(gpus), std::to_string(4 * gpus),
+                    TextTable::Num(result.speedup, 1)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::Run();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Figure 5: throughput speedup vs number of nodes when training
+// GoogLeNet, VGG19 and VGG19-22K with the Caffe engine at 40 GbE, comparing
+// Caffe+PS (sequential sync), Caffe+WFBP (overlapped) and full Poseidon
+// (WFBP + HybComm). Single-node unmodified Caffe is the baseline.
+//
+// Expected shape (paper): WFBP alone reaches near-linear scaling for
+// GoogLeNet/VGG19; on VGG19-22K (91% FC parameters) WFBP saturates around
+// ~21x at 32 nodes and HybComm recovers ~30x.
+#include <cstdio>
+
+#include "src/models/zoo.h"
+#include "src/stats/report.h"
+
+namespace poseidon {
+namespace {
+
+void Run() {
+  const std::vector<int> nodes = {1, 2, 4, 8, 16, 32};
+  const std::vector<SystemConfig> systems = {CaffePlusPs(), CaffePlusWfbp(),
+                                             PoseidonSystem()};
+  for (const char* name : {"googlenet", "vgg19", "vgg19-22k"}) {
+    const ModelSpec model = ModelByName(name).value();
+    const auto results = RunScalingSweep(model, systems, nodes, /*gbps=*/40.0,
+                                         Engine::kCaffe);
+    std::printf("%s\n",
+                FormatSpeedupTable("Fig 5: " + model.name + " (Caffe engine, 40 GbE)",
+                                   results)
+                    .c_str());
+  }
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::Run();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Regenerates Figure 6: throughput speedup vs number of nodes for
+// Inception-V3, VGG19 and VGG19-22K with the TensorFlow engine at 40 GbE,
+// comparing native distributed TF (per-tensor sharding, fetch at iteration
+// start, gRPC transport), TF+WFBP (Poseidon's PS with overlap) and full
+// Poseidon.
+//
+// Expected shape (paper): Poseidon ~31.5x on Inception-V3 at 32 nodes vs
+// ~20x for TF; TF fails to scale on the VGG variants (big dense tensors pin
+// single shards) while Poseidon stays near-linear.
+#include <cstdio>
+
+#include "src/models/zoo.h"
+#include "src/stats/report.h"
+
+namespace poseidon {
+namespace {
+
+void Run() {
+  const std::vector<int> nodes = {1, 2, 4, 8, 16, 32};
+  const std::vector<SystemConfig> systems = {TfNative(), TfPlusWfbp(), PoseidonSystem()};
+  for (const char* name : {"inception-v3", "vgg19", "vgg19-22k"}) {
+    const ModelSpec model = ModelByName(name).value();
+    const auto results = RunScalingSweep(model, systems, nodes, /*gbps=*/40.0,
+                                         Engine::kTensorFlow);
+    std::printf("%s\n",
+                FormatSpeedupTable(
+                    "Fig 6: " + model.name + " (TensorFlow engine, 40 GbE)", results)
+                    .c_str());
+  }
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::Run();
+  return 0;
+}

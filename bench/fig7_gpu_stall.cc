@@ -1,0 +1,42 @@
+// Regenerates Figure 7: breakdown of GPU computation vs stall time when
+// training Inception-V3, VGG19 and VGG19-22K on 8 nodes with the TensorFlow
+// engine, for TF / TF+WFBP / Poseidon.
+//
+// Expected shape (paper): Poseidon keeps GPUs busy most of the time;
+// TF wastes a large fraction waiting on parameter synchronization, with
+// TF+WFBP in between (balanced KV sharding but no HybComm).
+#include <cstdio>
+
+#include "src/cluster/protocol_sim.h"
+#include "src/common/table.h"
+#include "src/models/zoo.h"
+
+namespace poseidon {
+namespace {
+
+void Run() {
+  std::printf("Fig 7: GPU computation vs stall time, 8 nodes, 40 GbE (TF engine)\n\n");
+  TextTable table({"model", "system", "compute %", "stall %"});
+  for (const char* name : {"inception-v3", "vgg19", "vgg19-22k"}) {
+    const ModelSpec model = ModelByName(name).value();
+    for (const SystemConfig& system : {TfNative(), TfPlusWfbp(), PoseidonSystem()}) {
+      ClusterSpec cluster;
+      cluster.num_nodes = 8;
+      cluster.nic_gbps = 40.0;
+      const SimResult result =
+          RunProtocolSimulation(model, system, cluster, Engine::kTensorFlow);
+      table.AddRow({model.name, system.name,
+                    TextTable::Num(100.0 * result.gpu_busy_frac, 1),
+                    TextTable::Num(100.0 * (1.0 - result.gpu_busy_frac), 1)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Regenerates Figure 8: throughput speedup under limited per-node bandwidth
+// (Caffe engine), comparing Caffe+WFBP (pure PS) against Poseidon
+// (HybComm): GoogLeNet at 2/5/10 GbE, VGG19 and VGG19-22K at 10/20/30 GbE,
+// on 1-16 nodes.
+//
+// Expected shape (paper): at 10 GbE a PS-only system reaches ~8x on VGG19 at
+// 16 nodes while Poseidon stays near-linear; Poseidon never does worse than
+// PS because HybComm falls back to it (GoogLeNet at 16 nodes reduces to pure
+// PS).
+#include <cstdio>
+
+#include "src/models/zoo.h"
+#include "src/stats/report.h"
+
+namespace poseidon {
+namespace {
+
+struct Config {
+  const char* model;
+  std::vector<double> gbps;
+};
+
+void Run() {
+  const std::vector<int> nodes = {1, 2, 4, 8, 16};
+  const std::vector<Config> configs = {
+      {"googlenet", {2.0, 5.0, 10.0}},
+      {"vgg19", {10.0, 20.0, 30.0}},
+      {"vgg19-22k", {10.0, 20.0, 30.0}},
+  };
+  for (const Config& config : configs) {
+    const ModelSpec model = ModelByName(config.model).value();
+    for (double gbps : config.gbps) {
+      const auto results = RunScalingSweep(model, {CaffePlusWfbp(), PoseidonSystem()},
+                                           nodes, gbps, Engine::kCaffe);
+      char title[128];
+      std::snprintf(title, sizeof(title), "Fig 8: %s @ %.0f GbE (Caffe engine)",
+                    model.name.c_str(), gbps);
+      std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::Run();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the building blocks: GEMM, the
+// communication codecs, the event queue / network fabric, and the in-process
+// transport. These are the knobs that determine how fast the convergence
+// experiments and protocol simulations run.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/tensor/onebit.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/sufficient_factor.h"
+#include "src/transport/bus.h"
+
+namespace poseidon {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomUniform({n, n}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::RandomUniform({n, n}, -1.0f, 1.0f, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_OneBitEncode(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor grad = Tensor::RandomUniform({n, n}, -1.0f, 1.0f, rng);
+  OneBitQuantizer quantizer;
+  for (auto _ : state) {
+    OneBitEncoded encoded = quantizer.Encode(grad);
+    benchmark::DoNotOptimize(encoded.bits.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * 4);
+}
+BENCHMARK(BM_OneBitEncode)->Arg(128)->Arg(512);
+
+void BM_OneBitDecode(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor grad = Tensor::RandomUniform({n, n}, -1.0f, 1.0f, rng);
+  OneBitQuantizer quantizer;
+  const OneBitEncoded encoded = quantizer.Encode(grad);
+  for (auto _ : state) {
+    Tensor decoded = OneBitQuantizer::Decode(encoded);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * 4);
+}
+BENCHMARK(BM_OneBitDecode)->Arg(128)->Arg(512);
+
+void BM_SfReconstruct(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  Rng rng(4);
+  Tensor errors = Tensor::RandomUniform({k, 256}, -1.0f, 1.0f, rng);
+  Tensor inputs = Tensor::RandomUniform({k, 512}, -1.0f, 1.0f, rng);
+  const SufficientFactors factors = MakeSufficientFactors(errors, inputs);
+  Tensor out({256, 512});
+  for (auto _ : state) {
+    ReconstructGradient(factors, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 512 * k);
+}
+BENCHMARK(BM_SfReconstruct)->Arg(8)->Arg(32);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(static_cast<double>((i * 7919) % 1000), [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_FabricAllToAll(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    FabricConfig config;
+    config.egress_bytes_per_sec = 5e9;
+    config.ingress_bytes_per_sec = 5e9;
+    NetworkFabric fabric(&sim, nodes, config);
+    int delivered = 0;
+    for (int s = 0; s < nodes; ++s) {
+      for (int d = 0; d < nodes; ++d) {
+        fabric.Send(s, d, 8 * 1024 * 1024, [&delivered] { ++delivered; });
+      }
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes * nodes);
+}
+BENCHMARK(BM_FabricAllToAll)->Arg(8)->Arg(32);
+
+void BM_BusRoundTrip(benchmark::State& state) {
+  MessageBus bus(2);
+  auto server = bus.Register(Address{1, kServerPort});
+  auto client = bus.Register(Address{0, kSyncerPortBase});
+  for (auto _ : state) {
+    Message m;
+    m.type = MessageType::kGradPush;
+    m.from = Address{0, kSyncerPortBase};
+    m.to = Address{1, kServerPort};
+    m.chunks = std::make_shared<std::vector<ChunkPayload>>(1);
+    (*m.chunks)[0].data.assign(1024, 1.0f);
+    benchmark::DoNotOptimize(bus.Send(std::move(m)));
+    auto received = server->Pop();
+    Message reply;
+    reply.type = MessageType::kParamReply;
+    reply.from = Address{1, kServerPort};
+    reply.to = Address{0, kSyncerPortBase};
+    reply.chunks = received->chunks;
+    benchmark::DoNotOptimize(bus.Send(std::move(reply)));
+    benchmark::DoNotOptimize(client->Pop());
+  }
+  state.SetBytesProcessed(state.iterations() * 1024 * 4 * 2);
+}
+BENCHMARK(BM_BusRoundTrip);
+
+}  // namespace
+}  // namespace poseidon
+
+BENCHMARK_MAIN();

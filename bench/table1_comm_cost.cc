@@ -1,0 +1,57 @@
+// Regenerates Table 1: estimated communication cost (floats per node per
+// iteration) of PS, SFB and Adam for synchronizing an M x N FC layer on a
+// cluster with P1 workers and P2 servers, batch size K — including the
+// paper's §3.2 worked example (M=N=4096, K=32, P1=P2=8) and sweeps showing
+// where the crossover sits.
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/models/comm_cost.h"
+
+namespace poseidon {
+namespace {
+
+void PrintCostRow(TextTable* table, const CommCostQuery& q) {
+  table->AddRow({
+      std::to_string(q.m) + "x" + std::to_string(q.n),
+      std::to_string(q.batch_k),
+      std::to_string(q.num_workers),
+      TextTable::Num(PsWorkerFloats(q) / 1e6, 2),
+      TextTable::Num(PsServerFloats(q) / 1e6, 2),
+      TextTable::Num(PsColocatedFloats(q) / 1e6, 2),
+      TextTable::Num(SfbWorkerFloats(q) / 1e6, 2),
+      TextTable::Num(AdamServerMaxFloats(q) / 1e6, 2),
+      TextTable::Num(AdamWorkerFloats(q) / 1e6, 2),
+      TextTable::Num(AdamColocatedMaxFloats(q) / 1e6, 2),
+      CommSchemeName(SfbWins(q) ? CommScheme::kSFB : CommScheme::kPS),
+  });
+}
+
+void Run() {
+  std::printf("Table 1: communication cost model (millions of floats per iteration)\n");
+  std::printf("Worked example from paper 3.2: 4096x4096 FC, K=32, P1=P2=8 -> PS worker 33.6M,\n");
+  std::printf("server&worker 58.7M, SFB 3.7M.\n\n");
+
+  TextTable table({"layer", "K", "P", "PS.wrk", "PS.srv", "PS.both", "SFB.wrk", "Adam.srv",
+                   "Adam.wrk", "Adam.both", "best"});
+  // The worked example.
+  PrintCostRow(&table, {4096, 4096, 32, 8, 8});
+  // Scale in P at fixed layer/batch.
+  for (int p : {2, 4, 16, 32}) {
+    PrintCostRow(&table, {4096, 4096, 32, p, p});
+  }
+  // The paper's real layers: VGG19 fc6, VGG19-22K fc8, GoogLeNet classifier.
+  PrintCostRow(&table, {4096, 25088, 32, 8, 8});
+  PrintCostRow(&table, {21841, 4096, 32, 32, 32});
+  PrintCostRow(&table, {1000, 1024, 128, 4, 4});
+  PrintCostRow(&table, {1000, 1024, 128, 16, 16});
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::Run();
+  return 0;
+}

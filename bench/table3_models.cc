@@ -1,0 +1,45 @@
+// Regenerates Table 3: the networks used in the evaluation, their parameter
+// counts, datasets and batch sizes — plus the per-layer statistics (FC
+// parameter share, compute distribution) that motivate WFBP and HybComm.
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/models/zoo.h"
+
+namespace poseidon {
+namespace {
+
+void Run() {
+  std::printf("Table 3: neural networks for evaluation\n\n");
+  TextTable table({"model", "#params", "dataset", "batchsize", "layers", "FC param %",
+                   "GFLOP/img (fwd)"});
+  for (const ModelSpec& model : AllZooModels()) {
+    const double params = static_cast<double>(model.total_params());
+    std::string count = params >= 1e6 ? TextTable::Num(params / 1e6, 1) + "M"
+                                      : TextTable::Num(params / 1e3, 1) + "K";
+    table.AddRow({model.name, count, model.dataset, std::to_string(model.default_batch),
+                  std::to_string(model.num_layers()),
+                  TextTable::Num(100.0 * model.fc_param_fraction(), 1),
+                  TextTable::Num(model.total_fwd_flops() / 1e9, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("Per-layer breakdown of VGG19 (WFBP's premise: params at the top,\n");
+  std::printf("compute at the bottom):\n\n");
+  const ModelSpec vgg = MakeVgg19();
+  TextTable layers({"layer", "type", "params (M)", "fwd GFLOP"});
+  for (const LayerSpec& layer : vgg.layers) {
+    layers.AddRow({layer.name, LayerTypeName(layer.type),
+                   TextTable::Num(static_cast<double>(layer.params) / 1e6, 3),
+                   TextTable::Num(layer.fwd_flops / 1e9, 3)});
+  }
+  std::printf("%s\n", layers.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main() {
+  poseidon::Run();
+  return 0;
+}

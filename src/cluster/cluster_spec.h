@@ -1,0 +1,40 @@
+// Hardware description of the simulated testbed (paper §5: one Titan X per
+// node, 16-core CPU, 40 GbE switch) plus the knobs the bandwidth experiments
+// (§5.2) turn.
+#ifndef POSEIDON_SRC_CLUSTER_CLUSTER_SPEC_H_
+#define POSEIDON_SRC_CLUSTER_CLUSTER_SPEC_H_
+
+#include "src/common/units.h"
+
+namespace poseidon {
+
+struct ClusterSpec {
+  // Number of machines; each is both a worker and a KV-store shard host
+  // (colocated, as in the paper's testbed).
+  int num_nodes = 1;
+  // NIC bandwidth per direction (full duplex), in decimal gigabits/s.
+  double nic_gbps = 40.0;
+  // One-way message latency (switch + stack), seconds.
+  double latency_s = 40e-6;
+  // Host <-> GPU copy bandwidth (PCIe 3.0 x16 effective), bytes/s.
+  double pcie_bytes_per_sec = 8e9;
+  // CPU-side work rate for update application / (de)quantization, FLOP/s.
+  double cpu_flops = 50e9;
+  // GPU-side rate for SF gradient reconstruction on spare streams, FLOP/s.
+  double recon_flops = 3e12;
+  // GPUs per node and the intra-node GPU-to-GPU copy bandwidth (bytes/s)
+  // for the multi-GPU extension (§5.1 "Multi-GPU Settings").
+  int gpus_per_node = 1;
+  double d2d_bytes_per_sec = 10e9;
+  // Straggler injection: node `straggler_node` computes `straggler_slowdown`
+  // times slower than its peers (-1 disables). Used to study Poseidon's
+  // drop-the-straggler BSP policy (§4.1 "Managing Consistency").
+  int straggler_node = -1;
+  double straggler_slowdown = 1.0;
+
+  double nic_bytes_per_sec() const { return GbpsToBytesPerSec(nic_gbps); }
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_CLUSTER_CLUSTER_SPEC_H_

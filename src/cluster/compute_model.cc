@@ -1,0 +1,91 @@
+#include "src/cluster/compute_model.h"
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+// Titan X sustained throughput for DL kernels; used only for models whose
+// single-node rate the paper does not report.
+constexpr double kEffectiveGpuFlops = 2.2e12;
+
+struct Calibration {
+  const char* model;
+  Engine engine;
+  double images_per_sec;
+};
+
+// Paper §5.1: single-node throughputs of the unmodified engines.
+constexpr Calibration kCalibrations[] = {
+    {"googlenet", Engine::kCaffe, 257.0},
+    {"vgg19", Engine::kCaffe, 35.5},
+    {"vgg19-22k", Engine::kCaffe, 34.6},
+    {"inception-v3", Engine::kTensorFlow, 43.2},
+    {"vgg19", Engine::kTensorFlow, 38.5},
+    {"vgg19-22k", Engine::kTensorFlow, 34.8},
+    // ResNet-152 single-GPU rate consistent with Fig 9a's batch-32 setup.
+    {"resnet-152", Engine::kTensorFlow, 37.0},
+    {"resnet-152", Engine::kCaffe, 35.0},
+};
+
+}  // namespace
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kCaffe:
+      return "caffe";
+    case Engine::kTensorFlow:
+      return "tensorflow";
+  }
+  return "?";
+}
+
+double SingleNodeImagesPerSec(const ModelSpec& model, Engine engine) {
+  for (const Calibration& cal : kCalibrations) {
+    if (model.name == cal.model && engine == cal.engine) {
+      return cal.images_per_sec;
+    }
+  }
+  // FLOPS fallback: forward + backward = 3x forward FLOPs.
+  const double flops_per_image = 3.0 * model.total_fwd_flops();
+  CHECK_GT(flops_per_image, 0.0);
+  return kEffectiveGpuFlops / flops_per_image;
+}
+
+double ComputeTimings::total_fwd_s() const {
+  double total = 0.0;
+  for (const auto& layer : layers) {
+    total += layer.fwd_s;
+  }
+  return total;
+}
+
+double ComputeTimings::total_bwd_s() const {
+  double total = 0.0;
+  for (const auto& layer : layers) {
+    total += layer.bwd_s;
+  }
+  return total;
+}
+
+ComputeTimings MakeComputeTimings(const ModelSpec& model, Engine engine, int batch) {
+  CHECK_GT(batch, 0);
+  const double images_per_sec = SingleNodeImagesPerSec(model, engine);
+  const double batch_time = static_cast<double>(batch) / images_per_sec;
+
+  const double total_flops = 3.0 * model.total_fwd_flops();  // fwd + 2x for bwd
+  CHECK_GT(total_flops, 0.0);
+
+  ComputeTimings timings;
+  timings.batch_time_s = batch_time;
+  timings.layers.reserve(model.layers.size());
+  for (const auto& layer : model.layers) {
+    LayerTiming t;
+    t.fwd_s = batch_time * (layer.fwd_flops / total_flops);
+    t.bwd_s = 2.0 * t.fwd_s;
+    timings.layers.push_back(t);
+  }
+  return timings;
+}
+
+}  // namespace poseidon

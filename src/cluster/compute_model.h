@@ -1,0 +1,52 @@
+// GPU compute-time model.
+//
+// The simulator needs per-layer forward/backward durations. We distribute a
+// model's per-batch GPU time across layers proportionally to FLOPs (backward
+// costs 2x forward, the standard estimate), which preserves the property
+// WFBP exploits: CONV layers at the bottom own ~90% of the compute while FC
+// layers at the top own ~90% of the parameters.
+//
+// The total per-batch time comes from a calibration table holding the
+// paper's measured single-node throughputs (§5.1); models not in the table
+// fall back to an effective-FLOPS estimate for a Titan X (~2.2 TFLOP/s
+// sustained, i.e. ~1/3 of peak, consistent with the paper's numbers).
+#ifndef POSEIDON_SRC_CLUSTER_COMPUTE_MODEL_H_
+#define POSEIDON_SRC_CLUSTER_COMPUTE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/models/model_spec.h"
+
+namespace poseidon {
+
+enum class Engine {
+  kCaffe,  // sequential layer-by-layer execution
+  kTensorFlow,
+};
+
+const char* EngineName(Engine engine);
+
+// Measured single-GPU throughput (images/s) for (model, engine); falls back
+// to the FLOPS model when the pair was not reported in the paper.
+double SingleNodeImagesPerSec(const ModelSpec& model, Engine engine);
+
+struct LayerTiming {
+  double fwd_s = 0.0;
+  double bwd_s = 0.0;
+};
+
+struct ComputeTimings {
+  std::vector<LayerTiming> layers;
+  double batch_time_s = 0.0;  // sum of all fwd+bwd
+
+  double total_fwd_s() const;
+  double total_bwd_s() const;
+};
+
+// Per-layer durations for one batch of `batch` images.
+ComputeTimings MakeComputeTimings(const ModelSpec& model, Engine engine, int batch);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_CLUSTER_COMPUTE_MODEL_H_

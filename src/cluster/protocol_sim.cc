@@ -1,0 +1,658 @@
+#include "src/cluster/protocol_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+
+namespace poseidon {
+namespace {
+
+// Effective label for what a layer's synchronization does in a given system.
+enum class WireScheme { kPsDense, kSfb, kAdamSf, kOneBit };
+
+const char* WireSchemeName(WireScheme scheme) {
+  switch (scheme) {
+    case WireScheme::kPsDense:
+      return "PS";
+    case WireScheme::kSfb:
+      return "SFB";
+    case WireScheme::kAdamSf:
+      return "SF->PS";
+    case WireScheme::kOneBit:
+      return "1bit";
+  }
+  return "?";
+}
+
+// Static per-layer wire plan, precomputed before the simulation starts
+// (HybComm's point: the model and cluster are known upfront, so the best
+// scheme is decidable before any byte moves).
+struct LayerWire {
+  WireScheme scheme = WireScheme::kPsDense;
+  double dense_bytes = 0.0;    // full fp32 gradient/parameter size
+  double push_bytes = 0.0;     // per destination server (PS-style schemes)
+  double pull_bytes = 0.0;     // per source server
+  int owner = 0;               // per-tensor / Adam owner node
+  bool sharded = true;         // false: single owner server
+  double sf_msg_bytes = 0.0;   // one worker's sufficient factors
+  double recon_flops_per_sf = 0.0;
+  double quant_cpu_s = 0.0;    // one-bit (de)quantization pass on the CPU
+  double apply_cpu_s = 0.0;    // server-side update application per shard
+  double local_reduce_s = 0.0; // multi-GPU intra-node aggregation
+};
+
+class ProtocolSim {
+ public:
+  ProtocolSim(const ModelSpec& model, const SystemConfig& system, const ClusterSpec& cluster,
+              Engine engine, int batch, const SimOptions& options)
+      : model_(model),
+        system_(system),
+        cluster_(cluster),
+        engine_(engine),
+        batch_(batch),
+        options_(options),
+        num_nodes_(cluster.num_nodes),
+        num_layers_(model.num_layers()),
+        total_iters_(options.warmup_iters + options.measure_iters + 1),
+        timings_(MakeComputeTimings(model, engine, batch)) {
+    CHECK_GT(num_nodes_, 0);
+    CHECK_GT(num_layers_, 0);
+    FabricConfig fabric_config;
+    const double wire_rate = cluster.nic_bytes_per_sec() * system.transport_efficiency;
+    fabric_config.egress_bytes_per_sec = wire_rate;
+    fabric_config.ingress_bytes_per_sec = wire_rate;
+    fabric_config.latency_s = cluster.latency_s;
+    fabric_ = std::make_unique<NetworkFabric>(&sim_, num_nodes_, fabric_config);
+    BuildWirePlan();
+    InitState();
+  }
+
+  SimResult Run() {
+    for (int n = 0; n < num_nodes_; ++n) {
+      TryRunOps(n);
+    }
+    sim_.Run();
+    return Collect();
+  }
+
+ private:
+  // ---------------------------------------------------------------- setup --
+  void BuildWirePlan() {
+    wires_.resize(num_layers_);
+    const int p = num_nodes_;
+    for (int l = 0; l < num_layers_; ++l) {
+      const LayerSpec& layer = model_.layers[l];
+      LayerWire& wire = wires_[l];
+      wire.dense_bytes = static_cast<double>(layer.param_bytes());
+      wire.owner = l % p;
+      wire.apply_cpu_s =
+          2.0 * static_cast<double>(layer.params) / p / cluster_.cpu_flops;
+
+      // Pick the scheme for this layer under the configured system.
+      wire.scheme = WireScheme::kPsDense;
+      if (layer.type == LayerType::kFC && p > 1) {
+        switch (system_.fc_scheme) {
+          case FcScheme::kDense:
+            break;
+          case FcScheme::kSfb:
+            wire.scheme = WireScheme::kSfb;
+            break;
+          case FcScheme::kAdam:
+            wire.scheme = WireScheme::kAdamSf;
+            break;
+          case FcScheme::kOneBit:
+            wire.scheme = WireScheme::kOneBit;
+            break;
+          case FcScheme::kHybrid:
+            if (BestScheme(layer, batch_, p, p) == CommScheme::kSFB) {
+              wire.scheme = WireScheme::kSfb;
+            }
+            break;
+        }
+      }
+
+      const int64_t m = layer.fc_m;
+      const int64_t n = layer.fc_n;
+      const int64_t k_eff = static_cast<int64_t>(batch_) * cluster_.gpus_per_node;
+      switch (wire.scheme) {
+        case WireScheme::kPsDense:
+          wire.sharded = system_.sharding == ShardingMode::kKvPairs;
+          wire.push_bytes = wire.sharded ? wire.dense_bytes / p : wire.dense_bytes;
+          wire.pull_bytes = wire.push_bytes;
+          break;
+        case WireScheme::kSfb:
+          wire.sf_msg_bytes = static_cast<double>(k_eff) * static_cast<double>(m + n) * 4.0;
+          wire.recon_flops_per_sf = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                                    static_cast<double>(k_eff);
+          break;
+        case WireScheme::kAdamSf:
+          wire.sharded = false;
+          wire.sf_msg_bytes = static_cast<double>(k_eff) * static_cast<double>(m + n) * 4.0;
+          wire.recon_flops_per_sf = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                                    static_cast<double>(k_eff);
+          wire.pull_bytes = wire.dense_bytes;
+          break;
+        case WireScheme::kOneBit: {
+          // 1 bit per element plus two fp32 levels per column.
+          const double compressed =
+              static_cast<double>(m) * static_cast<double>(n) / 8.0 +
+              2.0 * static_cast<double>(n) * 4.0;
+          wire.sharded = system_.sharding == ShardingMode::kKvPairs;
+          wire.push_bytes = wire.sharded ? compressed / p : compressed;
+          wire.pull_bytes = wire.push_bytes;
+          wire.quant_cpu_s =
+              2.0 * static_cast<double>(m) * static_cast<double>(n) / cluster_.cpu_flops;
+          break;
+        }
+      }
+
+      if (cluster_.gpus_per_node > 1) {
+        // Leader-GPU aggregation over device-to-device copies (§5.1).
+        wire.local_reduce_s = static_cast<double>(cluster_.gpus_per_node - 1) *
+                              wire.dense_bytes / cluster_.d2d_bytes_per_sec;
+      }
+    }
+  }
+
+  struct ServerShardState {
+    int pushes = 0;
+    bool applied = false;
+    std::vector<bool> requested;  // TF fetch mode: per worker
+    std::vector<bool> sent;       // per worker
+  };
+
+  struct LayerSyncState {
+    // Indexed by server node for sharded schemes; only [owner] used
+    // otherwise.
+    std::vector<ServerShardState> shards;
+    std::vector<int> pull_parts;  // per worker: received server parts
+    std::vector<int> sf_arrived;  // per worker: peer SF messages landed
+    std::vector<bool> done;       // per worker
+  };
+
+  struct NodeState {
+    int iter = 0;
+    int op = 0;              // 0..2L-1 within the iteration
+    bool gpu_idle = true;    // true when not executing and not scheduled
+    bool iter_marked = false;  // OnIterationStart already ran for `iter`
+    bool finished = false;   // reached the final (unexecuted) iteration
+    double gpu_busy = 0.0;   // cumulative compute seconds
+    double copy_free_at = 0.0;
+    double aux_free_at = 0.0;
+    std::vector<int> synced_through;  // per layer: last iter fully synced
+    int received_layers = 0;          // overlap-none: layers pulled this iter
+  };
+
+  void InitState() {
+    nodes_.assign(num_nodes_, NodeState{});
+    for (auto& node : nodes_) {
+      node.synced_through.assign(num_layers_, -1);
+    }
+    sync_.resize(total_iters_);
+    for (auto& per_iter : sync_) {
+      per_iter.resize(num_layers_);
+      for (auto& layer_state : per_iter) {
+        layer_state.shards.assign(num_nodes_, ServerShardState{});
+        for (auto& shard : layer_state.shards) {
+          shard.requested.assign(num_nodes_, false);
+          shard.sent.assign(num_nodes_, false);
+        }
+        layer_state.pull_parts.assign(num_nodes_, 0);
+        layer_state.sf_arrived.assign(num_nodes_, 0);
+        layer_state.done.assign(num_nodes_, false);
+      }
+    }
+    iter_start_.assign(total_iters_, -1.0);
+    node_busy_at_begin_.assign(num_nodes_, 0.0);
+    node_busy_at_end_.assign(num_nodes_, 0.0);
+  }
+
+  // ------------------------------------------------------------- op engine --
+  int ForwardLayerOf(int op) const { return op; }
+  int BackwardLayerOf(int op) const { return 2 * num_layers_ - 1 - op; }
+  bool IsForward(int op) const { return op < num_layers_; }
+
+  void TryRunOps(int n) {
+    NodeState& node = nodes_[n];
+    if (!node.gpu_idle || node.finished) {
+      return;
+    }
+    const int op = node.op;
+    double duration = 0.0;
+    if (IsForward(op)) {
+      const int layer = ForwardLayerOf(op);
+      if (node.iter > 0 && node.synced_through[layer] < node.iter - 1) {
+        return;  // blocked on this layer's synchronization; stall
+      }
+      if (op == 0 && !node.iter_marked) {
+        // The iteration's compute is actually beginning now.
+        node.iter_marked = true;
+        OnIterationStart(n);
+        if (node.finished) {
+          return;
+        }
+      }
+      duration = timings_.layers[layer].fwd_s;
+    } else {
+      duration = timings_.layers[BackwardLayerOf(op)].bwd_s;
+    }
+    if (n == cluster_.straggler_node) {
+      duration *= cluster_.straggler_slowdown;
+    }
+    node.gpu_idle = false;
+    node.gpu_busy += duration;
+    sim_.Schedule(duration, [this, n] { OnOpComplete(n); });
+  }
+
+  void OnIterationStart(int n) {
+    NodeState& node = nodes_[n];
+    if (n == 0) {
+      CHECK_LT(node.iter, total_iters_);
+      iter_start_[node.iter] = sim_.Now();
+      if (node.iter == options_.warmup_iters) {
+        SnapshotTraffic(&traffic_begin_);
+        for (int i = 0; i < num_nodes_; ++i) {
+          node_busy_at_begin_[i] = nodes_[i].gpu_busy;
+        }
+        window_begin_ = sim_.Now();
+      }
+      if (node.iter == options_.warmup_iters + options_.measure_iters) {
+        SnapshotTraffic(&traffic_end_);
+        for (int i = 0; i < num_nodes_; ++i) {
+          node_busy_at_end_[i] = nodes_[i].gpu_busy;
+        }
+        window_end_ = sim_.Now();
+      }
+    }
+    if (node.iter == total_iters_ - 1) {
+      node.finished = true;  // final iteration exists only to timestamp
+    }
+  }
+
+  void OnOpComplete(int n) {
+    NodeState& node = nodes_[n];
+    node.gpu_idle = true;
+    const int op = node.op;
+    ++node.op;
+    if (!IsForward(op)) {
+      const int layer = BackwardLayerOf(op);
+      if (system_.overlap != OverlapMode::kNone) {
+        LaunchLayerSync(n, layer, node.iter);
+      }
+      if (node.op == 2 * num_layers_) {
+        OnBackwardDone(n);
+        return;
+      }
+    }
+    TryRunOps(n);
+  }
+
+  void OnBackwardDone(int n) {
+    NodeState& node = nodes_[n];
+    const int iter = node.iter;
+    node.op = 0;
+    ++node.iter;
+    node.iter_marked = false;
+    node.received_layers = 0;
+
+    if (system_.overlap == OverlapMode::kNone) {
+      // Vanilla PS: one blocking DRAM<->GPU staging pass, then synchronize
+      // every layer. The GPU sits idle throughout (stall time).
+      double d2h_total = 0.0;
+      for (const auto& wire : wires_) {
+        d2h_total += DeviceCopyBytes(wire) / cluster_.pcie_bytes_per_sec;
+      }
+      sim_.Schedule(d2h_total, [this, n, iter] {
+        for (int l = 0; l < num_layers_; ++l) {
+          StartSend(n, l, iter);
+        }
+      });
+      return;
+    }
+
+    if (system_.overlap == OverlapMode::kTfFetch) {
+      // TensorFlow issues parameter fetches only at the iteration boundary:
+      // send pull requests for every layer now.
+      for (int l = 0; l < num_layers_; ++l) {
+        if (wires_[l].scheme != WireScheme::kPsDense &&
+            wires_[l].scheme != WireScheme::kOneBit) {
+          continue;
+        }
+        SendPullRequests(n, l, iter);
+      }
+    }
+    TryRunOps(n);
+  }
+
+  // ------------------------------------------------------- sync pipelines --
+  double DeviceCopyBytes(const LayerWire& wire) const {
+    switch (wire.scheme) {
+      case WireScheme::kPsDense:
+      case WireScheme::kOneBit:
+        return wire.dense_bytes;
+      case WireScheme::kSfb:
+      case WireScheme::kAdamSf:
+        return wire.sf_msg_bytes;
+    }
+    return 0.0;
+  }
+
+  // Reserves the node's copy engine and invokes `done` when the transfer
+  // completes. Models CUDA async memcpy on a dedicated engine.
+  void CopyEngine(int n, double bytes, std::function<void()> done) {
+    NodeState& node = nodes_[n];
+    const double start = std::max(node.copy_free_at, sim_.Now());
+    const double finish = start + bytes / cluster_.pcie_bytes_per_sec;
+    node.copy_free_at = finish;
+    sim_.ScheduleAt(finish, std::move(done));
+  }
+
+  // Reserves the node's CPU worker (update application, quantization).
+  void AuxEngine(int n, double seconds, std::function<void()> done) {
+    NodeState& node = nodes_[n];
+    const double start = std::max(node.aux_free_at, sim_.Now());
+    const double finish = start + seconds;
+    node.aux_free_at = finish;
+    sim_.ScheduleAt(finish, std::move(done));
+  }
+
+  void LaunchLayerSync(int n, int layer, int iter) {
+    const LayerWire& wire = wires_[layer];
+    double pre = wire.local_reduce_s;
+    const double d2h = DeviceCopyBytes(wire);
+    // The copy engine runs the local reduce then the host transfer.
+    NodeState& node = nodes_[n];
+    const double start = std::max(node.copy_free_at, sim_.Now());
+    const double finish = start + pre + d2h / cluster_.pcie_bytes_per_sec;
+    node.copy_free_at = finish;
+    sim_.ScheduleAt(finish, [this, n, layer, iter] {
+      if (wires_[layer].scheme == WireScheme::kOneBit) {
+        AuxEngine(n, wires_[layer].quant_cpu_s, [this, n, layer, iter] {
+          StartSend(n, layer, iter);
+        });
+      } else {
+        StartSend(n, layer, iter);
+      }
+    });
+  }
+
+  void StartSend(int n, int layer, int iter) {
+    const LayerWire& wire = wires_[layer];
+    switch (wire.scheme) {
+      case WireScheme::kPsDense:
+      case WireScheme::kOneBit:
+        if (wire.sharded) {
+          for (int s = 0; s < num_nodes_; ++s) {
+            fabric_->Send(n, s, wire.push_bytes,
+                          [this, layer, iter, s] { OnPushArrived(layer, iter, s); });
+          }
+        } else {
+          fabric_->Send(n, wire.owner, wire.push_bytes, [this, layer, iter, owner = wire.owner] {
+            OnPushArrived(layer, iter, owner);
+          });
+        }
+        break;
+      case WireScheme::kSfb:
+        for (int peer = 0; peer < num_nodes_; ++peer) {
+          if (peer == n) {
+            OnSfArrived(peer, layer, iter, /*local=*/true);
+            continue;
+          }
+          fabric_->Send(n, peer, wire.sf_msg_bytes, [this, peer, layer, iter] {
+            OnSfArrived(peer, layer, iter, /*local=*/false);
+          });
+        }
+        break;
+      case WireScheme::kAdamSf:
+        fabric_->Send(n, wire.owner, wire.sf_msg_bytes, [this, layer, iter, owner = wire.owner] {
+          OnPushArrived(layer, iter, owner);
+        });
+        break;
+    }
+  }
+
+  // BSP quorum: all workers, or all-but-one under the drop-straggler policy.
+  int PushQuorum() const {
+    return (system_.drop_stragglers && num_nodes_ > 1) ? num_nodes_ - 1 : num_nodes_;
+  }
+
+  // A push (dense shard, compressed shard or SF set) arrived at server `s`.
+  void OnPushArrived(int layer, int iter, int s) {
+    LayerSyncState& state = sync_[iter][layer];
+    ServerShardState& shard = state.shards[s];
+    ++shard.pushes;
+    if (shard.pushes != PushQuorum()) {
+      return;  // either still waiting, or a dropped straggler arriving late
+    }
+    // All workers contributed: apply the update, then make the shard
+    // available (bulk synchronous consistency, §4.1 "Managing Consistency").
+    const LayerWire& wire = wires_[layer];
+    double apply_s = wire.apply_cpu_s;
+    if (wire.scheme == WireScheme::kOneBit) {
+      apply_s += wire.quant_cpu_s * 2.0;  // dequantize P inputs + requantize
+    }
+    if (wire.scheme == WireScheme::kAdamSf) {
+      // Reconstruct P workers' SF outer products on the server.
+      apply_s += num_nodes_ * wire.recon_flops_per_sf / cluster_.recon_flops;
+    }
+    AuxEngine(s, apply_s, [this, layer, iter, s] { OnShardReady(layer, iter, s); });
+  }
+
+  void OnShardReady(int layer, int iter, int s) {
+    LayerSyncState& state = sync_[iter][layer];
+    ServerShardState& shard = state.shards[s];
+    shard.applied = true;
+    for (int w = 0; w < num_nodes_; ++w) {
+      const bool eager = system_.overlap != OverlapMode::kTfFetch;
+      if (eager || shard.requested[w]) {
+        SendPull(layer, iter, s, w);
+      }
+    }
+  }
+
+  void SendPullRequests(int n, int layer, int iter) {
+    const LayerWire& wire = wires_[layer];
+    if (wire.sharded) {
+      for (int s = 0; s < num_nodes_; ++s) {
+        fabric_->Send(n, s, 0.0,
+                      [this, layer, iter, s, n] { OnPullRequest(layer, iter, s, n); });
+      }
+    } else {
+      fabric_->Send(n, wire.owner, 0.0, [this, layer, iter, owner = wire.owner, n] {
+        OnPullRequest(layer, iter, owner, n);
+      });
+    }
+  }
+
+  void OnPullRequest(int layer, int iter, int s, int w) {
+    LayerSyncState& state = sync_[iter][layer];
+    ServerShardState& shard = state.shards[s];
+    shard.requested[w] = true;
+    if (shard.applied) {
+      SendPull(layer, iter, s, w);
+    }
+  }
+
+  void SendPull(int layer, int iter, int s, int w) {
+    LayerSyncState& state = sync_[iter][layer];
+    ServerShardState& shard = state.shards[s];
+    if (shard.sent[w]) {
+      return;
+    }
+    shard.sent[w] = true;
+    fabric_->Send(s, w, wires_[layer].pull_bytes,
+                  [this, layer, iter, w] { OnPullArrived(layer, iter, w); });
+  }
+
+  void OnPullArrived(int layer, int iter, int w) {
+    LayerSyncState& state = sync_[iter][layer];
+    const LayerWire& wire = wires_[layer];
+    const int parts_needed = wire.sharded ? num_nodes_ : 1;
+    if (++state.pull_parts[w] < parts_needed) {
+      return;
+    }
+    // Whole layer received: optional CPU dequantization, then stage back
+    // into GPU memory.
+    auto stage_in = [this, layer, iter, w] {
+      if (system_.overlap == OverlapMode::kNone) {
+        OnLayerReceivedNoOverlap(layer, iter, w);
+        return;
+      }
+      CopyEngine(w, wires_[layer].dense_bytes,
+                 [this, layer, iter, w] { FinishSync(layer, iter, w); });
+    };
+    if (wire.scheme == WireScheme::kOneBit) {
+      AuxEngine(w, wire.quant_cpu_s, stage_in);
+    } else {
+      stage_in();
+    }
+  }
+
+  void OnSfArrived(int peer, int layer, int iter, bool local) {
+    const LayerWire& wire = wires_[layer];
+    auto count = [this, peer, layer, iter] {
+      LayerSyncState& state = sync_[iter][layer];
+      if (++state.sf_arrived[peer] != PushQuorum()) {
+        return;
+      }
+      // All peers' factors present: reconstruct (P-1) outer products on
+      // spare GPU streams, then the layer is synchronized.
+      const double recon_s =
+          (num_nodes_ - 1) * wires_[layer].recon_flops_per_sf / cluster_.recon_flops;
+      sim_.Schedule(recon_s, [this, layer, iter, peer] { FinishSync(layer, iter, peer); });
+    };
+    if (local) {
+      count();
+    } else {
+      CopyEngine(peer, wire.sf_msg_bytes, count);  // stage peer SFs to GPU
+    }
+  }
+
+  // Overlap-none: layers complete individually, but the node re-stages
+  // everything in one blocking host->GPU pass at the end.
+  void OnLayerReceivedNoOverlap(int layer, int iter, int w) {
+    NodeState& node = nodes_[w];
+    ++node.received_layers;
+    if (node.received_layers < num_layers_) {
+      return;
+    }
+    double h2d_total = 0.0;
+    for (const auto& wire : wires_) {
+      h2d_total += wire.dense_bytes / cluster_.pcie_bytes_per_sec;
+    }
+    sim_.Schedule(h2d_total, [this, iter, w] {
+      for (int l = 0; l < num_layers_; ++l) {
+        FinishSync(l, iter, w);
+      }
+    });
+  }
+
+  void FinishSync(int layer, int iter, int w) {
+    LayerSyncState& state = sync_[iter][layer];
+    if (state.done[w]) {
+      return;
+    }
+    state.done[w] = true;
+    NodeState& node = nodes_[w];
+    node.synced_through[layer] = std::max(node.synced_through[layer], iter);
+    TryRunOps(w);
+  }
+
+  // -------------------------------------------------------------- metrics --
+  struct TrafficSnapshot {
+    std::vector<double> tx;
+    std::vector<double> rx;
+  };
+
+  void SnapshotTraffic(TrafficSnapshot* snap) {
+    snap->tx = fabric_->stats().tx_bytes;
+    snap->rx = fabric_->stats().rx_bytes;
+  }
+
+  SimResult Collect() {
+    SimResult result;
+    result.system = system_.name;
+    result.model = model_.name;
+    result.num_nodes = num_nodes_;
+    result.nic_gbps = cluster_.nic_gbps;
+    result.single_node_iter_s = timings_.batch_time_s;
+
+    const int w = options_.warmup_iters;
+    const int m = options_.measure_iters;
+    CHECK_GE(iter_start_[w], 0.0) << "simulation ended before warmup completed";
+    CHECK_GE(iter_start_[w + m], 0.0) << "simulation ended before measurement completed";
+    result.iter_time_s = (iter_start_[w + m] - iter_start_[w]) / m;
+    const double images_per_iter = static_cast<double>(batch_) * num_nodes_ *
+                                   cluster_.gpus_per_node;
+    result.images_per_sec = images_per_iter / result.iter_time_s;
+    const double single_node_rate =
+        static_cast<double>(batch_) * cluster_.gpus_per_node / timings_.batch_time_s;
+    result.speedup = result.images_per_sec / (single_node_rate / cluster_.gpus_per_node);
+
+    const double span = window_end_ - window_begin_;
+    double busy_frac = 0.0;
+    for (int n = 0; n < num_nodes_; ++n) {
+      busy_frac += (node_busy_at_end_[n] - node_busy_at_begin_[n]) / span;
+    }
+    result.gpu_busy_frac = busy_frac / num_nodes_;
+
+    result.tx_gbits_per_iter.resize(num_nodes_);
+    result.rx_gbits_per_iter.resize(num_nodes_);
+    for (int n = 0; n < num_nodes_; ++n) {
+      result.tx_gbits_per_iter[n] =
+          BytesToGigabits(traffic_end_.tx[n] - traffic_begin_.tx[n]) / m;
+      result.rx_gbits_per_iter[n] =
+          BytesToGigabits(traffic_end_.rx[n] - traffic_begin_.rx[n]) / m;
+    }
+
+    for (int l = 0; l < num_layers_; ++l) {
+      result.layer_schemes[model_.layers[l].name] = WireSchemeName(wires_[l].scheme);
+    }
+    return result;
+  }
+
+  const ModelSpec& model_;
+  const SystemConfig& system_;
+  const ClusterSpec& cluster_;
+  const Engine engine_;
+  const int batch_;
+  const SimOptions options_;
+  const int num_nodes_;
+  const int num_layers_;
+  const int total_iters_;
+  const ComputeTimings timings_;
+
+  Simulator sim_;
+  std::unique_ptr<NetworkFabric> fabric_;
+  std::vector<LayerWire> wires_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::vector<LayerSyncState>> sync_;  // [iter][layer]
+
+  std::vector<double> iter_start_;  // node 0's forward start per iteration
+  TrafficSnapshot traffic_begin_;
+  TrafficSnapshot traffic_end_;
+  std::vector<double> node_busy_at_begin_;
+  std::vector<double> node_busy_at_end_;
+  double window_begin_ = 0.0;
+  double window_end_ = 0.0;
+};
+
+}  // namespace
+
+SimResult RunProtocolSimulation(const ModelSpec& model, const SystemConfig& system,
+                                const ClusterSpec& cluster, Engine engine, int batch_per_node,
+                                const SimOptions& options) {
+  ProtocolSim sim(model, system, cluster, engine, batch_per_node, options);
+  return sim.Run();
+}
+
+SimResult RunProtocolSimulation(const ModelSpec& model, const SystemConfig& system,
+                                const ClusterSpec& cluster, Engine engine) {
+  return RunProtocolSimulation(model, system, cluster, engine, model.default_batch);
+}
+
+}  // namespace poseidon

@@ -1,0 +1,79 @@
+#include "src/cluster/system_config.h"
+
+namespace poseidon {
+
+SystemConfig CaffePlusPs() {
+  SystemConfig config;
+  config.name = "Caffe+PS";
+  config.overlap = OverlapMode::kNone;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kDense;
+  config.blocking_memcpy = true;
+  return config;
+}
+
+SystemConfig CaffePlusWfbp() {
+  SystemConfig config;
+  config.name = "Caffe+WFBP";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kDense;
+  return config;
+}
+
+SystemConfig PoseidonSystem() {
+  SystemConfig config;
+  config.name = "Poseidon";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kHybrid;
+  return config;
+}
+
+SystemConfig TfNative() {
+  SystemConfig config;
+  config.name = "TF";
+  config.overlap = OverlapMode::kTfFetch;
+  config.sharding = ShardingMode::kPerTensor;
+  config.fc_scheme = FcScheme::kDense;
+  config.transport_efficiency = 0.3;  // gRPC goodput, r0.10 era
+  return config;
+}
+
+SystemConfig TfPlusWfbp() {
+  SystemConfig config;
+  config.name = "TF+WFBP";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kDense;
+  return config;
+}
+
+SystemConfig AdamSystem() {
+  SystemConfig config;
+  config.name = "Adam";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kAdam;
+  return config;
+}
+
+SystemConfig OneBitSystem() {
+  SystemConfig config;
+  config.name = "CNTK-1bit";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kOneBit;
+  return config;
+}
+
+SystemConfig SfbOnlySystem() {
+  SystemConfig config;
+  config.name = "SFB";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kSfb;
+  return config;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,70 @@
+// The distributed-training systems compared in the evaluation, expressed as
+// combinations of three orthogonal mechanisms:
+//   * overlap    — when layer synchronization may run relative to compute
+//                  (§3.1: none / WFBP / TF's fetch-at-iteration-start),
+//   * sharding   — how parameters map to PS shards (Poseidon's 2 MB KV pairs
+//                  vs TensorFlow's one-server-per-tensor),
+//   * scheme     — what bytes move for FC layers (dense PS, SFB, Adam's
+//                  SF-push + matrix-pull, CNTK's 1-bit quantization,
+//                  or HybComm's per-layer best choice).
+#ifndef POSEIDON_SRC_CLUSTER_SYSTEM_CONFIG_H_
+#define POSEIDON_SRC_CLUSTER_SYSTEM_CONFIG_H_
+
+#include <string>
+
+namespace poseidon {
+
+enum class OverlapMode {
+  kNone,     // synchronize sequentially after the full backward pass
+  kWfbp,     // per-layer sync as soon as the layer's gradient exists
+  kTfFetch,  // pushes overlap backward; pulls wait for the iteration boundary
+};
+
+enum class ShardingMode {
+  kKvPairs,    // parameters hashed into fixed-size KV pairs over all servers
+  kPerTensor,  // each layer owned by one server (TensorFlow's partitioning)
+};
+
+enum class FcScheme {
+  kDense,    // full gradient matrices through the PS
+  kSfb,      // sufficient factor broadcasting among peers
+  kAdam,     // SFs pushed to the owning server, dense matrices pulled back
+  kOneBit,   // 1-bit quantized gradients through the PS
+  kHybrid,   // per-layer BestScheme choice between kDense and kSfb
+};
+
+struct SystemConfig {
+  std::string name;
+  OverlapMode overlap = OverlapMode::kWfbp;
+  ShardingMode sharding = ShardingMode::kKvPairs;
+  FcScheme fc_scheme = FcScheme::kDense;
+  // Vanilla-PS behaviour: DRAM<->GPU staging copies block the GPU instead of
+  // running on the async copy engine (explains Caffe+PS's single-node
+  // overhead, §5.1).
+  bool blocking_memcpy = false;
+  // Fraction of wire bandwidth the system's transport sustains. Default 0.6:
+  // sustained bidirectional TCP goodput on 40 GbE NICs (kernel stack + PCIe
+  // contention) is well below line rate even for an efficient socket layer
+  // like Poseidon's. TensorFlow r0.10's gRPC stack measured lower still
+  // (serialization and extra copies), which is part of why native TF "fails
+  // to scale" on large dense layers (§5.1, Fig 6).
+  double transport_efficiency = 0.6;
+  // BSP straggler policy (§4.1): when true, a shard broadcasts once P-1 of P
+  // workers contributed (the slowest worker's update is dropped for the
+  // iteration); SFB receivers likewise proceed one peer short.
+  bool drop_stragglers = false;
+};
+
+// The named systems from Figures 5-11.
+SystemConfig CaffePlusPs();       // "Caffe+PS"
+SystemConfig CaffePlusWfbp();     // "Caffe+WFBP"
+SystemConfig PoseidonSystem();    // "Poseidon" (WFBP + HybComm)
+SystemConfig TfNative();          // "TF" (distributed TensorFlow)
+SystemConfig TfPlusWfbp();        // "TF+WFBP"
+SystemConfig AdamSystem();        // Project Adam's communication strategy
+SystemConfig OneBitSystem();      // CNTK-style 1-bit quantization
+SystemConfig SfbOnlySystem();     // pure SFB for every FC layer
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_CLUSTER_SYSTEM_CONFIG_H_

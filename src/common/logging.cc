@@ -1,0 +1,71 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace poseidon {
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+// Serializes whole lines so concurrent threads do not interleave output.
+std::mutex& LogMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : file_(file), line_(line), severity_(severity) {}
+
+LogMessage::~LogMessage() {
+  const bool fatal = severity_ == LogSeverity::kFatal;
+  if (fatal || static_cast<int>(severity_) >= g_min_severity.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fprintf(stderr, "%s %lld.%03lld %s:%d] %s\n", SeverityTag(severity_),
+                 static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
+                 Basename(file_), line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (fatal) {
+    std::abort();
+  }
+}
+
+}  // namespace poseidon

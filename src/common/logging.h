@@ -1,0 +1,76 @@
+// Minimal streaming logger with severity levels and CHECK macros.
+//
+// Follows the usual glog-style contract: LOG(INFO) << ...; CHECK(cond) << ...;
+// FATAL severity and failed CHECKs abort the process after flushing the
+// message, which is the appropriate failure mode for programming errors in a
+// systems library (fail fast, no exception unwinding across module
+// boundaries).
+#ifndef POSEIDON_SRC_COMMON_LOGGING_H_
+#define POSEIDON_SRC_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace poseidon {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum severity; messages below it are dropped. Defaults to kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+// One log statement. Accumulates a message and emits it (with file:line and a
+// timestamp) on destruction. Not for direct use; see the LOG/CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace poseidon
+
+#define POSEIDON_LOG_INTERNAL(severity) \
+  ::poseidon::LogMessage(__FILE__, __LINE__, ::poseidon::LogSeverity::severity).stream()
+
+#define LOG(severity) POSEIDON_LOG_INTERNAL(k##severity)
+
+#define LOG_IF(severity, cond) \
+  (!(cond)) ? (void)0 : ::poseidon::LogMessageVoidify() & LOG(severity)
+
+#define CHECK(cond) \
+  LOG_IF(Fatal, !(cond)) << "Check failed: " #cond " "
+
+#define CHECK_OP(op, a, b) CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_EQ(a, b) CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) CHECK_OP(>=, a, b)
+#define CHECK_NOTNULL(p) CHECK((p) != nullptr)
+
+#endif  // POSEIDON_SRC_COMMON_LOGGING_H_

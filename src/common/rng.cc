@@ -1,0 +1,86 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256** step.
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of `bound`.
+  const uint64_t threshold = (0ull - bound) % bound;
+  while (true) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextUniform(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+float Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-12) {
+    u1 = NextDouble();
+  }
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = static_cast<float>(radius * std::sin(angle));
+  has_cached_gaussian_ = true;
+  return static_cast<float>(radius * std::cos(angle));
+}
+
+Rng Rng::Split(uint64_t salt) const {
+  // Mix the current state with the salt through SplitMix to seed the child.
+  uint64_t mix = state_[0] ^ Rotl(state_[3], 13) ^ (salt * 0x9E3779B97F4A7C15ull);
+  return Rng(SplitMix64(mix));
+}
+
+}  // namespace poseidon

@@ -1,0 +1,35 @@
+// Plain-text table / CSV emitter used by every benchmark harness so that the
+// regenerated tables and figure series have a uniform, diffable format.
+#ifndef POSEIDON_SRC_COMMON_TABLE_H_
+#define POSEIDON_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace poseidon {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  // Renders with aligned columns and a header rule.
+  std::string ToString() const;
+
+  // RFC-4180-ish CSV (no quoting needed for our cell contents).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_COMMON_TABLE_H_

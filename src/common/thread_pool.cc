@@ -1,0 +1,65 @@
+#include "src/common/thread_pool.h"
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+ThreadPool::ThreadPool(int num_threads) {
+  CHECK_GT(num_threads, 0);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CHECK(!shutdown_) << "Schedule() after Shutdown()";
+    ++pending_;
+  }
+  const bool pushed = queue_.Push(std::move(task));
+  CHECK(pushed);
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  queue_.Close();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::optional<std::function<void()>> task = queue_.Pop();
+    if (!task.has_value()) {
+      return;  // closed and drained
+    }
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+      if (pending_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace poseidon

@@ -1,0 +1,51 @@
+// Fixed-size worker pool mirroring the "CPU thread pool" the Poseidon client
+// library manages for syncer jobs (paper §4.1). Tasks are arbitrary
+// std::function<void()>; Wait() blocks until all scheduled tasks completed,
+// which is how the trainer implements the end-of-iteration BSP barrier.
+#ifndef POSEIDON_SRC_COMMON_THREAD_POOL_H_
+#define POSEIDON_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/blocking_queue.h"
+
+namespace poseidon {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. CHECK-fails after Shutdown().
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every task scheduled so far has finished executing.
+  void Wait();
+
+  // Drains outstanding tasks and joins the workers. Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  int pending_ = 0;  // scheduled but not yet finished
+  bool shutdown_ = false;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+#include "src/common/units.h"
+
+#include <cstdio>
+
+namespace poseidon {
+
+std::string FormatBytes(double bytes) {
+  char buffer[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GiB", bytes / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MiB", bytes / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f KiB", bytes / kKiB);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f B", bytes);
+  }
+  return buffer;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  }
+  return buffer;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,32 @@
+// Byte/bit/time unit helpers shared by the network fabric, the cost model and
+// the benchmark harnesses. All wire sizes in the library are bytes (double to
+// tolerate analytic fractions); all simulated time is seconds.
+#ifndef POSEIDON_SRC_COMMON_UNITS_H_
+#define POSEIDON_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace poseidon {
+
+inline constexpr double kBitsPerByte = 8.0;
+inline constexpr int64_t kBytesPerFloat = 4;  // fp32 everywhere on the wire
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// Network vendors quote decimal gigabits: 10 GbE = 1e10 bit/s.
+inline constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / kBitsPerByte; }
+inline constexpr double BytesPerSecToGbps(double bps) { return bps * kBitsPerByte / 1e9; }
+
+inline constexpr double BytesToGigabits(double bytes) { return bytes * kBitsPerByte / 1e9; }
+
+// "12.3 MiB", "4.5 GiB" etc., for human-facing tables.
+std::string FormatBytes(double bytes);
+
+// "123.4 us", "5.67 ms", "8.9 s".
+std::string FormatSeconds(double seconds);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_COMMON_UNITS_H_

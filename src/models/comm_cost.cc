@@ -1,0 +1,95 @@
+#include "src/models/comm_cost.h"
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+void ValidateQuery(const CommCostQuery& q) {
+  CHECK_GT(q.m, 0);
+  CHECK_GT(q.n, 0);
+  CHECK_GT(q.batch_k, 0);
+  CHECK_GT(q.num_workers, 0);
+  CHECK_GT(q.num_servers, 0);
+}
+
+}  // namespace
+
+const char* CommSchemeName(CommScheme scheme) {
+  switch (scheme) {
+    case CommScheme::kPS:
+      return "PS";
+    case CommScheme::kSFB:
+      return "SFB";
+  }
+  return "?";
+}
+
+double PsWorkerFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return 2.0 * static_cast<double>(q.m) * static_cast<double>(q.n);
+}
+
+double PsServerFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return 2.0 * q.num_workers * static_cast<double>(q.m) * static_cast<double>(q.n) /
+         q.num_servers;
+}
+
+double PsColocatedFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return 2.0 * static_cast<double>(q.m) * static_cast<double>(q.n) *
+         (q.num_workers + q.num_servers - 2) / q.num_servers;
+}
+
+double SfbWorkerFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return 2.0 * static_cast<double>(q.batch_k) * (q.num_workers - 1) *
+         static_cast<double>(q.m + q.n);
+}
+
+double AdamServerMaxFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return static_cast<double>(q.num_workers) * static_cast<double>(q.m) *
+             static_cast<double>(q.n) +
+         static_cast<double>(q.num_workers) * static_cast<double>(q.batch_k) *
+             static_cast<double>(q.m + q.n);
+}
+
+double AdamWorkerFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return static_cast<double>(q.batch_k) * static_cast<double>(q.m + q.n) +
+         static_cast<double>(q.m) * static_cast<double>(q.n);
+}
+
+double AdamColocatedMaxFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return static_cast<double>(q.num_workers - 1) *
+         (static_cast<double>(q.m) * static_cast<double>(q.n) +
+          static_cast<double>(q.batch_k) * static_cast<double>(q.m) +
+          static_cast<double>(q.batch_k) * static_cast<double>(q.n));
+}
+
+bool SfbWins(const CommCostQuery& q) {
+  // Algorithm 1 line 7: 2K(P1-1)(M+N) <= 2MN(P1+P2-2)/P2.
+  return SfbWorkerFloats(q) <= PsColocatedFloats(q);
+}
+
+CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers,
+                      int num_servers) {
+  if (layer.type != LayerType::kFC) {
+    return CommScheme::kPS;  // CONV gradients are indecomposable and sparse
+  }
+  if (num_workers <= 1) {
+    return CommScheme::kPS;  // no peers to broadcast to
+  }
+  CommCostQuery q;
+  q.m = layer.fc_m;
+  q.n = layer.fc_n;
+  q.batch_k = batch_k;
+  q.num_workers = num_workers;
+  q.num_servers = num_servers;
+  return SfbWins(q) ? CommScheme::kSFB : CommScheme::kPS;
+}
+
+}  // namespace poseidon

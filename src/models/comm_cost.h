@@ -1,0 +1,56 @@
+// The HybComm communication cost model (paper Table 1 and Algorithm 1).
+//
+// Costs are in *floats transferred per node per iteration* for synchronizing
+// one M x N fully-connected layer across P1 workers and P2 servers with
+// per-worker batch size K, exactly as the paper tabulates them. The selection
+// rule BestScheme picks SFB for an FC layer iff its peer-broadcast cost is no
+// larger than the colocated PS cost; everything else goes through the PS.
+#ifndef POSEIDON_SRC_MODELS_COMM_COST_H_
+#define POSEIDON_SRC_MODELS_COMM_COST_H_
+
+#include <cstdint>
+
+#include "src/models/model_spec.h"
+
+namespace poseidon {
+
+enum class CommScheme {
+  kPS,   // sharded parameter server (full matrices)
+  kSFB,  // peer-to-peer sufficient factor broadcasting
+};
+
+const char* CommSchemeName(CommScheme scheme);
+
+struct CommCostQuery {
+  int64_t m = 0;        // FC output dimension
+  int64_t n = 0;        // FC input dimension
+  int64_t batch_k = 0;  // per-worker batch size
+  int num_workers = 0;  // P1
+  int num_servers = 0;  // P2
+};
+
+// Table 1, row "PS": floats a pure worker sends+receives (2MN).
+double PsWorkerFloats(const CommCostQuery& q);
+// Table 1, row "PS": floats a pure server sends+receives (2*P1*M*N/P2).
+double PsServerFloats(const CommCostQuery& q);
+// Table 1, row "PS": a colocated server+worker node, 2MN(P1+P2-2)/P2.
+double PsColocatedFloats(const CommCostQuery& q);
+// Table 1, row "SFB": 2K(P1-1)(M+N) per worker.
+double SfbWorkerFloats(const CommCostQuery& q);
+// Table 1, row "Adam (max)": the server holding the layer,
+// P1*M*N + P1*K*(M+N).
+double AdamServerMaxFloats(const CommCostQuery& q);
+// Table 1, row "Adam (max)": a pure worker, K(M+N) + MN.
+double AdamWorkerFloats(const CommCostQuery& q);
+// Table 1, row "Adam (max)": colocated, (P1-1)(MN + KM + KN).
+double AdamColocatedMaxFloats(const CommCostQuery& q);
+
+// Algorithm 1: the scheme Poseidon's coordinator selects for `layer`.
+CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers, int num_servers);
+
+// Convenience: would SFB win for an M x N FC layer under this query?
+bool SfbWins(const CommCostQuery& q);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_MODELS_COMM_COST_H_

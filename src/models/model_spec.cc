@@ -1,0 +1,89 @@
+#include "src/models/model_spec.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+const char* LayerTypeName(LayerType type) {
+  switch (type) {
+    case LayerType::kConv:
+      return "CONV";
+    case LayerType::kFC:
+      return "FC";
+  }
+  return "?";
+}
+
+int64_t ModelSpec::total_params() const {
+  int64_t total = 0;
+  for (const auto& layer : layers) {
+    total += layer.params;
+  }
+  return total;
+}
+
+double ModelSpec::total_fwd_flops() const {
+  double total = 0.0;
+  for (const auto& layer : layers) {
+    total += layer.fwd_flops;
+  }
+  return total;
+}
+
+double ModelSpec::fc_param_fraction() const {
+  int64_t fc = 0;
+  for (const auto& layer : layers) {
+    if (layer.type == LayerType::kFC) {
+      fc += layer.params;
+    }
+  }
+  const int64_t total = total_params();
+  return total == 0 ? 0.0 : static_cast<double>(fc) / static_cast<double>(total);
+}
+
+std::string ModelSpec::Summary() const {
+  std::ostringstream out;
+  out << name << ": " << num_layers() << " layers, " << total_params() << " params ("
+      << static_cast<double>(total_params()) / 1e6 << "M), " << total_fwd_flops() / 1e9
+      << " GFLOP/img fwd, FC fraction " << fc_param_fraction();
+  return out.str();
+}
+
+LayerSpec ConvLayer(std::string name, int64_t in_c, int64_t out_c, int64_t kernel,
+                    int64_t out_hw) {
+  return ConvLayerRect(std::move(name), in_c, out_c, kernel, kernel, out_hw);
+}
+
+LayerSpec ConvLayerRect(std::string name, int64_t in_c, int64_t out_c, int64_t kh, int64_t kw,
+                        int64_t out_hw) {
+  CHECK_GT(in_c, 0);
+  CHECK_GT(out_c, 0);
+  CHECK_GT(kh, 0);
+  CHECK_GT(kw, 0);
+  CHECK_GT(out_hw, 0);
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.type = LayerType::kConv;
+  layer.params = in_c * out_c * kh * kw + out_c;
+  layer.fwd_flops =
+      2.0 * static_cast<double>(out_hw * out_hw) * static_cast<double>(out_c) *
+      static_cast<double>(in_c) * static_cast<double>(kh * kw);
+  return layer;
+}
+
+LayerSpec FcLayer(std::string name, int64_t m, int64_t n) {
+  CHECK_GT(m, 0);
+  CHECK_GT(n, 0);
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.type = LayerType::kFC;
+  layer.fc_m = m;
+  layer.fc_n = n;
+  layer.params = m * n + m;
+  layer.fwd_flops = 2.0 * static_cast<double>(m) * static_cast<double>(n);
+  return layer;
+}
+
+}  // namespace poseidon

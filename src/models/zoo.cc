@@ -1,0 +1,289 @@
+#include "src/models/zoo.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+// Collapses a list of convolutions into one synchronization unit (used for
+// inception modules and residual blocks, whose many small tensors Poseidon
+// would hash into the same KV pool anyway).
+LayerSpec AggregateBlock(std::string name, const std::vector<LayerSpec>& parts) {
+  LayerSpec block;
+  block.name = std::move(name);
+  block.type = LayerType::kConv;
+  for (const auto& part : parts) {
+    block.params += part.params;
+    block.fwd_flops += part.fwd_flops;
+  }
+  return block;
+}
+
+// GoogLeNet inception module: (in) -> 1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1.
+LayerSpec Inception(std::string name, int64_t in, int64_t c1, int64_t c3r, int64_t c3,
+                    int64_t c5r, int64_t c5, int64_t pp, int64_t hw) {
+  return AggregateBlock(std::move(name), {
+                                             ConvLayer("1x1", in, c1, 1, hw),
+                                             ConvLayer("3x3r", in, c3r, 1, hw),
+                                             ConvLayer("3x3", c3r, c3, 3, hw),
+                                             ConvLayer("5x5r", in, c5r, 1, hw),
+                                             ConvLayer("5x5", c5r, c5, 5, hw),
+                                             ConvLayer("pool_proj", in, pp, 1, hw),
+                                         });
+}
+
+// ResNet bottleneck: 1x1 in->mid, 3x3 mid->mid, 1x1 mid->out (+ projection on
+// the first block of a stage).
+LayerSpec Bottleneck(std::string name, int64_t in, int64_t mid, int64_t out, int64_t hw,
+                     bool project) {
+  std::vector<LayerSpec> parts = {
+      ConvLayer("a", in, mid, 1, hw),
+      ConvLayer("b", mid, mid, 3, hw),
+      ConvLayer("c", mid, out, 1, hw),
+  };
+  if (project) {
+    parts.push_back(ConvLayer("proj", in, out, 1, hw));
+  }
+  return AggregateBlock(std::move(name), parts);
+}
+
+}  // namespace
+
+ModelSpec MakeCifarQuick() {
+  ModelSpec model;
+  model.name = "cifar-quick";
+  model.dataset = "CIFAR10";
+  model.default_batch = 100;
+  model.layers = {
+      ConvLayer("conv1", 3, 32, 5, 32),
+      ConvLayer("conv2", 32, 32, 5, 16),
+      ConvLayer("conv3", 32, 64, 5, 8),
+      FcLayer("ip1", 64, 1024),
+      FcLayer("ip2", 10, 64),
+  };
+  return model;
+}
+
+ModelSpec MakeAlexNet() {
+  ModelSpec model;
+  model.name = "alexnet";
+  model.dataset = "ILSVRC12";
+  model.default_batch = 256;
+  model.layers = {
+      ConvLayer("conv1", 3, 96, 11, 55),   ConvLayer("conv2", 96, 256, 5, 27),
+      ConvLayer("conv3", 256, 384, 3, 13), ConvLayer("conv4", 384, 384, 3, 13),
+      ConvLayer("conv5", 384, 256, 3, 13), FcLayer("fc6", 4096, 9216),
+      FcLayer("fc7", 4096, 4096),          FcLayer("fc8", 1000, 4096),
+  };
+  return model;
+}
+
+ModelSpec MakeGoogLeNet() {
+  ModelSpec model;
+  model.name = "googlenet";
+  model.dataset = "ILSVRC12";
+  model.default_batch = 128;
+  model.layers = {
+      ConvLayer("conv1", 3, 64, 7, 112),
+      ConvLayer("conv2_reduce", 64, 64, 1, 56),
+      ConvLayer("conv2", 64, 192, 3, 56),
+      Inception("inception_3a", 192, 64, 96, 128, 16, 32, 32, 28),
+      Inception("inception_3b", 256, 128, 128, 192, 32, 96, 64, 28),
+      Inception("inception_4a", 480, 192, 96, 208, 16, 48, 64, 14),
+      Inception("inception_4b", 512, 160, 112, 224, 24, 64, 64, 14),
+      Inception("inception_4c", 512, 128, 128, 256, 24, 64, 64, 14),
+      Inception("inception_4d", 512, 112, 144, 288, 32, 64, 64, 14),
+      Inception("inception_4e", 528, 256, 160, 320, 32, 128, 128, 14),
+      Inception("inception_5a", 832, 256, 160, 320, 32, 128, 128, 7),
+      Inception("inception_5b", 832, 384, 192, 384, 48, 128, 128, 7),
+      FcLayer("loss3_classifier", 1000, 1024),
+  };
+  return model;
+}
+
+ModelSpec MakeInceptionV3() {
+  ModelSpec model;
+  model.name = "inception-v3";
+  model.dataset = "ILSVRC12";
+  model.default_batch = 32;
+  // Stem.
+  model.layers.push_back(AggregateBlock("stem", {
+                                                    ConvLayer("c1", 3, 32, 3, 149),
+                                                    ConvLayer("c2", 32, 32, 3, 147),
+                                                    ConvLayer("c3", 32, 64, 3, 147),
+                                                    ConvLayer("c4", 64, 80, 1, 73),
+                                                    ConvLayer("c5", 80, 192, 3, 71),
+                                                }));
+  // 3 x InceptionA at 35x35.
+  auto inception_a = [](std::string name, int64_t in, int64_t pool) {
+    return AggregateBlock(std::move(name), {
+                                               ConvLayer("1x1", in, 64, 1, 35),
+                                               ConvLayer("5x5r", in, 48, 1, 35),
+                                               ConvLayer("5x5", 48, 64, 5, 35),
+                                               ConvLayer("3x3r", in, 64, 1, 35),
+                                               ConvLayer("3x3a", 64, 96, 3, 35),
+                                               ConvLayer("3x3b", 96, 96, 3, 35),
+                                               ConvLayer("pool", in, pool, 1, 35),
+                                           });
+  };
+  model.layers.push_back(inception_a("mixed_35a", 192, 32));
+  model.layers.push_back(inception_a("mixed_35b", 256, 64));
+  model.layers.push_back(inception_a("mixed_35c", 288, 64));
+  // Grid reduction 35 -> 17.
+  model.layers.push_back(AggregateBlock("reduction_17", {
+                                                            ConvLayer("3x3", 288, 384, 3, 17),
+                                                            ConvLayer("dblr", 288, 64, 1, 35),
+                                                            ConvLayer("dbl1", 64, 96, 3, 35),
+                                                            ConvLayer("dbl2", 96, 96, 3, 17),
+                                                        }));
+  // 4 x InceptionC at 17x17 with growing factorized-7x7 widths.
+  auto inception_c = [](std::string name, int64_t c7) {
+    const int64_t in = 768;
+    return AggregateBlock(std::move(name),
+                          {
+                              ConvLayer("1x1", in, 192, 1, 17),
+                              ConvLayer("7x7r", in, c7, 1, 17),
+                              ConvLayerRect("1x7", c7, c7, 1, 7, 17),
+                              ConvLayerRect("7x1", c7, 192, 7, 1, 17),
+                              ConvLayer("d7r", in, c7, 1, 17),
+                              ConvLayerRect("d7a", c7, c7, 7, 1, 17),
+                              ConvLayerRect("d7b", c7, c7, 1, 7, 17),
+                              ConvLayerRect("d7c", c7, c7, 7, 1, 17),
+                              ConvLayerRect("d7d", c7, 192, 1, 7, 17),
+                              ConvLayer("pool", in, 192, 1, 17),
+                          });
+  };
+  model.layers.push_back(inception_c("mixed_17a", 128));
+  model.layers.push_back(inception_c("mixed_17b", 160));
+  model.layers.push_back(inception_c("mixed_17c", 160));
+  model.layers.push_back(inception_c("mixed_17d", 192));
+  // Auxiliary head (included in the trained parameter count).
+  model.layers.push_back(AggregateBlock("aux_head", {
+                                                        ConvLayer("proj", 768, 128, 1, 5),
+                                                        ConvLayer("conv", 128, 768, 5, 1),
+                                                    }));
+  model.layers.back().params += 768 * 1000 + 1000;  // aux classifier FC
+  // Grid reduction 17 -> 8.
+  model.layers.push_back(
+      AggregateBlock("reduction_8", {
+                                        ConvLayer("3x3r", 768, 192, 1, 17),
+                                        ConvLayer("3x3", 192, 320, 3, 8),
+                                        ConvLayer("7x7r", 768, 192, 1, 17),
+                                        ConvLayerRect("1x7", 192, 192, 1, 7, 17),
+                                        ConvLayerRect("7x1", 192, 192, 7, 1, 17),
+                                        ConvLayer("3x3b", 192, 192, 3, 8),
+                                    }));
+  // 2 x InceptionE at 8x8.
+  auto inception_e = [](std::string name, int64_t in) {
+    return AggregateBlock(std::move(name),
+                          {
+                              ConvLayer("1x1", in, 320, 1, 8),
+                              ConvLayer("3x3r", in, 384, 1, 8),
+                              ConvLayerRect("3x3a", 384, 384, 1, 3, 8),
+                              ConvLayerRect("3x3b", 384, 384, 3, 1, 8),
+                              ConvLayer("dr", in, 448, 1, 8),
+                              ConvLayer("da", 448, 384, 3, 8),
+                              ConvLayerRect("db", 384, 384, 1, 3, 8),
+                              ConvLayerRect("dc", 384, 384, 3, 1, 8),
+                              ConvLayer("pool", in, 192, 1, 8),
+                          });
+  };
+  model.layers.push_back(inception_e("mixed_8a", 1280));
+  model.layers.push_back(inception_e("mixed_8b", 2048));
+  model.layers.push_back(FcLayer("logits", 1000, 2048));
+  return model;
+}
+
+ModelSpec MakeVgg19() {
+  ModelSpec model;
+  model.name = "vgg19";
+  model.dataset = "ILSVRC12";
+  model.default_batch = 32;
+  model.layers = {
+      ConvLayer("conv1_1", 3, 64, 3, 224),    ConvLayer("conv1_2", 64, 64, 3, 224),
+      ConvLayer("conv2_1", 64, 128, 3, 112),  ConvLayer("conv2_2", 128, 128, 3, 112),
+      ConvLayer("conv3_1", 128, 256, 3, 56),  ConvLayer("conv3_2", 256, 256, 3, 56),
+      ConvLayer("conv3_3", 256, 256, 3, 56),  ConvLayer("conv3_4", 256, 256, 3, 56),
+      ConvLayer("conv4_1", 256, 512, 3, 28),  ConvLayer("conv4_2", 512, 512, 3, 28),
+      ConvLayer("conv4_3", 512, 512, 3, 28),  ConvLayer("conv4_4", 512, 512, 3, 28),
+      ConvLayer("conv5_1", 512, 512, 3, 14),  ConvLayer("conv5_2", 512, 512, 3, 14),
+      ConvLayer("conv5_3", 512, 512, 3, 14),  ConvLayer("conv5_4", 512, 512, 3, 14),
+      FcLayer("fc6", 4096, 25088),            FcLayer("fc7", 4096, 4096),
+      FcLayer("fc8", 1000, 4096),
+  };
+  return model;
+}
+
+ModelSpec MakeVgg19_22K() {
+  ModelSpec model = MakeVgg19();
+  model.name = "vgg19-22k";
+  model.dataset = "ImageNet22K";
+  // Replace the 1000-way classifier with a 21841-way one (paper §5).
+  model.layers.back() = FcLayer("fc8_22k", 21841, 4096);
+  return model;
+}
+
+ModelSpec MakeResNet152() {
+  ModelSpec model;
+  model.name = "resnet-152";
+  model.dataset = "ILSVRC12";
+  model.default_batch = 32;
+  model.layers.push_back(ConvLayer("conv1", 3, 64, 7, 112));
+  struct Stage {
+    const char* name;
+    int blocks;
+    int64_t mid;
+    int64_t out;
+    int64_t hw;
+  };
+  const Stage stages[] = {
+      {"res2", 3, 64, 256, 56},
+      {"res3", 8, 128, 512, 28},
+      {"res4", 36, 256, 1024, 14},
+      {"res5", 3, 512, 2048, 7},
+  };
+  int64_t in = 64;
+  for (const Stage& stage : stages) {
+    for (int b = 0; b < stage.blocks; ++b) {
+      const std::string name = std::string(stage.name) + "_" + std::to_string(b + 1);
+      model.layers.push_back(Bottleneck(name, in, stage.mid, stage.out, stage.hw, b == 0));
+      in = stage.out;
+    }
+  }
+  model.layers.push_back(FcLayer("fc1000", 1000, 2048));
+  return model;
+}
+
+std::vector<ModelSpec> AllZooModels() {
+  return {MakeCifarQuick(), MakeGoogLeNet(), MakeInceptionV3(),
+          MakeVgg19(),      MakeVgg19_22K(), MakeResNet152()};
+}
+
+StatusOr<ModelSpec> ModelByName(const std::string& name) {
+  if (name == "cifar-quick") {
+    return MakeCifarQuick();
+  }
+  if (name == "alexnet") {
+    return MakeAlexNet();
+  }
+  if (name == "googlenet") {
+    return MakeGoogLeNet();
+  }
+  if (name == "inception-v3") {
+    return MakeInceptionV3();
+  }
+  if (name == "vgg19") {
+    return MakeVgg19();
+  }
+  if (name == "vgg19-22k") {
+    return MakeVgg19_22K();
+  }
+  if (name == "resnet-152") {
+    return MakeResNet152();
+  }
+  return NotFoundError("unknown model: " + name);
+}
+
+}  // namespace poseidon

@@ -1,0 +1,41 @@
+// The model zoo: architectural descriptors for every network the paper
+// evaluates (Table 3), plus AlexNet, which §2.2 uses for its bandwidth
+// arithmetic. Parameter counts match the published architectures (and the
+// paper's Table 3) to within ~1%; per-layer FLOPs use the standard
+// 2 * H * W * Cout * Cin * k^2 convolution cost.
+#ifndef POSEIDON_SRC_MODELS_ZOO_H_
+#define POSEIDON_SRC_MODELS_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/models/model_spec.h"
+
+namespace poseidon {
+
+// "CIFAR-10 quick" from Caffe: 3 conv + 2 FC, 145.6K params, batch 100.
+ModelSpec MakeCifarQuick();
+// AlexNet (Krizhevsky'12): 61.5M params, batch 256.
+ModelSpec MakeAlexNet();
+// GoogLeNet (Szegedy'15): 22 weight layers, ~6M params, batch 128.
+ModelSpec MakeGoogLeNet();
+// Inception-V3 (Szegedy'16) with the auxiliary head: ~27M params, batch 32.
+ModelSpec MakeInceptionV3();
+// VGG19 (Simonyan'15): 16 conv + 3 FC, 143M params, batch 32.
+ModelSpec MakeVgg19();
+// VGG19 with a 21841-way classifier for ImageNet22K: 229M params, batch 32.
+ModelSpec MakeVgg19_22K();
+// ResNet-152 (He'15): 60.2M params, batch 32.
+ModelSpec MakeResNet152();
+
+// All Table 3 models in the paper's order.
+std::vector<ModelSpec> AllZooModels();
+
+// Lookup by the names used in the benchmarks ("vgg19", "vgg19-22k",
+// "googlenet", "inception-v3", "resnet-152", "cifar-quick", "alexnet").
+StatusOr<ModelSpec> ModelByName(const std::string& name);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_MODELS_ZOO_H_

@@ -1,0 +1,63 @@
+#include "src/nn/builders.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/nn/layers.h"
+
+namespace poseidon {
+
+std::unique_ptr<Network> BuildCifarQuick(int channels, int image_hw, int classes, Rng& rng) {
+  CHECK_EQ(image_hw % 8, 0) << "three 2x2 pools require hw divisible by 8";
+  auto net = std::make_unique<Network>();
+  net->Add(std::make_unique<Conv2dLayer>("conv1", channels, 32, 5, 1, 2, rng));
+  net->Add(std::make_unique<MaxPool2Layer>("pool1"));
+  net->Add(std::make_unique<ReluLayer>("relu1"));
+  net->Add(std::make_unique<Conv2dLayer>("conv2", 32, 32, 5, 1, 2, rng));
+  net->Add(std::make_unique<ReluLayer>("relu2"));
+  net->Add(std::make_unique<MaxPool2Layer>("pool2"));
+  net->Add(std::make_unique<Conv2dLayer>("conv3", 32, 64, 5, 1, 2, rng));
+  net->Add(std::make_unique<ReluLayer>("relu3"));
+  net->Add(std::make_unique<MaxPool2Layer>("pool3"));
+  const int64_t flat = 64LL * (image_hw / 8) * (image_hw / 8);
+  net->Add(std::make_unique<FullyConnectedLayer>("ip1", 64, flat, rng));
+  net->Add(std::make_unique<FullyConnectedLayer>("ip2", classes, 64, rng));
+  return net;
+}
+
+std::unique_ptr<Network> BuildSmallResNet(int channels, int image_hw, int classes, int width,
+                                          int blocks, Rng& rng) {
+  CHECK_EQ(image_hw % 2, 0);
+  auto net = std::make_unique<Network>();
+  net->Add(std::make_unique<Conv2dLayer>("conv_in", channels, width, 3, 1, 1, rng));
+  net->Add(std::make_unique<ReluLayer>("relu_in"));
+  for (int b = 0; b < blocks; ++b) {
+    const std::string name = "res" + std::to_string(b + 1);
+    std::vector<std::unique_ptr<Layer>> inner;
+    inner.push_back(std::make_unique<Conv2dLayer>(name + "_a", width, width, 3, 1, 1, rng));
+    inner.push_back(std::make_unique<ReluLayer>(name + "_relu"));
+    inner.push_back(std::make_unique<Conv2dLayer>(name + "_b", width, width, 3, 1, 1, rng));
+    net->Add(std::make_unique<ResidualBlock>(name, std::move(inner)));
+  }
+  net->Add(std::make_unique<MaxPool2Layer>("pool"));
+  const int64_t flat = static_cast<int64_t>(width) * (image_hw / 2) * (image_hw / 2);
+  net->Add(std::make_unique<FullyConnectedLayer>("fc", classes, flat, rng));
+  return net;
+}
+
+std::unique_ptr<Network> BuildMlp(int input_dim, int hidden_dim, int hidden_layers,
+                                  int classes, Rng& rng) {
+  CHECK_GE(hidden_layers, 1);
+  auto net = std::make_unique<Network>();
+  int64_t in = input_dim;
+  for (int l = 0; l < hidden_layers; ++l) {
+    const std::string name = "fc" + std::to_string(l + 1);
+    net->Add(std::make_unique<FullyConnectedLayer>(name, hidden_dim, in, rng));
+    net->Add(std::make_unique<ReluLayer>("relu" + std::to_string(l + 1)));
+    in = hidden_dim;
+  }
+  net->Add(std::make_unique<FullyConnectedLayer>("fc_out", classes, in, rng));
+  return net;
+}
+
+}  // namespace poseidon

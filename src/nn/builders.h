@@ -1,0 +1,31 @@
+// Trainable network builders for the convergence experiments.
+#ifndef POSEIDON_SRC_NN_BUILDERS_H_
+#define POSEIDON_SRC_NN_BUILDERS_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/nn/network.h"
+
+namespace poseidon {
+
+// Caffe's "CIFAR-10 quick" (Fig 11's workload): conv5x5(32)-pool-relu,
+// conv5x5(32)-relu-pool, conv5x5(64)-relu-pool, fc(64), fc(classes).
+// `image_hw` lets the benchmarks run a reduced-resolution variant (the full
+// 32x32 network is the paper's exact configuration; 16x16 keeps the default
+// bench run short on one CPU core).
+std::unique_ptr<Network> BuildCifarQuick(int channels, int image_hw, int classes, Rng& rng);
+
+// A small pre-activation ResNet for Fig 9b's epochs-to-error experiment:
+// conv3x3(width) followed by `blocks` residual blocks and a linear head.
+std::unique_ptr<Network> BuildSmallResNet(int channels, int image_hw, int classes, int width,
+                                          int blocks, Rng& rng);
+
+// A plain MLP (FC-only, all layers SFB-eligible) used by unit tests and the
+// quickstart example.
+std::unique_ptr<Network> BuildMlp(int input_dim, int hidden_dim, int hidden_layers,
+                                  int classes, Rng& rng);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_NN_BUILDERS_H_

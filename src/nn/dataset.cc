@@ -1,0 +1,82 @@
+#include "src/nn/dataset.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+SyntheticDataset::SyntheticDataset(const DatasetConfig& config) : config_(config) {
+  CHECK_GT(config_.num_classes, 1);
+  CHECK_GT(config_.train_size, 0);
+  Rng rng(config_.seed);
+  const int64_t pixels = static_cast<int64_t>(config_.channels) * config_.height * config_.width;
+  prototypes_.reserve(config_.num_classes);
+  for (int c = 0; c < config_.num_classes; ++c) {
+    Rng proto_rng = rng.Split(static_cast<uint64_t>(c) + 1);
+    Tensor proto({pixels});
+    double norm_sq = 0.0;
+    for (int64_t i = 0; i < pixels; ++i) {
+      proto[i] = proto_rng.NextGaussian();
+      norm_sq += static_cast<double>(proto[i]) * proto[i];
+    }
+    // Unit RMS so noise_stddev is directly the noise-to-signal ratio.
+    const float scale = static_cast<float>(1.0 / std::sqrt(norm_sq / pixels));
+    for (int64_t i = 0; i < pixels; ++i) {
+      proto[i] *= scale;
+    }
+    prototypes_.push_back(std::move(proto));
+  }
+}
+
+void SyntheticDataset::MakeSample(int64_t global_index, bool test, float* out,
+                                  int* label) const {
+  const int64_t pixels =
+      static_cast<int64_t>(config_.channels) * config_.height * config_.width;
+  // Distinct streams for train and test samples.
+  const uint64_t salt = (test ? 0x7E57ull << 32 : 0ull) ^ static_cast<uint64_t>(global_index);
+  Rng rng = Rng(config_.seed).Split(salt + 1000003);
+  *label = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(config_.num_classes)));
+  const Tensor& proto = prototypes_[static_cast<size_t>(*label)];
+  for (int64_t i = 0; i < pixels; ++i) {
+    out[i] = proto[i] + config_.noise_stddev * rng.NextGaussian();
+  }
+}
+
+Batch SyntheticDataset::TrainBatch(int64_t index, int batch_size, int worker,
+                                   int num_workers) const {
+  CHECK_GT(batch_size, 0);
+  CHECK_GE(worker, 0);
+  CHECK_LT(worker, num_workers);
+  const int64_t pixels =
+      static_cast<int64_t>(config_.channels) * config_.height * config_.width;
+  Batch batch;
+  batch.images = Tensor({batch_size, config_.channels, config_.height, config_.width});
+  batch.labels.resize(static_cast<size_t>(batch_size));
+  const int64_t total = static_cast<int64_t>(batch_size) * num_workers;
+  for (int j = 0; j < batch_size; ++j) {
+    // Global sample position: iteration-major, then worker-major, so the
+    // union over workers equals one big single-node batch.
+    const int64_t id = index * total + static_cast<int64_t>(worker) * batch_size + j;
+    const int64_t sample = id % config_.train_size;
+    MakeSample(sample, /*test=*/false, batch.images.data() + j * pixels,
+               &batch.labels[static_cast<size_t>(j)]);
+  }
+  return batch;
+}
+
+Batch SyntheticDataset::TestSet() const {
+  const int64_t pixels =
+      static_cast<int64_t>(config_.channels) * config_.height * config_.width;
+  Batch batch;
+  batch.images =
+      Tensor({config_.test_size, config_.channels, config_.height, config_.width});
+  batch.labels.resize(static_cast<size_t>(config_.test_size));
+  for (int j = 0; j < config_.test_size; ++j) {
+    MakeSample(j, /*test=*/true, batch.images.data() + j * pixels,
+               &batch.labels[static_cast<size_t>(j)]);
+  }
+  return batch;
+}
+
+}  // namespace poseidon

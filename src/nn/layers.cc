@@ -1,0 +1,327 @@
+#include "src/nn/layers.h"
+
+#include <algorithm>
+
+#include "src/tensor/ops.h"
+
+namespace poseidon {
+namespace {
+
+// Flattens [K,C,H,W] (or passes through [K,N]) into a [K, features] view.
+Tensor FlattenBatch(const Tensor& in) {
+  if (in.ndim() == 2) {
+    return in;
+  }
+  CHECK_EQ(in.ndim(), 4);
+  const int64_t k = in.dim(0);
+  const int64_t features = in.size() / k;
+  return in.Reshaped({k, features});
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- FC ----
+
+FullyConnectedLayer::FullyConnectedLayer(std::string name, int64_t m, int64_t n, Rng& rng)
+    : Layer(std::move(name)),
+      m_(m),
+      n_(n),
+      weight_(Tensor::RandomHe({m, n}, n, rng)),
+      bias_(Tensor::Zeros({m})),
+      weight_grad_(Tensor::Zeros({m, n})),
+      bias_grad_(Tensor::Zeros({m})) {}
+
+void FullyConnectedLayer::Forward(const Tensor& in, Tensor* out) {
+  last_in_shape_ = in.shape();
+  last_input_ = FlattenBatch(in);
+  CHECK_EQ(last_input_.dim(1), n_) << name() << ": input width mismatch";
+  const int64_t k = last_input_.dim(0);
+  *out = Tensor({k, m_});
+  // out[K,M] = x[K,N] * W^T[N,M]
+  GemmTransB(last_input_, weight_, out);
+  AddRowVector(bias_, out);
+}
+
+void FullyConnectedLayer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  CHECK_EQ(grad_out.ndim(), 2);
+  CHECK_EQ(grad_out.dim(1), m_);
+  last_errors_ = grad_out;
+  // dW[M,N] = dY^T[M,K] * X[K,N]
+  GemmTransA(grad_out, last_input_, &weight_grad_);
+  SumRows(grad_out, &bias_grad_);
+  // dX[K,N] = dY[K,M] * W[M,N], delivered in the caller's original shape so
+  // conv/pool layers below see their 4-D layout.
+  Tensor grad_flat({grad_out.dim(0), n_});
+  Gemm(grad_out, weight_, &grad_flat);
+  *grad_in = grad_flat.Reshaped(last_in_shape_);
+}
+
+std::vector<ParamBlock> FullyConnectedLayer::Params() {
+  return {{name() + ".weight", &weight_, &weight_grad_},
+          {name() + ".bias", &bias_, &bias_grad_}};
+}
+
+SufficientFactors FullyConnectedLayer::LastSufficientFactors() const {
+  CHECK_GT(last_errors_.size(), 0) << "Backward must run before SF extraction";
+  return MakeSufficientFactors(last_errors_, last_input_);
+}
+
+// ----------------------------------------------------------------- Conv ----
+
+Conv2dLayer::Conv2dLayer(std::string name, int64_t in_c, int64_t out_c, int64_t kernel,
+                         int64_t stride, int64_t pad, Rng& rng)
+    : Layer(std::move(name)),
+      in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Tensor::RandomHe({out_c, in_c * kernel * kernel}, in_c * kernel * kernel, rng)),
+      bias_(Tensor::Zeros({out_c})),
+      weight_grad_(Tensor::Zeros({out_c, in_c * kernel * kernel})),
+      bias_grad_(Tensor::Zeros({out_c})) {
+  CHECK_GT(stride_, 0);
+  CHECK_GE(pad_, 0);
+}
+
+void Conv2dLayer::Im2Col(const Tensor& in, Tensor* cols) const {
+  const int64_t k = in.dim(0);
+  const int64_t h = in.dim(2);
+  const int64_t w = in.dim(3);
+  const int64_t oh = OutDim(h);
+  const int64_t ow = OutDim(w);
+  const int64_t patch = in_c_ * kernel_ * kernel_;
+  *cols = Tensor({k * oh * ow, patch});
+  float* col_data = cols->data();
+  for (int64_t img = 0; img < k; ++img) {
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t x = 0; x < ow; ++x) {
+        float* row = col_data + ((img * oh + y) * ow + x) * patch;
+        int64_t idx = 0;
+        for (int64_t c = 0; c < in_c_; ++c) {
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            const int64_t sy = y * stride_ + ky - pad_;
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              const int64_t sx = x * stride_ + kx - pad_;
+              row[idx++] = (sy >= 0 && sy < h && sx >= 0 && sx < w)
+                               ? in.At4(img, c, sy, sx)
+                               : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2dLayer::Col2Im(const Tensor& cols, Tensor* grad_in) const {
+  const int64_t k = last_in_shape_[0];
+  const int64_t h = last_in_shape_[2];
+  const int64_t w = last_in_shape_[3];
+  const int64_t oh = OutDim(h);
+  const int64_t ow = OutDim(w);
+  const int64_t patch = in_c_ * kernel_ * kernel_;
+  *grad_in = Tensor(last_in_shape_);
+  const float* col_data = cols.data();
+  for (int64_t img = 0; img < k; ++img) {
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t x = 0; x < ow; ++x) {
+        const float* row = col_data + ((img * oh + y) * ow + x) * patch;
+        int64_t idx = 0;
+        for (int64_t c = 0; c < in_c_; ++c) {
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            const int64_t sy = y * stride_ + ky - pad_;
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              const int64_t sx = x * stride_ + kx - pad_;
+              if (sy >= 0 && sy < h && sx >= 0 && sx < w) {
+                grad_in->At4(img, c, sy, sx) += row[idx];
+              }
+              ++idx;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2dLayer::Forward(const Tensor& in, Tensor* out) {
+  CHECK_EQ(in.ndim(), 4);
+  CHECK_EQ(in.dim(1), in_c_) << name() << ": channel mismatch";
+  last_in_shape_ = in.shape();
+  const int64_t k = in.dim(0);
+  const int64_t oh = OutDim(in.dim(2));
+  const int64_t ow = OutDim(in.dim(3));
+  CHECK_GT(oh, 0);
+  CHECK_GT(ow, 0);
+
+  Im2Col(in, &last_cols_);
+  // [K*OH*OW, patch] x [patch, out_c] -> [K*OH*OW, out_c]
+  Tensor result({k * oh * ow, out_c_});
+  GemmTransB(last_cols_, weight_, &result);
+
+  *out = Tensor({k, out_c_, oh, ow});
+  for (int64_t img = 0; img < k; ++img) {
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t x = 0; x < ow; ++x) {
+        const float* row = result.data() + ((img * oh + y) * ow + x) * out_c_;
+        for (int64_t c = 0; c < out_c_; ++c) {
+          out->At4(img, c, y, x) = row[c] + bias_[c];
+        }
+      }
+    }
+  }
+}
+
+void Conv2dLayer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  CHECK_EQ(grad_out.ndim(), 4);
+  const int64_t k = grad_out.dim(0);
+  const int64_t oh = grad_out.dim(2);
+  const int64_t ow = grad_out.dim(3);
+
+  // Rearrange dY to [K*OH*OW, out_c] to match the im2col layout.
+  Tensor dy({k * oh * ow, out_c_});
+  bias_grad_.SetZero();
+  for (int64_t img = 0; img < k; ++img) {
+    for (int64_t c = 0; c < out_c_; ++c) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          const float g = grad_out.At4(img, c, y, x);
+          dy.At((img * oh + y) * ow + x, c) = g;
+          bias_grad_[c] += g;
+        }
+      }
+    }
+  }
+  // dW[out_c, patch] = dY^T x cols
+  GemmTransA(dy, last_cols_, &weight_grad_);
+  // dCols = dY x W
+  Tensor dcols({k * oh * ow, in_c_ * kernel_ * kernel_});
+  Gemm(dy, weight_, &dcols);
+  Col2Im(dcols, grad_in);
+}
+
+std::vector<ParamBlock> Conv2dLayer::Params() {
+  return {{name() + ".weight", &weight_, &weight_grad_},
+          {name() + ".bias", &bias_, &bias_grad_}};
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+void ReluLayer::Forward(const Tensor& in, Tensor* out) {
+  *out = in;
+  mask_ = Tensor(in.shape());
+  float* od = out->data();
+  float* md = mask_.data();
+  for (int64_t i = 0; i < in.size(); ++i) {
+    if (od[i] > 0.0f) {
+      md[i] = 1.0f;
+    } else {
+      od[i] = 0.0f;
+      md[i] = 0.0f;
+    }
+  }
+}
+
+void ReluLayer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  CHECK(grad_out.SameShape(mask_));
+  *grad_in = grad_out;
+  float* gd = grad_in->data();
+  const float* md = mask_.data();
+  for (int64_t i = 0; i < grad_in->size(); ++i) {
+    gd[i] *= md[i];
+  }
+}
+
+// ------------------------------------------------------------- MaxPool -----
+
+void MaxPool2Layer::Forward(const Tensor& in, Tensor* out) {
+  CHECK_EQ(in.ndim(), 4);
+  CHECK_EQ(in.dim(2) % 2, 0) << name() << ": spatial dims must be even";
+  CHECK_EQ(in.dim(3) % 2, 0);
+  last_in_shape_ = in.shape();
+  const int64_t k = in.dim(0);
+  const int64_t c = in.dim(1);
+  const int64_t oh = in.dim(2) / 2;
+  const int64_t ow = in.dim(3) / 2;
+  *out = Tensor({k, c, oh, ow});
+  argmax_ = Tensor({k, c, oh, ow});
+  for (int64_t img = 0; img < k; ++img) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          float best = -3.4e38f;
+          int64_t best_idx = 0;
+          for (int64_t dy = 0; dy < 2; ++dy) {
+            for (int64_t dx = 0; dx < 2; ++dx) {
+              const int64_t sy = 2 * y + dy;
+              const int64_t sx = 2 * x + dx;
+              const float v = in.At4(img, ch, sy, sx);
+              if (v > best) {
+                best = v;
+                best_idx = ((img * c + ch) * in.dim(2) + sy) * in.dim(3) + sx;
+              }
+            }
+          }
+          out->At4(img, ch, y, x) = best;
+          argmax_.At4(img, ch, y, x) = static_cast<float>(best_idx);
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2Layer::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  CHECK(grad_out.SameShape(argmax_));
+  *grad_in = Tensor(last_in_shape_);
+  const float* gd = grad_out.data();
+  const float* am = argmax_.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i) {
+    (*grad_in)[static_cast<int64_t>(am[i])] += gd[i];
+  }
+}
+
+// ------------------------------------------------------------ Residual -----
+
+ResidualBlock::ResidualBlock(std::string name, std::vector<std::unique_ptr<Layer>> inner)
+    : Layer(std::move(name)), inner_(std::move(inner)) {
+  CHECK(!inner_.empty());
+}
+
+void ResidualBlock::Forward(const Tensor& in, Tensor* out) {
+  activations_.clear();
+  activations_.push_back(in);
+  Tensor current = in;
+  for (auto& layer : inner_) {
+    Tensor next;
+    layer->Forward(current, &next);
+    current = std::move(next);
+    activations_.push_back(current);
+  }
+  CHECK(current.SameShape(in)) << name() << ": residual branch must preserve shape";
+  *out = std::move(current);
+  Axpy(1.0f, in, out);  // skip connection
+}
+
+void ResidualBlock::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  Tensor current = grad_out;
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it) {
+    Tensor next;
+    (*it)->Backward(current, &next);
+    current = std::move(next);
+  }
+  *grad_in = std::move(current);
+  Axpy(1.0f, grad_out, grad_in);  // gradient through the skip connection
+}
+
+std::vector<ParamBlock> ResidualBlock::Params() {
+  std::vector<ParamBlock> params;
+  for (auto& layer : inner_) {
+    for (ParamBlock& p : layer->Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,28 @@
+#include "src/nn/sgd.h"
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+void SgdOptimizer::Step(const std::string& key, const Tensor& grad, Tensor* value) {
+  CHECK(grad.SameShape(*value));
+  StepSlice(key, grad.data(), value->data(), grad.size());
+}
+
+void SgdOptimizer::StepSlice(const std::string& key, const float* grad, float* value,
+                             int64_t len) {
+  CHECK_GT(len, 0);
+  auto [it, inserted] = velocity_.try_emplace(key, Tensor({len}));
+  Tensor& velocity = it->second;
+  CHECK_EQ(velocity.size(), len) << "parameter " << key << " changed size";
+  float* v = velocity.data();
+  const float lr = config_.learning_rate;
+  const float mu = config_.momentum;
+  const float wd = config_.weight_decay;
+  for (int64_t i = 0; i < len; ++i) {
+    v[i] = mu * v[i] + grad[i] + wd * value[i];
+    value[i] -= lr * v[i];
+  }
+}
+
+}  // namespace poseidon

@@ -1,0 +1,30 @@
+#include "src/nn/single_trainer.h"
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+std::vector<SingleNodeStats> TrainSingleNode(Network& net, const SyntheticDataset& dataset,
+                                             SgdOptimizer& optimizer, int iterations,
+                                             int batch, int64_t first_iter) {
+  CHECK_GT(iterations, 0);
+  std::vector<SingleNodeStats> stats;
+  stats.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    const int64_t iter = first_iter + i;
+    const Batch data = dataset.TrainBatch(iter, batch);
+    const LossResult result = net.Forward(data.images, data.labels);
+    net.Backward();
+    int layer_index = 0;
+    for (auto& layer_params : net.LayerParams()) {
+      for (ParamBlock& p : layer_params) {
+        optimizer.Step("l" + std::to_string(layer_index) + "." + p.name, *p.grad, p.value);
+      }
+      ++layer_index;
+    }
+    stats.push_back({iter, result.loss, result.accuracy});
+  }
+  return stats;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,31 @@
+// Sequential single-node trainer: the "unmodified Caffe/TensorFlow on one
+// GPU" baseline. Used by the BSP-equivalence tests (distributed training
+// with aggregate batch B must match single-node training with batch B) and
+// as the reference curve in the convergence benchmarks.
+#ifndef POSEIDON_SRC_NN_SINGLE_TRAINER_H_
+#define POSEIDON_SRC_NN_SINGLE_TRAINER_H_
+
+#include <vector>
+
+#include "src/nn/dataset.h"
+#include "src/nn/network.h"
+#include "src/nn/sgd.h"
+
+namespace poseidon {
+
+struct SingleNodeStats {
+  int64_t iter = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+// Runs `iterations` of plain mini-batch SGD on `net`, starting from sample
+// stream position `first_iter` (so it lines up with a PoseidonTrainer that
+// already consumed first_iter batches).
+std::vector<SingleNodeStats> TrainSingleNode(Network& net, const SyntheticDataset& dataset,
+                                             SgdOptimizer& optimizer, int iterations,
+                                             int batch, int64_t first_iter = 0);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_NN_SINGLE_TRAINER_H_

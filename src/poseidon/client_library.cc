@@ -1,0 +1,60 @@
+#include "src/poseidon/client_library.h"
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+ClientLibrary::ClientLibrary(int worker, const Coordinator& coordinator,
+                             const std::vector<RuntimeScheme>& schemes, Network* net,
+                             MessageBus* bus, const SgdConfig& sgd, int num_threads)
+    : worker_(worker), schemes_(schemes), local_optimizer_(sgd), pool_(num_threads) {
+  CHECK_NOTNULL(net);
+  CHECK_EQ(static_cast<int>(schemes.size()), net->num_layers());
+  syncers_.reserve(schemes.size());
+  for (int l = 0; l < net->num_layers(); ++l) {
+    syncers_.push_back(std::make_unique<Syncer>(worker, l, schemes[static_cast<size_t>(l)],
+                                                coordinator, bus, &net->layer(l),
+                                                &local_optimizer_));
+    if (schemes[static_cast<size_t>(l)] != RuntimeScheme::kNone) {
+      ++num_sync_layers_;
+    }
+  }
+  completion_.assign(schemes.size(), false);
+}
+
+void ClientLibrary::StartIteration(int64_t iter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CHECK_EQ(completed_, 0) << "previous iteration still in flight";
+  std::fill(completion_.begin(), completion_.end(), false);
+  iter_ = iter;
+}
+
+void ClientLibrary::ScheduleSync(int l) {
+  if (schemes_[static_cast<size_t>(l)] == RuntimeScheme::kNone) {
+    return;
+  }
+  const int64_t iter = iter_;
+  pool_.Schedule([this, l, iter] {
+    Syncer& syncer = *syncers_[static_cast<size_t>(l)];
+    syncer.MoveOut();      // Move(GPU2CPU)
+    syncer.Send(iter);     // non-blocking push
+    syncer.Receive(iter);  // blocks; includes Move(CPU2GPU) / local apply
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      CHECK(!completion_[static_cast<size_t>(l)]) << "layer synced twice in one iteration";
+      completion_[static_cast<size_t>(l)] = true;
+      ++completed_;
+      if (completed_ == num_sync_layers_) {
+        done_cv_.notify_all();
+      }
+    }
+  });
+}
+
+void ClientLibrary::WaitAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return completed_ == num_sync_layers_; });
+  completed_ = 0;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,105 @@
+#include "src/poseidon/coordinator.h"
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+Coordinator::Coordinator(Network& net, const ClusterInfo& cluster) : cluster_(cluster) {
+  CHECK_GT(cluster_.num_workers, 0);
+  CHECK_GT(cluster_.num_servers, 0);
+  CHECK_GT(cluster_.kv_pair_bytes, 0);
+  const int64_t pair_floats = std::max<int64_t>(1, cluster_.kv_pair_bytes / 4);
+
+  int next_server = 0;  // round-robin cursor across *all* pairs, all layers
+  for (int l = 0; l < net.num_layers(); ++l) {
+    Layer& layer = net.layer(l);
+    LayerInfo info;
+    info.name = layer.name();
+    info.type = layer.type();
+    info.fc_m = layer.fc_m();
+    info.fc_n = layer.fc_n();
+    info.total_floats = layer.num_params();
+
+    int64_t offset = 0;
+    int chunk = 0;
+    while (offset < info.total_floats) {
+      KvPairInfo pair;
+      pair.layer = l;
+      pair.chunk = chunk++;
+      pair.offset = offset;
+      pair.length = std::min(pair_floats, info.total_floats - offset);
+      pair.server = next_server;
+      next_server = (next_server + 1) % cluster_.num_servers;
+      offset += pair.length;
+      info.pairs.push_back(pair);
+    }
+    layers_.push_back(std::move(info));
+  }
+}
+
+const LayerInfo& Coordinator::layer(int l) const {
+  CHECK_GE(l, 0);
+  CHECK_LT(l, num_layers());
+  return layers_[static_cast<size_t>(l)];
+}
+
+StatusOr<int64_t> Coordinator::Query(const std::string& property) const {
+  if (property == "n_worker") {
+    return static_cast<int64_t>(cluster_.num_workers);
+  }
+  if (property == "n_server") {
+    return static_cast<int64_t>(cluster_.num_servers);
+  }
+  if (property == "batchsize") {
+    return static_cast<int64_t>(cluster_.batch_per_worker);
+  }
+  if (property == "n_layer") {
+    return static_cast<int64_t>(num_layers());
+  }
+  if (property == "kv_pair_bytes") {
+    return cluster_.kv_pair_bytes;
+  }
+  return NotFoundError("unknown property: " + property);
+}
+
+CommScheme Coordinator::BestScheme(int l) const {
+  const LayerInfo& info = layer(l);
+  LayerSpec spec;
+  spec.name = info.name;
+  spec.type = info.type;
+  spec.fc_m = info.fc_m;
+  spec.fc_n = info.fc_n;
+  return poseidon::BestScheme(spec, cluster_.batch_per_worker, cluster_.num_workers,
+                              cluster_.num_servers);
+}
+
+StatusOr<CommScheme> Coordinator::BestScheme(const std::string& layer_name) const {
+  for (int l = 0; l < num_layers(); ++l) {
+    if (layers_[static_cast<size_t>(l)].name == layer_name) {
+      return BestScheme(l);
+    }
+  }
+  return NotFoundError("unknown layer: " + layer_name);
+}
+
+std::vector<KvPairInfo> Coordinator::PairsOnServer(int l, int server) const {
+  std::vector<KvPairInfo> pairs;
+  for (const KvPairInfo& pair : layer(l).pairs) {
+    if (pair.server == server) {
+      pairs.push_back(pair);
+    }
+  }
+  return pairs;
+}
+
+std::vector<int64_t> Coordinator::ServerLoadFloats() const {
+  std::vector<int64_t> load(static_cast<size_t>(cluster_.num_servers), 0);
+  for (const LayerInfo& info : layers_) {
+    for (const KvPairInfo& pair : info.pairs) {
+      load[static_cast<size_t>(pair.server)] += pair.length;
+    }
+  }
+  return load;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,82 @@
+// The coordinator (paper §4.1): holds the "information book" — cluster
+// configuration, model architecture, and the KV partition plan — and answers
+// Query / BestScheme requests from client libraries and KV stores.
+//
+// At construction it inspects the client program's network, flattens each
+// layer's parameters, carves them into fixed-size KV pairs and hashes the
+// pairs round-robin across server shards, "so as to partition and distribute
+// model parameters to server nodes as equally as possible".
+#ifndef POSEIDON_SRC_POSEIDON_COORDINATOR_H_
+#define POSEIDON_SRC_POSEIDON_COORDINATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/models/comm_cost.h"
+#include "src/models/model_spec.h"
+#include "src/nn/network.h"
+
+namespace poseidon {
+
+struct ClusterInfo {
+  int num_workers = 1;
+  int num_servers = 1;
+  int batch_per_worker = 32;
+  int64_t kv_pair_bytes = 2 * 1024 * 1024;  // paper: fixed small pairs (2 MB)
+};
+
+// One KV pair: a contiguous slice of a layer's flattened parameter vector,
+// owned by one server shard.
+struct KvPairInfo {
+  int layer = 0;
+  int chunk = 0;       // index within the layer
+  int64_t offset = 0;  // float offset into the flattened layer
+  int64_t length = 0;  // floats
+  int server = 0;      // owning shard
+};
+
+struct LayerInfo {
+  std::string name;
+  LayerType type = LayerType::kConv;
+  int64_t fc_m = 0;
+  int64_t fc_n = 0;
+  int64_t total_floats = 0;
+  std::vector<KvPairInfo> pairs;
+};
+
+class Coordinator {
+ public:
+  // Builds the information book from a live network (the client program's
+  // model, discovered during network assembly).
+  Coordinator(Network& net, const ClusterInfo& cluster);
+
+  const ClusterInfo& cluster() const { return cluster_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerInfo& layer(int l) const;
+
+  // Table 2 "Query": information-book lookups by property name. Supported:
+  // "n_worker", "n_server", "batchsize", "n_layer", "kv_pair_bytes".
+  StatusOr<int64_t> Query(const std::string& property) const;
+
+  // Table 2 / Algorithm 1 "BestScheme": the communication method for layer
+  // `l` given the current model and cluster shape.
+  CommScheme BestScheme(int l) const;
+  StatusOr<CommScheme> BestScheme(const std::string& layer_name) const;
+
+  // KV pairs of layer `l` owned by `server`.
+  std::vector<KvPairInfo> PairsOnServer(int l, int server) const;
+
+  // Total floats hosted by each server, for balance checks (the paper's
+  // motivation for fine-grained pairs).
+  std::vector<int64_t> ServerLoadFloats() const;
+
+ private:
+  ClusterInfo cluster_;
+  std::vector<LayerInfo> layers_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_POSEIDON_COORDINATOR_H_

@@ -1,0 +1,220 @@
+#include "src/poseidon/kv_store.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/poseidon/flat_params.h"
+#include "src/tensor/ops.h"
+
+namespace poseidon {
+
+KvServer::KvServer(int server_id, const Coordinator& coordinator,
+                   const std::vector<RuntimeScheme>& schemes, Network& init_net,
+                   MessageBus* bus, const SgdConfig& sgd)
+    : id_(server_id),
+      coordinator_(coordinator),
+      schemes_(schemes),
+      bus_(bus),
+      optimizer_(sgd) {
+  CHECK_NOTNULL(bus);
+  mailbox_ = bus_->Register(Address{id_, kServerPort});
+
+  const int num_workers = coordinator_.cluster().num_workers;
+  const int num_servers = coordinator_.cluster().num_servers;
+  for (int l = 0; l < coordinator_.num_layers(); ++l) {
+    if (schemes_[static_cast<size_t>(l)] == RuntimeScheme::kPsDense) {
+      std::vector<KvPairInfo> owned = coordinator_.PairsOnServer(l, id_);
+      if (owned.empty()) {
+        continue;
+      }
+      FlatParamView view(init_net.layer(l).Params());
+      std::vector<PairState> states;
+      states.reserve(owned.size());
+      for (const KvPairInfo& info : owned) {
+        PairState state;
+        state.info = info;
+        state.value.resize(static_cast<size_t>(info.length));
+        view.GatherValueSlice(info.offset, &state.value);
+        state.pending.assign(static_cast<size_t>(num_workers), {});
+        states.push_back(std::move(state));
+      }
+      pairs_[l] = std::move(states);
+      layer_push_count_[l] = 0;
+    } else if (schemes_[static_cast<size_t>(l)] == RuntimeScheme::kOneBit &&
+               l % num_servers == id_) {
+      const LayerInfo& info = coordinator_.layer(l);
+      CHECK_GT(info.fc_m, 0) << "1-bit layers must be FC";
+      OneBitLayerState state;
+      FlatParamView view(init_net.layer(l).Params());
+      state.value = view.GatherValues();
+      state.rows = info.fc_m;
+      state.cols = info.fc_n;
+      state.pending_enc.assign(static_cast<size_t>(num_workers), nullptr);
+      state.pending_bias.assign(static_cast<size_t>(num_workers), nullptr);
+      onebit_layers_[l] = std::move(state);
+      layer_push_count_[l] = 0;
+    }
+  }
+}
+
+KvServer::~KvServer() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void KvServer::Start() {
+  CHECK(!thread_.joinable());
+  thread_ = std::thread([this] { ServiceLoop(); });
+}
+
+void KvServer::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void KvServer::ServiceLoop() {
+  while (true) {
+    std::optional<Message> message = mailbox_->Pop();
+    if (!message.has_value() || message->type == MessageType::kShutdown) {
+      return;
+    }
+    switch (message->type) {
+      case MessageType::kGradPush:
+        HandleGradPush(*message);
+        break;
+      case MessageType::kOneBitPush:
+        HandleOneBitPush(*message);
+        break;
+      default:
+        LOG(Fatal) << "server " << id_ << ": unexpected message type";
+    }
+  }
+}
+
+void KvServer::HandleGradPush(const Message& message) {
+  ++pushes_processed_;
+  auto it = pairs_.find(message.layer);
+  CHECK(it != pairs_.end()) << "server " << id_ << " owns no pairs of layer "
+                            << message.layer;
+  std::vector<PairState>& states = it->second;
+  CHECK_NOTNULL(message.chunks.get());
+  CHECK_EQ(message.chunks->size(), states.size());
+  const int w = message.worker;
+  for (size_t p = 0; p < states.size(); ++p) {
+    const ChunkPayload& chunk = (*message.chunks)[p];
+    CHECK_EQ(chunk.offset, states[p].info.offset);
+    CHECK_EQ(static_cast<int64_t>(chunk.data.size()), states[p].info.length);
+    states[p].pending[static_cast<size_t>(w)] = chunk.data;
+  }
+  if (++layer_push_count_[message.layer] == coordinator_.cluster().num_workers) {
+    ApplyAndBroadcast(message.layer);
+  }
+}
+
+void KvServer::ApplyAndBroadcast(int layer) {
+  const int num_workers = coordinator_.cluster().num_workers;
+  std::vector<PairState>& states = pairs_[layer];
+  auto reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
+  reply_chunks->reserve(states.size());
+  for (PairState& state : states) {
+    // Reduce in worker order for bit-deterministic results.
+    std::vector<float> grad(static_cast<size_t>(state.info.length), 0.0f);
+    for (int w = 0; w < num_workers; ++w) {
+      const std::vector<float>& contribution = state.pending[static_cast<size_t>(w)];
+      CHECK_EQ(contribution.size(), grad.size());
+      for (size_t i = 0; i < grad.size(); ++i) {
+        grad[i] += contribution[i];
+      }
+      state.pending[static_cast<size_t>(w)].clear();
+    }
+    const float inv = 1.0f / static_cast<float>(num_workers);
+    for (float& g : grad) {
+      g *= inv;
+    }
+    const std::string key =
+        "l" + std::to_string(layer) + ".c" + std::to_string(state.info.chunk);
+    optimizer_.StepSlice(key, grad.data(), state.value.data(), state.info.length);
+
+    ChunkPayload chunk;
+    chunk.offset = state.info.offset;
+    chunk.data = state.value;
+    reply_chunks->push_back(std::move(chunk));
+  }
+  layer_push_count_[layer] = 0;
+
+  for (int w = 0; w < num_workers; ++w) {
+    Message reply;
+    reply.type = MessageType::kParamReply;
+    reply.from = Address{id_, kServerPort};
+    reply.to = Address{w, kSyncerPortBase + layer};
+    reply.layer = layer;
+    reply.chunks = reply_chunks;
+    const Status status = bus_->Send(std::move(reply));
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+void KvServer::HandleOneBitPush(const Message& message) {
+  ++pushes_processed_;
+  auto it = onebit_layers_.find(message.layer);
+  CHECK(it != onebit_layers_.end());
+  OneBitLayerState& state = it->second;
+  CHECK_NOTNULL(message.onebit.get());
+  state.pending_enc[static_cast<size_t>(message.worker)] = message.onebit;
+  state.pending_bias[static_cast<size_t>(message.worker)] = message.bias_grad;
+  if (++layer_push_count_[message.layer] == coordinator_.cluster().num_workers) {
+    ApplyAndBroadcastOneBit(message.layer);
+  }
+}
+
+void KvServer::ApplyAndBroadcastOneBit(int layer) {
+  const int num_workers = coordinator_.cluster().num_workers;
+  OneBitLayerState& state = onebit_layers_[layer];
+  const int64_t weight_floats = state.rows * state.cols;
+
+  // Decode and average the quantized weight gradients in worker order, then
+  // the dense bias gradients.
+  Tensor agg = Tensor::Zeros({state.rows, state.cols});
+  std::vector<float> bias_agg(static_cast<size_t>(state.rows), 0.0f);
+  for (int w = 0; w < num_workers; ++w) {
+    const Tensor dense = OneBitQuantizer::Decode(*state.pending_enc[static_cast<size_t>(w)]);
+    Axpy(1.0f, dense, &agg);
+    const std::vector<float>& bias = *state.pending_bias[static_cast<size_t>(w)];
+    CHECK_EQ(bias.size(), bias_agg.size());
+    for (size_t i = 0; i < bias.size(); ++i) {
+      bias_agg[i] += bias[i];
+    }
+    state.pending_enc[static_cast<size_t>(w)] = nullptr;
+    state.pending_bias[static_cast<size_t>(w)] = nullptr;
+  }
+  const float inv = 1.0f / static_cast<float>(num_workers);
+  Scale(inv, &agg);
+  for (float& b : bias_agg) {
+    b *= inv;
+  }
+  const std::string key = "l" + std::to_string(layer);
+  optimizer_.StepSlice(key + ".w", agg.data(), state.value.data(), weight_floats);
+  optimizer_.StepSlice(key + ".b", bias_agg.data(), state.value.data() + weight_floats,
+                       state.rows);
+  layer_push_count_[layer] = 0;
+
+  auto reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
+  ChunkPayload chunk;
+  chunk.offset = 0;
+  chunk.data = state.value;
+  reply_chunks->push_back(std::move(chunk));
+  for (int w = 0; w < num_workers; ++w) {
+    Message reply;
+    reply.type = MessageType::kParamReply;
+    reply.from = Address{id_, kServerPort};
+    reply.to = Address{w, kSyncerPortBase + layer};
+    reply.layer = layer;
+    reply.chunks = reply_chunks;
+    const Status status = bus_->Send(std::move(reply));
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+}  // namespace poseidon

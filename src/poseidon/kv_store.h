@@ -1,0 +1,90 @@
+// One KV-store shard (paper §4.1): holds its slice of the globally shared
+// parameters as fixed-size KV pairs, applies aggregated gradient updates
+// with bulk-synchronous consistency, and broadcasts fresh values.
+//
+// BSP is implemented exactly as the paper describes: every pair keeps a
+// per-iteration count of applied updates; once the count reaches the number
+// of workers, the pair's updated value is sent to all workers via the
+// shard's Send path. Gradients are folded per worker slot and reduced in
+// worker order, making the served values bit-deterministic regardless of
+// message arrival order.
+#ifndef POSEIDON_SRC_POSEIDON_KV_STORE_H_
+#define POSEIDON_SRC_POSEIDON_KV_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nn/network.h"
+#include "src/nn/sgd.h"
+#include "src/poseidon/coordinator.h"
+#include "src/poseidon/runtime_scheme.h"
+#include "src/transport/bus.h"
+
+namespace poseidon {
+
+class KvServer {
+ public:
+  // `init_net` supplies initial parameter values (every worker starts from
+  // the same replica). The server owns the master copy — and the optimizer
+  // state — for every KV pair the coordinator hashed to `server_id`, plus
+  // whole-layer state for 1-bit layers it owns.
+  KvServer(int server_id, const Coordinator& coordinator,
+           const std::vector<RuntimeScheme>& schemes, Network& init_net, MessageBus* bus,
+           const SgdConfig& sgd);
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  // Spawns the service thread (Receive/Send loop).
+  void Start();
+  // Joins after a kShutdown message has been delivered.
+  void Join();
+
+  int id() const { return id_; }
+  // Number of gradient-push messages processed (for tests).
+  int64_t pushes_processed() const { return pushes_processed_; }
+
+ private:
+  struct PairState {
+    KvPairInfo info;
+    std::vector<float> value;
+    std::vector<std::vector<float>> pending;  // per worker
+    int count = 0;
+  };
+  struct OneBitLayerState {
+    std::vector<float> value;  // whole flattened layer (weight then bias)
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<std::shared_ptr<OneBitEncoded>> pending_enc;   // per worker
+    std::vector<std::shared_ptr<std::vector<float>>> pending_bias;
+    int count = 0;
+  };
+
+  void ServiceLoop();
+  void HandleGradPush(const Message& message);
+  void HandleOneBitPush(const Message& message);
+  void ApplyAndBroadcast(int layer);
+  void ApplyAndBroadcastOneBit(int layer);
+
+  const int id_;
+  const Coordinator& coordinator_;
+  const std::vector<RuntimeScheme> schemes_;
+  MessageBus* bus_;
+  SgdOptimizer optimizer_;
+  std::shared_ptr<MessageBus::Mailbox> mailbox_;
+  std::thread thread_;
+
+  // layer -> pairs owned by this shard; layer-level BSP push counts.
+  std::unordered_map<int, std::vector<PairState>> pairs_;
+  std::unordered_map<int, int> layer_push_count_;
+  std::unordered_map<int, OneBitLayerState> onebit_layers_;
+  int64_t pushes_processed_ = 0;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_POSEIDON_KV_STORE_H_

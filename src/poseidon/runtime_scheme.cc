@@ -1,0 +1,53 @@
+#include "src/poseidon/runtime_scheme.h"
+
+namespace poseidon {
+
+const char* RuntimeSchemeName(RuntimeScheme scheme) {
+  switch (scheme) {
+    case RuntimeScheme::kNone:
+      return "none";
+    case RuntimeScheme::kPsDense:
+      return "PS";
+    case RuntimeScheme::kSfb:
+      return "SFB";
+    case RuntimeScheme::kOneBit:
+      return "1bit";
+  }
+  return "?";
+}
+
+std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
+                                          FcSyncPolicy policy) {
+  std::vector<RuntimeScheme> schemes;
+  schemes.reserve(static_cast<size_t>(coordinator.num_layers()));
+  for (int l = 0; l < coordinator.num_layers(); ++l) {
+    const LayerInfo& info = coordinator.layer(l);
+    if (info.total_floats == 0) {
+      schemes.push_back(RuntimeScheme::kNone);
+      continue;
+    }
+    if (info.type != LayerType::kFC) {
+      schemes.push_back(RuntimeScheme::kPsDense);
+      continue;
+    }
+    switch (policy) {
+      case FcSyncPolicy::kDense:
+        schemes.push_back(RuntimeScheme::kPsDense);
+        break;
+      case FcSyncPolicy::kSfb:
+        schemes.push_back(RuntimeScheme::kSfb);
+        break;
+      case FcSyncPolicy::kHybrid:
+        schemes.push_back(coordinator.BestScheme(l) == CommScheme::kSFB
+                              ? RuntimeScheme::kSfb
+                              : RuntimeScheme::kPsDense);
+        break;
+      case FcSyncPolicy::kOneBit:
+        schemes.push_back(RuntimeScheme::kOneBit);
+        break;
+    }
+  }
+  return schemes;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,36 @@
+// Per-layer synchronization plan for the threaded runtime.
+#ifndef POSEIDON_SRC_POSEIDON_RUNTIME_SCHEME_H_
+#define POSEIDON_SRC_POSEIDON_RUNTIME_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "src/poseidon/coordinator.h"
+
+namespace poseidon {
+
+// What the trainer is asked to do for FC layers (conv layers always use the
+// parameter server; stateless layers synchronize nothing).
+enum class FcSyncPolicy {
+  kDense,   // full matrices through the KV store
+  kSfb,     // sufficient factor broadcasting
+  kHybrid,  // Algorithm 1: coordinator.BestScheme per layer
+  kOneBit,  // 1-bit quantized gradients, whole layer to one shard
+};
+
+enum class RuntimeScheme {
+  kNone,     // no parameters
+  kPsDense,  // sharded PS, dense chunks
+  kSfb,      // peer broadcast + local reconstruction/update
+  kOneBit,   // quantized push to a single owner shard
+};
+
+const char* RuntimeSchemeName(RuntimeScheme scheme);
+
+// Resolves the policy against the coordinator's information book.
+std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
+                                          FcSyncPolicy policy);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_POSEIDON_RUNTIME_SCHEME_H_

@@ -1,0 +1,249 @@
+#include "src/poseidon/syncer.h"
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace poseidon {
+
+Syncer::Syncer(int worker, int layer_index, RuntimeScheme scheme,
+               const Coordinator& coordinator, MessageBus* bus, Layer* layer,
+               SgdOptimizer* local_optimizer)
+    : worker_(worker),
+      layer_index_(layer_index),
+      scheme_(scheme),
+      coordinator_(coordinator),
+      bus_(bus),
+      layer_(layer),
+      fc_(dynamic_cast<FullyConnectedLayer*>(layer)),
+      local_optimizer_(local_optimizer),
+      view_(layer->Params()) {
+  CHECK_NOTNULL(bus);
+  mailbox_ = bus_->Register(Address{worker_, kSyncerPortBase + layer_index_});
+  if (scheme_ == RuntimeScheme::kPsDense) {
+    const int num_servers = coordinator_.cluster().num_servers;
+    pairs_by_server_.resize(static_cast<size_t>(num_servers));
+    for (int s = 0; s < num_servers; ++s) {
+      pairs_by_server_[static_cast<size_t>(s)] = coordinator_.PairsOnServer(layer_index_, s);
+      total_pairs_ += static_cast<int>(pairs_by_server_[static_cast<size_t>(s)].size());
+    }
+  }
+  if (scheme_ == RuntimeScheme::kSfb || scheme_ == RuntimeScheme::kOneBit) {
+    CHECK_NOTNULL(fc_) << layer->name() << ": SFB/1-bit requires an FC layer";
+  }
+  if (scheme_ == RuntimeScheme::kSfb) {
+    CHECK_NOTNULL(local_optimizer_);
+  }
+}
+
+void Syncer::MoveOut() {
+  switch (scheme_) {
+    case RuntimeScheme::kNone:
+      break;
+    case RuntimeScheme::kPsDense:
+      staged_grads_.resize(static_cast<size_t>(view_.size()));
+      view_.GatherGradSlice(0, &staged_grads_);
+      break;
+    case RuntimeScheme::kSfb: {
+      own_sf_ = std::make_shared<SufficientFactors>(fc_->LastSufficientFactors());
+      std::vector<ParamBlock> params = layer_->Params();
+      CHECK_EQ(params.size(), 2u);  // weight, bias
+      const Tensor& bias_grad = *params[1].grad;
+      own_bias_ = std::make_shared<std::vector<float>>(
+          bias_grad.data(), bias_grad.data() + bias_grad.size());
+      break;
+    }
+    case RuntimeScheme::kOneBit: {
+      staged_encoding_ = std::make_shared<OneBitEncoded>(quantizer_.Encode(fc_->weight_grad()));
+      std::vector<ParamBlock> params = layer_->Params();
+      const Tensor& bias_grad = *params[1].grad;
+      own_bias_ = std::make_shared<std::vector<float>>(
+          bias_grad.data(), bias_grad.data() + bias_grad.size());
+      break;
+    }
+  }
+}
+
+void Syncer::Send(int64_t iter) {
+  switch (scheme_) {
+    case RuntimeScheme::kNone:
+      break;
+    case RuntimeScheme::kPsDense:
+      SendPs(iter);
+      break;
+    case RuntimeScheme::kSfb:
+      SendSfb(iter);
+      break;
+    case RuntimeScheme::kOneBit:
+      SendOneBit(iter);
+      break;
+  }
+}
+
+void Syncer::SendPs(int64_t iter) {
+  for (size_t s = 0; s < pairs_by_server_.size(); ++s) {
+    const std::vector<KvPairInfo>& pairs = pairs_by_server_[s];
+    if (pairs.empty()) {
+      continue;
+    }
+    auto chunks = std::make_shared<std::vector<ChunkPayload>>();
+    chunks->reserve(pairs.size());
+    for (const KvPairInfo& pair : pairs) {
+      ChunkPayload chunk;
+      chunk.offset = pair.offset;
+      chunk.data.assign(staged_grads_.begin() + pair.offset,
+                        staged_grads_.begin() + pair.offset + pair.length);
+      chunks->push_back(std::move(chunk));
+    }
+    Message push;
+    push.type = MessageType::kGradPush;
+    push.from = Address{worker_, kSyncerPortBase + layer_index_};
+    push.to = Address{static_cast<int>(s), kServerPort};
+    push.layer = layer_index_;
+    push.worker = worker_;
+    push.iter = iter;
+    push.chunks = std::move(chunks);
+    const Status status = bus_->Send(std::move(push));
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+void Syncer::SendSfb(int64_t iter) {
+  const int num_workers = coordinator_.cluster().num_workers;
+  for (int peer = 0; peer < num_workers; ++peer) {
+    if (peer == worker_) {
+      continue;
+    }
+    Message sf;
+    sf.type = MessageType::kSfBroadcast;
+    sf.from = Address{worker_, kSyncerPortBase + layer_index_};
+    sf.to = Address{peer, kSyncerPortBase + layer_index_};
+    sf.layer = layer_index_;
+    sf.worker = worker_;
+    sf.iter = iter;
+    sf.sf = own_sf_;
+    sf.bias_grad = own_bias_;
+    const Status status = bus_->Send(std::move(sf));
+    CHECK(status.ok()) << status.ToString();
+  }
+}
+
+void Syncer::SendOneBit(int64_t iter) {
+  const int owner = layer_index_ % coordinator_.cluster().num_servers;
+  Message push;
+  push.type = MessageType::kOneBitPush;
+  push.from = Address{worker_, kSyncerPortBase + layer_index_};
+  push.to = Address{owner, kServerPort};
+  push.layer = layer_index_;
+  push.worker = worker_;
+  push.iter = iter;
+  push.onebit = staged_encoding_;
+  push.bias_grad = own_bias_;
+  const Status status = bus_->Send(std::move(push));
+  CHECK(status.ok()) << status.ToString();
+}
+
+void Syncer::Receive(int64_t iter) {
+  switch (scheme_) {
+    case RuntimeScheme::kNone:
+      break;
+    case RuntimeScheme::kPsDense:
+      ReceivePs();
+      break;
+    case RuntimeScheme::kSfb:
+      ReceiveSfb(iter);
+      break;
+    case RuntimeScheme::kOneBit:
+      ReceiveOneBit();
+      break;
+  }
+}
+
+void Syncer::ReceivePs() {
+  int received = 0;
+  while (received < total_pairs_) {
+    std::optional<Message> message = mailbox_->Pop();
+    CHECK(message.has_value()) << "mailbox closed mid-iteration";
+    CHECK(message->type == MessageType::kParamReply);
+    for (const ChunkPayload& chunk : *message->chunks) {
+      view_.ScatterValueSlice(chunk.offset, chunk.data);
+      ++received;
+    }
+  }
+}
+
+void Syncer::ReceiveSfb(int64_t iter) {
+  const int num_workers = coordinator_.cluster().num_workers;
+  std::vector<std::shared_ptr<SufficientFactors>> factors(
+      static_cast<size_t>(num_workers));
+  std::vector<std::shared_ptr<std::vector<float>>> biases(static_cast<size_t>(num_workers));
+  factors[static_cast<size_t>(worker_)] = own_sf_;
+  biases[static_cast<size_t>(worker_)] = own_bias_;
+  int have = 1;
+
+  // First drain anything deferred from a previous Receive that belongs to
+  // this iteration (a peer may run at most one iteration ahead under BSP).
+  std::vector<Message> still_deferred;
+  for (Message& message : deferred_) {
+    if (message.iter == iter) {
+      factors[static_cast<size_t>(message.worker)] = message.sf;
+      biases[static_cast<size_t>(message.worker)] = message.bias_grad;
+      ++have;
+    } else {
+      still_deferred.push_back(std::move(message));
+    }
+  }
+  deferred_ = std::move(still_deferred);
+
+  while (have < num_workers) {
+    std::optional<Message> message = mailbox_->Pop();
+    CHECK(message.has_value()) << "mailbox closed mid-iteration";
+    CHECK(message->type == MessageType::kSfBroadcast);
+    if (message->iter != iter) {
+      CHECK_GT(message->iter, iter) << "stale SF broadcast";
+      deferred_.push_back(std::move(*message));
+      continue;
+    }
+    factors[static_cast<size_t>(message->worker)] = message->sf;
+    biases[static_cast<size_t>(message->worker)] = message->bias_grad;
+    ++have;
+  }
+
+  // Reconstruct the aggregate weight gradient in worker order (identical FP
+  // operation order on every replica keeps parameters bitwise in sync).
+  // Each worker's gradient is materialized separately and then added, which
+  // matches the KV store's reduction of pre-summed dense pushes bit for bit
+  // — so switching a layer between PS and SFB never changes the trajectory.
+  std::vector<ParamBlock> params = layer_->Params();
+  Tensor& weight = *params[0].value;
+  Tensor& bias = *params[1].value;
+  Tensor agg = Tensor::Zeros(weight.shape());
+  Tensor scratch = Tensor::Zeros(weight.shape());
+  std::vector<float> bias_agg(static_cast<size_t>(bias.size()), 0.0f);
+  for (int w = 0; w < num_workers; ++w) {
+    CHECK_NOTNULL(factors[static_cast<size_t>(w)].get());
+    ReconstructGradient(*factors[static_cast<size_t>(w)], &scratch);
+    Axpy(1.0f, scratch, &agg);
+    const std::vector<float>& b = *biases[static_cast<size_t>(w)];
+    for (size_t i = 0; i < b.size(); ++i) {
+      bias_agg[i] += b[i];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(num_workers);
+  Scale(inv, &agg);
+  for (float& b : bias_agg) {
+    b *= inv;
+  }
+  const std::string key = "l" + std::to_string(layer_index_);
+  local_optimizer_->Step(key + ".w", agg, &weight);
+  local_optimizer_->StepSlice(key + ".b", bias_agg.data(), bias.data(), bias.size());
+}
+
+void Syncer::ReceiveOneBit() {
+  std::optional<Message> message = mailbox_->Pop();
+  CHECK(message.has_value()) << "mailbox closed mid-iteration";
+  CHECK(message->type == MessageType::kParamReply);
+  CHECK_EQ(message->chunks->size(), 1u);
+  view_.ScatterValues((*message->chunks)[0].data);
+}
+
+}  // namespace poseidon

@@ -1,0 +1,85 @@
+// Per-layer syncer (paper §4.1, Table 2): each NN layer maps one-to-one to a
+// syncer that owns its parameter synchronization. The syncer exposes the
+// paper's three APIs:
+//   Move    — staging between "GPU" and host memory plus SF/gradient
+//             transformations and update application (in-process, the
+//             staging is a flatten/scatter pass);
+//   Send    — non-blocking push of the layer's updates, using the scheme the
+//             coordinator selected;
+//   Receive — blocks until fresh parameters (PS) or all peers' sufficient
+//             factors (SFB) have arrived, then applies them.
+#ifndef POSEIDON_SRC_POSEIDON_SYNCER_H_
+#define POSEIDON_SRC_POSEIDON_SYNCER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.h"
+#include "src/nn/sgd.h"
+#include "src/poseidon/coordinator.h"
+#include "src/poseidon/flat_params.h"
+#include "src/poseidon/runtime_scheme.h"
+#include "src/tensor/onebit.h"
+#include "src/transport/bus.h"
+
+namespace poseidon {
+
+class Syncer {
+ public:
+  // `local_optimizer` applies SFB updates on the worker (shared across this
+  // worker's syncers; may be null for PS-only layers).
+  Syncer(int worker, int layer_index, RuntimeScheme scheme, const Coordinator& coordinator,
+         MessageBus* bus, Layer* layer, SgdOptimizer* local_optimizer);
+
+  Syncer(const Syncer&) = delete;
+  Syncer& operator=(const Syncer&) = delete;
+
+  RuntimeScheme scheme() const { return scheme_; }
+
+  // Move(GPU2CPU): stages gradients (or extracts sufficient factors) out of
+  // the layer into send buffers.
+  void MoveOut();
+
+  // Non-blocking send of the staged updates for iteration `iter`.
+  void Send(int64_t iter);
+
+  // Blocks until iteration `iter`'s synchronization completes, then
+  // Move(CPU2GPU): writes fresh parameters back (PS/1-bit) or reconstructs +
+  // applies the aggregate gradient locally (SFB). SF broadcasts from peers
+  // running one iteration ahead are deferred, not lost.
+  void Receive(int64_t iter);
+
+ private:
+  void SendPs(int64_t iter);
+  void SendSfb(int64_t iter);
+  void SendOneBit(int64_t iter);
+  void ReceivePs();
+  void ReceiveSfb(int64_t iter);
+  void ReceiveOneBit();
+
+  const int worker_;
+  const int layer_index_;
+  const RuntimeScheme scheme_;
+  const Coordinator& coordinator_;
+  MessageBus* bus_;
+  Layer* layer_;
+  FullyConnectedLayer* fc_;  // non-null for SFB/1-bit layers
+  SgdOptimizer* local_optimizer_;
+
+  FlatParamView view_;
+  std::shared_ptr<MessageBus::Mailbox> mailbox_;
+  // Pairs grouped by owning server, fixed at construction.
+  std::vector<std::vector<KvPairInfo>> pairs_by_server_;
+  int total_pairs_ = 0;
+
+  std::vector<float> staged_grads_;                 // PS path
+  std::shared_ptr<SufficientFactors> own_sf_;       // SFB path
+  std::shared_ptr<std::vector<float>> own_bias_;    // SFB / 1-bit bias grads
+  std::shared_ptr<OneBitEncoded> staged_encoding_;  // 1-bit path
+  OneBitQuantizer quantizer_;                       // persistent residual
+  std::vector<Message> deferred_;                   // SFs from future iterations
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_POSEIDON_SYNCER_H_

@@ -1,0 +1,143 @@
+#include "src/poseidon/trainer.h"
+
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
+    : options_(options) {
+  CHECK_GT(options_.num_workers, 0);
+  CHECK_GT(options_.num_servers, 0);
+  const int num_nodes = std::max(options_.num_workers, options_.num_servers);
+  bus_ = std::make_unique<MessageBus>(num_nodes);
+
+  // Identical replicas: the factory must be deterministic.
+  init_net_ = factory();
+  for (int w = 0; w < options_.num_workers; ++w) {
+    worker_nets_.push_back(factory());
+    CHECK_EQ(worker_nets_.back()->num_layers(), init_net_->num_layers());
+  }
+  if (!options_.restore_path.empty()) {
+    // Restore parameters into every replica (and into the init net the KV
+    // shards take their master copies from) before anything starts serving.
+    StatusOr<int64_t> restored = LoadCheckpoint(options_.restore_path, init_net_.get());
+    CHECK(restored.ok()) << restored.status().ToString();
+    next_iter_ = *restored;
+    for (auto& net : worker_nets_) {
+      CHECK(LoadCheckpoint(options_.restore_path, net.get()).ok());
+    }
+  }
+
+  ClusterInfo cluster;
+  cluster.num_workers = options_.num_workers;
+  cluster.num_servers = options_.num_servers;
+  cluster.batch_per_worker = options_.batch_per_worker;
+  cluster.kv_pair_bytes = options_.kv_pair_bytes;
+  coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+  schemes_ = ResolveSchemes(*coordinator_, options_.fc_policy);
+
+  for (int s = 0; s < options_.num_servers; ++s) {
+    servers_.push_back(std::make_unique<KvServer>(s, *coordinator_, schemes_, *init_net_,
+                                                  bus_.get(), options_.sgd));
+  }
+  for (int w = 0; w < options_.num_workers; ++w) {
+    clients_.push_back(std::make_unique<ClientLibrary>(
+        w, *coordinator_, schemes_, worker_nets_[static_cast<size_t>(w)].get(), bus_.get(),
+        options_.sgd, options_.syncer_threads));
+  }
+  for (auto& server : servers_) {
+    server->Start();
+  }
+}
+
+PoseidonTrainer::~PoseidonTrainer() { Shutdown(); }
+
+void PoseidonTrainer::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  for (auto& server : servers_) {
+    Message shutdown;
+    shutdown.type = MessageType::kShutdown;
+    shutdown.from = Address{0, kSyncerPortBase};
+    shutdown.to = Address{server->id(), kServerPort};
+    const Status status = bus_->Send(std::move(shutdown));
+    CHECK(status.ok()) << status.ToString();
+  }
+  for (auto& server : servers_) {
+    server->Join();
+  }
+  bus_->CloseAll();
+}
+
+std::vector<IterationStats> PoseidonTrainer::Train(const SyntheticDataset& dataset,
+                                                   int iterations) {
+  CHECK(!shut_down_);
+  CHECK_GT(iterations, 0);
+  const int num_workers = options_.num_workers;
+  std::vector<std::vector<double>> losses(
+      static_cast<size_t>(num_workers),
+      std::vector<double>(static_cast<size_t>(iterations), 0.0));
+  std::vector<std::vector<double>> accuracies = losses;
+
+  const int64_t first_iter = next_iter_;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&, w] {
+      Network& net = *worker_nets_[static_cast<size_t>(w)];
+      ClientLibrary& client = *clients_[static_cast<size_t>(w)];
+      for (int i = 0; i < iterations; ++i) {
+        const int64_t iter = first_iter + i;
+        const Batch batch =
+            dataset.TrainBatch(iter, options_.batch_per_worker, w, num_workers);
+        const LossResult result = net.Forward(batch.images, batch.labels);
+        losses[static_cast<size_t>(w)][static_cast<size_t>(i)] = result.loss;
+        accuracies[static_cast<size_t>(w)][static_cast<size_t>(i)] = result.accuracy;
+        client.StartIteration(iter);
+        for (int l = net.num_layers() - 1; l >= 0; --l) {
+          net.BackwardThrough(l);
+          client.ScheduleSync(l);  // wait-free backpropagation
+        }
+        client.WaitAll();  // BSP barrier: every layer synchronized
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  next_iter_ += iterations;
+
+  std::vector<IterationStats> stats(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    IterationStats& s = stats[static_cast<size_t>(i)];
+    s.iter = first_iter + i;
+    for (int w = 0; w < num_workers; ++w) {
+      s.mean_loss += losses[static_cast<size_t>(w)][static_cast<size_t>(i)];
+      s.mean_accuracy += accuracies[static_cast<size_t>(w)][static_cast<size_t>(i)];
+    }
+    s.mean_loss /= num_workers;
+    s.mean_accuracy /= num_workers;
+  }
+  return stats;
+}
+
+LossResult PoseidonTrainer::EvaluateTest(const SyntheticDataset& dataset) {
+  const Batch test = dataset.TestSet();
+  return worker_net(0).Evaluate(test.images, test.labels);
+}
+
+Status PoseidonTrainer::SaveCheckpointTo(const std::string& path) {
+  return SaveCheckpoint(worker_net(0), next_iter_, path);
+}
+
+Network& PoseidonTrainer::worker_net(int w) {
+  CHECK_GE(w, 0);
+  CHECK_LT(w, options_.num_workers);
+  return *worker_nets_[static_cast<size_t>(w)];
+}
+
+}  // namespace poseidon

@@ -1,0 +1,96 @@
+// PoseidonTrainer: end-to-end distributed data-parallel training inside one
+// process — W worker threads each driving an identical network replica
+// through paper Algorithm 2, S KV-store shard threads, and a coordinator —
+// wired together by the in-process message bus.
+//
+// This is the executable counterpart of the paper's §4: it runs real
+// gradients through the real protocols (dense PS, SFB, HybComm, 1-bit), so
+// statistical experiments (Fig 9b, Fig 11) and BSP-consistency tests measure
+// the true algorithms rather than a model of them.
+#ifndef POSEIDON_SRC_POSEIDON_TRAINER_H_
+#define POSEIDON_SRC_POSEIDON_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/nn/builders.h"
+#include "src/nn/dataset.h"
+#include "src/nn/network.h"
+#include "src/nn/sgd.h"
+#include "src/poseidon/checkpoint.h"
+#include "src/poseidon/client_library.h"
+#include "src/poseidon/coordinator.h"
+#include "src/poseidon/kv_store.h"
+#include "src/poseidon/runtime_scheme.h"
+#include "src/transport/bus.h"
+
+namespace poseidon {
+
+// Builds one network replica. Called once per worker plus once for server
+// initialization; must be deterministic so all replicas start identical.
+using NetworkFactory = std::function<std::unique_ptr<Network>()>;
+
+struct TrainerOptions {
+  int num_workers = 2;
+  int num_servers = 2;        // colocated shards; may differ from workers
+  int batch_per_worker = 16;
+  SgdConfig sgd;
+  FcSyncPolicy fc_policy = FcSyncPolicy::kHybrid;
+  int64_t kv_pair_bytes = 2 * 1024 * 1024;
+  int syncer_threads = 2;     // client-library pool size per worker
+  // When non-empty, parameters and the iteration cursor are restored from
+  // this checkpoint before the KV shards are initialized.
+  std::string restore_path;
+};
+
+struct IterationStats {
+  int64_t iter = 0;
+  double mean_loss = 0.0;      // across workers
+  double mean_accuracy = 0.0;  // train batch top-1
+};
+
+class PoseidonTrainer {
+ public:
+  PoseidonTrainer(NetworkFactory factory, TrainerOptions options);
+  ~PoseidonTrainer();
+
+  PoseidonTrainer(const PoseidonTrainer&) = delete;
+  PoseidonTrainer& operator=(const PoseidonTrainer&) = delete;
+
+  // Runs `iterations` BSP iterations over `dataset`; returns per-iteration
+  // training stats. May be called repeatedly (training continues).
+  std::vector<IterationStats> Train(const SyntheticDataset& dataset, int iterations);
+
+  // Evaluates worker 0's replica (replicas are identical under BSP).
+  LossResult EvaluateTest(const SyntheticDataset& dataset);
+
+  // Persists the current parameters and iteration cursor (call between
+  // Train() invocations; replicas are quiescent and identical then).
+  Status SaveCheckpointTo(const std::string& path);
+
+  int64_t next_iter() const { return next_iter_; }
+
+  Network& worker_net(int w);
+  const Coordinator& coordinator() const { return *coordinator_; }
+  const std::vector<RuntimeScheme>& schemes() const { return schemes_; }
+  MessageBus& bus() { return *bus_; }
+
+ private:
+  void Shutdown();
+
+  TrainerOptions options_;
+  std::unique_ptr<MessageBus> bus_;
+  std::vector<std::unique_ptr<Network>> worker_nets_;
+  std::unique_ptr<Network> init_net_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::vector<RuntimeScheme> schemes_;
+  std::vector<std::unique_ptr<KvServer>> servers_;
+  std::vector<std::unique_ptr<ClientLibrary>> clients_;
+  int64_t next_iter_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_POSEIDON_TRAINER_H_

@@ -1,0 +1,38 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+void EventQueue::Push(double time, Callback callback) {
+  CHECK_GE(time, 0.0);
+  heap_.push(Event{time, next_seq_++, std::move(callback)});
+}
+
+double EventQueue::PeekTime() const {
+  CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Callback EventQueue::Pop(double* time) {
+  CHECK(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out via a
+  // const_cast-free copy of the handle. Event is cheap to move except the
+  // std::function, so copy-then-pop is acceptable here; use a move through
+  // a mutable reference obtained before pop.
+  Event event = heap_.top();
+  heap_.pop();
+  *time = event.time;
+  return std::move(event.callback);
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+  next_seq_ = 0;
+}
+
+}  // namespace poseidon

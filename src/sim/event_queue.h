@@ -1,0 +1,59 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events at equal timestamps fire in insertion order (a strict total order via
+// a sequence number), which keeps simulations deterministic regardless of
+// heap tie-breaking.
+#ifndef POSEIDON_SRC_SIM_EVENT_QUEUE_H_
+#define POSEIDON_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace poseidon {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  void Push(double time, Callback callback);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Timestamp of the earliest event; CHECK-fails when empty.
+  double PeekTime() const;
+
+  // Removes and returns the earliest event's callback, setting *time.
+  Callback Pop(double* time);
+
+  void Clear();
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_SIM_EVENT_QUEUE_H_

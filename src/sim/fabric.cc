@@ -1,0 +1,90 @@
+#include "src/sim/fabric.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+NetworkFabric::NetworkFabric(Simulator* sim, int num_nodes, FabricConfig config)
+    : sim_(sim), config_(config) {
+  CHECK_NOTNULL(sim);
+  CHECK_GT(num_nodes, 0);
+  CHECK_GT(config_.egress_bytes_per_sec, 0.0);
+  CHECK_GT(config_.ingress_bytes_per_sec, 0.0);
+  CHECK_GT(config_.chunk_bytes, 0);
+  egress_free_at_.assign(num_nodes, 0.0);
+  ingress_free_at_.assign(num_nodes, 0.0);
+  stats_.tx_bytes.assign(num_nodes, 0.0);
+  stats_.rx_bytes.assign(num_nodes, 0.0);
+  stats_.egress_busy_s.assign(num_nodes, 0.0);
+  stats_.ingress_busy_s.assign(num_nodes, 0.0);
+}
+
+void NetworkFabric::ResetStats() {
+  const int n = num_nodes();
+  stats_ = FabricStats{};
+  stats_.tx_bytes.assign(n, 0.0);
+  stats_.rx_bytes.assign(n, 0.0);
+  stats_.egress_busy_s.assign(n, 0.0);
+  stats_.ingress_busy_s.assign(n, 0.0);
+}
+
+void NetworkFabric::Send(int src, int dst, double bytes, DeliveredFn on_delivered) {
+  CHECK_GE(src, 0);
+  CHECK_LT(src, num_nodes());
+  CHECK_GE(dst, 0);
+  CHECK_LT(dst, num_nodes());
+  CHECK_GE(bytes, 0.0);
+  ++stats_.messages;
+
+  if (src == dst) {
+    sim_->Schedule(config_.local_latency_s, std::move(on_delivered));
+    return;
+  }
+
+  stats_.tx_bytes[src] += bytes;
+  stats_.rx_bytes[dst] += bytes;
+
+  if (bytes == 0.0) {
+    sim_->Schedule(config_.latency_s, std::move(on_delivered));
+    return;
+  }
+
+  const int64_t num_chunks =
+      std::max<int64_t>(1, static_cast<int64_t>((bytes + config_.chunk_bytes - 1) /
+                                                static_cast<double>(config_.chunk_bytes)));
+  stats_.chunks += num_chunks;
+  const double chunk_bytes = bytes / static_cast<double>(num_chunks);
+  const double egress_dur = chunk_bytes / config_.egress_bytes_per_sec;
+  const double ingress_dur = chunk_bytes / config_.ingress_bytes_per_sec;
+
+  // Chunks reserve the egress link back-to-back now (FIFO), then each chunk
+  // arrives at the receiver after the propagation latency and queues FIFO on
+  // the ingress link. The callback fires when the final chunk finishes its
+  // ingress service.
+  auto remaining = std::make_shared<int64_t>(num_chunks);
+  auto callback = std::make_shared<DeliveredFn>(std::move(on_delivered));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const double egress_start = std::max(egress_free_at_[src], sim_->Now());
+    const double egress_done = egress_start + egress_dur;
+    egress_free_at_[src] = egress_done;
+    stats_.egress_busy_s[src] += egress_dur;
+
+    const double arrival = egress_done + config_.latency_s;
+    sim_->ScheduleAt(arrival, [this, dst, ingress_dur, remaining, callback] {
+      const double start = std::max(ingress_free_at_[dst], sim_->Now());
+      const double done = start + ingress_dur;
+      ingress_free_at_[dst] = done;
+      stats_.ingress_busy_s[dst] += ingress_dur;
+      sim_->ScheduleAt(done, [remaining, callback] {
+        if (--*remaining == 0) {
+          (*callback)();
+        }
+      });
+    });
+  }
+}
+
+}  // namespace poseidon

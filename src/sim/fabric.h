@@ -1,0 +1,77 @@
+// Network fabric model: full-duplex NICs on a non-blocking switch.
+//
+// Every node has an egress link and an ingress link with independent
+// capacities (full duplex). Messages are split into chunks (default 2 MiB,
+// matching Poseidon's KV-pair granularity) that pipeline store-and-forward
+// through the sender's egress queue, a propagation latency, and the
+// receiver's ingress queue. FIFO queuing at both ends captures the two
+// first-order effects the paper's evaluation turns on:
+//   * egress serialization — a node pushing to P-1 peers takes
+//     total_bytes/egress_bw (bursty end-of-iteration traffic, §2.2), and
+//   * ingress/egress hotspots — Adam's full-matrix pull concentrates
+//     P*M*N bytes on one server's egress (Fig 10).
+// The switch core is assumed non-blocking (commodity ToR switches are), so
+// contention exists only at NICs.
+#ifndef POSEIDON_SRC_SIM_FABRIC_H_
+#define POSEIDON_SRC_SIM_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace poseidon {
+
+struct FabricConfig {
+  double egress_bytes_per_sec = 0.0;
+  double ingress_bytes_per_sec = 0.0;
+  // One-way propagation + per-chunk protocol latency.
+  double latency_s = 40e-6;
+  // Pipelining granularity; Poseidon uses 2 MiB KV pairs.
+  int64_t chunk_bytes = 2 * 1024 * 1024;
+  // Latency for node-local "transfers" (no NIC involved).
+  double local_latency_s = 5e-6;
+};
+
+struct FabricStats {
+  std::vector<double> tx_bytes;       // per node
+  std::vector<double> rx_bytes;       // per node
+  std::vector<double> egress_busy_s;  // per node
+  std::vector<double> ingress_busy_s;
+  int64_t messages = 0;
+  int64_t chunks = 0;
+};
+
+class NetworkFabric {
+ public:
+  using DeliveredFn = std::function<void()>;
+
+  NetworkFabric(Simulator* sim, int num_nodes, FabricConfig config);
+
+  // Sends `bytes` from node `src` to node `dst`; invokes `on_delivered` in
+  // virtual time once the last chunk has fully arrived. src == dst is a
+  // node-local operation that only pays local latency. Zero-byte messages
+  // deliver after latency (control messages).
+  void Send(int src, int dst, double bytes, DeliveredFn on_delivered);
+
+  const FabricStats& stats() const { return stats_; }
+  void ResetStats();
+
+  int num_nodes() const { return static_cast<int>(egress_free_at_.size()); }
+  const FabricConfig& config() const { return config_; }
+
+ private:
+  Simulator* sim_;
+  FabricConfig config_;
+  // Each link is a FIFO server: free_at is when the link finishes everything
+  // already accepted. Reservation is done at chunk-arrival time to preserve
+  // arrival order.
+  std::vector<double> egress_free_at_;
+  std::vector<double> ingress_free_at_;
+  FabricStats stats_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_SIM_FABRIC_H_

@@ -1,0 +1,51 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+void Simulator::Schedule(double delay, std::function<void()> callback) {
+  CHECK_GE(delay, 0.0) << "cannot schedule into the past";
+  queue_.Push(now_ + delay, std::move(callback));
+}
+
+void Simulator::ScheduleAt(double time, std::function<void()> callback) {
+  CHECK_GE(time, now_) << "cannot schedule into the past";
+  queue_.Push(time, std::move(callback));
+}
+
+uint64_t Simulator::Run() {
+  stopped_ = false;
+  uint64_t processed = 0;
+  while (!queue_.empty() && !stopped_) {
+    double time = 0.0;
+    EventQueue::Callback callback = queue_.Pop(&time);
+    CHECK_GE(time, now_);
+    now_ = time;
+    callback();
+    ++processed;
+    ++events_processed_;
+  }
+  return processed;
+}
+
+uint64_t Simulator::RunUntil(double deadline) {
+  stopped_ = false;
+  uint64_t processed = 0;
+  while (!queue_.empty() && !stopped_ && queue_.PeekTime() <= deadline) {
+    double time = 0.0;
+    EventQueue::Callback callback = queue_.Pop(&time);
+    now_ = time;
+    callback();
+    ++processed;
+    ++events_processed_;
+  }
+  if (now_ < deadline && !stopped_) {
+    now_ = deadline;
+  }
+  return processed;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,54 @@
+// Virtual-time discrete-event simulator.
+//
+// All cluster experiments run in virtual time: GPU compute, PCIe copies and
+// network transfers are modeled as durations, so a 32-node 40 GbE testbed
+// simulates in milliseconds of wall-clock on one core. The simulator is
+// single-threaded and deterministic.
+#ifndef POSEIDON_SRC_SIM_SIMULATOR_H_
+#define POSEIDON_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+
+namespace poseidon {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  double Now() const { return now_; }
+
+  // Schedules `callback` to run `delay` seconds from now (delay >= 0).
+  void Schedule(double delay, std::function<void()> callback);
+
+  // Schedules at an absolute virtual time >= Now().
+  void ScheduleAt(double time, std::function<void()> callback);
+
+  // Runs until the event queue drains or Stop() is called. Returns the number
+  // of events processed.
+  uint64_t Run();
+
+  // Runs until virtual time exceeds `deadline` (events at exactly `deadline`
+  // still fire) or the queue drains.
+  uint64_t RunUntil(double deadline);
+
+  // Makes Run() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  bool stopped_ = false;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,68 @@
+#include "src/stats/report.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/table.h"
+
+namespace poseidon {
+
+std::vector<SweepResult> RunScalingSweep(const ModelSpec& model,
+                                         const std::vector<SystemConfig>& systems,
+                                         const std::vector<int>& node_counts, double gbps,
+                                         Engine engine) {
+  std::vector<SweepResult> results;
+  for (const SystemConfig& system : systems) {
+    for (int nodes : node_counts) {
+      ClusterSpec cluster;
+      cluster.num_nodes = nodes;
+      cluster.nic_gbps = gbps;
+      SweepResult result;
+      result.system = system.name;
+      result.nodes = nodes;
+      result.gbps = gbps;
+      result.sim = RunProtocolSimulation(model, system, cluster, engine);
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+std::string FormatSpeedupTable(const std::string& title,
+                               const std::vector<SweepResult>& results) {
+  // Preserve first-appearance order of systems and node counts.
+  std::vector<std::string> systems;
+  std::vector<int> nodes;
+  std::map<std::pair<std::string, int>, double> speedup;
+  for (const SweepResult& r : results) {
+    if (std::find(systems.begin(), systems.end(), r.system) == systems.end()) {
+      systems.push_back(r.system);
+    }
+    if (std::find(nodes.begin(), nodes.end(), r.nodes) == nodes.end()) {
+      nodes.push_back(r.nodes);
+    }
+    speedup[{r.system, r.nodes}] = r.sim.speedup;
+  }
+
+  std::vector<std::string> header = {"nodes", "linear"};
+  for (const std::string& system : systems) {
+    header.push_back(system);
+  }
+  TextTable table(std::move(header));
+  for (int n : nodes) {
+    std::vector<std::string> row = {std::to_string(n), std::to_string(n)};
+    for (const std::string& system : systems) {
+      auto it = speedup.find({system, n});
+      row.push_back(it == speedup.end() ? "-" : TextTable::Num(it->second, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::ostringstream out;
+  out << "== " << title << " ==\n" << table.ToString();
+  return out.str();
+}
+
+}  // namespace poseidon

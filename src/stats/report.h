@@ -1,0 +1,37 @@
+// Shared reporting helpers for the benchmark harnesses: scaling sweeps over
+// (system, node-count) grids and uniform table formatting, so every
+// regenerated figure prints comparable, diffable series.
+#ifndef POSEIDON_SRC_STATS_REPORT_H_
+#define POSEIDON_SRC_STATS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_spec.h"
+#include "src/cluster/protocol_sim.h"
+#include "src/cluster/system_config.h"
+#include "src/models/model_spec.h"
+
+namespace poseidon {
+
+struct SweepResult {
+  std::string system;
+  int nodes = 0;
+  double gbps = 0.0;
+  SimResult sim;
+};
+
+// Runs every (system, nodes) combination for one model at fixed bandwidth.
+std::vector<SweepResult> RunScalingSweep(const ModelSpec& model,
+                                         const std::vector<SystemConfig>& systems,
+                                         const std::vector<int>& node_counts, double gbps,
+                                         Engine engine);
+
+// Renders a figure-style speedup table: one row per node count, one column
+// per system (plus the linear ideal).
+std::string FormatSpeedupTable(const std::string& title,
+                               const std::vector<SweepResult>& results);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_STATS_REPORT_H_

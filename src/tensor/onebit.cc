@@ -1,0 +1,83 @@
+#include "src/tensor/onebit.h"
+
+#include <cmath>
+
+namespace poseidon {
+
+int64_t OneBitEncoded::WireBytes() const {
+  return static_cast<int64_t>(bits.size()) * 4 +
+         static_cast<int64_t>(positive_level.size() + negative_level.size()) * 4 +
+         2 * 8;  // dimensions
+}
+
+OneBitEncoded OneBitQuantizer::Encode(const Tensor& gradient) {
+  CHECK_EQ(gradient.ndim(), 2);
+  if (residual_.empty()) {
+    residual_ = Tensor::Zeros(gradient.shape());
+  }
+  CHECK(residual_.SameShape(gradient));
+
+  const int64_t rows = gradient.dim(0);
+  const int64_t cols = gradient.dim(1);
+  OneBitEncoded encoded;
+  encoded.rows = rows;
+  encoded.cols = cols;
+  encoded.bits.assign(static_cast<size_t>((rows * cols + 31) / 32), 0u);
+  encoded.positive_level.assign(static_cast<size_t>(cols), 0.0f);
+  encoded.negative_level.assign(static_cast<size_t>(cols), 0.0f);
+
+  // Pass 1: effective values and per-column sums for each sign class.
+  std::vector<double> pos_sum(static_cast<size_t>(cols), 0.0);
+  std::vector<double> neg_sum(static_cast<size_t>(cols), 0.0);
+  std::vector<int64_t> pos_count(static_cast<size_t>(cols), 0);
+  std::vector<int64_t> neg_count(static_cast<size_t>(cols), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t flat = r * cols + c;
+      const float q = gradient[flat] + residual_[flat];
+      if (q >= 0.0f) {
+        encoded.bits[static_cast<size_t>(flat / 32)] |= (1u << (flat % 32));
+        pos_sum[static_cast<size_t>(c)] += q;
+        ++pos_count[static_cast<size_t>(c)];
+      } else {
+        neg_sum[static_cast<size_t>(c)] += q;
+        ++neg_count[static_cast<size_t>(c)];
+      }
+    }
+  }
+  for (int64_t c = 0; c < cols; ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    encoded.positive_level[ci] =
+        pos_count[ci] > 0 ? static_cast<float>(pos_sum[ci] / pos_count[ci]) : 0.0f;
+    encoded.negative_level[ci] =
+        neg_count[ci] > 0 ? static_cast<float>(neg_sum[ci] / neg_count[ci]) : 0.0f;
+  }
+
+  // Pass 2: new residual = effective value - reconstruction.
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t flat = r * cols + c;
+      const float q = gradient[flat] + residual_[flat];
+      const bool positive = (encoded.bits[static_cast<size_t>(flat / 32)] >> (flat % 32)) & 1u;
+      const float recon = positive ? encoded.positive_level[static_cast<size_t>(c)]
+                                   : encoded.negative_level[static_cast<size_t>(c)];
+      residual_[flat] = q - recon;
+    }
+  }
+  return encoded;
+}
+
+Tensor OneBitQuantizer::Decode(const OneBitEncoded& encoded) {
+  Tensor out({encoded.rows, encoded.cols});
+  for (int64_t r = 0; r < encoded.rows; ++r) {
+    for (int64_t c = 0; c < encoded.cols; ++c) {
+      const int64_t flat = r * encoded.cols + c;
+      const bool positive = (encoded.bits[static_cast<size_t>(flat / 32)] >> (flat % 32)) & 1u;
+      out[flat] = positive ? encoded.positive_level[static_cast<size_t>(c)]
+                           : encoded.negative_level[static_cast<size_t>(c)];
+    }
+  }
+  return out;
+}
+
+}  // namespace poseidon

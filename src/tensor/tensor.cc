@@ -1,0 +1,79 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace poseidon {
+namespace {
+
+int64_t ElementCount(const std::vector<int64_t>& shape) {
+  int64_t count = 1;
+  for (int64_t d : shape) {
+    CHECK_GT(d, 0) << "tensor dimensions must be positive";
+    count *= d;
+  }
+  return count;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  CHECK(!shape_.empty());
+  CHECK_LE(shape_.size(), 4u);
+  data_.assign(static_cast<size_t>(ElementCount(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::RandomHe(std::vector<int64_t> shape, int64_t fan_in, Rng& rng) {
+  CHECK_GT(fan_in, 0);
+  Tensor t(std::move(shape));
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.NextGaussian() * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, float lo, float hi, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.NextUniform(lo, hi);
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
+  Tensor t(std::move(shape));
+  CHECK_EQ(t.size(), static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  Tensor t(std::move(new_shape));
+  CHECK_EQ(t.size(), size()) << "reshape must preserve element count";
+  std::copy(data_.begin(), data_.end(), t.data());
+  return t;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    out << (i == 0 ? "" : ",") << shape_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace poseidon

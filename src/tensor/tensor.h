@@ -1,0 +1,96 @@
+// Dense float32 tensor with value semantics.
+//
+// This is the numeric substrate for the NN training library and for the
+// communication codecs (sufficient factors, 1-bit quantization). It is
+// deliberately small: contiguous row-major storage, up to 4 dimensions, no
+// views or broadcasting. Shapes are checked with CHECK (shape mismatches are
+// programming errors, not runtime conditions).
+#ifndef POSEIDON_SRC_TENSOR_TENSOR_H_
+#define POSEIDON_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace poseidon {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::initializer_list<int64_t> shape) : Tensor(std::vector<int64_t>(shape)) {}
+
+  // Named constructors.
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  // He/Kaiming-style init: N(0, sqrt(2/fan_in)). Standard for ReLU networks.
+  static Tensor RandomHe(std::vector<int64_t> shape, int64_t fan_in, Rng& rng);
+  static Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi, Rng& rng);
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(static_cast<size_t>(i), shape_.size());
+    return shape_[i];
+  }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, size());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, size());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // 2-D accessors (rows x cols).
+  float& At(int64_t r, int64_t c) {
+    CHECK_EQ(ndim(), 2);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float At(int64_t r, int64_t c) const {
+    CHECK_EQ(ndim(), 2);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  // 4-D accessors (n, c, h, w) for conv feature maps.
+  float& At4(int64_t n, int64_t c, int64_t h, int64_t w) {
+    CHECK_EQ(ndim(), 4);
+    return data_[static_cast<size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float At4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    CHECK_EQ(ndim(), 4);
+    return data_[static_cast<size_t>(((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  // Reinterprets the buffer with a new shape of identical element count.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TENSOR_TENSOR_H_

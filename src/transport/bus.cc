@@ -1,0 +1,92 @@
+#include "src/transport/bus.h"
+
+#include <utility>
+
+namespace poseidon {
+
+MessageBus::MessageBus(int num_nodes)
+    : limiters_(static_cast<size_t>(num_nodes)), tx_bytes_(static_cast<size_t>(num_nodes)) {
+  CHECK_GT(num_nodes, 0);
+  for (auto& counter : tx_bytes_) {
+    counter.store(0);
+  }
+}
+
+std::shared_ptr<MessageBus::Mailbox> MessageBus::Register(const Address& address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = mailboxes_.try_emplace(address, nullptr);
+  if (inserted) {
+    it->second = std::make_shared<Mailbox>();
+  }
+  return it->second;
+}
+
+Status MessageBus::Send(Message message) {
+  const int src = message.from.node;
+  CHECK_GE(src, 0);
+  CHECK_LT(src, num_nodes());
+  const int64_t bytes = message.WireBytes();
+
+  RateLimiter* limiter = nullptr;
+  std::shared_ptr<Mailbox> mailbox;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(message.to);
+    if (it == mailboxes_.end()) {
+      return NotFoundError("no mailbox at node " + std::to_string(message.to.node) +
+                           " port " + std::to_string(message.to.port));
+    }
+    mailbox = it->second;
+    limiter = limiters_[static_cast<size_t>(src)].get();
+  }
+  if (limiter != nullptr && message.from.node != message.to.node) {
+    limiter->Acquire(bytes);  // local traffic bypasses the NIC
+  }
+  if (message.from.node != message.to.node) {
+    tx_bytes_[static_cast<size_t>(src)].fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (!mailbox->Push(std::move(message))) {
+    return UnavailableError("mailbox closed");
+  }
+  return Status::Ok();
+}
+
+void MessageBus::SetEgressLimit(int node, double bytes_per_sec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CHECK_GE(node, 0);
+  CHECK_LT(node, num_nodes());
+  if (bytes_per_sec <= 0.0) {
+    limiters_[static_cast<size_t>(node)].reset();
+  } else {
+    limiters_[static_cast<size_t>(node)] = std::make_unique<RateLimiter>(bytes_per_sec);
+  }
+}
+
+std::vector<int64_t> MessageBus::TxBytes() const {
+  std::vector<int64_t> out(tx_bytes_.size());
+  for (size_t i = 0; i < tx_bytes_.size(); ++i) {
+    out[i] = tx_bytes_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+int64_t MessageBus::TxBytes(int node) const {
+  CHECK_GE(node, 0);
+  CHECK_LT(node, num_nodes());
+  return tx_bytes_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
+}
+
+void MessageBus::ResetTraffic() {
+  for (auto& counter : tx_bytes_) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+void MessageBus::CloseAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [address, mailbox] : mailboxes_) {
+    mailbox->Close();
+  }
+}
+
+}  // namespace poseidon

@@ -1,0 +1,66 @@
+// In-process message bus with per-endpoint mailboxes and optional egress
+// rate limiting.
+//
+// This stands in for the paper's Ethernet + ZMQ layer: every endpoint
+// (server service loop, worker syncer mailbox) registers a blocking queue;
+// Send() routes by address. A token-bucket rate limiter can be attached per
+// node to emulate a bounded-egress NIC in wall-clock time (used by examples;
+// the quantitative bandwidth experiments use the virtual-time fabric in
+// src/sim instead). Traffic is accounted per node for the load-balance
+// experiments.
+#ifndef POSEIDON_SRC_TRANSPORT_BUS_H_
+#define POSEIDON_SRC_TRANSPORT_BUS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/blocking_queue.h"
+#include "src/common/status.h"
+#include "src/transport/message.h"
+#include "src/transport/rate_limiter.h"
+
+namespace poseidon {
+
+class MessageBus {
+ public:
+  using Mailbox = BlockingQueue<Message>;
+
+  explicit MessageBus(int num_nodes);
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  // Creates (or returns) the mailbox for `address`. Thread-safe.
+  std::shared_ptr<Mailbox> Register(const Address& address);
+
+  // Routes `message` to its destination mailbox. Returns NotFound if the
+  // destination was never registered. Applies the sender's rate limit, if
+  // any, based on the message's wire size.
+  Status Send(Message message);
+
+  // Attaches a wall-clock egress limit (bytes/s) to `node`; 0 removes it.
+  void SetEgressLimit(int node, double bytes_per_sec);
+
+  // Cumulative egress bytes per node (approximate wire sizes).
+  std::vector<int64_t> TxBytes() const;
+  int64_t TxBytes(int node) const;
+  void ResetTraffic();
+
+  // Closes every mailbox (wakes all blocked receivers).
+  void CloseAll();
+
+  int num_nodes() const { return static_cast<int>(tx_bytes_.size()); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<Address, std::shared_ptr<Mailbox>, AddressHash> mailboxes_;
+  std::vector<std::unique_ptr<RateLimiter>> limiters_;  // per node, may be null
+  std::vector<std::atomic<int64_t>> tx_bytes_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TRANSPORT_BUS_H_

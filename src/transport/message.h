@@ -1,0 +1,76 @@
+// Wire messages exchanged by Poseidon's client libraries and KV stores.
+//
+// The in-process transport moves real payloads (gradient chunks, sufficient
+// factors, 1-bit encodings) between worker and server threads, so the
+// concurrent behaviour of the §4 architecture — BSP count vectors, per-layer
+// syncers, multi-threaded communication — is exercised for real, not just
+// simulated. Payload buffers are shared_ptr so a broadcast does not copy per
+// receiver (receivers never mutate payloads).
+#ifndef POSEIDON_SRC_TRANSPORT_MESSAGE_H_
+#define POSEIDON_SRC_TRANSPORT_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/onebit.h"
+#include "src/tensor/sufficient_factor.h"
+
+namespace poseidon {
+
+// Transport-level address. Servers listen on {node, kServerPort}; each
+// worker-side syncer has a mailbox at {node, kSyncerPortBase + layer}.
+struct Address {
+  int node = 0;
+  int port = 0;
+
+  bool operator==(const Address& other) const {
+    return node == other.node && port == other.port;
+  }
+};
+
+inline constexpr int kServerPort = 0;
+inline constexpr int kSyncerPortBase = 1000;
+
+struct AddressHash {
+  size_t operator()(const Address& a) const {
+    return static_cast<size_t>(a.node) * 1000003u + static_cast<size_t>(a.port);
+  }
+};
+
+enum class MessageType {
+  kGradPush,    // worker -> server: gradient chunks of one layer
+  kParamReply,  // server -> worker: updated parameter chunks
+  kSfBroadcast, // worker -> peer: sufficient factors (+ bias gradient)
+  kOneBitPush,  // worker -> server: 1-bit encoded FC gradient (+ bias)
+  kShutdown,    // trainer -> server: stop serving
+};
+
+// One KV pair's worth of contiguous floats within a layer's flattened
+// parameter vector (Poseidon partitions parameters into fixed-size KV pairs
+// hashed across shards, §4.1).
+struct ChunkPayload {
+  int64_t offset = 0;  // into the layer's flattened params
+  std::vector<float> data;
+};
+
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  Address from;
+  Address to;
+  int layer = -1;
+  int worker = -1;   // originating worker id
+  int64_t iter = -1;
+
+  std::shared_ptr<std::vector<ChunkPayload>> chunks;
+  std::shared_ptr<SufficientFactors> sf;
+  std::shared_ptr<std::vector<float>> bias_grad;  // rides along with SF/1-bit
+  std::shared_ptr<OneBitEncoded> onebit;
+
+  // Approximate wire size, for traffic accounting.
+  int64_t WireBytes() const;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TRANSPORT_MESSAGE_H_

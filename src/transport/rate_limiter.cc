@@ -1,0 +1,47 @@
+#include "src/transport/rate_limiter.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+RateLimiter::RateLimiter(double bytes_per_sec, double burst_bytes)
+    : bytes_per_sec_(bytes_per_sec),
+      burst_bytes_(burst_bytes),
+      tokens_(burst_bytes),
+      last_refill_(std::chrono::steady_clock::now()) {
+  CHECK_GT(bytes_per_sec, 0.0);
+  CHECK_GT(burst_bytes, 0.0);
+}
+
+void RateLimiter::Refill() {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_bytes_, tokens_ + elapsed * bytes_per_sec_);
+}
+
+void RateLimiter::Acquire(int64_t bytes) {
+  CHECK_GE(bytes, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  double needed = static_cast<double>(bytes);
+  while (true) {
+    Refill();
+    // Large messages drain the bucket in burst-sized installments so that
+    // concurrent senders interleave rather than convoy.
+    const double take = std::min(needed, std::max(tokens_, 0.0));
+    tokens_ -= take;
+    needed -= take;
+    if (needed <= 0.0) {
+      return;
+    }
+    const double wait_s = std::min(needed, burst_bytes_) / bytes_per_sec_;
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    lock.lock();
+  }
+}
+
+}  // namespace poseidon

@@ -1,0 +1,35 @@
+// Token-bucket egress limiter (wall-clock). Acquire(bytes) blocks the caller
+// until the bucket holds enough tokens, emulating a NIC that serializes a
+// node's outgoing traffic at a fixed rate.
+#ifndef POSEIDON_SRC_TRANSPORT_RATE_LIMITER_H_
+#define POSEIDON_SRC_TRANSPORT_RATE_LIMITER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace poseidon {
+
+class RateLimiter {
+ public:
+  // bytes_per_sec > 0; burst_bytes bounds how much can be sent back-to-back.
+  RateLimiter(double bytes_per_sec, double burst_bytes = 256 * 1024.0);
+
+  // Blocks until `bytes` tokens are available, then consumes them.
+  void Acquire(int64_t bytes);
+
+  double bytes_per_sec() const { return bytes_per_sec_; }
+
+ private:
+  void Refill();
+
+  const double bytes_per_sec_;
+  const double burst_bytes_;
+  std::mutex mutex_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TRANSPORT_RATE_LIMITER_H_

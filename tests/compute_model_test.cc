@@ -1,0 +1,115 @@
+// Tests for the GPU compute model: calibration against the paper's measured
+// single-node throughputs, FLOP-proportional layer timing, and straggler /
+// drop-straggler behaviour of the protocol simulator.
+#include <gtest/gtest.h>
+
+#include "src/cluster/compute_model.h"
+#include "src/cluster/protocol_sim.h"
+#include "src/cluster/system_config.h"
+#include "src/models/zoo.h"
+
+namespace poseidon {
+namespace {
+
+TEST(ComputeModelTest, CalibratedThroughputsMatchPaper) {
+  EXPECT_DOUBLE_EQ(SingleNodeImagesPerSec(MakeGoogLeNet(), Engine::kCaffe), 257.0);
+  EXPECT_DOUBLE_EQ(SingleNodeImagesPerSec(MakeVgg19(), Engine::kCaffe), 35.5);
+  EXPECT_DOUBLE_EQ(SingleNodeImagesPerSec(MakeVgg19(), Engine::kTensorFlow), 38.5);
+  EXPECT_DOUBLE_EQ(SingleNodeImagesPerSec(MakeInceptionV3(), Engine::kTensorFlow), 43.2);
+}
+
+TEST(ComputeModelTest, UncalibratedModelUsesFlopsFallback) {
+  // AlexNet isn't in the calibration table; the fallback must be sane
+  // (hundreds of images/s on a Titan-X-class device at batch 256).
+  const double rate = SingleNodeImagesPerSec(MakeAlexNet(), Engine::kCaffe);
+  EXPECT_GT(rate, 100.0);
+  EXPECT_LT(rate, 2000.0);
+}
+
+TEST(ComputeModelTest, LayerTimesSumToBatchTime) {
+  const ModelSpec model = MakeVgg19();
+  const ComputeTimings timings = MakeComputeTimings(model, Engine::kCaffe, 32);
+  EXPECT_NEAR(timings.total_fwd_s() + timings.total_bwd_s(), timings.batch_time_s,
+              timings.batch_time_s * 1e-9);
+  EXPECT_NEAR(timings.batch_time_s, 32.0 / 35.5, 1e-9);
+}
+
+TEST(ComputeModelTest, BackwardIsTwiceForward) {
+  const ComputeTimings timings = MakeComputeTimings(MakeGoogLeNet(), Engine::kCaffe, 64);
+  for (const LayerTiming& layer : timings.layers) {
+    EXPECT_DOUBLE_EQ(layer.bwd_s, 2.0 * layer.fwd_s);
+  }
+}
+
+TEST(ComputeModelTest, TimeProportionalToFlops) {
+  const ModelSpec model = MakeVgg19();
+  const ComputeTimings timings = MakeComputeTimings(model, Engine::kCaffe, 32);
+  // conv1_2 has ~twice the FLOPs of conv2_2's successor relationships; just
+  // verify proportionality against the spec for a few pairs.
+  for (size_t a = 0; a < model.layers.size(); ++a) {
+    for (size_t b = a + 1; b < model.layers.size(); b += 7) {
+      const double flop_ratio = model.layers[a].fwd_flops / model.layers[b].fwd_flops;
+      const double time_ratio = timings.layers[a].fwd_s / timings.layers[b].fwd_s;
+      EXPECT_NEAR(flop_ratio, time_ratio, 1e-6 * flop_ratio);
+    }
+  }
+}
+
+TEST(ComputeModelTest, ScalesLinearlyWithBatch) {
+  const ModelSpec model = MakeGoogLeNet();
+  const ComputeTimings b32 = MakeComputeTimings(model, Engine::kCaffe, 32);
+  const ComputeTimings b128 = MakeComputeTimings(model, Engine::kCaffe, 128);
+  EXPECT_NEAR(b128.batch_time_s, 4.0 * b32.batch_time_s, 1e-9);
+}
+
+// ----------------------------------------------------------- stragglers ----
+
+ClusterSpec StragglerCluster(double slowdown) {
+  ClusterSpec cluster;
+  cluster.num_nodes = 8;
+  cluster.nic_gbps = 40.0;
+  cluster.straggler_node = 3;
+  cluster.straggler_slowdown = slowdown;
+  return cluster;
+}
+
+TEST(StragglerTest, BspIsGatedByTheSlowestWorker) {
+  const ModelSpec model = MakeGoogLeNet();
+  ClusterSpec healthy = StragglerCluster(1.0);
+  ClusterSpec degraded = StragglerCluster(2.0);
+  const SimResult base =
+      RunProtocolSimulation(model, PoseidonSystem(), healthy, Engine::kCaffe);
+  const SimResult slow =
+      RunProtocolSimulation(model, PoseidonSystem(), degraded, Engine::kCaffe);
+  // One 2x-slow node drags the whole BSP cluster to ~2x iteration time.
+  EXPECT_GT(slow.iter_time_s, 1.8 * base.iter_time_s);
+}
+
+TEST(StragglerTest, DroppingTheStragglerRestoresThroughput) {
+  const ModelSpec model = MakeGoogLeNet();
+  ClusterSpec degraded = StragglerCluster(3.0);
+  SystemConfig drop = PoseidonSystem();
+  drop.drop_stragglers = true;
+  const SimResult kept =
+      RunProtocolSimulation(model, PoseidonSystem(), degraded, Engine::kCaffe);
+  const SimResult dropped = RunProtocolSimulation(model, drop, degraded, Engine::kCaffe);
+  EXPECT_LT(dropped.iter_time_s, 0.5 * kept.iter_time_s);
+}
+
+TEST(StragglerTest, DropPolicyHarmlessWithoutStragglers) {
+  const ModelSpec model = MakeVgg19();
+  ClusterSpec cluster;
+  cluster.num_nodes = 8;
+  cluster.nic_gbps = 40.0;
+  SystemConfig drop = PoseidonSystem();
+  drop.drop_stragglers = true;
+  const SimResult base =
+      RunProtocolSimulation(model, PoseidonSystem(), cluster, Engine::kCaffe);
+  const SimResult with_drop = RunProtocolSimulation(model, drop, cluster, Engine::kCaffe);
+  // Symmetric nodes: the quorum fills immediately either way; timing shifts
+  // only marginally (the last arrival no longer gates the broadcast).
+  EXPECT_NEAR(with_drop.iter_time_s, base.iter_time_s, 0.15 * base.iter_time_s);
+}
+
+}  // namespace
+}  // namespace poseidon

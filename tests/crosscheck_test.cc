@@ -1,0 +1,128 @@
+// Cross-validation between the two independent implementations of the
+// paper's communication arithmetic: the analytic Table 1 cost model
+// (src/models/comm_cost) and the byte-level traffic the protocol simulator
+// actually pushes through the fabric. For single-layer models the simulated
+// per-node egress must equal the closed-form expressions.
+#include <gtest/gtest.h>
+
+#include "src/cluster/protocol_sim.h"
+#include "src/common/units.h"
+#include "src/models/comm_cost.h"
+#include "src/models/model_spec.h"
+
+namespace poseidon {
+namespace {
+
+// One-FC-layer model so the traffic is exactly one layer's worth. A token
+// conv layer is prepended because a realistic network always has one (and it
+// gives WFBP something to overlap); its bytes are subtracted analytically.
+ModelSpec SingleFcModel(int64_t m, int64_t n, int batch) {
+  ModelSpec model;
+  model.name = "fc-only";
+  model.dataset = "synthetic";
+  model.default_batch = batch;
+  model.layers = {ConvLayer("stem", 3, 8, 3, 32), FcLayer("fc", m, n)};
+  return model;
+}
+
+struct Case {
+  int64_t m;
+  int64_t n;
+  int batch;
+  int nodes;
+};
+
+class CrossCheckTest : public ::testing::TestWithParam<Case> {};
+
+double TotalTxBytes(const SimResult& result) {
+  double total = 0.0;
+  for (double gb : result.tx_gbits_per_iter) {
+    total += gb * 1e9 / 8.0;
+  }
+  return total;
+}
+
+double ConvPsBytes(const ModelSpec& model, int nodes) {
+  // Dense PS for the stem conv layer: push + pull of (P-1)/P of the layer
+  // from every node.
+  const double dense = static_cast<double>(model.layers[0].param_bytes());
+  return 2.0 * dense * (nodes - 1) / nodes * nodes;  // cluster-wide
+}
+
+TEST_P(CrossCheckTest, DensePsMatchesTable1) {
+  const Case param = GetParam();
+  const ModelSpec model = SingleFcModel(param.m, param.n, param.batch);
+  ClusterSpec cluster;
+  cluster.num_nodes = param.nodes;
+  const SimResult result =
+      RunProtocolSimulation(model, CaffePlusWfbp(), cluster, Engine::kCaffe, param.batch);
+
+  // Table 1 colocated row counts send+receive; egress is half of it. The FC
+  // layer also carries its bias (M floats) through the PS.
+  CommCostQuery q{param.m, param.n, param.batch, param.nodes, param.nodes};
+  const double fc_floats = PsColocatedFloats(q) / 2.0 +
+                           static_cast<double>(param.m) * (param.nodes - 1) / param.nodes;
+  const double expected = fc_floats * 4.0 * param.nodes + ConvPsBytes(model, param.nodes);
+  EXPECT_NEAR(TotalTxBytes(result), expected, 0.01 * expected);
+}
+
+TEST_P(CrossCheckTest, SfbMatchesTable1) {
+  const Case param = GetParam();
+  const ModelSpec model = SingleFcModel(param.m, param.n, param.batch);
+  ClusterSpec cluster;
+  cluster.num_nodes = param.nodes;
+  const SimResult result =
+      RunProtocolSimulation(model, SfbOnlySystem(), cluster, Engine::kCaffe, param.batch);
+
+  CommCostQuery q{param.m, param.n, param.batch, param.nodes, param.nodes};
+  // Table 1's SFB row counts send+receive; egress is half.
+  const double fc_floats = SfbWorkerFloats(q) / 2.0;
+  const double expected = fc_floats * 4.0 * param.nodes + ConvPsBytes(model, param.nodes);
+  EXPECT_NEAR(TotalTxBytes(result), expected, 0.01 * expected);
+}
+
+TEST_P(CrossCheckTest, AdamHotNodeMatchesTable1) {
+  const Case param = GetParam();
+  const ModelSpec model = SingleFcModel(param.m, param.n, param.batch);
+  ClusterSpec cluster;
+  cluster.num_nodes = param.nodes;
+  const SimResult result =
+      RunProtocolSimulation(model, AdamSystem(), cluster, Engine::kCaffe, param.batch);
+
+  // The FC owner broadcasts the full matrix to P-1 remote workers.
+  const double mn_bytes =
+      static_cast<double>(param.m) * static_cast<double>(param.n) * 4.0;
+  const double owner_fc_egress = mn_bytes * (param.nodes - 1);
+  const double max_tx =
+      *std::max_element(result.tx_gbits_per_iter.begin(), result.tx_gbits_per_iter.end()) *
+      1e9 / 8.0;
+  // Owner also participates in the conv PS; bound within a few percent.
+  EXPECT_GT(max_tx, owner_fc_egress);
+  EXPECT_LT(max_tx, owner_fc_egress * 1.05 + ConvPsBytes(model, param.nodes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CrossCheckTest,
+                         ::testing::Values(Case{512, 1024, 16, 4}, Case{4096, 4096, 32, 8},
+                                           Case{1000, 1024, 128, 16},
+                                           Case{2048, 512, 8, 2}));
+
+TEST(CrossCheckTest, HybridPicksTheCheaperMeasuredTraffic) {
+  // End-to-end: for every grid point, HybComm's measured traffic must equal
+  // the min of the PS-only and SFB-only measured traffic (within jitter).
+  for (const Case& param : {Case{4096, 4096, 32, 8}, Case{1000, 1024, 128, 16}}) {
+    const ModelSpec model = SingleFcModel(param.m, param.n, param.batch);
+    ClusterSpec cluster;
+    cluster.num_nodes = param.nodes;
+    const double ps = TotalTxBytes(
+        RunProtocolSimulation(model, CaffePlusWfbp(), cluster, Engine::kCaffe, param.batch));
+    const double sfb = TotalTxBytes(
+        RunProtocolSimulation(model, SfbOnlySystem(), cluster, Engine::kCaffe, param.batch));
+    const double hybrid = TotalTxBytes(
+        RunProtocolSimulation(model, PoseidonSystem(), cluster, Engine::kCaffe, param.batch));
+    EXPECT_NEAR(hybrid, std::min(ps, sfb), 0.02 * std::min(ps, sfb))
+        << "m=" << param.m << " n=" << param.n;
+  }
+}
+
+}  // namespace
+}  // namespace poseidon

@@ -1,0 +1,135 @@
+// Property tests for the network fabric under randomized traffic: byte
+// conservation, delivery-time bounds, and pipelining behaviour across
+// message sizes and node counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+
+namespace poseidon {
+namespace {
+
+struct TrafficParam {
+  int nodes;
+  int messages;
+  uint64_t seed;
+};
+
+class FabricTrafficTest : public ::testing::TestWithParam<TrafficParam> {};
+
+TEST_P(FabricTrafficTest, ConservationAndBounds) {
+  const TrafficParam param = GetParam();
+  Simulator sim;
+  FabricConfig config;
+  config.egress_bytes_per_sec = GbpsToBytesPerSec(10.0);
+  config.ingress_bytes_per_sec = GbpsToBytesPerSec(10.0);
+  config.latency_s = 20e-6;
+  NetworkFabric fabric(&sim, param.nodes, config);
+
+  Rng rng(param.seed);
+  std::vector<double> sent_per_node(static_cast<size_t>(param.nodes), 0.0);
+  std::vector<double> recv_per_node(static_cast<size_t>(param.nodes), 0.0);
+  double total_bytes = 0.0;
+  int delivered = 0;
+  std::vector<double> delivery_times;
+  delivery_times.reserve(static_cast<size_t>(param.messages));
+
+  for (int m = 0; m < param.messages; ++m) {
+    const int src = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(param.nodes)));
+    int dst = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(param.nodes)));
+    if (dst == src) {
+      dst = (dst + 1) % param.nodes;
+    }
+    const double bytes = 1000.0 + static_cast<double>(rng.NextBounded(8 * 1024 * 1024));
+    sent_per_node[static_cast<size_t>(src)] += bytes;
+    recv_per_node[static_cast<size_t>(dst)] += bytes;
+    total_bytes += bytes;
+    fabric.Send(src, dst, bytes, [&, m] {
+      ++delivered;
+      delivery_times.push_back(sim.Now());
+    });
+  }
+  sim.Run();
+
+  // Every message delivered exactly once.
+  EXPECT_EQ(delivered, param.messages);
+  // Stats agree with what we injected, per node.
+  for (int n = 0; n < param.nodes; ++n) {
+    EXPECT_DOUBLE_EQ(fabric.stats().tx_bytes[static_cast<size_t>(n)],
+                     sent_per_node[static_cast<size_t>(n)]);
+    EXPECT_DOUBLE_EQ(fabric.stats().rx_bytes[static_cast<size_t>(n)],
+                     recv_per_node[static_cast<size_t>(n)]);
+  }
+  // No delivery can beat the physical lower bound of the busiest link, and
+  // the whole exchange cannot outrun aggregate bandwidth.
+  const double max_link_bytes =
+      std::max(*std::max_element(sent_per_node.begin(), sent_per_node.end()),
+               *std::max_element(recv_per_node.begin(), recv_per_node.end()));
+  const double lower_bound = max_link_bytes / config.egress_bytes_per_sec;
+  const double finish = *std::max_element(delivery_times.begin(), delivery_times.end());
+  EXPECT_GE(finish, lower_bound * 0.999);
+  // And it should not be absurdly slow either: everything fits within the
+  // serialized total across the slowest single link plus latency slack.
+  EXPECT_LE(finish, total_bytes / config.egress_bytes_per_sec + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraffic, FabricTrafficTest,
+                         ::testing::Values(TrafficParam{2, 50, 1}, TrafficParam{4, 100, 2},
+                                           TrafficParam{8, 200, 3}, TrafficParam{16, 100, 4},
+                                           TrafficParam{32, 300, 5}));
+
+class ChunkPipelineTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ChunkPipelineTest, LargeTransfersApproachWireRate) {
+  // For any chunk size, a large point-to-point transfer must finish in
+  // bytes/rate + one chunk of store-and-forward slack + latency.
+  const int64_t chunk = GetParam();
+  Simulator sim;
+  FabricConfig config;
+  config.egress_bytes_per_sec = 1e9;
+  config.ingress_bytes_per_sec = 1e9;
+  config.latency_s = 1e-5;
+  config.chunk_bytes = chunk;
+  NetworkFabric fabric(&sim, 2, config);
+  const double bytes = 64e6;
+  double done = -1.0;
+  fabric.Send(0, 1, bytes, [&] { done = sim.Now(); });
+  sim.Run();
+  const double ideal = bytes / 1e9;
+  const double slack = static_cast<double>(chunk) / 1e9 + 10 * config.latency_s;
+  EXPECT_GE(done, ideal);
+  EXPECT_LE(done, ideal + slack + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ChunkPipelineTest,
+                         ::testing::Values(64 * 1024, 512 * 1024, 2 * 1024 * 1024,
+                                           16 * 1024 * 1024));
+
+TEST(FabricDeterminismTest, IdenticalRunsIdenticalTimings) {
+  auto run = [] {
+    Simulator sim;
+    FabricConfig config;
+    config.egress_bytes_per_sec = 5e9;
+    config.ingress_bytes_per_sec = 5e9;
+    NetworkFabric fabric(&sim, 8, config);
+    std::vector<double> times;
+    Rng rng(77);
+    for (int m = 0; m < 100; ++m) {
+      const int src = static_cast<int>(rng.NextBounded(8));
+      const int dst = static_cast<int>((src + 1 + rng.NextBounded(7)) % 8);
+      fabric.Send(src, dst, 1e6 + static_cast<double>(rng.NextBounded(1000000)),
+                  [&times, &sim] { times.push_back(sim.Now()); });
+    }
+    sim.Run();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace poseidon

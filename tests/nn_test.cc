@@ -1,0 +1,293 @@
+// Tests for the NN library: numerical gradient checks for every layer type,
+// loss-head correctness, dataset determinism and the data-parallel partition
+// property, optimizer semantics, and a single-node convergence smoke test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/nn/builders.h"
+#include "src/nn/dataset.h"
+#include "src/nn/layers.h"
+#include "src/nn/network.h"
+#include "src/nn/sgd.h"
+#include "src/nn/single_trainer.h"
+#include "src/tensor/ops.h"
+
+namespace poseidon {
+namespace {
+
+// Central-difference gradient check for a network's total loss wrt sampled
+// parameter coordinates. ReLU and max-pool make the loss piecewise smooth:
+// a perturbation can flip a pool argmax or a ReLU gate, in which case the
+// central difference straddles a kink and legitimately disagrees with the
+// (one-sided) analytic derivative. The check therefore tolerates a small
+// fraction of kinked coordinates but requires the bulk to match tightly.
+void CheckGradients(Network& net, const Tensor& batch, const std::vector<int>& labels,
+                    double tolerance) {
+  net.Forward(batch, labels);
+  net.Backward();
+
+  Rng pick(12345);
+  int checked = 0;
+  int mismatched = 0;
+  for (auto& layer_params : net.LayerParams()) {
+    for (ParamBlock& p : layer_params) {
+      const int64_t size = p.value->size();
+      const int64_t samples = std::min<int64_t>(size, 8);
+      for (int64_t s = 0; s < samples; ++s) {
+        const int64_t i =
+            static_cast<int64_t>(pick.NextBounded(static_cast<uint64_t>(size)));
+        const float original = (*p.value)[i];
+        const float analytic = (*p.grad)[i];
+        const float eps = 2e-3f;
+        (*p.value)[i] = original + eps;
+        const double loss_plus = net.Evaluate(batch, labels).loss;
+        (*p.value)[i] = original - eps;
+        const double loss_minus = net.Evaluate(batch, labels).loss;
+        (*p.value)[i] = original;
+        const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+        const double scale =
+            std::max({1.0, std::fabs(numeric), static_cast<double>(std::fabs(analytic))});
+        ++checked;
+        if (std::fabs(analytic - numeric) > tolerance * scale) {
+          ++mismatched;
+          // Gross disagreement is a real bug, kink or not.
+          EXPECT_LT(std::fabs(analytic - numeric), 0.5 * scale)
+              << p.name << "[" << i << "]: analytic " << analytic << " vs numeric "
+              << numeric;
+        }
+      }
+    }
+  }
+  EXPECT_LE(mismatched, std::max(1, checked / 6))
+      << mismatched << "/" << checked << " sampled coordinates disagreed";
+}
+
+Batch SmallBatch(int k, int channels, int hw, int classes, uint64_t seed) {
+  DatasetConfig config;
+  config.num_classes = classes;
+  config.channels = channels;
+  config.height = hw;
+  config.width = hw;
+  config.train_size = 64;
+  config.seed = seed;
+  SyntheticDataset dataset(config);
+  return dataset.TrainBatch(0, k);
+}
+
+TEST(GradCheckTest, MlpGradientsMatchNumeric) {
+  Rng rng(1);
+  auto net = BuildMlp(/*input_dim=*/3 * 8 * 8, /*hidden_dim=*/16, /*hidden_layers=*/2,
+                      /*classes=*/4, rng);
+  const Batch batch = SmallBatch(5, 3, 8, 4, 7);
+  CheckGradients(*net, batch.images, batch.labels, 2e-2);
+}
+
+TEST(GradCheckTest, ConvNetGradientsMatchNumeric) {
+  Rng rng(2);
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>("c1", 2, 4, 3, 1, 1, rng));
+  net.Add(std::make_unique<ReluLayer>("r1"));
+  net.Add(std::make_unique<MaxPool2Layer>("p1"));
+  net.Add(std::make_unique<FullyConnectedLayer>("fc", 3, 4 * 4 * 4, rng));
+  const Batch batch = SmallBatch(4, 2, 8, 3, 9);
+  CheckGradients(net, batch.images, batch.labels, 2e-2);
+}
+
+TEST(GradCheckTest, StridedPaddedConvGradients) {
+  Rng rng(3);
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>("c1", 1, 3, 5, 2, 2, rng));  // 8x8 -> 4x4
+  net.Add(std::make_unique<FullyConnectedLayer>("fc", 2, 3 * 4 * 4, rng));
+  const Batch batch = SmallBatch(3, 1, 8, 2, 11);
+  CheckGradients(net, batch.images, batch.labels, 2e-2);
+}
+
+TEST(GradCheckTest, ResidualBlockGradients) {
+  Rng rng(4);
+  auto net = BuildSmallResNet(/*channels=*/2, /*image_hw=*/8, /*classes=*/3, /*width=*/4,
+                              /*blocks=*/2, rng);
+  const Batch batch = SmallBatch(3, 2, 8, 3, 13);
+  CheckGradients(*net, batch.images, batch.labels, 2e-2);
+}
+
+TEST(SoftmaxTest, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor grad;
+  const LossResult result = SoftmaxCrossEntropy(logits, {1, 3}, &grad);
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-6);
+  // Gradient rows sum to zero.
+  for (int64_t r = 0; r < 2; ++r) {
+    double row_sum = 0.0;
+    for (int64_t c = 0; c < 4; ++c) {
+      row_sum += grad.At(r, c);
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-7);
+  }
+}
+
+TEST(SoftmaxTest, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {10.0f, -10.0f, -10.0f});
+  Tensor grad;
+  const LossResult result = SoftmaxCrossEntropy(logits, {0}, &grad);
+  EXPECT_LT(result.loss, 1e-6);
+  EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1, 2}, {1000.0f, 999.0f});
+  Tensor grad;
+  const LossResult result = SoftmaxCrossEntropy(logits, {0}, &grad);
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_LT(result.loss, 1.0);
+}
+
+TEST(FcLayerTest, SufficientFactorsMatchDenseGradient) {
+  // The SF view of an FC layer's gradient must reconstruct to exactly the
+  // dense gradient the layer computed (this equality is what lets HybComm
+  // switch schemes without changing the algorithm).
+  Rng rng(5);
+  FullyConnectedLayer fc("fc", 6, 10, rng);
+  Tensor in = Tensor::RandomUniform({4, 10}, -1.0f, 1.0f, rng);
+  Tensor out;
+  fc.Forward(in, &out);
+  Tensor dout = Tensor::RandomUniform({4, 6}, -1.0f, 1.0f, rng);
+  Tensor din;
+  fc.Backward(dout, &din);
+
+  const SufficientFactors factors = fc.LastSufficientFactors();
+  Tensor recon({6, 10});
+  ReconstructGradient(factors, &recon);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(recon, fc.weight_grad()), 0.0);
+}
+
+TEST(DatasetTest, DeterministicBatches) {
+  DatasetConfig config;
+  config.seed = 21;
+  SyntheticDataset a(config);
+  SyntheticDataset b(config);
+  const Batch ba = a.TrainBatch(3, 16);
+  const Batch bb = b.TrainBatch(3, 16);
+  EXPECT_EQ(ba.labels, bb.labels);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(ba.images, bb.images), 0.0);
+}
+
+TEST(DatasetTest, WorkerPartitionUnionEqualsBigBatch) {
+  // P workers with batch K at iteration t must jointly see exactly the
+  // single-node batch of size P*K — the property behind BSP equivalence.
+  DatasetConfig config;
+  config.seed = 22;
+  SyntheticDataset dataset(config);
+  const int p = 4;
+  const int k = 8;
+  const Batch big = dataset.TrainBatch(2, p * k);
+  const int64_t pixels = 3 * 32 * 32;
+  for (int w = 0; w < p; ++w) {
+    const Batch part = dataset.TrainBatch(2, k, w, p);
+    for (int j = 0; j < k; ++j) {
+      const int big_index = w * k + j;
+      EXPECT_EQ(part.labels[j], big.labels[big_index]);
+      for (int64_t px = 0; px < pixels; ++px) {
+        ASSERT_EQ(part.images[j * pixels + px], big.images[big_index * pixels + px]);
+      }
+    }
+  }
+}
+
+TEST(DatasetTest, TrainAndTestDiffer) {
+  DatasetConfig config;
+  config.seed = 23;
+  SyntheticDataset dataset(config);
+  const Batch train = dataset.TrainBatch(0, 4);
+  const Batch test = dataset.TestSet();
+  // Same generator family but different streams; spot-check divergence.
+  EXPECT_NE(train.images[0], test.images[0]);
+}
+
+TEST(SgdTest, PlainStep) {
+  SgdOptimizer opt({.learning_rate = 0.1f});
+  Tensor value = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Tensor grad = Tensor::FromVector({2}, {1.0f, -1.0f});
+  opt.Step("p", grad, &value);
+  EXPECT_FLOAT_EQ(value[0], 0.9f);
+  EXPECT_FLOAT_EQ(value[1], 2.1f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  SgdOptimizer opt({.learning_rate = 1.0f, .momentum = 0.5f});
+  Tensor value = Tensor::FromVector({1}, {0.0f});
+  Tensor grad = Tensor::FromVector({1}, {1.0f});
+  opt.Step("p", grad, &value);
+  EXPECT_FLOAT_EQ(value[0], -1.0f);  // v = 1
+  opt.Step("p", grad, &value);
+  EXPECT_FLOAT_EQ(value[0], -2.5f);  // v = 1.5
+}
+
+TEST(SgdTest, WeightDecayShrinks)
+{
+  SgdOptimizer opt({.learning_rate = 0.5f, .momentum = 0.0f, .weight_decay = 0.1f});
+  Tensor value = Tensor::FromVector({1}, {2.0f});
+  Tensor grad = Tensor::FromVector({1}, {0.0f});
+  opt.Step("p", grad, &value);
+  EXPECT_FLOAT_EQ(value[0], 2.0f - 0.5f * 0.2f);
+}
+
+TEST(SgdTest, IndependentKeysIndependentVelocity) {
+  SgdOptimizer opt({.learning_rate = 1.0f, .momentum = 0.9f});
+  Tensor a = Tensor::FromVector({1}, {0.0f});
+  Tensor b = Tensor::FromVector({1}, {0.0f});
+  Tensor grad = Tensor::FromVector({1}, {1.0f});
+  opt.Step("a", grad, &a);
+  opt.Step("b", grad, &b);
+  EXPECT_FLOAT_EQ(a[0], b[0]);
+}
+
+TEST(TrainingTest, MlpLearnsSyntheticTask) {
+  DatasetConfig config;
+  config.num_classes = 4;
+  config.channels = 1;
+  config.height = 8;
+  config.width = 8;
+  config.train_size = 256;
+  config.test_size = 128;
+  config.noise_stddev = 0.3f;
+  config.seed = 77;
+  SyntheticDataset dataset(config);
+
+  Rng rng(42);
+  auto net = BuildMlp(8 * 8, 32, 1, 4, rng);
+  SgdOptimizer opt({.learning_rate = 0.1f, .momentum = 0.9f});
+  const auto stats = TrainSingleNode(*net, dataset, opt, 60, 32);
+  EXPECT_GT(stats.front().loss, 1.0);
+  EXPECT_LT(stats.back().loss, 0.4);
+
+  const Batch test = dataset.TestSet();
+  const LossResult result = net->Evaluate(test.images, test.labels);
+  EXPECT_GT(result.accuracy, 0.9);
+}
+
+TEST(NetworkTest, BackwardOrderEnforced) {
+  Rng rng(6);
+  auto net = BuildMlp(16, 8, 1, 2, rng);
+  DatasetConfig config;
+  config.channels = 1;
+  config.height = 4;
+  config.width = 4;
+  config.num_classes = 2;
+  SyntheticDataset dataset(config);
+  const Batch batch = dataset.TrainBatch(0, 2);
+  net->Forward(batch.images, batch.labels);
+  EXPECT_DEATH(net->BackwardThrough(0), "top-down");
+}
+
+TEST(NetworkTest, ParamCountsMatchBuilders) {
+  Rng rng(8);
+  auto quick = BuildCifarQuick(3, 32, 10, rng);
+  // Caffe cifar10_quick: 145,578 trainable parameters.
+  EXPECT_EQ(quick->total_params(), 145578);
+}
+
+}  // namespace
+}  // namespace poseidon

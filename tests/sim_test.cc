@@ -1,0 +1,207 @@
+// Unit tests for the discrete-event engine and the network fabric.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/fabric.h"
+#include "src/sim/simulator.h"
+
+namespace poseidon {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(2.0, [&] { order.push_back(2); });
+  queue.Push(1.0, [&] { order.push_back(1); });
+  queue.Push(3.0, [&] { order.push_back(3); });
+  double t = 0.0;
+  while (!queue.empty()) {
+    queue.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(t, 3.0);
+}
+
+TEST(EventQueueTest, TiesFireInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    queue.Push(1.0, [&order, i] { order.push_back(i); });
+  }
+  double t = 0.0;
+  while (!queue.empty()) {
+    queue.Pop(&t)();
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, AdvancesVirtualTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.Schedule(5.0, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, NestedSchedulingChains) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) {
+      sim.Schedule(1.0, chain);
+    }
+  };
+  sim.Schedule(1.0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(10.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, StopHaltsProcessing) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricConfig Config(double gbps) {
+    FabricConfig config;
+    config.egress_bytes_per_sec = GbpsToBytesPerSec(gbps);
+    config.ingress_bytes_per_sec = GbpsToBytesPerSec(gbps);
+    config.latency_s = 1e-6;
+    return config;
+  }
+};
+
+TEST_F(FabricTest, SingleTransferTakesBandwidthTime) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 2, Config(10.0));  // 1.25 GB/s
+  double done = -1.0;
+  const double bytes = 1.25e9;  // exactly one second of wire time
+  fabric.Send(0, 1, bytes, [&] { done = sim.Now(); });
+  sim.Run();
+  // Pipelined store-and-forward: one second of egress, one extra chunk of
+  // ingress, plus latency.
+  EXPECT_GT(done, 1.0);
+  EXPECT_LT(done, 1.01);
+}
+
+TEST_F(FabricTest, EgressSerializesConcurrentSends) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 3, Config(10.0));
+  const double bytes = 1.25e9;
+  std::vector<double> done(2, -1.0);
+  fabric.Send(0, 1, bytes, [&] { done[0] = sim.Now(); });
+  fabric.Send(0, 2, bytes, [&] { done[1] = sim.Now(); });
+  sim.Run();
+  // Both flows leave node 0's egress: total wire time ~2 s for the pair.
+  const double last = std::max(done[0], done[1]);
+  EXPECT_GT(last, 2.0);
+  EXPECT_LT(last, 2.02);
+}
+
+TEST_F(FabricTest, IncastSerializesAtIngress) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 4, Config(10.0));
+  const double bytes = 1.25e9;
+  std::vector<double> done(3, -1.0);
+  for (int src = 1; src <= 3; ++src) {
+    fabric.Send(src, 0, bytes, [&, src] { done[src - 1] = sim.Now(); });
+  }
+  sim.Run();
+  const double last = std::max({done[0], done[1], done[2]});
+  EXPECT_GT(last, 3.0);  // node 0's ingress is the bottleneck
+  EXPECT_LT(last, 3.05);
+}
+
+TEST_F(FabricTest, FullDuplexDirectionsAreIndependent) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 2, Config(10.0));
+  const double bytes = 1.25e9;
+  std::vector<double> done(2, -1.0);
+  fabric.Send(0, 1, bytes, [&] { done[0] = sim.Now(); });
+  fabric.Send(1, 0, bytes, [&] { done[1] = sim.Now(); });
+  sim.Run();
+  EXPECT_LT(std::max(done[0], done[1]), 1.05);  // no interference
+}
+
+TEST_F(FabricTest, LocalSendSkipsNic) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 2, Config(10.0));
+  double done = -1.0;
+  fabric.Send(0, 0, 1e9, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_LT(done, 1e-3);
+  EXPECT_DOUBLE_EQ(fabric.stats().tx_bytes[0], 0.0);  // no NIC traffic
+}
+
+TEST_F(FabricTest, StatsAccountAllBytes) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 3, Config(40.0));
+  fabric.Send(0, 1, 1000.0, [] {});
+  fabric.Send(0, 2, 2000.0, [] {});
+  fabric.Send(1, 2, 500.0, [] {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fabric.stats().tx_bytes[0], 3000.0);
+  EXPECT_DOUBLE_EQ(fabric.stats().tx_bytes[1], 500.0);
+  EXPECT_DOUBLE_EQ(fabric.stats().rx_bytes[2], 2500.0);
+  EXPECT_DOUBLE_EQ(fabric.stats().rx_bytes[1], 1000.0);
+}
+
+TEST_F(FabricTest, ZeroByteMessageDeliversAfterLatency) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 2, Config(10.0));
+  double done = -1.0;
+  fabric.Send(0, 1, 0.0, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done, 1e-6);
+}
+
+TEST_F(FabricTest, ChunkingPipelinesLargeTransfers) {
+  // A 100 MB transfer at 10 Gbps should take ~80 ms end to end, not ~160 ms
+  // (which a non-pipelined store-and-forward model would give).
+  Simulator sim;
+  NetworkFabric fabric(&sim, 2, Config(10.0));
+  double done = -1.0;
+  fabric.Send(0, 1, 100e6, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_GT(done, 0.080);
+  EXPECT_LT(done, 0.085);
+}
+
+TEST_F(FabricTest, ResetStatsClearsCounters) {
+  Simulator sim;
+  NetworkFabric fabric(&sim, 2, Config(10.0));
+  fabric.Send(0, 1, 1000.0, [] {});
+  sim.Run();
+  fabric.ResetStats();
+  EXPECT_DOUBLE_EQ(fabric.stats().tx_bytes[0], 0.0);
+  EXPECT_EQ(fabric.stats().messages, 0);
+}
+
+}  // namespace
+}  // namespace poseidon

@@ -1,0 +1,154 @@
+// Unit tests for the dense tensor and its BLAS-like kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace poseidon {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120);
+  EXPECT_EQ(t.ndim(), 4);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_EQ(t.ShapeString(), "[2,3,4,5]");
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::Full({3, 3}, 2.5f);
+  EXPECT_EQ(t.At(1, 2), 2.5f);
+  t.SetZero();
+  EXPECT_EQ(t.At(2, 2), 0.0f);
+}
+
+TEST(TensorTest, At4Indexing) {
+  Tensor t({2, 3, 4, 4});
+  t.At4(1, 2, 3, 3) = 7.0f;
+  // Flat index: ((1*3+2)*4+3)*4+3 = 95.
+  EXPECT_EQ(t[95], 7.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.At(2, 1), 6.0f);
+  EXPECT_EQ(r.At(0, 1), 2.0f);
+}
+
+TEST(TensorTest, HeInitStatistics) {
+  Rng rng(7);
+  const int64_t fan_in = 256;
+  Tensor t = Tensor::RandomHe({64, fan_in}, fan_in, rng);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sum_sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum / t.size();
+  const double var = sum_sq / t.size() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 2.0 / fan_in, 2.0 / fan_in * 0.2);
+}
+
+TEST(OpsTest, GemmMatchesManual) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c({2, 2});
+  Gemm(a, b, &c);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(OpsTest, GemmVariantsAgree) {
+  Rng rng(11);
+  Tensor a = Tensor::RandomUniform({17, 23}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::RandomUniform({23, 9}, -1.0f, 1.0f, rng);
+  Tensor c({17, 9});
+  Gemm(a, b, &c);
+
+  // a^T laid out as [23,17]: GemmTransA(a_t, b) must equal Gemm(a, b).
+  Tensor a_t({23, 17});
+  for (int64_t i = 0; i < 17; ++i) {
+    for (int64_t j = 0; j < 23; ++j) {
+      a_t.At(j, i) = a.At(i, j);
+    }
+  }
+  Tensor c2({17, 9});
+  GemmTransA(a_t, b, &c2);
+  EXPECT_LT(MaxAbsDiff(c, c2), 1e-5);
+
+  // b^T laid out as [9,23]: GemmTransB(a, b_t) must equal Gemm(a, b).
+  Tensor b_t({9, 23});
+  for (int64_t i = 0; i < 23; ++i) {
+    for (int64_t j = 0; j < 9; ++j) {
+      b_t.At(j, i) = b.At(i, j);
+    }
+  }
+  Tensor c3({17, 9});
+  GemmTransB(a, b_t, &c3);
+  EXPECT_LT(MaxAbsDiff(c, c3), 1e-5);
+}
+
+TEST(OpsTest, AxpyAndScale) {
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor y = Tensor::FromVector({3}, {10, 20, 30});
+  Axpy(2.0f, x, &y);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  Scale(0.5f, &y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor x = Tensor::FromVector({4}, {1, -2, 2, 0});
+  EXPECT_DOUBLE_EQ(SumSquares(x), 9.0);
+  EXPECT_DOUBLE_EQ(Norm(x), 3.0);
+  Tensor y = Tensor::FromVector({4}, {1, -2, 2, 5});
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(x, y), 5.0);
+}
+
+TEST(OpsTest, RowVectorOps) {
+  Tensor m = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor v = Tensor::FromVector({3}, {10, 20, 30});
+  AddRowVector(v, &m);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 36.0f);
+  Tensor sums({3});
+  SumRows(m, &sums);
+  EXPECT_FLOAT_EQ(sums[0], 25.0f);  // (1+10) + (4+10)
+  EXPECT_FLOAT_EQ(sums[2], 69.0f);  // (3+30) + (6+30)
+}
+
+class GemmSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmSizeTest, BlockedKernelMatchesNaive) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  Tensor a = Tensor::RandomUniform({n, n + 3}, -1.0f, 1.0f, rng);
+  Tensor b = Tensor::RandomUniform({n + 3, n + 1}, -1.0f, 1.0f, rng);
+  Tensor c({n, n + 1});
+  Gemm(a, b, &c);
+  // Naive reference.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n + 1; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < n + 3; ++p) {
+        acc += static_cast<double>(a.At(i, p)) * b.At(p, j);
+      }
+      ASSERT_NEAR(c.At(i, j), acc, 1e-4) << "at " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmSizeTest, ::testing::Values(1, 2, 7, 16, 64, 65, 130));
+
+}  // namespace
+}  // namespace poseidon

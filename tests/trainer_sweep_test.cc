@@ -1,0 +1,116 @@
+// Parameterized end-to-end sweep of the threaded runtime across cluster
+// shapes, sync policies and KV granularities: every configuration must (a)
+// keep replicas bitwise identical, (b) reduce the training loss, and (c) be
+// deterministic. This is the broad-coverage counterpart to the targeted
+// equivalence tests in integration_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/nn/builders.h"
+#include "src/poseidon/trainer.h"
+
+namespace poseidon {
+namespace {
+
+struct SweepCase {
+  int workers;
+  int servers;
+  FcSyncPolicy policy;
+  int64_t kv_bytes;
+  int threads;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string policy;
+  switch (c.policy) {
+    case FcSyncPolicy::kDense:
+      policy = "Dense";
+      break;
+    case FcSyncPolicy::kSfb:
+      policy = "Sfb";
+      break;
+    case FcSyncPolicy::kHybrid:
+      policy = "Hybrid";
+      break;
+    case FcSyncPolicy::kOneBit:
+      policy = "OneBit";
+      break;
+  }
+  return "w" + std::to_string(c.workers) + "s" + std::to_string(c.servers) + policy + "kv" +
+         std::to_string(c.kv_bytes) + "t" + std::to_string(c.threads);
+}
+
+class TrainerSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+std::vector<float> AllParams(Network& net) {
+  std::vector<float> out;
+  for (auto& layer_params : net.LayerParams()) {
+    for (ParamBlock& p : layer_params) {
+      out.insert(out.end(), p.value->data(), p.value->data() + p.value->size());
+    }
+  }
+  return out;
+}
+
+TEST_P(TrainerSweepTest, ConvergesConsistentlyAndDeterministically) {
+  const SweepCase param = GetParam();
+
+  DatasetConfig data;
+  data.num_classes = 3;
+  data.channels = 1;
+  data.height = 8;
+  data.width = 8;
+  data.train_size = 96;
+  data.noise_stddev = 0.4f;
+  data.seed = 2024;
+  SyntheticDataset dataset(data);
+
+  NetworkFactory factory = [] {
+    Rng rng(13);
+    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/20, /*hidden_layers=*/2,
+                    /*classes=*/3, rng);
+  };
+  TrainerOptions options;
+  options.num_workers = param.workers;
+  options.num_servers = param.servers;
+  options.batch_per_worker = 6;
+  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
+  options.fc_policy = param.policy;
+  options.kv_pair_bytes = param.kv_bytes;
+  options.syncer_threads = param.threads;
+
+  auto run = [&] {
+    PoseidonTrainer trainer(factory, options);
+    const auto stats = trainer.Train(dataset, 15);
+    EXPECT_LT(stats.back().mean_loss, stats.front().mean_loss) << "no learning";
+    // (a) replica identity
+    const std::vector<float> w0 = AllParams(trainer.worker_net(0));
+    for (int w = 1; w < param.workers; ++w) {
+      EXPECT_EQ(w0, AllParams(trainer.worker_net(w))) << "replica " << w << " diverged";
+    }
+    return w0;
+  };
+  // (c) determinism across full trainer lifecycles
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TrainerSweepTest,
+    ::testing::Values(
+        SweepCase{1, 1, FcSyncPolicy::kDense, 2048, 1},
+        SweepCase{2, 1, FcSyncPolicy::kDense, 2048, 2},
+        SweepCase{2, 2, FcSyncPolicy::kSfb, 2048, 2},
+        SweepCase{3, 2, FcSyncPolicy::kHybrid, 512, 2},
+        SweepCase{4, 4, FcSyncPolicy::kHybrid, 128, 3},
+        SweepCase{4, 2, FcSyncPolicy::kOneBit, 2048, 2},
+        SweepCase{2, 4, FcSyncPolicy::kDense, 256, 1},   // more servers than workers
+        SweepCase{5, 3, FcSyncPolicy::kHybrid, 1024, 4},
+        SweepCase{2, 2, FcSyncPolicy::kOneBit, 64, 1},
+        SweepCase{8, 8, FcSyncPolicy::kHybrid, 2048, 2}),
+    CaseName);
+
+}  // namespace
+}  // namespace poseidon

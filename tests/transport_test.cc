@@ -1,0 +1,122 @@
+// Tests for the in-process message bus and rate limiter.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/transport/bus.h"
+#include "src/transport/rate_limiter.h"
+
+namespace poseidon {
+namespace {
+
+Message MakeChunkMessage(int src, int dst, int port, int floats) {
+  Message m;
+  m.type = MessageType::kGradPush;
+  m.from = Address{src, kSyncerPortBase};
+  m.to = Address{dst, port};
+  m.layer = 0;
+  m.worker = src;
+  m.chunks = std::make_shared<std::vector<ChunkPayload>>();
+  ChunkPayload chunk;
+  chunk.data.assign(static_cast<size_t>(floats), 1.0f);
+  m.chunks->push_back(std::move(chunk));
+  return m;
+}
+
+TEST(BusTest, DeliversToRegisteredMailbox) {
+  MessageBus bus(2);
+  auto mailbox = bus.Register(Address{1, kServerPort});
+  EXPECT_TRUE(bus.Send(MakeChunkMessage(0, 1, kServerPort, 4)).ok());
+  auto received = mailbox->Pop();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->worker, 0);
+  EXPECT_EQ((*received->chunks)[0].data.size(), 4u);
+}
+
+TEST(BusTest, UnknownDestinationIsNotFound) {
+  MessageBus bus(2);
+  const Status status = bus.Send(MakeChunkMessage(0, 1, 999, 4));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(BusTest, TrafficAccountingSkipsLocal) {
+  MessageBus bus(2);
+  bus.Register(Address{0, kServerPort});
+  bus.Register(Address{1, kServerPort});
+  EXPECT_TRUE(bus.Send(MakeChunkMessage(0, 0, kServerPort, 100)).ok());  // local
+  EXPECT_TRUE(bus.Send(MakeChunkMessage(0, 1, kServerPort, 100)).ok());  // remote
+  EXPECT_EQ(bus.TxBytes(1), 0);
+  const int64_t remote = bus.TxBytes(0);
+  EXPECT_GT(remote, 400);  // 100 floats + headers
+  bus.ResetTraffic();
+  EXPECT_EQ(bus.TxBytes(0), 0);
+}
+
+TEST(BusTest, RegisterIsIdempotent) {
+  MessageBus bus(1);
+  auto a = bus.Register(Address{0, 5});
+  auto b = bus.Register(Address{0, 5});
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(BusTest, CloseAllWakesReceivers) {
+  MessageBus bus(1);
+  auto mailbox = bus.Register(Address{0, kServerPort});
+  std::thread waiter([&] { EXPECT_FALSE(mailbox->Pop().has_value()); });
+  bus.CloseAll();
+  waiter.join();
+}
+
+TEST(BusTest, SharedPayloadNotCopiedPerReceiver) {
+  MessageBus bus(3);
+  auto m1 = bus.Register(Address{1, kServerPort});
+  auto m2 = bus.Register(Address{2, kServerPort});
+  Message base = MakeChunkMessage(0, 1, kServerPort, 8);
+  Message copy = base;
+  copy.to = Address{2, kServerPort};
+  EXPECT_TRUE(bus.Send(base).ok());
+  EXPECT_TRUE(bus.Send(copy).ok());
+  auto r1 = m1->Pop();
+  auto r2 = m2->Pop();
+  EXPECT_EQ(r1->chunks.get(), r2->chunks.get());  // same shared buffer
+}
+
+TEST(MessageTest, WireBytesCountsPayloads) {
+  Message m = MakeChunkMessage(0, 1, kServerPort, 100);
+  EXPECT_GE(m.WireBytes(), 400);
+  EXPECT_LT(m.WireBytes(), 500);
+}
+
+TEST(RateLimiterTest, ThrottlesToConfiguredRate) {
+  RateLimiter limiter(1e6, /*burst_bytes=*/1e4);  // 1 MB/s
+  const auto start = std::chrono::steady_clock::now();
+  limiter.Acquire(50000);  // ~50 ms at 1 MB/s (minus the initial burst)
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GT(elapsed, 0.025);
+  EXPECT_LT(elapsed, 0.5);
+}
+
+TEST(RateLimiterTest, SmallSendsWithinBurstAreFree) {
+  RateLimiter limiter(1e6, /*burst_bytes=*/1e5);
+  const auto start = std::chrono::steady_clock::now();
+  limiter.Acquire(1000);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(elapsed, 0.01);
+}
+
+TEST(BusTest, EgressLimitSlowsRemoteSends) {
+  MessageBus bus(2);
+  bus.Register(Address{1, kServerPort});
+  bus.SetEgressLimit(0, 1e6);  // 1 MB/s
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(bus.Send(MakeChunkMessage(0, 1, kServerPort, 100000)).ok());  // ~400 KB
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_GT(elapsed, 0.1);
+}
+
+}  // namespace
+}  // namespace poseidon

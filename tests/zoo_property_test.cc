@@ -1,0 +1,121 @@
+// Parameterized invariants over the whole model zoo and the protocol
+// simulator: structural sanity of every model, and conservation/sanity
+// properties every (system, model) simulation must satisfy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/cluster/protocol_sim.h"
+#include "src/models/zoo.h"
+
+namespace poseidon {
+namespace {
+
+class ZooModelTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooModelTest, StructuralInvariants) {
+  const ModelSpec model = ModelByName(GetParam()).value();
+  EXPECT_GT(model.num_layers(), 0);
+  std::set<std::string> names;
+  for (const LayerSpec& layer : model.layers) {
+    EXPECT_GT(layer.params, 0) << layer.name;
+    EXPECT_GT(layer.fwd_flops, 0.0) << layer.name;
+    EXPECT_TRUE(names.insert(layer.name).second) << "duplicate layer " << layer.name;
+    if (layer.type == LayerType::kFC) {
+      EXPECT_EQ(layer.params, layer.fc_m * layer.fc_n + layer.fc_m) << layer.name;
+      // FC compute is 2MN per sample.
+      EXPECT_DOUBLE_EQ(layer.fwd_flops,
+                       2.0 * static_cast<double>(layer.fc_m) *
+                           static_cast<double>(layer.fc_n))
+          << layer.name;
+    } else {
+      EXPECT_EQ(layer.fc_m, 0) << layer.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelTest,
+                         ::testing::Values("cifar-quick", "alexnet", "googlenet",
+                                           "inception-v3", "vgg19", "vgg19-22k",
+                                           "resnet-152"));
+
+struct SimCase {
+  const char* model;
+  int nodes;
+};
+
+class SimInvariantTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimInvariantTest, PoseidonSimSanity) {
+  const SimCase param = GetParam();
+  const ModelSpec model = ModelByName(param.model).value();
+  ClusterSpec cluster;
+  cluster.num_nodes = param.nodes;
+  cluster.nic_gbps = 40.0;
+  const SimResult result =
+      RunProtocolSimulation(model, PoseidonSystem(), cluster, Engine::kCaffe);
+
+  // Speedup bounded by linear (plus epsilon) and strictly positive.
+  EXPECT_GT(result.speedup, 0.0);
+  EXPECT_LE(result.speedup, param.nodes * 1.001);
+  // Iteration cannot beat pure compute.
+  EXPECT_GE(result.iter_time_s, result.single_node_iter_s * 0.999);
+  // GPU busy fraction is a fraction.
+  EXPECT_GT(result.gpu_busy_frac, 0.0);
+  EXPECT_LE(result.gpu_busy_frac, 1.0 + 1e-9);
+  // Traffic symmetry: on a homogeneous cluster total tx == total rx, and
+  // multi-node runs move bytes.
+  const double tx = std::accumulate(result.tx_gbits_per_iter.begin(),
+                                    result.tx_gbits_per_iter.end(), 0.0);
+  const double rx = std::accumulate(result.rx_gbits_per_iter.begin(),
+                                    result.rx_gbits_per_iter.end(), 0.0);
+  EXPECT_NEAR(tx, rx, 1e-6 + 0.05 * tx);
+  if (param.nodes > 1) {
+    EXPECT_GT(tx, 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(tx, 0.0);
+  }
+  // Every parameterized layer got a scheme label.
+  EXPECT_EQ(result.layer_schemes.size(), static_cast<size_t>(model.num_layers()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimInvariantTest,
+    ::testing::Values(SimCase{"googlenet", 1}, SimCase{"googlenet", 8},
+                      SimCase{"vgg19", 2}, SimCase{"vgg19", 32},
+                      SimCase{"vgg19-22k", 16}, SimCase{"inception-v3", 8},
+                      SimCase{"resnet-152", 4}, SimCase{"alexnet", 8},
+                      SimCase{"cifar-quick", 4}));
+
+class SystemInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystemInvariantTest, AllSystemsCompleteAndOrderSanely) {
+  const int nodes = GetParam();
+  const ModelSpec model = MakeVgg19();
+  ClusterSpec cluster;
+  cluster.num_nodes = nodes;
+  cluster.nic_gbps = 20.0;
+  double poseidon_speedup = 0.0;
+  for (const SystemConfig& system :
+       {CaffePlusPs(), CaffePlusWfbp(), PoseidonSystem(), TfNative(), TfPlusWfbp(),
+        AdamSystem(), OneBitSystem(), SfbOnlySystem()}) {
+    const SimResult result = RunProtocolSimulation(model, system, cluster, Engine::kCaffe);
+    EXPECT_GT(result.speedup, 0.0) << system.name;
+    EXPECT_LE(result.speedup, nodes * 1.001) << system.name;
+    if (system.name == "Poseidon") {
+      poseidon_speedup = result.speedup;
+    }
+  }
+  // Poseidon is the paper's best-of-both: nothing should beat it by more
+  // than rounding on this FC-heavy model.
+  for (const SystemConfig& system : {CaffePlusPs(), TfNative(), AdamSystem()}) {
+    const SimResult result = RunProtocolSimulation(model, system, cluster, Engine::kCaffe);
+    EXPECT_LE(result.speedup, poseidon_speedup * 1.01) << system.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, SystemInvariantTest, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace poseidon
