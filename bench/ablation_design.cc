@@ -11,19 +11,21 @@
 #include <cstdio>
 
 #include "src/cluster/protocol_sim.h"
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/zoo.h"
 
 namespace poseidon {
 namespace {
 
-void OverlapAblation() {
-  std::printf("Ablation A: overlap only (no HybComm), VGG19, 16 nodes\n\n");
+void OverlapAblation(const BenchArgs& args) {
+  const int nodes = args.FirstNodeOr(16);
+  std::printf("Ablation A: overlap only (no HybComm), VGG19, %d nodes\n\n", nodes);
   TextTable table({"GbE", "no overlap (img/s)", "WFBP (img/s)", "WFBP gain"});
   const ModelSpec model = MakeVgg19();
-  for (double gbps : {10.0, 20.0, 40.0}) {
+  for (double gbps : args.GbpsOr({10.0, 20.0, 40.0})) {
     ClusterSpec cluster;
-    cluster.num_nodes = 16;
+    cluster.num_nodes = nodes;
     cluster.nic_gbps = gbps;
     SystemConfig none = CaffePlusPs();
     none.blocking_memcpy = false;  // isolate scheduling, not memcpy
@@ -37,15 +39,17 @@ void OverlapAblation() {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void ShardingAblation() {
+void ShardingAblation(const BenchArgs& args) {
+  const int nodes = args.FirstNodeOr(16);
+  const double gbps = args.FirstGbpsOr(40.0);
   std::printf("Ablation B: KV-pair sharding vs per-tensor placement (WFBP overlap,\n");
-  std::printf("dense PS), 16 nodes, 40 GbE\n\n");
+  std::printf("dense PS), %d nodes, %.0f GbE\n\n", nodes, gbps);
   TextTable table({"model", "per-tensor (img/s)", "KV pairs (img/s)", "gain"});
   for (const char* name : {"googlenet", "vgg19", "vgg19-22k"}) {
     const ModelSpec model = ModelByName(name).value();
     ClusterSpec cluster;
-    cluster.num_nodes = 16;
-    cluster.nic_gbps = 40.0;
+    cluster.num_nodes = nodes;
+    cluster.nic_gbps = gbps;
     SystemConfig per_tensor = TfPlusWfbp();
     per_tensor.name = "per-tensor";
     per_tensor.sharding = ShardingMode::kPerTensor;
@@ -60,15 +64,18 @@ void ShardingAblation() {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void StragglerAblation() {
-  std::printf("Ablation C: straggler policy, GoogLeNet on 8 nodes (one node slowed)\n\n");
+void StragglerAblation(const BenchArgs& args) {
+  const int nodes = args.FirstNodeOr(8);
+  const double gbps = args.FirstGbpsOr(40.0);
+  std::printf("Ablation C: straggler policy, GoogLeNet on %d nodes (one node slowed)\n\n",
+              nodes);
   TextTable table({"slowdown", "BSP wait (img/s)", "drop straggler (img/s)"});
   const ModelSpec model = MakeGoogLeNet();
   for (double slowdown : {1.0, 1.5, 2.0, 4.0}) {
     ClusterSpec cluster;
-    cluster.num_nodes = 8;
-    cluster.nic_gbps = 40.0;
-    cluster.straggler_node = 7;  // not node 0: node 0 is the timing reference
+    cluster.num_nodes = nodes;
+    cluster.nic_gbps = gbps;
+    cluster.straggler_node = nodes - 1;  // not node 0: node 0 is the timing reference
     cluster.straggler_slowdown = slowdown;
     SystemConfig drop = PoseidonSystem();
     drop.drop_stragglers = true;
@@ -84,9 +91,10 @@ void StragglerAblation() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::OverlapAblation();
-  poseidon::ShardingAblation();
-  poseidon::StragglerAblation();
+int main(int argc, char** argv) {
+  const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  poseidon::OverlapAblation(args);
+  poseidon::ShardingAblation(args);
+  poseidon::StragglerAblation(args);
   return 0;
 }

@@ -6,26 +6,31 @@
 #include <cstdio>
 
 #include "src/cluster/protocol_sim.h"
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/zoo.h"
 
 namespace poseidon {
 namespace {
 
-void Run() {
-  std::printf("Multi-GPU extension: speedup vs single GPU (Poseidon, 40 GbE)\n\n");
+void Run(const BenchArgs& args) {
+  const int nodes = args.FirstNodeOr(4);
+  const double gbps = args.FirstGbpsOr(40.0);
+  std::printf("Multi-GPU extension: speedup vs single GPU (Poseidon, %.0f GbE)\n\n", gbps);
   TextTable table({"model", "nodes", "gpus/node", "total gpus", "speedup"});
+  const std::vector<int> gpu_counts =
+      args.fast ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
   for (const char* name : {"googlenet", "vgg19"}) {
     const ModelSpec model = ModelByName(name).value();
-    for (int gpus : {1, 2, 4, 8}) {
+    for (int gpus : gpu_counts) {
       ClusterSpec cluster;
-      cluster.num_nodes = 4;
-      cluster.nic_gbps = 40.0;
+      cluster.num_nodes = nodes;
+      cluster.nic_gbps = gbps;
       cluster.gpus_per_node = gpus;
       const SimResult result =
           RunProtocolSimulation(model, PoseidonSystem(), cluster, Engine::kCaffe);
-      table.AddRow({model.name, "4", std::to_string(gpus), std::to_string(4 * gpus),
-                    TextTable::Num(result.speedup, 1)});
+      table.AddRow({model.name, std::to_string(nodes), std::to_string(gpus),
+                    std::to_string(nodes * gpus), TextTable::Num(result.speedup, 1)});
     }
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -34,7 +39,7 @@ void Run() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::Run();
+int main(int argc, char** argv) {
+  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
   return 0;
 }

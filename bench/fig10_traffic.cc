@@ -10,21 +10,30 @@
 #include <cstdio>
 
 #include "src/cluster/protocol_sim.h"
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/zoo.h"
 
 namespace poseidon {
 namespace {
 
-void Run() {
-  std::printf("Fig 10: per-node egress traffic, VGG19 on 8 nodes (Gb per iteration)\n\n");
+void Run(const BenchArgs& args) {
+  const int nodes = args.FirstNodeOr(8);
+  const double gbps = args.FirstGbpsOr(40.0);
+  std::printf("Fig 10: per-node egress traffic, VGG19 on %d nodes (Gb per iteration)\n\n",
+              nodes);
   const ModelSpec model = MakeVgg19();
   ClusterSpec cluster;
-  cluster.num_nodes = 8;
-  cluster.nic_gbps = 40.0;
+  cluster.num_nodes = nodes;
+  cluster.nic_gbps = gbps;
 
-  TextTable table({"system", "n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "max/min",
-                   "speedup"});
+  std::vector<std::string> header = {"system"};
+  for (int n = 0; n < nodes; ++n) {
+    header.push_back("n" + std::to_string(n));
+  }
+  header.push_back("max/min");
+  header.push_back("speedup");
+  TextTable table(std::move(header));
   for (const SystemConfig& system : {TfPlusWfbp(), AdamSystem(), PoseidonSystem()}) {
     const SimResult result =
         RunProtocolSimulation(model, system, cluster, Engine::kTensorFlow);
@@ -46,7 +55,7 @@ void Run() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::Run();
+int main(int argc, char** argv) {
+  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -9,8 +9,9 @@
 // images, smaller batch) so the bench finishes in about a minute on one CPU
 // core; pass --full for the paper-sized 32x32 / batch-100 network.
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/nn/builders.h"
 #include "src/poseidon/trainer.h"
@@ -54,7 +55,12 @@ Curve RunOne(const RunConfig& config, FcSyncPolicy policy,
   return curve;
 }
 
-void Run(bool full) {
+void Run(const BenchArgs& args) {
+  if (args.full && args.fast) {
+    std::fprintf(stderr, "--full and --fast are contradictory; pick one\n");
+    std::exit(2);
+  }
+  const bool full = args.full;
   RunConfig config;
   if (full) {
     config.image_hw = 32;
@@ -62,6 +68,7 @@ void Run(bool full) {
     config.iterations = 300;
     config.report_every = 25;
   }
+  config.iterations = args.ItersOr(config.iterations, /*fast_iters=*/50);
 
   DatasetConfig data_config;
   data_config.num_classes = 10;
@@ -95,12 +102,6 @@ void Run(bool full) {
 }  // namespace poseidon
 
 int main(int argc, char** argv) {
-  bool full = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) {
-      full = true;
-    }
-  }
-  poseidon::Run(full);
+  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -8,31 +8,33 @@
 // ~21x at 32 nodes and HybComm recovers ~30x.
 #include <cstdio>
 
+#include "src/common/cli.h"
 #include "src/models/zoo.h"
 #include "src/stats/report.h"
 
 namespace poseidon {
 namespace {
 
-void Run() {
-  const std::vector<int> nodes = {1, 2, 4, 8, 16, 32};
+void Run(const BenchArgs& args) {
+  const std::vector<int> nodes = args.NodesOr({1, 2, 4, 8, 16, 32});
   const std::vector<SystemConfig> systems = {CaffePlusPs(), CaffePlusWfbp(),
                                              PoseidonSystem()};
   for (const char* name : {"googlenet", "vgg19", "vgg19-22k"}) {
     const ModelSpec model = ModelByName(name).value();
-    const auto results = RunScalingSweep(model, systems, nodes, /*gbps=*/40.0,
-                                         Engine::kCaffe);
-    std::printf("%s\n",
-                FormatSpeedupTable("Fig 5: " + model.name + " (Caffe engine, 40 GbE)",
-                                   results)
-                    .c_str());
+    for (double gbps : args.GbpsOr({40.0})) {
+      const auto results = RunScalingSweep(model, systems, nodes, gbps, Engine::kCaffe);
+      char title[128];
+      std::snprintf(title, sizeof(title), "Fig 5: %s (Caffe engine, %.0f GbE)",
+                    model.name.c_str(), gbps);
+      std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
+    }
   }
 }
 
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::Run();
+int main(int argc, char** argv) {
+  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -8,21 +8,25 @@
 #include <cstdio>
 
 #include "src/cluster/protocol_sim.h"
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/zoo.h"
 
 namespace poseidon {
 namespace {
 
-void Run() {
-  std::printf("Fig 7: GPU computation vs stall time, 8 nodes, 40 GbE (TF engine)\n\n");
+void Run(const BenchArgs& args) {
+  const int nodes = args.FirstNodeOr(8);
+  const double gbps = args.FirstGbpsOr(40.0);
+  std::printf("Fig 7: GPU computation vs stall time, %d nodes, %.0f GbE (TF engine)\n\n",
+              nodes, gbps);
   TextTable table({"model", "system", "compute %", "stall %"});
   for (const char* name : {"inception-v3", "vgg19", "vgg19-22k"}) {
     const ModelSpec model = ModelByName(name).value();
     for (const SystemConfig& system : {TfNative(), TfPlusWfbp(), PoseidonSystem()}) {
       ClusterSpec cluster;
-      cluster.num_nodes = 8;
-      cluster.nic_gbps = 40.0;
+      cluster.num_nodes = nodes;
+      cluster.nic_gbps = gbps;
       const SimResult result =
           RunProtocolSimulation(model, system, cluster, Engine::kTensorFlow);
       table.AddRow({model.name, system.name,
@@ -36,7 +40,7 @@ void Run() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::Run();
+int main(int argc, char** argv) {
+  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -9,6 +9,7 @@
 // PS).
 #include <cstdio>
 
+#include "src/common/cli.h"
 #include "src/models/zoo.h"
 #include "src/stats/report.h"
 
@@ -20,8 +21,8 @@ struct Config {
   std::vector<double> gbps;
 };
 
-void Run() {
-  const std::vector<int> nodes = {1, 2, 4, 8, 16};
+void Run(const BenchArgs& args) {
+  const std::vector<int> nodes = args.NodesOr({1, 2, 4, 8, 16});
   const std::vector<Config> configs = {
       {"googlenet", {2.0, 5.0, 10.0}},
       {"vgg19", {10.0, 20.0, 30.0}},
@@ -29,7 +30,7 @@ void Run() {
   };
   for (const Config& config : configs) {
     const ModelSpec model = ModelByName(config.model).value();
-    for (double gbps : config.gbps) {
+    for (double gbps : args.GbpsOr(config.gbps)) {
       const auto results = RunScalingSweep(model, {CaffePlusWfbp(), PoseidonSystem()},
                                            nodes, gbps, Engine::kCaffe);
       char title[128];
@@ -43,7 +44,7 @@ void Run() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::Run();
+int main(int argc, char** argv) {
+  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -11,6 +11,7 @@
 // linearly into speedup in time-to-accuracy).
 #include <cstdio>
 
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/zoo.h"
 #include "src/nn/builders.h"
@@ -20,18 +21,19 @@
 namespace poseidon {
 namespace {
 
-void ThroughputPart() {
+void ThroughputPart(const BenchArgs& args) {
   const ModelSpec model = MakeResNet152();
+  const double gbps = args.FirstGbpsOr(40.0);
   const auto results = RunScalingSweep(model, {TfNative(), PoseidonSystem()},
-                                       {1, 2, 4, 8, 16, 32}, /*gbps=*/40.0,
+                                       args.NodesOr({1, 2, 4, 8, 16, 32}), gbps,
                                        Engine::kTensorFlow);
-  std::printf("%s\n",
-              FormatSpeedupTable("Fig 9a: ResNet-152 throughput (TF engine, 40 GbE)",
-                                 results)
-                  .c_str());
+  char title[96];
+  std::snprintf(title, sizeof(title), "Fig 9a: ResNet-152 throughput (TF engine, %.0f GbE)",
+                gbps);
+  std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
 }
 
-void ConvergencePart() {
+void ConvergencePart(const BenchArgs& args) {
   std::printf("Fig 9b: top-1 test error vs epoch, synchronous SGD, aggregate batch 32\n");
   std::printf("(small ResNet on the synthetic dataset through the threaded runtime;\n");
   std::printf("the curves must coincide across node counts)\n\n");
@@ -49,7 +51,7 @@ void ConvergencePart() {
 
   const int total_batch = 32;
   const int iters_per_epoch = data_config.train_size / total_batch;
-  const int epochs = 8;
+  const int epochs = args.ItersOr(/*normal=*/8, /*fast_iters=*/2);
 
   NetworkFactory factory = [] {
     Rng rng(4242);
@@ -85,8 +87,9 @@ void ConvergencePart() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::ThroughputPart();
-  poseidon::ConvergencePart();
+int main(int argc, char** argv) {
+  const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  poseidon::ThroughputPart(args);
+  poseidon::ConvergencePart(args);
   return 0;
 }

@@ -5,6 +5,7 @@
 // where the crossover sits.
 #include <cstdio>
 
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/comm_cost.h"
 
@@ -27,7 +28,7 @@ void PrintCostRow(TextTable* table, const CommCostQuery& q) {
   });
 }
 
-void Run() {
+void Run(const BenchArgs& args) {
   std::printf("Table 1: communication cost model (millions of floats per iteration)\n");
   std::printf("Worked example from paper 3.2: 4096x4096 FC, K=32, P1=P2=8 -> PS worker 33.6M,\n");
   std::printf("server&worker 58.7M, SFB 3.7M.\n\n");
@@ -37,7 +38,7 @@ void Run() {
   // The worked example.
   PrintCostRow(&table, {4096, 4096, 32, 8, 8});
   // Scale in P at fixed layer/batch.
-  for (int p : {2, 4, 16, 32}) {
+  for (int p : args.NodesOr({2, 4, 16, 32})) {
     PrintCostRow(&table, {4096, 4096, 32, p, p});
   }
   // The paper's real layers: VGG19 fc6, VGG19-22K fc8, GoogLeNet classifier.
@@ -51,7 +52,7 @@ void Run() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
-  poseidon::Run();
+int main(int argc, char** argv) {
+  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
   return 0;
 }

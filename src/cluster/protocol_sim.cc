@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "src/collective/topology.h"
 #include "src/common/logging.h"
 #include "src/sim/fabric.h"
 #include "src/sim/simulator.h"
@@ -12,7 +13,7 @@ namespace poseidon {
 namespace {
 
 // Effective label for what a layer's synchronization does in a given system.
-enum class WireScheme { kPsDense, kSfb, kAdamSf, kOneBit };
+enum class WireScheme { kPsDense, kSfb, kAdamSf, kOneBit, kRing, kTree };
 
 const char* WireSchemeName(WireScheme scheme) {
   switch (scheme) {
@@ -24,8 +25,26 @@ const char* WireSchemeName(WireScheme scheme) {
       return "SF->PS";
     case WireScheme::kOneBit:
       return "1bit";
+    case WireScheme::kRing:
+      return "Ring";
+    case WireScheme::kTree:
+      return "Tree";
   }
   return "?";
+}
+
+WireScheme WireFromCommScheme(CommScheme scheme) {
+  switch (scheme) {
+    case CommScheme::kPS:
+      return WireScheme::kPsDense;
+    case CommScheme::kSFB:
+      return WireScheme::kSfb;
+    case CommScheme::kRing:
+      return WireScheme::kRing;
+    case CommScheme::kTree:
+      return WireScheme::kTree;
+  }
+  return WireScheme::kPsDense;
 }
 
 // Static per-layer wire plan, precomputed before the simulation starts
@@ -43,6 +62,9 @@ struct LayerWire {
   double quant_cpu_s = 0.0;    // one-bit (de)quantization pass on the CPU
   double apply_cpu_s = 0.0;    // server-side update application per shard
   double local_reduce_s = 0.0; // multi-GPU intra-node aggregation
+  // Collective (ring/tree) extensions.
+  double collective_add_s = 0.0;  // one incoming-buffer reduction on the CPU
+  double local_apply_s = 0.0;     // replicated SGD step on the whole layer
 };
 
 class ProtocolSim {
@@ -92,23 +114,41 @@ class ProtocolSim {
       wire.apply_cpu_s =
           2.0 * static_cast<double>(layer.params) / p / cluster_.cpu_flops;
 
-      // Pick the scheme for this layer under the configured system.
+      // Pick the scheme for this layer under the configured system. The
+      // collective modes apply to every parameter layer; the paper's FC
+      // schemes only to FC layers.
       wire.scheme = WireScheme::kPsDense;
-      if (layer.type == LayerType::kFC && p > 1) {
+      if (p > 1) {
         switch (system_.fc_scheme) {
+          case FcScheme::kRing:
+            wire.scheme = WireScheme::kRing;
+            break;
+          case FcScheme::kTree:
+            wire.scheme = WireScheme::kTree;
+            break;
+          case FcScheme::kHybridCollective:
+            wire.scheme = WireFromCommScheme(BestSchemeExtended(layer, batch_, p, p));
+            break;
           case FcScheme::kDense:
             break;
           case FcScheme::kSfb:
-            wire.scheme = WireScheme::kSfb;
+            if (layer.type == LayerType::kFC) {
+              wire.scheme = WireScheme::kSfb;
+            }
             break;
           case FcScheme::kAdam:
-            wire.scheme = WireScheme::kAdamSf;
+            if (layer.type == LayerType::kFC) {
+              wire.scheme = WireScheme::kAdamSf;
+            }
             break;
           case FcScheme::kOneBit:
-            wire.scheme = WireScheme::kOneBit;
+            if (layer.type == LayerType::kFC) {
+              wire.scheme = WireScheme::kOneBit;
+            }
             break;
           case FcScheme::kHybrid:
-            if (BestScheme(layer, batch_, p, p) == CommScheme::kSFB) {
+            if (layer.type == LayerType::kFC &&
+                BestScheme(layer, batch_, p, p) == CommScheme::kSFB) {
               wire.scheme = WireScheme::kSfb;
             }
             break;
@@ -148,6 +188,22 @@ class ProtocolSim {
               2.0 * static_cast<double>(m) * static_cast<double>(n) / cluster_.cpu_flops;
           break;
         }
+        case WireScheme::kRing:
+          // One ring hop moves a 1/p chunk; each of the p-1 reduce-scatter
+          // receives folds one chunk on the CPU, and the final averaged
+          // gradient is applied locally on every node (replicated updates).
+          wire.push_bytes = wire.dense_bytes / p;
+          wire.collective_add_s =
+              static_cast<double>(layer.params) / p / cluster_.cpu_flops;
+          wire.local_apply_s = 2.0 * static_cast<double>(layer.params) / cluster_.cpu_flops;
+          break;
+        case WireScheme::kTree:
+          // Reduce and broadcast messages both carry the dense tensor; each
+          // child contribution is one full-tensor add at its parent.
+          wire.push_bytes = wire.dense_bytes;
+          wire.collective_add_s = static_cast<double>(layer.params) / cluster_.cpu_flops;
+          wire.local_apply_s = 2.0 * static_cast<double>(layer.params) / cluster_.cpu_flops;
+          break;
       }
 
       if (cluster_.gpus_per_node > 1) {
@@ -172,6 +228,14 @@ class ProtocolSim {
     std::vector<int> pull_parts;  // per worker: received server parts
     std::vector<int> sf_arrived;  // per worker: peer SF messages landed
     std::vector<bool> done;       // per worker
+    // Collective state, per node. A node joins its collective once its d2h
+    // staging finished (collective_started); ring hops arriving earlier are
+    // buffered and drained then (single-predecessor FIFO keeps them in step
+    // order).
+    std::vector<bool> collective_started;
+    std::vector<int> ring_buffered;   // arrived, not yet processed
+    std::vector<int> ring_next_step;  // next hop step to process
+    std::vector<int> tree_arrived;    // children subtree sums landed
   };
 
   struct NodeState {
@@ -204,6 +268,10 @@ class ProtocolSim {
         layer_state.pull_parts.assign(num_nodes_, 0);
         layer_state.sf_arrived.assign(num_nodes_, 0);
         layer_state.done.assign(num_nodes_, false);
+        layer_state.collective_started.assign(num_nodes_, false);
+        layer_state.ring_buffered.assign(num_nodes_, 0);
+        layer_state.ring_next_step.assign(num_nodes_, 0);
+        layer_state.tree_arrived.assign(num_nodes_, 0);
       }
     }
     iter_start_.assign(total_iters_, -1.0);
@@ -333,6 +401,8 @@ class ProtocolSim {
     switch (wire.scheme) {
       case WireScheme::kPsDense:
       case WireScheme::kOneBit:
+      case WireScheme::kRing:
+      case WireScheme::kTree:
         return wire.dense_bytes;
       case WireScheme::kSfb:
       case WireScheme::kAdamSf:
@@ -412,7 +482,118 @@ class ProtocolSim {
           OnPushArrived(layer, iter, owner);
         });
         break;
+      case WireScheme::kRing: {
+        // The node's staged gradient exists now: join the ring by sending
+        // hop 0 downstream, then drain any hops that arrived early.
+        LayerSyncState& state = sync_[iter][layer];
+        state.collective_started[n] = true;
+        fabric_->Send(n, RingNext(n, num_nodes_), wire.push_bytes,
+                      [this, layer, iter, next = RingNext(n, num_nodes_)] {
+                        OnRingHopArrived(layer, iter, next);
+                      });
+        DrainRingHops(layer, iter, n);
+        break;
+      }
+      case WireScheme::kTree: {
+        LayerSyncState& state = sync_[iter][layer];
+        state.collective_started[n] = true;
+        MaybeTreeReduceDone(layer, iter, n);
+        break;
+      }
     }
+  }
+
+  // ------------------------------------------- collective sync pipelines --
+  // Ring allreduce: 2(P-1) pipelined hops of a 1/P chunk around the ring.
+  // Receiving hop s triggers the node's hop s+1 send; the first P-1 hops
+  // fold the incoming chunk on the CPU (reduce-scatter), the rest only relay
+  // (all-gather). The final hop completes the node's buffer.
+  void OnRingHopArrived(int layer, int iter, int node) {
+    LayerSyncState& state = sync_[iter][layer];
+    ++state.ring_buffered[node];
+    DrainRingHops(layer, iter, node);
+  }
+
+  void DrainRingHops(int layer, int iter, int node) {
+    LayerSyncState& state = sync_[iter][layer];
+    if (!state.collective_started[node]) {
+      return;  // gradients not staged yet; hops stay buffered
+    }
+    while (state.ring_buffered[node] > 0) {
+      --state.ring_buffered[node];
+      HandleRingHop(layer, iter, node, state.ring_next_step[node]++);
+    }
+  }
+
+  void HandleRingHop(int layer, int iter, int node, int step) {
+    const LayerWire& wire = wires_[layer];
+    const int last_step = 2 * num_nodes_ - 3;
+    auto forward = [this, layer, iter, node, step, last_step] {
+      if (step < last_step) {
+        fabric_->Send(node, RingNext(node, num_nodes_), wires_[layer].push_bytes,
+                      [this, layer, iter, next = RingNext(node, num_nodes_)] {
+                        OnRingHopArrived(layer, iter, next);
+                      });
+      } else {
+        CompleteCollective(layer, iter, node);
+      }
+    };
+    if (step < num_nodes_ - 1) {
+      AuxEngine(node, wire.collective_add_s, forward);  // reduce-scatter fold
+    } else {
+      forward();  // all-gather relay
+    }
+  }
+
+  // Binary-tree reduce-broadcast: subtree sums flow to the root, which
+  // broadcasts the aggregate back down. A node reduces once its own staged
+  // gradient and all children's sums are present.
+  void OnTreeReduceArrived(int layer, int iter, int node) {
+    LayerSyncState& state = sync_[iter][layer];
+    ++state.tree_arrived[node];
+    MaybeTreeReduceDone(layer, iter, node);
+  }
+
+  void MaybeTreeReduceDone(int layer, int iter, int node) {
+    LayerSyncState& state = sync_[iter][layer];
+    const int num_children = static_cast<int>(TreeChildren(node, num_nodes_).size());
+    if (!state.collective_started[node] || state.tree_arrived[node] != num_children) {
+      return;
+    }
+    const LayerWire& wire = wires_[layer];
+    const double add_s = num_children * wire.collective_add_s;
+    AuxEngine(node, add_s, [this, layer, iter, node] {
+      if (node == 0) {
+        OnTreeBroadcastArrived(layer, iter, 0);  // root holds the global sum
+      } else {
+        fabric_->Send(node, TreeParent(node), wires_[layer].push_bytes,
+                      [this, layer, iter, parent = TreeParent(node)] {
+                        OnTreeReduceArrived(layer, iter, parent);
+                      });
+      }
+    });
+  }
+
+  void OnTreeBroadcastArrived(int layer, int iter, int node) {
+    for (int child : TreeChildren(node, num_nodes_)) {
+      fabric_->Send(node, child, wires_[layer].push_bytes, [this, layer, iter, child] {
+        OnTreeBroadcastArrived(layer, iter, child);
+      });
+    }
+    CompleteCollective(layer, iter, node);
+  }
+
+  // The node holds the full aggregate: replicated SGD apply on the CPU, then
+  // stage the fresh parameters back into GPU memory.
+  void CompleteCollective(int layer, int iter, int node) {
+    AuxEngine(node, wires_[layer].local_apply_s, [this, layer, iter, node] {
+      if (system_.overlap == OverlapMode::kNone) {
+        OnLayerReceivedNoOverlap(layer, iter, node);
+        return;
+      }
+      CopyEngine(node, wires_[layer].dense_bytes,
+                 [this, layer, iter, node] { FinishSync(layer, iter, node); });
+    });
   }
 
   // BSP quorum: all workers, or all-but-one under the drop-straggler policy.
@@ -534,7 +715,7 @@ class ProtocolSim {
 
   // Overlap-none: layers complete individually, but the node re-stages
   // everything in one blocking host->GPU pass at the end.
-  void OnLayerReceivedNoOverlap(int layer, int iter, int w) {
+  void OnLayerReceivedNoOverlap(int /*layer*/, int iter, int w) {
     NodeState& node = nodes_[w];
     ++node.received_layers;
     if (node.received_layers < num_layers_) {

@@ -76,4 +76,31 @@ SystemConfig SfbOnlySystem() {
   return config;
 }
 
+SystemConfig RingAllreduceSystem() {
+  SystemConfig config;
+  config.name = "Ring";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kRing;
+  return config;
+}
+
+SystemConfig TreeAllreduceSystem() {
+  SystemConfig config;
+  config.name = "Tree";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kTree;
+  return config;
+}
+
+SystemConfig HybridCollectiveSystem() {
+  SystemConfig config;
+  config.name = "Poseidon++";
+  config.overlap = OverlapMode::kWfbp;
+  config.sharding = ShardingMode::kKvPairs;
+  config.fc_scheme = FcScheme::kHybridCollective;
+  return config;
+}
+
 }  // namespace poseidon

@@ -31,6 +31,12 @@ enum class FcScheme {
   kAdam,     // SFs pushed to the owning server, dense matrices pulled back
   kOneBit,   // 1-bit quantized gradients through the PS
   kHybrid,   // per-layer BestScheme choice between kDense and kSfb
+  // Collective extensions: unlike the FC-only schemes above, these apply to
+  // every parameter layer (conv included) — allreduce needs no gradient
+  // factorization.
+  kRing,              // ring allreduce for all layers
+  kTree,              // binary-tree reduce-broadcast for all layers
+  kHybridCollective,  // three-way BestSchemeExtended per layer
 };
 
 struct SystemConfig {
@@ -64,6 +70,9 @@ SystemConfig TfPlusWfbp();        // "TF+WFBP"
 SystemConfig AdamSystem();        // Project Adam's communication strategy
 SystemConfig OneBitSystem();      // CNTK-style 1-bit quantization
 SystemConfig SfbOnlySystem();     // pure SFB for every FC layer
+SystemConfig RingAllreduceSystem();    // ring allreduce for every layer
+SystemConfig TreeAllreduceSystem();    // binary-tree allreduce for every layer
+SystemConfig HybridCollectiveSystem(); // Poseidon++ three-way HybComm
 
 }  // namespace poseidon
 

@@ -1,0 +1,192 @@
+#include "src/collective/collective.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+const char* CollectiveAlgoName(CollectiveAlgo algo) {
+  switch (algo) {
+    case CollectiveAlgo::kRing:
+      return "ring";
+    case CollectiveAlgo::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+CollectiveComm::CollectiveComm(MessageBus* bus, int rank, int world, int tag)
+    : bus_(bus), rank_(rank), world_(world), tag_(tag) {
+  CHECK_NOTNULL(bus);
+  CHECK_GE(rank, 0);
+  CHECK_LT(rank, world);
+  mailbox_ = bus_->Register(Address{rank_, kCollectivePortBase + tag_});
+}
+
+void CollectiveComm::SendHop(int to, int step, int64_t offset, const float* data,
+                             int64_t len) {
+  Message hop;
+  hop.type = MessageType::kCollective;
+  hop.from = Address{rank_, kCollectivePortBase + tag_};
+  hop.to = Address{to, kCollectivePortBase + tag_};
+  hop.layer = tag_;
+  hop.worker = rank_;
+  hop.iter = seq_;
+  hop.step = step;
+  hop.chunks = std::make_shared<std::vector<ChunkPayload>>();
+  ChunkPayload chunk;
+  chunk.offset = offset;
+  chunk.data.assign(data, data + len);
+  hop.chunks->push_back(std::move(chunk));
+  ++messages_sent_;
+  floats_sent_ += len;
+  const Status status = bus_->Send(std::move(hop));
+  CHECK(status.ok()) << status.ToString();
+}
+
+Message CollectiveComm::NextMessage(int expected_step, int expected_sender) {
+  std::optional<Message> message = mailbox_->Pop();
+  CHECK(message.has_value()) << "collective mailbox closed mid-operation";
+  CHECK(message->type == MessageType::kCollective)
+      << "rank " << rank_ << " tag " << tag_ << ": unexpected message type";
+  CHECK_EQ(message->iter, seq_) << "collective sequence mismatch (peer ran ahead?)";
+  CHECK_EQ(message->step, expected_step);
+  CHECK_EQ(message->worker, expected_sender);
+  CHECK_NOTNULL(message->chunks.get());
+  CHECK_EQ(message->chunks->size(), 1u);
+  return std::move(*message);
+}
+
+void CollectiveComm::Start(CollectiveAlgo algo, int64_t seq, std::vector<float>* data) {
+  CHECK(!pending_) << "previous collective not finished";
+  CHECK_NOTNULL(data);
+  pending_ = true;
+  algo_ = algo;
+  seq_ = seq;
+  data_ = data;
+  if (world_ == 1) {
+    return;
+  }
+  switch (algo_) {
+    case CollectiveAlgo::kRing: {
+      // Step 0 of reduce-scatter: every rank sends its own chunk downstream.
+      const ChunkRange own = CollectiveChunk(static_cast<int64_t>(data->size()), world_, rank_);
+      SendHop(RingNext(rank_, world_), /*step=*/0, own.offset, data->data() + own.offset,
+              own.length);
+      break;
+    }
+    case CollectiveAlgo::kTree:
+      // Leaves push their contribution immediately; internal ranks must wait
+      // for their children, so their first send happens in Finish.
+      if (TreeChildren(rank_, world_).empty()) {
+        SendHop(TreeParent(rank_), kTreeReduceStep, 0, data->data(),
+                static_cast<int64_t>(data->size()));
+      }
+      break;
+  }
+}
+
+void CollectiveComm::FinishRing() {
+  std::vector<float>& data = *data_;
+  const int64_t total = static_cast<int64_t>(data.size());
+  const int last_step = 2 * world_ - 3;
+  for (int s = 0; s <= last_step; ++s) {
+    // The chunk arriving at step s is (rank - s - 1) mod world: reduce-scatter
+    // partial sums for s < world-1, fully reduced chunks afterwards.
+    const int chunk_index = ((rank_ - s - 1) % world_ + world_) % world_;
+    const ChunkRange range = CollectiveChunk(total, world_, chunk_index);
+    Message message = NextMessage(s, RingPrev(rank_, world_));
+    const ChunkPayload& payload = (*message.chunks)[0];
+    CHECK_EQ(payload.offset, range.offset);
+    CHECK_EQ(static_cast<int64_t>(payload.data.size()), range.length);
+    float* local = data.data() + range.offset;
+    if (s < world_ - 1) {
+      // Reduce-scatter: fold the incoming partial sum with the local chunk.
+      // The accumulation for chunk c runs along the ring starting at rank c,
+      // so every rank observes the identical association order.
+      for (int64_t i = 0; i < range.length; ++i) {
+        local[i] += payload.data[static_cast<size_t>(i)];
+      }
+    } else {
+      // All-gather: adopt the fully reduced chunk.
+      std::copy(payload.data.begin(), payload.data.end(), local);
+    }
+    if (s < last_step) {
+      SendHop(RingNext(rank_, world_), s + 1, range.offset, local, range.length);
+    }
+  }
+}
+
+void CollectiveComm::FinishTree() {
+  std::vector<float>& data = *data_;
+  const int64_t total = static_cast<int64_t>(data.size());
+  const std::vector<int> children = TreeChildren(rank_, world_);
+
+  // Reduce phase: fold children's subtree sums into the local buffer in
+  // child order (lower rank first), giving a deterministic association.
+  // Children are distinct senders, so their messages may arrive in either
+  // order; buffer by sender first.
+  if (!children.empty()) {
+    std::vector<std::shared_ptr<std::vector<ChunkPayload>>> arrived(children.size());
+    for (size_t pending = children.size(); pending > 0; --pending) {
+      std::optional<Message> message = mailbox_->Pop();
+      CHECK(message.has_value()) << "collective mailbox closed mid-operation";
+      CHECK(message->type == MessageType::kCollective);
+      CHECK_EQ(message->iter, seq_);
+      CHECK_EQ(message->step, kTreeReduceStep);
+      const auto child_it = std::find(children.begin(), children.end(), message->worker);
+      CHECK(child_it != children.end())
+          << "rank " << rank_ << ": reduce message from non-child " << message->worker;
+      const size_t slot = static_cast<size_t>(child_it - children.begin());
+      CHECK(arrived[slot] == nullptr) << "duplicate reduce message";
+      arrived[slot] = message->chunks;
+    }
+    for (const auto& chunks : arrived) {
+      CHECK_NOTNULL(chunks.get());
+      const ChunkPayload& payload = (*chunks)[0];
+      CHECK_EQ(static_cast<int64_t>(payload.data.size()), total);
+      for (int64_t i = 0; i < total; ++i) {
+        data[static_cast<size_t>(i)] += payload.data[static_cast<size_t>(i)];
+      }
+    }
+    if (rank_ != 0) {
+      SendHop(TreeParent(rank_), kTreeReduceStep, 0, data.data(), total);
+    }
+  }
+
+  // Broadcast phase: the root already holds the global sum; everyone else
+  // adopts the parent's copy, then forwards it downward.
+  if (rank_ != 0) {
+    Message message = NextMessage(kTreeBroadcastStep, TreeParent(rank_));
+    const ChunkPayload& payload = (*message.chunks)[0];
+    CHECK_EQ(static_cast<int64_t>(payload.data.size()), total);
+    std::copy(payload.data.begin(), payload.data.end(), data.begin());
+  }
+  for (int child : children) {
+    SendHop(child, kTreeBroadcastStep, 0, data.data(), total);
+  }
+}
+
+void CollectiveComm::Finish() {
+  CHECK(pending_) << "Finish without Start";
+  if (world_ > 1) {
+    switch (algo_) {
+      case CollectiveAlgo::kRing:
+        FinishRing();
+        break;
+      case CollectiveAlgo::kTree:
+        FinishTree();
+        break;
+    }
+  }
+  pending_ = false;
+  data_ = nullptr;
+}
+
+void CollectiveComm::Allreduce(CollectiveAlgo algo, int64_t seq, std::vector<float>* data) {
+  Start(algo, seq, data);
+  Finish();
+}
+
+}  // namespace poseidon

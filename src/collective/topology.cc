@@ -1,0 +1,73 @@
+#include "src/collective/topology.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+ChunkRange CollectiveChunk(int64_t total, int world, int index) {
+  CHECK_GE(total, 0);
+  CHECK_GT(world, 0);
+  CHECK_GE(index, 0);
+  CHECK_LT(index, world);
+  const int64_t base = total / world;
+  const int64_t rem = total % world;
+  ChunkRange range;
+  range.offset = static_cast<int64_t>(index) * base + std::min<int64_t>(index, rem);
+  range.length = base + (index < rem ? 1 : 0);
+  return range;
+}
+
+int RingNext(int rank, int world) { return (rank + 1) % world; }
+
+int RingPrev(int rank, int world) { return (rank + world - 1) % world; }
+
+int TreeParent(int rank) { return rank == 0 ? -1 : (rank - 1) / 2; }
+
+std::vector<int> TreeChildren(int rank, int world) {
+  std::vector<int> children;
+  for (int c = 2 * rank + 1; c <= 2 * rank + 2 && c < world; ++c) {
+    children.push_back(c);
+  }
+  return children;
+}
+
+int TreeDepth(int world) {
+  CHECK_GT(world, 0);
+  int depth = 0;
+  while ((1 << depth) < world) {
+    ++depth;
+  }
+  return depth;
+}
+
+double RingAllreduceNodeFloats(int64_t elems, int world) {
+  if (world <= 1) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(elems) * (world - 1) / world;
+}
+
+double TreeAllreduceNodeFloats(int64_t elems, int world, int rank) {
+  if (world <= 1) {
+    return 0.0;
+  }
+  const double e = static_cast<double>(elems);
+  double floats = 0.0;
+  if (rank != 0) {
+    floats += e;  // the reduce message up (the broadcast down is ingress)
+  }
+  floats += e * static_cast<double>(TreeChildren(rank, world).size());
+  return floats;
+}
+
+double TreeAllreduceMaxNodeFloats(int64_t elems, int world) {
+  double max_floats = 0.0;
+  for (int r = 0; r < world; ++r) {
+    max_floats = std::max(max_floats, TreeAllreduceNodeFloats(elems, world, r));
+  }
+  return max_floats;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,127 @@
+#include "src/common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace poseidon {
+namespace {
+
+// Splits a comma-separated numeric list; exits with a message on junk.
+template <typename T, typename ParseFn>
+std::vector<T> ParseList(const char* flag, const std::string& value, ParseFn parse) {
+  std::vector<T> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    const std::string item =
+        value.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    char* end = nullptr;
+    const T parsed = parse(item.c_str(), &end);
+    if (item.empty() || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "invalid %s list entry: '%s'\n", flag, item.c_str());
+      std::exit(2);
+    }
+    out.push_back(parsed);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--nodes=N1,N2,...] [--gbps=B1,B2,...] [--fast] [--full]\n"
+      "  --nodes  worker/node counts to sweep (default: the bench's)\n"
+      "  --gbps   NIC bandwidths to sweep, in Gb/s\n"
+      "  --fast   smoke subset: first two node counts, first bandwidth,\n"
+      "           reduced iterations where applicable\n"
+      "  --full   paper-sized configuration (where the bench has one)\n",
+      argv0);
+}
+
+}  // namespace
+
+std::vector<int> BenchArgs::NodesOr(std::vector<int> defaults) const {
+  if (!nodes.empty()) {
+    return nodes;
+  }
+  if (fast && defaults.size() > 2) {
+    defaults.resize(2);
+  }
+  return defaults;
+}
+
+std::vector<double> BenchArgs::GbpsOr(std::vector<double> defaults) const {
+  if (!gbps.empty()) {
+    return gbps;
+  }
+  if (fast && defaults.size() > 1) {
+    defaults.resize(1);
+  }
+  return defaults;
+}
+
+int BenchArgs::FirstNodeOr(int default_value) const {
+  if (nodes.empty()) {
+    return default_value;
+  }
+  if (nodes.size() > 1) {
+    std::fprintf(stderr, "note: this bench runs one node count; using --nodes=%d\n",
+                 nodes.front());
+  }
+  return nodes.front();
+}
+
+double BenchArgs::FirstGbpsOr(double default_value) const {
+  if (gbps.empty()) {
+    return default_value;
+  }
+  if (gbps.size() > 1) {
+    std::fprintf(stderr, "note: this bench runs one bandwidth; using --gbps=%g\n",
+                 gbps.front());
+  }
+  return gbps.front();
+}
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> std::string {
+      std::string v = arg.substr(std::strlen(prefix));
+      if (!v.empty() && v[0] == '=') {
+        return v.substr(1);
+      }
+      if (v.empty() && i + 1 < argc) {
+        return argv[++i];
+      }
+      return v;
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      std::exit(0);
+    } else if (arg == "--fast") {
+      args.fast = true;
+    } else if (arg == "--full") {
+      args.full = true;
+    } else if (arg.rfind("--nodes", 0) == 0) {
+      args.nodes = ParseList<int>("--nodes", value_of("--nodes"), [](const char* s, char** e) {
+        return static_cast<int>(std::strtol(s, e, 10));
+      });
+    } else if (arg.rfind("--gbps", 0) == 0) {
+      args.gbps = ParseList<double>("--gbps", value_of("--gbps"),
+                                    [](const char* s, char** e) { return std::strtod(s, e); });
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace poseidon

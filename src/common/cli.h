@@ -1,0 +1,42 @@
+// Minimal command-line handling shared by the bench harnesses, so CI can run
+// a fast smoke subset and users can point a sweep at their own cluster shape
+// without recompiling:
+//   --nodes=1,2,4   worker/node counts to sweep (default: the paper's)
+//   --gbps=10,40    per-node NIC bandwidths to sweep
+//   --fast          smoke mode: truncate default sweeps (and iteration
+//                   counts, where a bench honours it) to a quick subset
+//   --full          paper-sized configuration (fig11's 32x32 CIFAR run)
+// Explicit --nodes/--gbps always win over --fast truncation.
+#ifndef POSEIDON_SRC_COMMON_CLI_H_
+#define POSEIDON_SRC_COMMON_CLI_H_
+
+#include <vector>
+
+namespace poseidon {
+
+struct BenchArgs {
+  std::vector<int> nodes;
+  std::vector<double> gbps;
+  bool fast = false;
+  bool full = false;
+
+  // The node counts to sweep: the explicit --nodes list, else `defaults`
+  // (truncated to its first two entries under --fast).
+  std::vector<int> NodesOr(std::vector<int> defaults) const;
+  // Same for bandwidths; --fast keeps only the first default.
+  std::vector<double> GbpsOr(std::vector<double> defaults) const;
+  // Iteration-count knob for the threaded-runtime benches.
+  int ItersOr(int normal, int fast_iters) const { return fast ? fast_iters : normal; }
+  // For single-configuration benches that cannot sweep: the first entry,
+  // with a stderr warning when a multi-value list was given (so a truncated
+  // sweep never looks like it completed).
+  int FirstNodeOr(int default_value) const;
+  double FirstGbpsOr(double default_value) const;
+};
+
+// Parses argv; prints usage and exits on --help or an unknown argument.
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_COMMON_CLI_H_

@@ -1,5 +1,6 @@
 #include "src/models/comm_cost.h"
 
+#include "src/collective/topology.h"
 #include "src/common/logging.h"
 
 namespace poseidon {
@@ -21,6 +22,10 @@ const char* CommSchemeName(CommScheme scheme) {
       return "PS";
     case CommScheme::kSFB:
       return "SFB";
+    case CommScheme::kRing:
+      return "Ring";
+    case CommScheme::kTree:
+      return "Tree";
   }
   return "?";
 }
@@ -70,6 +75,30 @@ double AdamColocatedMaxFloats(const CommCostQuery& q) {
           static_cast<double>(q.batch_k) * static_cast<double>(q.n));
 }
 
+double RingAllreduceWorkerFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return RingAllreduceNodeFloats(q.m * q.n, q.num_workers);
+}
+
+double TreeAllreduceWorkerFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return TreeAllreduceMaxNodeFloats(q.m * q.n, q.num_workers);
+}
+
+double SchemeWorkerFloats(CommScheme scheme, const CommCostQuery& q) {
+  switch (scheme) {
+    case CommScheme::kPS:
+      return PsColocatedFloats(q);
+    case CommScheme::kSFB:
+      return SfbWorkerFloats(q);
+    case CommScheme::kRing:
+      return RingAllreduceWorkerFloats(q);
+    case CommScheme::kTree:
+      return TreeAllreduceWorkerFloats(q);
+  }
+  return 0.0;
+}
+
 bool SfbWins(const CommCostQuery& q) {
   // Algorithm 1 line 7: 2K(P1-1)(M+N) <= 2MN(P1+P2-2)/P2.
   return SfbWorkerFloats(q) <= PsColocatedFloats(q);
@@ -90,6 +119,40 @@ CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers,
   q.num_workers = num_workers;
   q.num_servers = num_servers;
   return SfbWins(q) ? CommScheme::kSFB : CommScheme::kPS;
+}
+
+CommScheme BestSchemeExtended(const LayerSpec& layer, int64_t batch_k, int num_workers,
+                              int num_servers) {
+  if (num_workers <= 1) {
+    return CommScheme::kPS;
+  }
+  CommCostQuery q;
+  // Conv layers have no (M, N) factorization; model their dense parameter
+  // tensor as M = params, N = 1 so the PS/ring/tree rows (which only use
+  // M*N) stay exact. SFB is excluded for them below.
+  q.m = layer.type == LayerType::kFC ? layer.fc_m : layer.params;
+  q.n = layer.type == LayerType::kFC ? layer.fc_n : 1;
+  q.batch_k = batch_k;
+  q.num_workers = num_workers;
+  q.num_servers = num_servers;
+  if (q.m <= 0 || q.n <= 0) {
+    return CommScheme::kPS;  // stateless layer; nothing to synchronize
+  }
+
+  CommScheme best = CommScheme::kPS;
+  double best_floats = SchemeWorkerFloats(best, q);
+  const CommScheme candidates[] = {CommScheme::kSFB, CommScheme::kRing, CommScheme::kTree};
+  for (CommScheme candidate : candidates) {
+    if (candidate == CommScheme::kSFB && layer.type != LayerType::kFC) {
+      continue;  // conv gradients are indecomposable
+    }
+    const double floats = SchemeWorkerFloats(candidate, q);
+    if (floats < best_floats) {
+      best = candidate;
+      best_floats = floats;
+    }
+  }
+  return best;
 }
 
 }  // namespace poseidon

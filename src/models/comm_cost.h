@@ -15,8 +15,10 @@
 namespace poseidon {
 
 enum class CommScheme {
-  kPS,   // sharded parameter server (full matrices)
-  kSFB,  // peer-to-peer sufficient factor broadcasting
+  kPS,    // sharded parameter server (full matrices)
+  kSFB,   // peer-to-peer sufficient factor broadcasting
+  kRing,  // ring allreduce (chunked reduce-scatter + all-gather)
+  kTree,  // binary-tree reduce + broadcast
 };
 
 const char* CommSchemeName(CommScheme scheme);
@@ -45,8 +47,43 @@ double AdamWorkerFloats(const CommCostQuery& q);
 // Table 1, row "Adam (max)": colocated, (P1-1)(MN + KM + KN).
 double AdamColocatedMaxFloats(const CommCostQuery& q);
 
+// --- Table-1 extension: collective allreduce rows (ring / binary tree). ---
+// These treat the M x N layer as a flat tensor of M*N floats synchronized
+// peer-to-peer with no servers involved (P2 is ignored). Unlike the paper's
+// rows (which sum sends and receives), the collective rows count
+// per-direction traffic — egress, which equals ingress and is what a
+// full-duplex NIC bounds.
+//
+// Ring allreduce, per worker: 2*M*N*(P1-1)/P1 floats (reduce-scatter sends
+// (P1-1)/P1 of the tensor, all-gather the same).
+double RingAllreduceWorkerFloats(const CommCostQuery& q);
+// Binary-tree reduce-broadcast, busiest node: an internal node sends M*N up
+// plus M*N per child, so 3*M*N once P1 >= 5; for smaller trees the maximum
+// is taken over the actual topology.
+double TreeAllreduceWorkerFloats(const CommCostQuery& q);
+
 // Algorithm 1: the scheme Poseidon's coordinator selects for `layer`.
 CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers, int num_servers);
+
+// The three-way HybComm extension: minimizes the modeled per-node floats
+// over PS, SFB (FC layers only) and the collective rows. Conv layers, whose
+// gradients are indecomposable but dense, choose between PS and the
+// collectives. Candidates are considered in the order PS, SFB, ring, tree
+// and replaced only on strict improvement, so ties keep the paper's scheme.
+//
+// Note the deliberate basis mismatch: the paper's rows count sends plus
+// receives as published, while the collective rows follow the standard
+// allreduce convention of per-direction volume. The chooser therefore
+// credits collectives with the PS path's request/response round trip — a
+// bias toward collectives near crossovers (e.g. ring is preferred over a
+// colocated PS whose per-direction egress it merely matches). The
+// simulator, which moves actual bytes, is the arbiter where this margin
+// matters.
+CommScheme BestSchemeExtended(const LayerSpec& layer, int64_t batch_k, int num_workers,
+                              int num_servers);
+// Per-worker floats of `scheme` under `q` (the row the chooser compares);
+// PS uses the colocated row, matching Algorithm 1's comparison.
+double SchemeWorkerFloats(CommScheme scheme, const CommCostQuery& q);
 
 // Convenience: would SFB win for an M x N FC layer under this query?
 bool SfbWins(const CommCostQuery& q);

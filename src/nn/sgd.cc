@@ -12,8 +12,13 @@ void SgdOptimizer::Step(const std::string& key, const Tensor& grad, Tensor* valu
 void SgdOptimizer::StepSlice(const std::string& key, const float* grad, float* value,
                              int64_t len) {
   CHECK_GT(len, 0);
-  auto [it, inserted] = velocity_.try_emplace(key, Tensor({len}));
-  Tensor& velocity = it->second;
+  Tensor* velocity_ptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = velocity_.try_emplace(key, Tensor({len}));
+    velocity_ptr = &it->second;
+  }
+  Tensor& velocity = *velocity_ptr;
   CHECK_EQ(velocity.size(), len) << "parameter " << key << " changed size";
   float* v = velocity.data();
   const float lr = config_.learning_rate;

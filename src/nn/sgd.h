@@ -6,8 +6,9 @@
 #ifndef POSEIDON_SRC_NN_SGD_H_
 #define POSEIDON_SRC_NN_SGD_H_
 
-#include <unordered_map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "src/tensor/tensor.h"
 
@@ -37,6 +38,11 @@ class SgdOptimizer {
 
  private:
   SgdConfig config_;
+  // Guards the velocity map's structure: syncer pool threads step different
+  // layers (distinct keys) concurrently, so only the insert needs
+  // serializing — element references stay valid across rehashes, and each
+  // key is stepped by at most one thread per iteration.
+  std::mutex mutex_;
   std::unordered_map<std::string, Tensor> velocity_;
 };
 

@@ -1,0 +1,53 @@
+#include "src/poseidon/collective_syncer.h"
+
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+CollectiveSyncer::CollectiveSyncer(int worker, int layer_index, CollectiveAlgo algo,
+                                   const Coordinator& coordinator, MessageBus* bus,
+                                   Layer* layer, SgdOptimizer* local_optimizer)
+    : layer_index_(layer_index),
+      algo_(algo),
+      num_workers_(coordinator.cluster().num_workers),
+      layer_(layer),
+      local_optimizer_(local_optimizer),
+      view_(layer->Params()),
+      comm_(bus, worker, coordinator.cluster().num_workers, layer_index) {
+  CHECK_NOTNULL(local_optimizer);
+  CHECK_GT(view_.size(), 0) << layer->name() << ": collective sync of a stateless layer";
+}
+
+void CollectiveSyncer::MoveOut() {
+  staged_grads_.resize(static_cast<size_t>(view_.size()));
+  view_.GatherGradSlice(0, &staged_grads_);
+}
+
+void CollectiveSyncer::Send(int64_t iter) { comm_.Start(algo_, iter, &staged_grads_); }
+
+void CollectiveSyncer::Receive(int64_t iter) {
+  (void)iter;  // the sequence was bound at Send; Finish validates it per hop
+  comm_.Finish();
+  const float inv = 1.0f / static_cast<float>(num_workers_);
+  for (float& g : staged_grads_) {
+    g *= inv;
+  }
+  // Apply the averaged gradient block by block with the replicated local
+  // optimizer (identical inputs on every replica keep parameters bitwise in
+  // sync, as on the SFB path).
+  std::vector<ParamBlock> params = layer_->Params();
+  int64_t start = 0;
+  for (size_t b = 0; b < params.size(); ++b) {
+    Tensor& value = *params[b].value;
+    const std::string key =
+        "l" + std::to_string(layer_index_) + ".p" + std::to_string(b);
+    local_optimizer_->StepSlice(key, staged_grads_.data() + start, value.data(),
+                                value.size());
+    start += value.size();
+  }
+  CHECK_EQ(start, view_.size());
+}
+
+}  // namespace poseidon

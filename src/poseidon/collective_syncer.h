@@ -1,0 +1,54 @@
+// The collective synchronization path (ring / tree allreduce) behind the
+// paper's per-layer Move/Send/Receive syncer API:
+//   MoveOut — flattens the layer's gradients into a host staging buffer;
+//   Send    — non-blocking: injects this worker's first collective message
+//             (ring chunk or tree leaf contribution), so WFBP overlap is
+//             preserved exactly as for the PS/SFB paths;
+//   Receive — runs the remaining hops to completion, then averages and
+//             applies the aggregate with the worker-local optimizer.
+// Like SFB, the optimizer is replicated: every worker folds the identical
+// bitwise sum (collectives guarantee a rank-independent association order)
+// through an identical SGD step, so replicas never diverge.
+#ifndef POSEIDON_SRC_POSEIDON_COLLECTIVE_SYNCER_H_
+#define POSEIDON_SRC_POSEIDON_COLLECTIVE_SYNCER_H_
+
+#include <vector>
+
+#include "src/collective/collective.h"
+#include "src/nn/layer.h"
+#include "src/nn/sgd.h"
+#include "src/poseidon/coordinator.h"
+#include "src/poseidon/flat_params.h"
+#include "src/transport/bus.h"
+
+namespace poseidon {
+
+class CollectiveSyncer {
+ public:
+  CollectiveSyncer(int worker, int layer_index, CollectiveAlgo algo,
+                   const Coordinator& coordinator, MessageBus* bus, Layer* layer,
+                   SgdOptimizer* local_optimizer);
+
+  CollectiveSyncer(const CollectiveSyncer&) = delete;
+  CollectiveSyncer& operator=(const CollectiveSyncer&) = delete;
+
+  void MoveOut();
+  void Send(int64_t iter);
+  void Receive(int64_t iter);
+
+  const CollectiveComm& comm() const { return comm_; }
+
+ private:
+  const int layer_index_;
+  const CollectiveAlgo algo_;
+  const int num_workers_;
+  Layer* layer_;
+  SgdOptimizer* local_optimizer_;
+  FlatParamView view_;
+  CollectiveComm comm_;
+  std::vector<float> staged_grads_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_POSEIDON_COLLECTIVE_SYNCER_H_

@@ -65,6 +65,10 @@ class Coordinator {
   CommScheme BestScheme(int l) const;
   StatusOr<CommScheme> BestScheme(const std::string& layer_name) const;
 
+  // The three-way HybComm extension: PS vs SFB vs ring/tree allreduce, by
+  // minimum modeled per-node floats (see comm_cost.h BestSchemeExtended).
+  CommScheme BestSchemeExtended(int l) const;
+
   // KV pairs of layer `l` owned by `server`.
   std::vector<KvPairInfo> PairsOnServer(int l, int server) const;
 

@@ -1,6 +1,23 @@
 #include "src/poseidon/runtime_scheme.h"
 
 namespace poseidon {
+namespace {
+
+RuntimeScheme FromCommScheme(CommScheme scheme) {
+  switch (scheme) {
+    case CommScheme::kPS:
+      return RuntimeScheme::kPsDense;
+    case CommScheme::kSFB:
+      return RuntimeScheme::kSfb;
+    case CommScheme::kRing:
+      return RuntimeScheme::kRingAllreduce;
+    case CommScheme::kTree:
+      return RuntimeScheme::kTreeAllreduce;
+  }
+  return RuntimeScheme::kPsDense;
+}
+
+}  // namespace
 
 const char* RuntimeSchemeName(RuntimeScheme scheme) {
   switch (scheme) {
@@ -12,18 +29,40 @@ const char* RuntimeSchemeName(RuntimeScheme scheme) {
       return "SFB";
     case RuntimeScheme::kOneBit:
       return "1bit";
+    case RuntimeScheme::kRingAllreduce:
+      return "ring";
+    case RuntimeScheme::kTreeAllreduce:
+      return "tree";
   }
   return "?";
 }
 
 std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
                                           FcSyncPolicy policy) {
+  // A collective over one worker is a no-op that would leave gradients
+  // unapplied; fall back to the PS, which handles the degenerate world.
+  const bool multi_worker = coordinator.cluster().num_workers > 1;
   std::vector<RuntimeScheme> schemes;
   schemes.reserve(static_cast<size_t>(coordinator.num_layers()));
   for (int l = 0; l < coordinator.num_layers(); ++l) {
     const LayerInfo& info = coordinator.layer(l);
     if (info.total_floats == 0) {
       schemes.push_back(RuntimeScheme::kNone);
+      continue;
+    }
+    // Collective policies cover every parameter layer, conv included.
+    if (policy == FcSyncPolicy::kRingAllreduce) {
+      schemes.push_back(multi_worker ? RuntimeScheme::kRingAllreduce
+                                     : RuntimeScheme::kPsDense);
+      continue;
+    }
+    if (policy == FcSyncPolicy::kTreeAllreduce) {
+      schemes.push_back(multi_worker ? RuntimeScheme::kTreeAllreduce
+                                     : RuntimeScheme::kPsDense);
+      continue;
+    }
+    if (policy == FcSyncPolicy::kHybridCollective) {
+      schemes.push_back(FromCommScheme(coordinator.BestSchemeExtended(l)));
       continue;
     }
     if (info.type != LayerType::kFC) {
@@ -45,6 +84,10 @@ std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
       case FcSyncPolicy::kOneBit:
         schemes.push_back(RuntimeScheme::kOneBit);
         break;
+      case FcSyncPolicy::kRingAllreduce:
+      case FcSyncPolicy::kTreeAllreduce:
+      case FcSyncPolicy::kHybridCollective:
+        break;  // handled above
     }
   }
   return schemes;

@@ -9,13 +9,19 @@
 
 namespace poseidon {
 
-// What the trainer is asked to do for FC layers (conv layers always use the
-// parameter server; stateless layers synchronize nothing).
+// What the trainer is asked to do for parameter layers. Under the paper's
+// policies conv layers always use the parameter server and only FC layers
+// vary; the collective policies (ring/tree/hybrid-collective) instead apply
+// to every parameter layer, since allreduce needs no factorization.
+// Stateless layers synchronize nothing either way.
 enum class FcSyncPolicy {
-  kDense,   // full matrices through the KV store
-  kSfb,     // sufficient factor broadcasting
-  kHybrid,  // Algorithm 1: coordinator.BestScheme per layer
-  kOneBit,  // 1-bit quantized gradients, whole layer to one shard
+  kDense,       // full matrices through the KV store
+  kSfb,         // sufficient factor broadcasting
+  kHybrid,      // Algorithm 1: coordinator.BestScheme per layer
+  kOneBit,      // 1-bit quantized gradients, whole layer to one shard
+  kRingAllreduce,     // ring allreduce for every parameter layer
+  kTreeAllreduce,     // binary-tree reduce-broadcast for every parameter layer
+  kHybridCollective,  // three-way HybComm: BestSchemeExtended per layer
 };
 
 enum class RuntimeScheme {
@@ -23,6 +29,8 @@ enum class RuntimeScheme {
   kPsDense,  // sharded PS, dense chunks
   kSfb,      // peer broadcast + local reconstruction/update
   kOneBit,   // quantized push to a single owner shard
+  kRingAllreduce,  // peer ring allreduce + local update
+  kTreeAllreduce,  // peer tree allreduce + local update
 };
 
 const char* RuntimeSchemeName(RuntimeScheme scheme);

@@ -33,6 +33,14 @@ Syncer::Syncer(int worker, int layer_index, RuntimeScheme scheme,
   if (scheme_ == RuntimeScheme::kSfb) {
     CHECK_NOTNULL(local_optimizer_);
   }
+  if (scheme_ == RuntimeScheme::kRingAllreduce || scheme_ == RuntimeScheme::kTreeAllreduce) {
+    const CollectiveAlgo algo = scheme_ == RuntimeScheme::kRingAllreduce
+                                    ? CollectiveAlgo::kRing
+                                    : CollectiveAlgo::kTree;
+    collective_ = std::make_unique<CollectiveSyncer>(worker_, layer_index_, algo,
+                                                     coordinator_, bus_, layer_,
+                                                     local_optimizer_);
+  }
 }
 
 void Syncer::MoveOut() {
@@ -60,6 +68,10 @@ void Syncer::MoveOut() {
           bias_grad.data(), bias_grad.data() + bias_grad.size());
       break;
     }
+    case RuntimeScheme::kRingAllreduce:
+    case RuntimeScheme::kTreeAllreduce:
+      collective_->MoveOut();
+      break;
   }
 }
 
@@ -75,6 +87,10 @@ void Syncer::Send(int64_t iter) {
       break;
     case RuntimeScheme::kOneBit:
       SendOneBit(iter);
+      break;
+    case RuntimeScheme::kRingAllreduce:
+    case RuntimeScheme::kTreeAllreduce:
+      collective_->Send(iter);
       break;
   }
 }
@@ -154,6 +170,10 @@ void Syncer::Receive(int64_t iter) {
       break;
     case RuntimeScheme::kOneBit:
       ReceiveOneBit();
+      break;
+    case RuntimeScheme::kRingAllreduce:
+    case RuntimeScheme::kTreeAllreduce:
+      collective_->Receive(iter);
       break;
   }
 }

@@ -16,6 +16,7 @@
 
 #include "src/nn/layers.h"
 #include "src/nn/sgd.h"
+#include "src/poseidon/collective_syncer.h"
 #include "src/poseidon/coordinator.h"
 #include "src/poseidon/flat_params.h"
 #include "src/poseidon/runtime_scheme.h"
@@ -73,6 +74,7 @@ class Syncer {
   int total_pairs_ = 0;
 
   std::vector<float> staged_grads_;                 // PS path
+  std::unique_ptr<CollectiveSyncer> collective_;    // ring/tree path
   std::shared_ptr<SufficientFactors> own_sf_;       // SFB path
   std::shared_ptr<std::vector<float>> own_bias_;    // SFB / 1-bit bias grads
   std::shared_ptr<OneBitEncoded> staged_encoding_;  // 1-bit path

@@ -31,6 +31,10 @@ struct Address {
 
 inline constexpr int kServerPort = 0;
 inline constexpr int kSyncerPortBase = 1000;
+// Collective-communication mailboxes live in their own port space so a
+// layer's collective participant never collides with its PS-style syncer
+// mailbox: {node, kCollectivePortBase + tag} where tag is the layer index.
+inline constexpr int kCollectivePortBase = 1000000;
 
 struct AddressHash {
   size_t operator()(const Address& a) const {
@@ -43,6 +47,7 @@ enum class MessageType {
   kParamReply,  // server -> worker: updated parameter chunks
   kSfBroadcast, // worker -> peer: sufficient factors (+ bias gradient)
   kOneBitPush,  // worker -> server: 1-bit encoded FC gradient (+ bias)
+  kCollective,  // peer -> peer: one hop of a ring/tree collective
   kShutdown,    // trainer -> server: stop serving
 };
 
@@ -61,6 +66,9 @@ struct Message {
   int layer = -1;
   int worker = -1;   // originating worker id
   int64_t iter = -1;
+  // Collective protocol step: ring hop index (0..2(P-1)-1), or the tree
+  // phase (kTreeReducePhase / kTreeBroadcastPhase). Unused otherwise.
+  int step = -1;
 
   std::shared_ptr<std::vector<ChunkPayload>> chunks;
   std::shared_ptr<SufficientFactors> sf;

@@ -1,0 +1,242 @@
+// Transport-level tests for the collective primitives: ring reduce-scatter /
+// all-gather and binary-tree reduce-broadcast over the MessageBus must
+// produce sums that are bitwise identical across all ranks and bitwise equal
+// to a serial reduction in the collective's deterministic association order,
+// for 1-8 workers and sizes that do not divide evenly into chunks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/collective/collective.h"
+#include "src/collective/topology.h"
+#include "src/transport/bus.h"
+
+namespace poseidon {
+namespace {
+
+// Deterministic, rank- and index-dependent values with enough float
+// round-off structure to catch association-order bugs.
+std::vector<float> MakeInput(int rank, int64_t size) {
+  std::vector<float> data(static_cast<size_t>(size));
+  for (int64_t i = 0; i < size; ++i) {
+    const float x = 0.001f * static_cast<float>((rank * 7919 + i * 104729) % 1000) - 0.5f;
+    data[static_cast<size_t>(i)] = x + 1e-4f * static_cast<float>(rank) * (i % 7);
+  }
+  return data;
+}
+
+// Runs one allreduce on `world` threads; returns every rank's result buffer.
+std::vector<std::vector<float>> RunAllreduce(CollectiveAlgo algo, int world, int64_t size,
+                                             int64_t seq = 0,
+                                             std::vector<int64_t>* floats_sent = nullptr) {
+  MessageBus bus(world);
+  std::vector<std::unique_ptr<CollectiveComm>> comms;
+  for (int r = 0; r < world; ++r) {
+    comms.push_back(std::make_unique<CollectiveComm>(&bus, r, world, /*tag=*/0));
+  }
+  std::vector<std::vector<float>> data(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    data[static_cast<size_t>(r)] = MakeInput(r, size);
+  }
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      comms[static_cast<size_t>(r)]->Allreduce(algo, seq, &data[static_cast<size_t>(r)]);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (floats_sent != nullptr) {
+    floats_sent->clear();
+    for (int r = 0; r < world; ++r) {
+      floats_sent->push_back(comms[static_cast<size_t>(r)]->floats_sent());
+    }
+  }
+  return data;
+}
+
+// The ring's serial mirror: chunk c folds inputs in ring order starting at
+// rank c (the rank that injects the chunk at step 0).
+std::vector<float> SerialRingSum(int world, int64_t size) {
+  std::vector<std::vector<float>> inputs;
+  for (int r = 0; r < world; ++r) {
+    inputs.push_back(MakeInput(r, size));
+  }
+  std::vector<float> out(static_cast<size_t>(size), 0.0f);
+  for (int c = 0; c < world; ++c) {
+    const ChunkRange range = CollectiveChunk(size, world, c);
+    for (int64_t i = range.offset; i < range.offset + range.length; ++i) {
+      float acc = inputs[static_cast<size_t>(c)][static_cast<size_t>(i)];
+      for (int k = 1; k < world; ++k) {
+        acc += inputs[static_cast<size_t>((c + k) % world)][static_cast<size_t>(i)];
+      }
+      out[static_cast<size_t>(i)] = acc;
+    }
+  }
+  return out;
+}
+
+// The tree's serial mirror: each node's subtree sum is own + left + right,
+// folded in that order.
+std::vector<float> SerialTreeSum(int node, int world, int64_t size) {
+  std::vector<float> acc = MakeInput(node, size);
+  for (int child : TreeChildren(node, world)) {
+    const std::vector<float> sub = SerialTreeSum(child, world, size);
+    for (int64_t i = 0; i < size; ++i) {
+      acc[static_cast<size_t>(i)] += sub[static_cast<size_t>(i)];
+    }
+  }
+  return acc;
+}
+
+TEST(ChunkTest, CoversExactlyOnce) {
+  for (int64_t total : {0, 1, 5, 7, 16, 1000}) {
+    for (int world : {1, 2, 3, 5, 8}) {
+      int64_t expected_offset = 0;
+      for (int i = 0; i < world; ++i) {
+        const ChunkRange r = CollectiveChunk(total, world, i);
+        EXPECT_EQ(r.offset, expected_offset);
+        EXPECT_GE(r.length, 0);
+        expected_offset += r.length;
+      }
+      EXPECT_EQ(expected_offset, total) << "total=" << total << " world=" << world;
+    }
+  }
+}
+
+TEST(TopologyTest, TreeShape) {
+  EXPECT_EQ(TreeParent(0), -1);
+  EXPECT_EQ(TreeParent(1), 0);
+  EXPECT_EQ(TreeParent(2), 0);
+  EXPECT_EQ(TreeParent(6), 2);
+  EXPECT_EQ(TreeChildren(0, 5), (std::vector<int>{1, 2}));
+  EXPECT_EQ(TreeChildren(1, 5), (std::vector<int>{3, 4}));
+  EXPECT_EQ(TreeChildren(2, 5), std::vector<int>{});
+  EXPECT_EQ(TreeDepth(1), 0);
+  EXPECT_EQ(TreeDepth(2), 1);
+  EXPECT_EQ(TreeDepth(8), 3);
+  EXPECT_EQ(TreeDepth(9), 4);
+}
+
+class CollectiveWorldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveWorldTest, RingMatchesSerialBitwise) {
+  const int world = GetParam();
+  // Sizes chosen to exercise empty, short and non-divisible chunks.
+  for (int64_t size : {1, 3, 8, 61, 256}) {
+    const auto results = RunAllreduce(CollectiveAlgo::kRing, world, size);
+    const std::vector<float> expected = SerialRingSum(world, size);
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(results[static_cast<size_t>(r)], expected)
+          << "rank " << r << " world " << world << " size " << size;
+    }
+  }
+}
+
+TEST_P(CollectiveWorldTest, TreeMatchesSerialBitwise) {
+  const int world = GetParam();
+  for (int64_t size : {1, 3, 8, 61, 256}) {
+    const auto results = RunAllreduce(CollectiveAlgo::kTree, world, size);
+    const std::vector<float> expected = SerialTreeSum(0, world, size);
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(results[static_cast<size_t>(r)], expected)
+          << "rank " << r << " world " << world << " size " << size;
+    }
+  }
+}
+
+TEST_P(CollectiveWorldTest, RingTrafficMatchesAnalyticRow) {
+  const int world = GetParam();
+  const int64_t size = 240;  // divisible by 1..8, so the row is exact
+  std::vector<int64_t> floats_sent;
+  RunAllreduce(CollectiveAlgo::kRing, world, size, /*seq=*/0, &floats_sent);
+  for (int r = 0; r < world; ++r) {
+    // The Table-1-extension row counts per-direction (egress) traffic.
+    EXPECT_DOUBLE_EQ(static_cast<double>(floats_sent[static_cast<size_t>(r)]),
+                     RingAllreduceNodeFloats(size, world))
+        << "rank " << r;
+  }
+}
+
+TEST_P(CollectiveWorldTest, TreeTrafficMatchesAnalyticRow) {
+  const int world = GetParam();
+  const int64_t size = 64;
+  std::vector<int64_t> floats_sent;
+  RunAllreduce(CollectiveAlgo::kTree, world, size, /*seq=*/0, &floats_sent);
+  for (int r = 0; r < world; ++r) {
+    // Egress per node: size to the parent (non-root) + size per child.
+    const int64_t expected =
+        (r == 0 ? 0 : size) +
+        size * static_cast<int64_t>(TreeChildren(r, world).size());
+    EXPECT_EQ(floats_sent[static_cast<size_t>(r)], expected) << "rank " << r;
+    if (world > 1) {
+      EXPECT_DOUBLE_EQ(TreeAllreduceNodeFloats(size, world, r),
+                       static_cast<double>(expected));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, CollectiveWorldTest, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(CollectiveTest, BackToBackOperationsKeepSequence) {
+  // Two consecutive allreduces through the same participants (distinct seq
+  // numbers) must both match their serial mirrors.
+  const int world = 4;
+  const int64_t size = 33;
+  MessageBus bus(world);
+  std::vector<std::unique_ptr<CollectiveComm>> comms;
+  for (int r = 0; r < world; ++r) {
+    comms.push_back(std::make_unique<CollectiveComm>(&bus, r, world, /*tag=*/7));
+  }
+  std::vector<std::vector<float>> data(world);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      for (int64_t seq = 0; seq < 3; ++seq) {
+        data[static_cast<size_t>(r)] = MakeInput(r, size);
+        comms[static_cast<size_t>(r)]->Allreduce(CollectiveAlgo::kRing, seq,
+                                                 &data[static_cast<size_t>(r)]);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const std::vector<float> expected = SerialRingSum(world, size);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(data[static_cast<size_t>(r)], expected);
+  }
+}
+
+TEST(CollectiveTest, PerHopTrafficIsAccountedOnTheBus) {
+  const int world = 3;
+  const int64_t size = 30;
+  MessageBus bus(world);
+  std::vector<std::unique_ptr<CollectiveComm>> comms;
+  for (int r = 0; r < world; ++r) {
+    comms.push_back(std::make_unique<CollectiveComm>(&bus, r, world, /*tag=*/0));
+  }
+  std::vector<std::vector<float>> data(world);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    data[static_cast<size_t>(r)] = MakeInput(r, size);
+    threads.emplace_back([&, r] {
+      comms[static_cast<size_t>(r)]->Allreduce(CollectiveAlgo::kRing, 0,
+                                               &data[static_cast<size_t>(r)]);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int r = 0; r < world; ++r) {
+    // 2(P-1) hops of a 10-float chunk, 4 bytes each, plus per-hop headers.
+    EXPECT_GT(bus.TxBytes(r), 2 * (world - 1) * 10 * 4);
+  }
+}
+
+}  // namespace
+}  // namespace poseidon

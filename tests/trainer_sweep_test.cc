@@ -38,6 +38,15 @@ std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
     case FcSyncPolicy::kOneBit:
       policy = "OneBit";
       break;
+    case FcSyncPolicy::kRingAllreduce:
+      policy = "Ring";
+      break;
+    case FcSyncPolicy::kTreeAllreduce:
+      policy = "Tree";
+      break;
+    case FcSyncPolicy::kHybridCollective:
+      policy = "Hybrid3";
+      break;
   }
   return "w" + std::to_string(c.workers) + "s" + std::to_string(c.servers) + policy + "kv" +
          std::to_string(c.kv_bytes) + "t" + std::to_string(c.threads);
@@ -109,7 +118,14 @@ INSTANTIATE_TEST_SUITE_P(
         SweepCase{2, 4, FcSyncPolicy::kDense, 256, 1},   // more servers than workers
         SweepCase{5, 3, FcSyncPolicy::kHybrid, 1024, 4},
         SweepCase{2, 2, FcSyncPolicy::kOneBit, 64, 1},
-        SweepCase{8, 8, FcSyncPolicy::kHybrid, 2048, 2}),
+        SweepCase{8, 8, FcSyncPolicy::kHybrid, 2048, 2},
+        SweepCase{1, 1, FcSyncPolicy::kRingAllreduce, 2048, 1},  // degenerate world -> PS
+        SweepCase{2, 2, FcSyncPolicy::kRingAllreduce, 2048, 2},
+        SweepCase{5, 2, FcSyncPolicy::kRingAllreduce, 1024, 3},
+        SweepCase{3, 3, FcSyncPolicy::kTreeAllreduce, 2048, 2},
+        SweepCase{8, 4, FcSyncPolicy::kTreeAllreduce, 512, 2},
+        SweepCase{4, 4, FcSyncPolicy::kHybridCollective, 1024, 3},
+        SweepCase{8, 8, FcSyncPolicy::kHybridCollective, 2048, 2}),
     CaseName);
 
 }  // namespace
