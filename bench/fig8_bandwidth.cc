@@ -8,6 +8,7 @@
 // PS because HybComm falls back to it (GoogLeNet at 16 nodes reduces to pure
 // PS).
 #include <cstdio>
+#include <string>
 
 #include "src/common/cli.h"
 #include "src/models/zoo.h"
@@ -23,6 +24,18 @@ struct Config {
 
 void Run(const BenchArgs& args) {
   const std::vector<int> nodes = args.NodesOr({1, 2, 4, 8, 16});
+  // PS serve paths are costed at the configured shard count (--shards,
+  // default 1 = the paper's single-endpoint servers), matching the
+  // multi-shard cost rows in table1_comm_cost/ext_shards.
+  const int shards = args.FirstShardOr(1);
+  SystemConfig ps = CaffePlusWfbp();
+  SystemConfig poseidon_sys = PoseidonSystem();
+  ps.shards_per_server = shards;
+  poseidon_sys.shards_per_server = shards;
+  if (shards > 1) {
+    ps.name += "-s" + std::to_string(shards);
+    poseidon_sys.name += "-s" + std::to_string(shards);
+  }
   const std::vector<Config> configs = {
       {"googlenet", {2.0, 5.0, 10.0}},
       {"vgg19", {10.0, 20.0, 30.0}},
@@ -31,8 +44,8 @@ void Run(const BenchArgs& args) {
   for (const Config& config : configs) {
     const ModelSpec model = ModelByName(config.model).value();
     for (double gbps : args.GbpsOr(config.gbps)) {
-      const auto results = RunScalingSweep(model, {CaffePlusWfbp(), PoseidonSystem()},
-                                           nodes, gbps, Engine::kCaffe);
+      const auto results =
+          RunScalingSweep(model, {ps, poseidon_sys}, nodes, gbps, Engine::kCaffe);
       char title[128];
       std::snprintf(title, sizeof(title), "Fig 8: %s @ %.0f GbE (Caffe engine)",
                     model.name.c_str(), gbps);

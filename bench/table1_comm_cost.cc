@@ -12,40 +12,46 @@
 namespace poseidon {
 namespace {
 
+// PS columns are costed at the configured shard count (--shards, default 1
+// = the paper's single-endpoint servers); at 1 the sharded rows collapse
+// onto the published Table 1 exactly.
 void PrintCostRow(TextTable* table, const CommCostQuery& q) {
   table->AddRow({
       std::to_string(q.m) + "x" + std::to_string(q.n),
       std::to_string(q.batch_k),
       std::to_string(q.num_workers),
       TextTable::Num(PsWorkerFloats(q) / 1e6, 2),
-      TextTable::Num(PsServerFloats(q) / 1e6, 2),
-      TextTable::Num(PsColocatedFloats(q) / 1e6, 2),
+      TextTable::Num(PsShardedServerFloats(q) / 1e6, 2),
+      TextTable::Num(PsShardedColocatedFloats(q) / 1e6, 2),
       TextTable::Num(SfbWorkerFloats(q) / 1e6, 2),
       TextTable::Num(AdamServerMaxFloats(q) / 1e6, 2),
       TextTable::Num(AdamWorkerFloats(q) / 1e6, 2),
       TextTable::Num(AdamColocatedMaxFloats(q) / 1e6, 2),
+      // Algorithm 1's comparison, against the PS row as actually sharded.
       CommSchemeName(SfbWins(q) ? CommScheme::kSFB : CommScheme::kPS),
   });
 }
 
 void Run(const BenchArgs& args) {
-  std::printf("Table 1: communication cost model (millions of floats per iteration)\n");
+  const int shards = args.FirstShardOr(1);
+  std::printf("Table 1: communication cost model (millions of floats per iteration),\n");
+  std::printf("PS rows at %d shard endpoint(s) per server.\n", shards);
   std::printf("Worked example from paper 3.2: 4096x4096 FC, K=32, P1=P2=8 -> PS worker 33.6M,\n");
-  std::printf("server&worker 58.7M, SFB 3.7M.\n\n");
+  std::printf("server&worker 58.7M, SFB 3.7M (at 1 shard).\n\n");
 
   TextTable table({"layer", "K", "P", "PS.wrk", "PS.srv", "PS.both", "SFB.wrk", "Adam.srv",
                    "Adam.wrk", "Adam.both", "best"});
   // The worked example.
-  PrintCostRow(&table, {4096, 4096, 32, 8, 8});
+  PrintCostRow(&table, {4096, 4096, 32, 8, 8, shards});
   // Scale in P at fixed layer/batch.
   for (int p : args.NodesOr({2, 4, 16, 32})) {
-    PrintCostRow(&table, {4096, 4096, 32, p, p});
+    PrintCostRow(&table, {4096, 4096, 32, p, p, shards});
   }
   // The paper's real layers: VGG19 fc6, VGG19-22K fc8, GoogLeNet classifier.
-  PrintCostRow(&table, {4096, 25088, 32, 8, 8});
-  PrintCostRow(&table, {21841, 4096, 32, 32, 32});
-  PrintCostRow(&table, {1000, 1024, 128, 4, 4});
-  PrintCostRow(&table, {1000, 1024, 128, 16, 16});
+  PrintCostRow(&table, {4096, 25088, 32, 8, 8, shards});
+  PrintCostRow(&table, {21841, 4096, 32, 32, 32, shards});
+  PrintCostRow(&table, {1000, 1024, 128, 4, 4, shards});
+  PrintCostRow(&table, {1000, 1024, 128, 16, 16, shards});
   std::printf("%s\n", table.ToString().c_str());
 }
 

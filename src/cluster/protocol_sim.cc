@@ -83,6 +83,8 @@ class ProtocolSim {
         timings_(MakeComputeTimings(model, engine, batch)) {
     CHECK_GT(num_nodes_, 0);
     CHECK_GT(num_layers_, 0);
+    CHECK_GT(system.shards_per_server, 0);
+    CHECK_GE(system.staleness, 0);
     FabricConfig fabric_config;
     const double wire_rate = cluster.nic_bytes_per_sec() * system.transport_efficiency;
     fabric_config.egress_bytes_per_sec = wire_rate;
@@ -127,7 +129,8 @@ class ProtocolSim {
             wire.scheme = WireScheme::kTree;
             break;
           case FcScheme::kHybridCollective:
-            wire.scheme = WireFromCommScheme(BestSchemeExtended(layer, batch_, p, p));
+            wire.scheme = WireFromCommScheme(
+                BestSchemeExtended(layer, batch_, p, p, system_.shards_per_server));
             break;
           case FcScheme::kDense:
             break;
@@ -163,6 +166,12 @@ class ProtocolSim {
           wire.sharded = system_.sharding == ShardingMode::kKvPairs;
           wire.push_bytes = wire.sharded ? wire.dense_bytes / p : wire.dense_bytes;
           wire.pull_bytes = wire.push_bytes;
+          if (wire.sharded) {
+            // Key-range shards apply their slices on independent threads, so
+            // the per-server apply latency divides by the shard count; the
+            // bytes on the wire do not change.
+            wire.apply_cpu_s /= system_.shards_per_server;
+          }
           break;
         case WireScheme::kSfb:
           wire.sf_msg_bytes = static_cast<double>(k_eff) * static_cast<double>(m + n) * 4.0;
@@ -184,6 +193,9 @@ class ProtocolSim {
           wire.sharded = system_.sharding == ShardingMode::kKvPairs;
           wire.push_bytes = wire.sharded ? compressed / p : compressed;
           wire.pull_bytes = wire.push_bytes;
+          // No shards_per_server division: the runtime pins a 1-bit layer
+          // wholly to one owner shard endpoint (its encoding is not
+          // sliceable), so the per-layer apply stays serialized.
           wire.quant_cpu_s =
               2.0 * static_cast<double>(m) * static_cast<double>(n) / cluster_.cpu_flops;
           break;
@@ -293,7 +305,10 @@ class ProtocolSim {
     double duration = 0.0;
     if (IsForward(op)) {
       const int layer = ForwardLayerOf(op);
-      if (node.iter > 0 && node.synced_through[layer] < node.iter - 1) {
+      // BSP blocks until the previous iteration's sync landed; SSP tolerates
+      // a bounded clock gap (the worker reads values at most `staleness`
+      // iterations behind its own clock).
+      if (node.iter > 0 && node.synced_through[layer] < node.iter - 1 - system_.staleness) {
         return;  // blocked on this layer's synchronization; stall
       }
       if (op == 0 && !node.iter_marked) {

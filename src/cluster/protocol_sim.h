@@ -1,15 +1,18 @@
 // Discrete-event simulation of one distributed training run.
 //
 // ProtocolSimulation instantiates P symmetric nodes (each a worker plus a
-// colocated KV-store shard), a network fabric, and per-node GPU / copy-engine
-// / CPU timelines, then executes `warmup + measure` bulk-synchronous
-// iterations of the chosen SystemConfig. It reports steady-state iteration
-// time, throughput speedup vs the single-node compute-only baseline, the GPU
-// busy/stall breakdown (Fig 7) and per-node traffic (Fig 10).
+// colocated KV-store server hosting `shards_per_server` key-range shard
+// endpoints), a network fabric, and per-node GPU / copy-engine / CPU
+// timelines, then executes `warmup + measure` iterations of the chosen
+// SystemConfig under its consistency model (BSP, or SSP when
+// `staleness > 0`). It reports steady-state iteration time, throughput
+// speedup vs the single-node compute-only baseline, the GPU busy/stall
+// breakdown (Fig 7) and per-node traffic (Fig 10).
 //
 // Execution model per node and iteration (paper §3):
 //   C_t = [f_1..f_L, b_L..b_1] on the GPU timeline, strictly in order;
-//   f_l of iteration t+1 additionally waits for sync_done(l, t).
+//   f_l of iteration t+1 additionally waits for sync_done(l, t - staleness)
+//   — BSP's sync_done(l, t) at the default staleness of 0.
 // Synchronization pipelines per layer (launched per the overlap mode):
 //   PS    d2h -> push shard to every server -> server applies when all P
 //         pushes arrived -> broadcast pulls -> h2d -> done

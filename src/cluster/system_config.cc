@@ -1,5 +1,7 @@
 #include "src/cluster/system_config.h"
 
+#include <string>
+
 namespace poseidon {
 
 SystemConfig CaffePlusPs() {
@@ -100,6 +102,24 @@ SystemConfig HybridCollectiveSystem() {
   config.overlap = OverlapMode::kWfbp;
   config.sharding = ShardingMode::kKvPairs;
   config.fc_scheme = FcScheme::kHybridCollective;
+  return config;
+}
+
+SystemConfig ShardedPsSystem(int shards, int staleness) {
+  SystemConfig config = CaffePlusWfbp();
+  config.name = "PS-s" + std::to_string(shards) +
+                (staleness > 0 ? "-ssp" + std::to_string(staleness) : "");
+  config.shards_per_server = shards;
+  config.staleness = staleness;
+  return config;
+}
+
+SystemConfig SspPoseidonSystem(int staleness, int shards) {
+  SystemConfig config = PoseidonSystem();
+  config.name = "Poseidon-ssp" + std::to_string(staleness) +
+                (shards > 1 ? "-s" + std::to_string(shards) : "");
+  config.shards_per_server = shards;
+  config.staleness = staleness;
   return config;
 }
 

@@ -59,6 +59,16 @@ struct SystemConfig {
   // workers contributed (the slowest worker's update is dropped for the
   // iteration); SFB receivers likewise proceed one peer short.
   bool drop_stragglers = false;
+  // Key-range KV shard endpoints per server node. Each shard applies updates
+  // on its own thread, so the server-side apply path parallelizes by this
+  // factor; NIC traffic is unchanged (the same bytes spread over more
+  // endpoints).
+  int shards_per_server = 1;
+  // SSP staleness bound: a worker may start iteration t once iteration
+  // t - 1 - staleness of every layer is synchronized, instead of t - 1
+  // (BSP). Hides stragglers and sync-tail latency at the cost of stale
+  // gradients; 0 reproduces BSP timing exactly.
+  int staleness = 0;
 };
 
 // The named systems from Figures 5-11.
@@ -73,6 +83,11 @@ SystemConfig SfbOnlySystem();     // pure SFB for every FC layer
 SystemConfig RingAllreduceSystem();    // ring allreduce for every layer
 SystemConfig TreeAllreduceSystem();    // binary-tree allreduce for every layer
 SystemConfig HybridCollectiveSystem(); // Poseidon++ three-way HybComm
+// Sharded-PS / SSP extensions of the dense-PS WFBP system: `shards` KV shard
+// endpoints per server and an SSP bound of `staleness` iterations.
+SystemConfig ShardedPsSystem(int shards, int staleness = 0);
+// Poseidon (WFBP + HybComm) running under an SSP bound.
+SystemConfig SspPoseidonSystem(int staleness, int shards = 1);
 
 }  // namespace poseidon
 

@@ -1,23 +1,24 @@
-// Collective-communication primitives over the in-process MessageBus: ring
-// allreduce (chunked reduce-scatter + all-gather, the bandwidth-optimal
-// scheme that moves 2*T*(P-1)/P floats per node) and binary-tree
-// reduce-broadcast (2*ceil(log2 P) latency hops, at most 6*T floats at the
-// busiest internal node).
-//
-// One CollectiveComm object is one rank's endpoint in one group, identified
-// by a tag (the runtime uses the layer index, mirroring the per-layer syncer
-// mailboxes). The protocol is split into a non-blocking Start — which
-// injects this rank's first message, preserving the paper's wait-free Send
-// semantics — and a blocking Finish that runs the remaining hops. On return
-// from Finish every rank holds the bitwise-identical elementwise sum: ring
-// chunks are folded in ring order starting at the chunk's index, tree
-// subtrees in child order, so no rank-dependent association order exists.
-//
-// Ordering relies only on per-sender FIFO delivery (which MessageBus
-// mailboxes provide): every ring message a rank consumes comes from its
-// predecessor, and tree children cannot start iteration t+1 before their
-// parent broadcast for t, so messages are consumed strictly in protocol
-// order. Sequence/step numbers are CHECKed on every hop.
+/// \file
+/// Collective-communication primitives over the in-process MessageBus: ring
+/// allreduce (chunked reduce-scatter + all-gather, the bandwidth-optimal
+/// scheme that moves 2*T*(P-1)/P floats per node) and binary-tree
+/// reduce-broadcast (2*ceil(log2 P) latency hops, at most 6*T floats at the
+/// busiest internal node).
+///
+/// One CollectiveComm object is one rank's endpoint in one group, identified
+/// by a tag (the runtime uses the layer index, mirroring the per-layer syncer
+/// mailboxes). The protocol is split into a non-blocking Start — which
+/// injects this rank's first message, preserving the paper's wait-free Send
+/// semantics — and a blocking Finish that runs the remaining hops. On return
+/// from Finish every rank holds the bitwise-identical elementwise sum: ring
+/// chunks are folded in ring order starting at the chunk's index, tree
+/// subtrees in child order, so no rank-dependent association order exists.
+///
+/// Ordering relies only on per-sender FIFO delivery (which MessageBus
+/// mailboxes provide): every ring message a rank consumes comes from its
+/// predecessor, and tree children cannot start iteration t+1 before their
+/// parent broadcast for t, so messages are consumed strictly in protocol
+/// order. Sequence/step numbers are CHECKed on every hop.
 #ifndef POSEIDON_SRC_COLLECTIVE_COLLECTIVE_H_
 #define POSEIDON_SRC_COLLECTIVE_COLLECTIVE_H_
 
@@ -37,41 +38,41 @@ enum class CollectiveAlgo {
 
 const char* CollectiveAlgoName(CollectiveAlgo algo);
 
-// Tree protocol phases carried in Message::step.
+/// Tree protocol phases carried in Message::step.
 inline constexpr int kTreeReduceStep = 0;
 inline constexpr int kTreeBroadcastStep = 1;
 
 class CollectiveComm {
  public:
-  // Registers this rank's mailbox at {rank, kCollectivePortBase + tag}.
+  /// Registers this rank's mailbox at {rank, kCollectivePortBase + tag}.
   CollectiveComm(MessageBus* bus, int rank, int world, int tag);
 
   CollectiveComm(const CollectiveComm&) = delete;
   CollectiveComm& operator=(const CollectiveComm&) = delete;
 
-  // Non-blocking kickoff of one allreduce over *data (kept by the caller,
-  // unmodified until Finish): sends this rank's first ring chunk, or a
-  // leaf's subtree contribution. `seq` tags the operation (the runtime uses
-  // the iteration number) and is validated on every received hop.
+  /// Non-blocking kickoff of one allreduce over *data (kept by the caller,
+  /// unmodified until Finish): sends this rank's first ring chunk, or a
+  /// leaf's subtree contribution. `seq` tags the operation (the runtime uses
+  /// the iteration number) and is validated on every received hop.
   void Start(CollectiveAlgo algo, int64_t seq, std::vector<float>* data);
 
-  // Blocks until the allreduce finishes; *data then holds the elementwise
-  // sum across all ranks, bitwise identical on every rank.
+  /// Blocks until the allreduce finishes; *data then holds the elementwise
+  /// sum across all ranks, bitwise identical on every rank.
   void Finish();
 
-  // Blocking convenience: Start + Finish.
+  /// Blocking convenience: Start + Finish.
   void Allreduce(CollectiveAlgo algo, int64_t seq, std::vector<float>* data);
 
   int rank() const { return rank_; }
   int world() const { return world_; }
 
-  // Per-hop accounting (this rank's egress), for traffic tests.
+  /// Per-hop accounting (this rank's egress), for traffic tests.
   int64_t messages_sent() const { return messages_sent_; }
   int64_t floats_sent() const { return floats_sent_; }
 
  private:
   void SendHop(int to, int step, int64_t offset, const float* data, int64_t len);
-  // Pops the next message, checking type, sequence and sender.
+  /// Pops the next message, checking type, sequence and sender.
   Message NextMessage(int expected_step, int expected_sender);
   void FinishRing();
   void FinishTree();
@@ -82,7 +83,7 @@ class CollectiveComm {
   const int tag_;
   std::shared_ptr<MessageBus::Mailbox> mailbox_;
 
-  // In-flight operation state between Start and Finish.
+  /// In-flight operation state between Start and Finish.
   bool pending_ = false;
   CollectiveAlgo algo_ = CollectiveAlgo::kRing;
   int64_t seq_ = -1;

@@ -1,10 +1,11 @@
-// Logical topologies for the collective-communication subsystem: the
-// bidirectional-bandwidth-optimal ring and the latency-optimal binary tree.
-//
-// Ranks are worker ids 0..world-1. The ring orders ranks naturally
-// (successor r+1 mod world); the tree is the implicit binary heap layout
-// (parent (r-1)/2, children 2r+1 / 2r+2), which keeps every helper O(1) and
-// makes reduction order deterministic without any negotiated state.
+/// \file
+/// Logical topologies for the collective-communication subsystem: the
+/// bidirectional-bandwidth-optimal ring and the latency-optimal binary tree.
+///
+/// Ranks are worker ids 0..world-1. The ring orders ranks naturally
+/// (successor r+1 mod world); the tree is the implicit binary heap layout
+/// (parent (r-1)/2, children 2r+1 / 2r+2), which keeps every helper O(1) and
+/// makes reduction order deterministic without any negotiated state.
 #ifndef POSEIDON_SRC_COLLECTIVE_TOPOLOGY_H_
 #define POSEIDON_SRC_COLLECTIVE_TOPOLOGY_H_
 
@@ -13,40 +14,40 @@
 
 namespace poseidon {
 
-// A contiguous slice [offset, offset + length) of a flat float buffer.
+/// A contiguous slice [offset, offset + length) of a flat float buffer.
 struct ChunkRange {
   int64_t offset = 0;
   int64_t length = 0;
 };
 
-// Partition of `total` elements into `world` near-equal chunks: the first
-// total % world chunks get one extra element, so every legal index (even for
-// total < world, where trailing chunks are empty) maps to a valid range.
+/// Partition of `total` elements into `world` near-equal chunks: the first
+/// total % world chunks get one extra element, so every legal index (even for
+/// total < world, where trailing chunks are empty) maps to a valid range.
 ChunkRange CollectiveChunk(int64_t total, int world, int index);
 
-// Ring neighbours.
+/// Ring neighbours.
 int RingNext(int rank, int world);
 int RingPrev(int rank, int world);
 
-// Binary (heap-layout) tree. TreeParent(0) is -1; children beyond world are
-// omitted.
+/// Binary (heap-layout) tree. TreeParent(0) is -1; children beyond world are
+/// omitted.
 int TreeParent(int rank);
 std::vector<int> TreeChildren(int rank, int world);
-// Number of reduce/broadcast levels: ceil(log2(world)) with TreeDepth(1)==0.
+/// Number of reduce/broadcast levels: ceil(log2(world)) with TreeDepth(1)==0.
 int TreeDepth(int world);
 
-// Per-node, per-direction float traffic of one allreduce of `elems`
-// elements — the egress volume, which equals the ingress volume and is the
-// quantity a full-duplex NIC bounds. Used by both the analytic cost model
-// and the traffic tests.
-// Ring: every rank sends 2*elems*(world-1)/world (reduce-scatter sends
-// (world-1)/world of the tensor, all-gather the same).
+/// Per-node, per-direction float traffic of one allreduce of `elems`
+/// elements — the egress volume, which equals the ingress volume and is the
+/// quantity a full-duplex NIC bounds. Used by both the analytic cost model
+/// and the traffic tests.
+/// Ring: every rank sends 2*elems*(world-1)/world (reduce-scatter sends
+/// (world-1)/world of the tensor, all-gather the same).
 double RingAllreduceNodeFloats(int64_t elems, int world);
-// Tree: rank-dependent — a node sends elems to its parent (unless root) and
-// elems to each child. Returns rank `rank`'s egress.
+/// Tree: rank-dependent — a node sends elems to its parent (unless root) and
+/// elems to each child. Returns rank `rank`'s egress.
 double TreeAllreduceNodeFloats(int64_t elems, int world, int rank);
-// The bottleneck (max over ranks) tree traffic, the Table-1-style "max"
-// row: 3*elems at an internal node with two children once world >= 5.
+/// The bottleneck (max over ranks) tree traffic, the Table-1-style "max"
+/// row: 3*elems at an internal node with two children once world >= 5.
 double TreeAllreduceMaxNodeFloats(int64_t elems, int world);
 
 }  // namespace poseidon

@@ -34,9 +34,11 @@ std::vector<T> ParseList(const char* flag, const std::string& value, ParseFn par
 
 void Usage(const char* argv0) {
   std::printf(
-      "usage: %s [--nodes=N1,N2,...] [--gbps=B1,B2,...] [--fast] [--full]\n"
+      "usage: %s [--nodes=N1,N2,...] [--gbps=B1,B2,...] [--shards=S1,S2,...]\n"
+      "       [--fast] [--full]\n"
       "  --nodes  worker/node counts to sweep (default: the bench's)\n"
       "  --gbps   NIC bandwidths to sweep, in Gb/s\n"
+      "  --shards KV shard endpoints per server (PS-path benches)\n"
       "  --fast   smoke subset: first two node counts, first bandwidth,\n"
       "           reduced iterations where applicable\n"
       "  --full   paper-sized configuration (where the bench has one)\n",
@@ -63,6 +65,27 @@ std::vector<double> BenchArgs::GbpsOr(std::vector<double> defaults) const {
     defaults.resize(1);
   }
   return defaults;
+}
+
+std::vector<int> BenchArgs::ShardsOr(std::vector<int> defaults) const {
+  if (!shards.empty()) {
+    return shards;
+  }
+  if (fast && defaults.size() > 2) {
+    defaults.resize(2);
+  }
+  return defaults;
+}
+
+int BenchArgs::FirstShardOr(int default_value) const {
+  if (shards.empty()) {
+    return default_value;
+  }
+  if (shards.size() > 1) {
+    std::fprintf(stderr, "note: this bench runs one shard count; using --shards=%d\n",
+                 shards.front());
+  }
+  return shards.front();
 }
 
 int BenchArgs::FirstNodeOr(int default_value) const {
@@ -112,6 +135,11 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.nodes = ParseList<int>("--nodes", value_of("--nodes"), [](const char* s, char** e) {
         return static_cast<int>(std::strtol(s, e, 10));
       });
+    } else if (arg.rfind("--shards", 0) == 0) {
+      args.shards =
+          ParseList<int>("--shards", value_of("--shards"), [](const char* s, char** e) {
+            return static_cast<int>(std::strtol(s, e, 10));
+          });
     } else if (arg.rfind("--gbps", 0) == 0) {
       args.gbps = ParseList<double>("--gbps", value_of("--gbps"),
                                     [](const char* s, char** e) { return std::strtod(s, e); });

@@ -3,10 +3,11 @@
 // without recompiling:
 //   --nodes=1,2,4   worker/node counts to sweep (default: the paper's)
 //   --gbps=10,40    per-node NIC bandwidths to sweep
+//   --shards=1,4    KV shard endpoints per server to sweep (PS-path benches)
 //   --fast          smoke mode: truncate default sweeps (and iteration
 //                   counts, where a bench honours it) to a quick subset
 //   --full          paper-sized configuration (fig11's 32x32 CIFAR run)
-// Explicit --nodes/--gbps always win over --fast truncation.
+// Explicit --nodes/--gbps/--shards always win over --fast truncation.
 #ifndef POSEIDON_SRC_COMMON_CLI_H_
 #define POSEIDON_SRC_COMMON_CLI_H_
 
@@ -17,6 +18,7 @@ namespace poseidon {
 struct BenchArgs {
   std::vector<int> nodes;
   std::vector<double> gbps;
+  std::vector<int> shards;
   bool fast = false;
   bool full = false;
 
@@ -25,6 +27,10 @@ struct BenchArgs {
   std::vector<int> NodesOr(std::vector<int> defaults) const;
   // Same for bandwidths; --fast keeps only the first default.
   std::vector<double> GbpsOr(std::vector<double> defaults) const;
+  // Same for per-server shard counts; --fast keeps the first two defaults.
+  std::vector<int> ShardsOr(std::vector<int> defaults) const;
+  // Single-configuration variant of --shards (see FirstNodeOr).
+  int FirstShardOr(int default_value) const;
   // Iteration-count knob for the threaded-runtime benches.
   int ItersOr(int normal, int fast_iters) const { return fast ? fast_iters : normal; }
   // For single-configuration benches that cannot sweep: the first entry,

@@ -12,6 +12,7 @@ void ValidateQuery(const CommCostQuery& q) {
   CHECK_GT(q.batch_k, 0);
   CHECK_GT(q.num_workers, 0);
   CHECK_GT(q.num_servers, 0);
+  CHECK_GT(q.num_shards, 0);
 }
 
 }  // namespace
@@ -75,6 +76,37 @@ double AdamColocatedMaxFloats(const CommCostQuery& q) {
           static_cast<double>(q.batch_k) * static_cast<double>(q.n));
 }
 
+double PsShardedServerFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  return 2.0 * q.num_workers * static_cast<double>(q.m) * static_cast<double>(q.n) /
+         (static_cast<double>(q.num_servers) * q.num_shards);
+}
+
+double PsShardedColocatedFloats(const CommCostQuery& q) {
+  ValidateQuery(q);
+  const double endpoints = static_cast<double>(q.num_servers) * q.num_shards;
+  return 2.0 * static_cast<double>(q.m) * static_cast<double>(q.n) *
+         (q.num_workers + endpoints - 2.0) / endpoints;
+}
+
+int BestPsShardCount(const CommCostQuery& q, int max_shards) {
+  ValidateQuery(q);
+  CHECK_GT(max_shards, 0);
+  CommCostQuery candidate = q;
+  candidate.num_shards = 1;
+  int best = 1;
+  double best_floats = PsShardedColocatedFloats(candidate);
+  for (int s = 2; s <= max_shards; ++s) {
+    candidate.num_shards = s;
+    const double floats = PsShardedColocatedFloats(candidate);
+    if (floats < best_floats) {  // strict: ties keep the smaller shard count
+      best = s;
+      best_floats = floats;
+    }
+  }
+  return best;
+}
+
 double RingAllreduceWorkerFloats(const CommCostQuery& q) {
   ValidateQuery(q);
   return RingAllreduceNodeFloats(q.m * q.n, q.num_workers);
@@ -88,7 +120,7 @@ double TreeAllreduceWorkerFloats(const CommCostQuery& q) {
 double SchemeWorkerFloats(CommScheme scheme, const CommCostQuery& q) {
   switch (scheme) {
     case CommScheme::kPS:
-      return PsColocatedFloats(q);
+      return PsShardedColocatedFloats(q);  // == PsColocatedFloats at 1 shard
     case CommScheme::kSFB:
       return SfbWorkerFloats(q);
     case CommScheme::kRing:
@@ -100,8 +132,9 @@ double SchemeWorkerFloats(CommScheme scheme, const CommCostQuery& q) {
 }
 
 bool SfbWins(const CommCostQuery& q) {
-  // Algorithm 1 line 7: 2K(P1-1)(M+N) <= 2MN(P1+P2-2)/P2.
-  return SfbWorkerFloats(q) <= PsColocatedFloats(q);
+  // Algorithm 1 line 7: 2K(P1-1)(M+N) <= 2MN(P1+P2-2)/P2, with the PS side
+  // costed as actually sharded (identical to the paper's row at 1 shard).
+  return SfbWorkerFloats(q) <= PsShardedColocatedFloats(q);
 }
 
 CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers,
@@ -122,7 +155,7 @@ CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers,
 }
 
 CommScheme BestSchemeExtended(const LayerSpec& layer, int64_t batch_k, int num_workers,
-                              int num_servers) {
+                              int num_servers, int ps_shards) {
   if (num_workers <= 1) {
     return CommScheme::kPS;
   }
@@ -135,6 +168,7 @@ CommScheme BestSchemeExtended(const LayerSpec& layer, int64_t batch_k, int num_w
   q.batch_k = batch_k;
   q.num_workers = num_workers;
   q.num_servers = num_servers;
+  q.num_shards = ps_shards;
   if (q.m <= 0 || q.n <= 0) {
     return CommScheme::kPS;  // stateless layer; nothing to synchronize
   }

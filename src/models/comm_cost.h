@@ -29,6 +29,7 @@ struct CommCostQuery {
   int64_t batch_k = 0;  // per-worker batch size
   int num_workers = 0;  // P1
   int num_servers = 0;  // P2
+  int num_shards = 1;   // S: key-range shard endpoints per server
 };
 
 // Table 1, row "PS": floats a pure worker sends+receives (2MN).
@@ -62,6 +63,28 @@ double RingAllreduceWorkerFloats(const CommCostQuery& q);
 // is taken over the actual topology.
 double TreeAllreduceWorkerFloats(const CommCostQuery& q);
 
+// --- Table-1 extension: multi-shard PS rows. ---
+// Each server node hosts S independent key-range shard endpoints, each a
+// single-threaded service queue (mailbox + apply thread). The paper's PS rows
+// bound the NIC; these rows instead bound the *busiest endpoint*, the
+// serialization the single-endpoint PS suffers on its serve path. Per-node
+// NIC traffic does not change with S — the rows model how the served volume
+// spreads over P2*S independent queues. Both reduce to the paper's rows at
+// S = 1.
+//
+// Busiest shard endpoint on a pure server: 2*P1*M*N/(P2*S).
+double PsShardedServerFloats(const CommCostQuery& q);
+// Colocated worker + busiest shard endpoint: 2MN(P1 + P2*S - 2)/(P2*S) — the
+// paper's colocated row with the served share spread over S endpoints.
+double PsShardedColocatedFloats(const CommCostQuery& q);
+
+// The shard count in [1, max_shards] the cost model recommends for an M x N
+// layer: the smallest S minimizing the sharded colocated row (the row is
+// monotone non-increasing in S for P1 > 2, so this saturates at max_shards
+// for communication-bound clusters and stays at 1 when sharding cannot help,
+// e.g. P1 <= 2).
+int BestPsShardCount(const CommCostQuery& q, int max_shards);
+
 // Algorithm 1: the scheme Poseidon's coordinator selects for `layer`.
 CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers, int num_servers);
 
@@ -79,13 +102,17 @@ CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers, 
 // colocated PS whose per-direction egress it merely matches). The
 // simulator, which moves actual bytes, is the arbiter where this margin
 // matters.
+// `ps_shards` (default 1: the paper's single-endpoint servers) costs the PS
+// candidate at that shard count via the sharded colocated row.
 CommScheme BestSchemeExtended(const LayerSpec& layer, int64_t batch_k, int num_workers,
-                              int num_servers);
+                              int num_servers, int ps_shards = 1);
 // Per-worker floats of `scheme` under `q` (the row the chooser compares);
-// PS uses the colocated row, matching Algorithm 1's comparison.
+// PS uses the sharded colocated row at q.num_shards (which equals Algorithm
+// 1's colocated row at the default q.num_shards = 1).
 double SchemeWorkerFloats(CommScheme scheme, const CommCostQuery& q);
 
-// Convenience: would SFB win for an M x N FC layer under this query?
+// Convenience: would SFB win for an M x N FC layer under this query? The PS
+// side is costed at q.num_shards (the paper's Algorithm 1 at the default 1).
 bool SfbWins(const CommCostQuery& q);
 
 }  // namespace poseidon

@@ -1,12 +1,13 @@
-// Parameter checkpointing (paper §4.1: the KV store "will regularly
-// checkpoint current parameter states for fault tolerance").
-//
-// Under BSP every replica holds the full, current model between iterations,
-// so a checkpoint is one worker's parameter set plus the iteration cursor.
-// The format is a small self-describing binary: per parameter tensor its
-// name and raw float payload, so a restored run resumes on the exact sample
-// stream position with the exact parameters (optimizer velocities restart at
-// zero, like Caffe's plain snapshots).
+/// \file
+/// Parameter checkpointing (paper §4.1: the KV store "will regularly
+/// checkpoint current parameter states for fault tolerance").
+///
+/// Under BSP every replica holds the full, current model between iterations,
+/// so a checkpoint is one worker's parameter set plus the iteration cursor.
+/// The format is a small self-describing binary: per parameter tensor its
+/// name and raw float payload, so a restored run resumes on the exact sample
+/// stream position with the exact parameters (optimizer velocities restart at
+/// zero, like Caffe's plain snapshots).
 #ifndef POSEIDON_SRC_POSEIDON_CHECKPOINT_H_
 #define POSEIDON_SRC_POSEIDON_CHECKPOINT_H_
 
@@ -18,11 +19,11 @@
 
 namespace poseidon {
 
-// Writes all of `net`'s parameters and the iteration cursor to `path`.
+/// Writes all of `net`'s parameters and the iteration cursor to `path`.
 Status SaveCheckpoint(Network& net, int64_t next_iter, const std::string& path);
 
-// Loads a checkpoint into `net` (names and shapes must match) and returns
-// the stored iteration cursor.
+/// Loads a checkpoint into `net` (names and shapes must match) and returns
+/// the stored iteration cursor.
 StatusOr<int64_t> LoadCheckpoint(const std::string& path, Network* net);
 
 }  // namespace poseidon

@@ -1,15 +1,16 @@
-// The client library (paper §4.1): plugged into a training program, it owns
-// one syncer per layer, a CPU thread pool for syncer jobs, and the binary
-// completion vector implementing the worker-side half of BSP.
-//
-// Usage inside a worker's training loop (paper Algorithm 2):
-//   net.Forward(...);
-//   client.StartIteration();
-//   for (int l = L - 1; l >= 0; --l) {
-//     net.BackwardThrough(l);
-//     client.ScheduleSync(l);   // wait-free: runs on the pool
-//   }
-//   client.WaitAll();           // sync_count == num param layers
+/// \file
+/// The client library (paper §4.1): plugged into a training program, it owns
+/// one syncer per layer, a CPU thread pool for syncer jobs, and the binary
+/// completion vector implementing the worker-side half of BSP.
+///
+/// Usage inside a worker's training loop (paper Algorithm 2):
+///   net.Forward(...);
+///   client.StartIteration();
+///   for (int l = L - 1; l >= 0; --l) {
+///     net.BackwardThrough(l);
+///     client.ScheduleSync(l);   // wait-free: runs on the pool
+///   }
+///   client.WaitAll();           // sync_count == num param layers
 #ifndef POSEIDON_SRC_POSEIDON_CLIENT_LIBRARY_H_
 #define POSEIDON_SRC_POSEIDON_CLIENT_LIBRARY_H_
 
@@ -37,14 +38,14 @@ class ClientLibrary {
   ClientLibrary(const ClientLibrary&) = delete;
   ClientLibrary& operator=(const ClientLibrary&) = delete;
 
-  // Resets the completion vector for a new iteration.
+  /// Resets the completion vector for a new iteration.
   void StartIteration(int64_t iter);
 
-  // Schedules layer `l`'s sync job (Move-out, Send, Receive, Move-in) on the
-  // thread pool. No-op for stateless layers.
+  /// Schedules layer `l`'s sync job (Move-out, Send, Receive, Move-in) on the
+  /// thread pool. No-op for stateless layers.
   void ScheduleSync(int l);
 
-  // Blocks until every scheduled sync of this iteration finished.
+  /// Blocks until every scheduled sync of this iteration finished.
   void WaitAll();
 
   Syncer& syncer(int l) { return *syncers_[static_cast<size_t>(l)]; }

@@ -1,14 +1,15 @@
-// The collective synchronization path (ring / tree allreduce) behind the
-// paper's per-layer Move/Send/Receive syncer API:
-//   MoveOut — flattens the layer's gradients into a host staging buffer;
-//   Send    — non-blocking: injects this worker's first collective message
-//             (ring chunk or tree leaf contribution), so WFBP overlap is
-//             preserved exactly as for the PS/SFB paths;
-//   Receive — runs the remaining hops to completion, then averages and
-//             applies the aggregate with the worker-local optimizer.
-// Like SFB, the optimizer is replicated: every worker folds the identical
-// bitwise sum (collectives guarantee a rank-independent association order)
-// through an identical SGD step, so replicas never diverge.
+/// \file
+/// The collective synchronization path (ring / tree allreduce) behind the
+/// paper's per-layer Move/Send/Receive syncer API:
+///   MoveOut — flattens the layer's gradients into a host staging buffer;
+///   Send    — non-blocking: injects this worker's first collective message
+///             (ring chunk or tree leaf contribution), so WFBP overlap is
+///             preserved exactly as for the PS/SFB paths;
+///   Receive — runs the remaining hops to completion, then averages and
+///             applies the aggregate with the worker-local optimizer.
+/// Like SFB, the optimizer is replicated: every worker folds the identical
+/// bitwise sum (collectives guarantee a rank-independent association order)
+/// through an identical SGD step, so replicas never diverge.
 #ifndef POSEIDON_SRC_POSEIDON_COLLECTIVE_SYNCER_H_
 #define POSEIDON_SRC_POSEIDON_COLLECTIVE_SYNCER_H_
 

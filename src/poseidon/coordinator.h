@@ -1,11 +1,16 @@
-// The coordinator (paper §4.1): holds the "information book" — cluster
-// configuration, model architecture, and the KV partition plan — and answers
-// Query / BestScheme requests from client libraries and KV stores.
-//
-// At construction it inspects the client program's network, flattens each
-// layer's parameters, carves them into fixed-size KV pairs and hashes the
-// pairs round-robin across server shards, "so as to partition and distribute
-// model parameters to server nodes as equally as possible".
+/// \file
+/// The coordinator (paper §4.1): holds the "information book" — cluster
+/// configuration, model architecture, and the KV partition plan — and answers
+/// Query / BestScheme requests from client libraries and KV stores.
+///
+/// At construction it inspects the client program's network, flattens each
+/// layer's parameters, carves them into fixed-size KV pairs and hashes the
+/// pairs round-robin across server shard endpoints, "so as to partition and
+/// distribute model parameters to server nodes as equally as possible". With
+/// `shards_per_server > 1` every server node hosts that many independent
+/// key-range shards (own mailbox, own apply thread); the round-robin cursor
+/// runs over the flat `num_servers * shards_per_server` endpoint space, so a
+/// large layer stripes across every endpoint in the cluster.
 #ifndef POSEIDON_SRC_POSEIDON_COORDINATOR_H_
 #define POSEIDON_SRC_POSEIDON_COORDINATOR_H_
 
@@ -20,23 +25,34 @@
 
 namespace poseidon {
 
+/// Cluster shape and consistency policy shared by every runtime component.
 struct ClusterInfo {
   int num_workers = 1;
   int num_servers = 1;
+  /// Independent key-range shards hosted per server node. Each shard owns a
+  /// disjoint subset of the KV pairs, listens on its own MessageBus endpoint
+  /// and applies updates on its own thread.
+  int shards_per_server = 1;
+  /// Bounded staleness (SSP, Ho et al. NIPS'13): a worker at clock `c` may
+  /// proceed once every update through clock `c - staleness` is applied.
+  /// 0 reproduces the paper's BSP bitwise.
+  int staleness = 0;
   int batch_per_worker = 32;
-  int64_t kv_pair_bytes = 2 * 1024 * 1024;  // paper: fixed small pairs (2 MB)
+  int64_t kv_pair_bytes = 2 * 1024 * 1024;  ///< paper: fixed small pairs (2 MB)
 };
 
-// One KV pair: a contiguous slice of a layer's flattened parameter vector,
-// owned by one server shard.
+/// One KV pair: a contiguous slice of a layer's flattened parameter vector,
+/// owned by exactly one shard endpoint (`server`, `shard`).
 struct KvPairInfo {
   int layer = 0;
-  int chunk = 0;       // index within the layer
-  int64_t offset = 0;  // float offset into the flattened layer
-  int64_t length = 0;  // floats
-  int server = 0;      // owning shard
+  int chunk = 0;       ///< index within the layer
+  int64_t offset = 0;  ///< float offset into the flattened layer
+  int64_t length = 0;  ///< floats
+  int server = 0;      ///< owning server node
+  int shard = 0;       ///< owning shard within that server
 };
 
+/// Architecture facts the coordinator records per layer.
 struct LayerInfo {
   std::string name;
   LayerType type = LayerType::kConv;
@@ -46,35 +62,52 @@ struct LayerInfo {
   std::vector<KvPairInfo> pairs;
 };
 
+/// The information book: model + cluster facts and the KV partition plan.
 class Coordinator {
  public:
-  // Builds the information book from a live network (the client program's
-  // model, discovered during network assembly).
+  /// Builds the information book from a live network (the client program's
+  /// model, discovered during network assembly).
   Coordinator(Network& net, const ClusterInfo& cluster);
 
   const ClusterInfo& cluster() const { return cluster_; }
   int num_layers() const { return static_cast<int>(layers_.size()); }
   const LayerInfo& layer(int l) const;
 
-  // Table 2 "Query": information-book lookups by property name. Supported:
-  // "n_worker", "n_server", "batchsize", "n_layer", "kv_pair_bytes".
+  /// Table 2 "Query": information-book lookups by property name. Supported:
+  /// "n_worker", "n_server", "n_shard" (per server), "staleness",
+  /// "batchsize", "n_layer", "kv_pair_bytes".
   StatusOr<int64_t> Query(const std::string& property) const;
 
-  // Table 2 / Algorithm 1 "BestScheme": the communication method for layer
-  // `l` given the current model and cluster shape.
+  /// Table 2 / Algorithm 1 "BestScheme": the communication method for layer
+  /// `l` given the current model and cluster shape.
   CommScheme BestScheme(int l) const;
   StatusOr<CommScheme> BestScheme(const std::string& layer_name) const;
 
-  // The three-way HybComm extension: PS vs SFB vs ring/tree allreduce, by
-  // minimum modeled per-node floats (see comm_cost.h BestSchemeExtended).
+  /// The three-way HybComm extension: PS vs SFB vs ring/tree allreduce, by
+  /// minimum modeled per-node floats (see comm_cost.h BestSchemeExtended).
+  /// The PS candidate is costed at the cluster's configured shard count.
   CommScheme BestSchemeExtended(int l) const;
 
-  // KV pairs of layer `l` owned by `server`.
+  /// KV pairs of layer `l` owned by `server` (all of its shards).
   std::vector<KvPairInfo> PairsOnServer(int l, int server) const;
 
-  // Total floats hosted by each server, for balance checks (the paper's
-  // motivation for fine-grained pairs).
+  /// KV pairs of layer `l` owned by endpoint (`server`, `shard`).
+  std::vector<KvPairInfo> PairsOnShard(int l, int server, int shard) const;
+
+  /// 1-bit layers move whole (their encoding is not sliceable); layer `l`'s
+  /// owning endpoint is fixed by these two functions, which the worker-side
+  /// syncer and the serving shard must agree on.
+  int OneBitOwnerServer(int l) const;
+  int OneBitOwnerShard(int l) const;
+
+  /// Total floats hosted by each server node, for balance checks (the
+  /// paper's motivation for fine-grained pairs).
   std::vector<int64_t> ServerLoadFloats() const;
+
+  /// Total floats hosted by each shard endpoint, indexed
+  /// `server * shards_per_server + shard`. Striping should keep these as
+  /// balanced as the per-server loads.
+  std::vector<int64_t> ShardLoadFloats() const;
 
  private:
   ClusterInfo cluster_;

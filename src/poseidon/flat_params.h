@@ -1,6 +1,7 @@
-// Flattened view over a layer's parameter blocks (weight, bias, ...), giving
-// the KV machinery a single contiguous float address space per layer. Layout
-// is the blocks in declaration order, concatenated.
+/// \file
+/// Flattened view over a layer's parameter blocks (weight, bias, ...), giving
+/// the KV machinery a single contiguous float address space per layer. Layout
+/// is the blocks in declaration order, concatenated.
 #ifndef POSEIDON_SRC_POSEIDON_FLAT_PARAMS_H_
 #define POSEIDON_SRC_POSEIDON_FLAT_PARAMS_H_
 
@@ -17,13 +18,13 @@ class FlatParamView {
 
   int64_t size() const { return total_; }
 
-  // Copies gradients [offset, offset+out->size()) into `out`.
+  /// Copies gradients [offset, offset+out->size()) into `out`.
   void GatherGradSlice(int64_t offset, std::vector<float>* out) const;
 
-  // Copies values [offset, offset+out->size()) into `out`.
+  /// Copies values [offset, offset+out->size()) into `out`.
   void GatherValueSlice(int64_t offset, std::vector<float>* out) const;
 
-  // Writes `data` into values at [offset, offset+data.size()).
+  /// Writes `data` into values at [offset, offset+data.size()).
   void ScatterValueSlice(int64_t offset, const std::vector<float>& data);
 
   std::vector<float> GatherValues() const;
@@ -31,7 +32,7 @@ class FlatParamView {
   void ScatterValues(const std::vector<float>& data);
 
  private:
-  // Maps a flat range to (block, intra-block offset) pieces and applies fn.
+  /// Maps a flat range to (block, intra-block offset) pieces and applies fn.
   template <typename Fn>
   void ForRange(int64_t offset, int64_t len, Fn&& fn) const;
 

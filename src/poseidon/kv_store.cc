@@ -8,40 +8,41 @@
 
 namespace poseidon {
 
-KvServer::KvServer(int server_id, const Coordinator& coordinator,
-                   const std::vector<RuntimeScheme>& schemes, Network& init_net,
-                   MessageBus* bus, const SgdConfig& sgd)
-    : id_(server_id),
+KvShard::KvShard(int server_id, int shard_id, int64_t first_iter,
+                 const Coordinator& coordinator, const std::vector<RuntimeScheme>& schemes,
+                 Network& init_net, MessageBus* bus, const SgdConfig& sgd)
+    : server_(server_id),
+      shard_(shard_id),
+      staleness_(coordinator.cluster().staleness),
       coordinator_(coordinator),
       schemes_(schemes),
       bus_(bus),
       optimizer_(sgd) {
   CHECK_NOTNULL(bus);
-  mailbox_ = bus_->Register(Address{id_, kServerPort});
+  CHECK_LT(shard_id, kMaxShardsPerServer);
+  mailbox_ = bus_->Register(ServerShardAddress(server_, shard_));
 
-  const int num_workers = coordinator_.cluster().num_workers;
-  const int num_servers = coordinator_.cluster().num_servers;
   for (int l = 0; l < coordinator_.num_layers(); ++l) {
     if (schemes_[static_cast<size_t>(l)] == RuntimeScheme::kPsDense) {
-      std::vector<KvPairInfo> owned = coordinator_.PairsOnServer(l, id_);
+      std::vector<KvPairInfo> owned = coordinator_.PairsOnShard(l, server_, shard_);
       if (owned.empty()) {
         continue;
       }
       FlatParamView view(init_net.layer(l).Params());
-      std::vector<PairState> states;
-      states.reserve(owned.size());
+      DenseLayerState state;
+      state.pairs.reserve(owned.size());
       for (const KvPairInfo& info : owned) {
-        PairState state;
-        state.info = info;
-        state.value.resize(static_cast<size_t>(info.length));
-        view.GatherValueSlice(info.offset, &state.value);
-        state.pending.assign(static_cast<size_t>(num_workers), {});
-        states.push_back(std::move(state));
+        PairState pair;
+        pair.info = info;
+        pair.value.resize(static_cast<size_t>(info.length));
+        view.GatherValueSlice(info.offset, &pair.value);
+        state.pairs.push_back(std::move(pair));
       }
-      pairs_[l] = std::move(states);
-      layer_push_count_[l] = 0;
+      state.applied_clock = first_iter - 1;
+      dense_layers_[l] = std::move(state);
     } else if (schemes_[static_cast<size_t>(l)] == RuntimeScheme::kOneBit &&
-               l % num_servers == id_) {
+               coordinator_.OneBitOwnerServer(l) == server_ &&
+               coordinator_.OneBitOwnerShard(l) == shard_) {
       const LayerInfo& info = coordinator_.layer(l);
       CHECK_GT(info.fc_m, 0) << "1-bit layers must be FC";
       OneBitLayerState state;
@@ -49,32 +50,30 @@ KvServer::KvServer(int server_id, const Coordinator& coordinator,
       state.value = view.GatherValues();
       state.rows = info.fc_m;
       state.cols = info.fc_n;
-      state.pending_enc.assign(static_cast<size_t>(num_workers), nullptr);
-      state.pending_bias.assign(static_cast<size_t>(num_workers), nullptr);
+      state.applied_clock = first_iter - 1;
       onebit_layers_[l] = std::move(state);
-      layer_push_count_[l] = 0;
     }
   }
 }
 
-KvServer::~KvServer() {
+KvShard::~KvShard() {
   if (thread_.joinable()) {
     thread_.join();
   }
 }
 
-void KvServer::Start() {
+void KvShard::Start() {
   CHECK(!thread_.joinable());
   thread_ = std::thread([this] { ServiceLoop(); });
 }
 
-void KvServer::Join() {
+void KvShard::Join() {
   if (thread_.joinable()) {
     thread_.join();
   }
 }
 
-void KvServer::ServiceLoop() {
+void KvShard::ServiceLoop() {
   while (true) {
     std::optional<Message> message = mailbox_->Pop();
     if (!message.has_value() || message->type == MessageType::kShutdown) {
@@ -88,106 +87,175 @@ void KvServer::ServiceLoop() {
         HandleOneBitPush(*message);
         break;
       default:
-        LOG(Fatal) << "server " << id_ << ": unexpected message type";
+        LOG(Fatal) << "server " << server_ << " shard " << shard_
+                   << ": unexpected message type";
     }
   }
 }
 
-void KvServer::HandleGradPush(const Message& message) {
+void KvShard::HandleGradPush(const Message& message) {
   ++pushes_processed_;
-  auto it = pairs_.find(message.layer);
-  CHECK(it != pairs_.end()) << "server " << id_ << " owns no pairs of layer "
-                            << message.layer;
-  std::vector<PairState>& states = it->second;
+  auto it = dense_layers_.find(message.layer);
+  CHECK(it != dense_layers_.end()) << "server " << server_ << " shard " << shard_
+                                   << " owns no pairs of layer " << message.layer;
+  DenseLayerState& state = it->second;
   CHECK_NOTNULL(message.chunks.get());
-  CHECK_EQ(message.chunks->size(), states.size());
+  CHECK_EQ(message.chunks->size(), state.pairs.size());
+  const int num_workers = coordinator_.cluster().num_workers;
   const int w = message.worker;
-  for (size_t p = 0; p < states.size(); ++p) {
+  const int64_t clock = message.iter;
+  CHECK_GT(clock, state.applied_clock) << "push for an already-applied clock";
+  max_push_lead_ = std::max(max_push_lead_, clock - state.applied_clock);
+
+  auto& per_worker = state.pending[clock];
+  if (per_worker.empty()) {
+    per_worker.resize(static_cast<size_t>(num_workers));
+  }
+  CHECK(per_worker[static_cast<size_t>(w)].empty()) << "duplicate push";
+  std::vector<std::vector<float>> contribution;
+  contribution.reserve(state.pairs.size());
+  for (size_t p = 0; p < state.pairs.size(); ++p) {
     const ChunkPayload& chunk = (*message.chunks)[p];
-    CHECK_EQ(chunk.offset, states[p].info.offset);
-    CHECK_EQ(static_cast<int64_t>(chunk.data.size()), states[p].info.length);
-    states[p].pending[static_cast<size_t>(w)] = chunk.data;
+    CHECK_EQ(chunk.offset, state.pairs[p].info.offset);
+    CHECK_EQ(static_cast<int64_t>(chunk.data.size()), state.pairs[p].info.length);
+    contribution.push_back(chunk.data);
   }
-  if (++layer_push_count_[message.layer] == coordinator_.cluster().num_workers) {
-    ApplyAndBroadcast(message.layer);
+  per_worker[static_cast<size_t>(w)] = std::move(contribution);
+  ++state.push_count[clock];
+  state.waiting_reads.emplace_back(w, clock);
+
+  // Apply strictly in clock order; a clock is complete once all workers'
+  // pushes arrived. (A later clock can be complete early only under s > 0.)
+  while (true) {
+    auto next = state.push_count.find(state.applied_clock + 1);
+    if (next == state.push_count.end() || next->second != num_workers) {
+      break;
+    }
+    ApplyDense(message.layer, state.applied_clock + 1);
   }
+  ReleaseDenseReads(message.layer);
 }
 
-void KvServer::ApplyAndBroadcast(int layer) {
+void KvShard::ApplyDense(int layer, int64_t clock) {
   const int num_workers = coordinator_.cluster().num_workers;
-  std::vector<PairState>& states = pairs_[layer];
-  auto reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
-  reply_chunks->reserve(states.size());
-  for (PairState& state : states) {
+  DenseLayerState& state = dense_layers_[layer];
+  const auto pending = state.pending.find(clock);
+  CHECK(pending != state.pending.end());
+  for (size_t p = 0; p < state.pairs.size(); ++p) {
+    PairState& pair = state.pairs[p];
     // Reduce in worker order for bit-deterministic results.
-    std::vector<float> grad(static_cast<size_t>(state.info.length), 0.0f);
+    std::vector<float> grad(static_cast<size_t>(pair.info.length), 0.0f);
     for (int w = 0; w < num_workers; ++w) {
-      const std::vector<float>& contribution = state.pending[static_cast<size_t>(w)];
+      const std::vector<float>& contribution = pending->second[static_cast<size_t>(w)][p];
       CHECK_EQ(contribution.size(), grad.size());
       for (size_t i = 0; i < grad.size(); ++i) {
         grad[i] += contribution[i];
       }
-      state.pending[static_cast<size_t>(w)].clear();
     }
     const float inv = 1.0f / static_cast<float>(num_workers);
     for (float& g : grad) {
       g *= inv;
     }
     const std::string key =
-        "l" + std::to_string(layer) + ".c" + std::to_string(state.info.chunk);
-    optimizer_.StepSlice(key, grad.data(), state.value.data(), state.info.length);
-
-    ChunkPayload chunk;
-    chunk.offset = state.info.offset;
-    chunk.data = state.value;
-    reply_chunks->push_back(std::move(chunk));
+        "l" + std::to_string(layer) + ".c" + std::to_string(pair.info.chunk);
+    optimizer_.StepSlice(key, grad.data(), pair.value.data(), pair.info.length);
   }
-  layer_push_count_[layer] = 0;
+  state.pending.erase(pending);
+  state.push_count.erase(clock);
+  state.applied_clock = clock;
+}
 
-  for (int w = 0; w < num_workers; ++w) {
+void KvShard::ReleaseDenseReads(int layer) {
+  DenseLayerState& state = dense_layers_[layer];
+  // One shared payload for every read released in this pass: the freshest
+  // applied values (under BSP, exactly the values clock c's apply produced).
+  std::shared_ptr<std::vector<ChunkPayload>> reply_chunks;
+  std::vector<std::pair<int, int64_t>> still_waiting;
+  for (const auto& [worker, clock] : state.waiting_reads) {
+    if (state.applied_clock < clock - staleness_) {
+      still_waiting.emplace_back(worker, clock);
+      continue;
+    }
+    if (!reply_chunks) {
+      reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
+      reply_chunks->reserve(state.pairs.size());
+      for (const PairState& pair : state.pairs) {
+        ChunkPayload chunk;
+        chunk.offset = pair.info.offset;
+        chunk.data = pair.value;
+        reply_chunks->push_back(std::move(chunk));
+      }
+    }
+    max_reply_gap_ = std::max(max_reply_gap_,
+                              std::max<int64_t>(0, clock - state.applied_clock));
     Message reply;
     reply.type = MessageType::kParamReply;
-    reply.from = Address{id_, kServerPort};
-    reply.to = Address{w, kSyncerPortBase + layer};
+    reply.from = ServerShardAddress(server_, shard_);
+    reply.to = Address{worker, kSyncerPortBase + layer};
     reply.layer = layer;
+    reply.iter = clock;
     reply.chunks = reply_chunks;
     const Status status = bus_->Send(std::move(reply));
     CHECK(status.ok()) << status.ToString();
   }
+  state.waiting_reads = std::move(still_waiting);
 }
 
-void KvServer::HandleOneBitPush(const Message& message) {
+void KvShard::HandleOneBitPush(const Message& message) {
   ++pushes_processed_;
   auto it = onebit_layers_.find(message.layer);
   CHECK(it != onebit_layers_.end());
   OneBitLayerState& state = it->second;
   CHECK_NOTNULL(message.onebit.get());
-  state.pending_enc[static_cast<size_t>(message.worker)] = message.onebit;
-  state.pending_bias[static_cast<size_t>(message.worker)] = message.bias_grad;
-  if (++layer_push_count_[message.layer] == coordinator_.cluster().num_workers) {
-    ApplyAndBroadcastOneBit(message.layer);
+  const int num_workers = coordinator_.cluster().num_workers;
+  const int w = message.worker;
+  const int64_t clock = message.iter;
+  CHECK_GT(clock, state.applied_clock) << "push for an already-applied clock";
+  max_push_lead_ = std::max(max_push_lead_, clock - state.applied_clock);
+
+  auto& enc = state.pending_enc[clock];
+  auto& bias = state.pending_bias[clock];
+  if (enc.empty()) {
+    enc.assign(static_cast<size_t>(num_workers), nullptr);
+    bias.assign(static_cast<size_t>(num_workers), nullptr);
   }
+  CHECK(enc[static_cast<size_t>(w)] == nullptr) << "duplicate push";
+  enc[static_cast<size_t>(w)] = message.onebit;
+  bias[static_cast<size_t>(w)] = message.bias_grad;
+  ++state.push_count[clock];
+  state.waiting_reads.emplace_back(w, clock);
+
+  while (true) {
+    auto next = state.push_count.find(state.applied_clock + 1);
+    if (next == state.push_count.end() || next->second != num_workers) {
+      break;
+    }
+    ApplyOneBit(message.layer, state.applied_clock + 1);
+  }
+  ReleaseOneBitReads(message.layer);
 }
 
-void KvServer::ApplyAndBroadcastOneBit(int layer) {
+void KvShard::ApplyOneBit(int layer, int64_t clock) {
   const int num_workers = coordinator_.cluster().num_workers;
   OneBitLayerState& state = onebit_layers_[layer];
   const int64_t weight_floats = state.rows * state.cols;
+  const auto enc = state.pending_enc.find(clock);
+  const auto bias = state.pending_bias.find(clock);
+  CHECK(enc != state.pending_enc.end());
+  CHECK(bias != state.pending_bias.end());
 
   // Decode and average the quantized weight gradients in worker order, then
   // the dense bias gradients.
   Tensor agg = Tensor::Zeros({state.rows, state.cols});
   std::vector<float> bias_agg(static_cast<size_t>(state.rows), 0.0f);
   for (int w = 0; w < num_workers; ++w) {
-    const Tensor dense = OneBitQuantizer::Decode(*state.pending_enc[static_cast<size_t>(w)]);
+    const Tensor dense = OneBitQuantizer::Decode(*enc->second[static_cast<size_t>(w)]);
     Axpy(1.0f, dense, &agg);
-    const std::vector<float>& bias = *state.pending_bias[static_cast<size_t>(w)];
-    CHECK_EQ(bias.size(), bias_agg.size());
-    for (size_t i = 0; i < bias.size(); ++i) {
-      bias_agg[i] += bias[i];
+    const std::vector<float>& b = *bias->second[static_cast<size_t>(w)];
+    CHECK_EQ(b.size(), bias_agg.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+      bias_agg[i] += b[i];
     }
-    state.pending_enc[static_cast<size_t>(w)] = nullptr;
-    state.pending_bias[static_cast<size_t>(w)] = nullptr;
   }
   const float inv = 1.0f / static_cast<float>(num_workers);
   Scale(inv, &agg);
@@ -198,23 +266,89 @@ void KvServer::ApplyAndBroadcastOneBit(int layer) {
   optimizer_.StepSlice(key + ".w", agg.data(), state.value.data(), weight_floats);
   optimizer_.StepSlice(key + ".b", bias_agg.data(), state.value.data() + weight_floats,
                        state.rows);
-  layer_push_count_[layer] = 0;
+  state.pending_enc.erase(enc);
+  state.pending_bias.erase(bias);
+  state.push_count.erase(clock);
+  state.applied_clock = clock;
+}
 
-  auto reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
-  ChunkPayload chunk;
-  chunk.offset = 0;
-  chunk.data = state.value;
-  reply_chunks->push_back(std::move(chunk));
-  for (int w = 0; w < num_workers; ++w) {
+void KvShard::ReleaseOneBitReads(int layer) {
+  OneBitLayerState& state = onebit_layers_[layer];
+  std::shared_ptr<std::vector<ChunkPayload>> reply_chunks;
+  std::vector<std::pair<int, int64_t>> still_waiting;
+  for (const auto& [worker, clock] : state.waiting_reads) {
+    if (state.applied_clock < clock - staleness_) {
+      still_waiting.emplace_back(worker, clock);
+      continue;
+    }
+    if (!reply_chunks) {
+      reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
+      ChunkPayload chunk;
+      chunk.offset = 0;
+      chunk.data = state.value;
+      reply_chunks->push_back(std::move(chunk));
+    }
+    max_reply_gap_ = std::max(max_reply_gap_,
+                              std::max<int64_t>(0, clock - state.applied_clock));
     Message reply;
     reply.type = MessageType::kParamReply;
-    reply.from = Address{id_, kServerPort};
-    reply.to = Address{w, kSyncerPortBase + layer};
+    reply.from = ServerShardAddress(server_, shard_);
+    reply.to = Address{worker, kSyncerPortBase + layer};
     reply.layer = layer;
+    reply.iter = clock;
     reply.chunks = reply_chunks;
     const Status status = bus_->Send(std::move(reply));
     CHECK(status.ok()) << status.ToString();
   }
+  state.waiting_reads = std::move(still_waiting);
+}
+
+KvServer::KvServer(int server_id, int64_t first_iter, const Coordinator& coordinator,
+                   const std::vector<RuntimeScheme>& schemes, Network& init_net,
+                   MessageBus* bus, const SgdConfig& sgd)
+    : id_(server_id) {
+  const int shards = coordinator.cluster().shards_per_server;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<KvShard>(server_id, s, first_iter, coordinator,
+                                                schemes, init_net, bus, sgd));
+  }
+}
+
+void KvServer::Start() {
+  for (auto& shard : shards_) {
+    shard->Start();
+  }
+}
+
+void KvServer::Join() {
+  for (auto& shard : shards_) {
+    shard->Join();
+  }
+}
+
+int64_t KvServer::pushes_processed() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->pushes_processed();
+  }
+  return total;
+}
+
+int64_t KvServer::max_push_lead() const {
+  int64_t lead = 0;
+  for (const auto& shard : shards_) {
+    lead = std::max(lead, shard->max_push_lead());
+  }
+  return lead;
+}
+
+int64_t KvServer::max_reply_gap() const {
+  int64_t gap = 0;
+  for (const auto& shard : shards_) {
+    gap = std::max(gap, shard->max_reply_gap());
+  }
+  return gap;
 }
 
 }  // namespace poseidon

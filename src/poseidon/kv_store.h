@@ -1,20 +1,38 @@
-// One KV-store shard (paper §4.1): holds its slice of the globally shared
-// parameters as fixed-size KV pairs, applies aggregated gradient updates
-// with bulk-synchronous consistency, and broadcasts fresh values.
-//
-// BSP is implemented exactly as the paper describes: every pair keeps a
-// per-iteration count of applied updates; once the count reaches the number
-// of workers, the pair's updated value is sent to all workers via the
-// shard's Send path. Gradients are folded per worker slot and reduced in
-// worker order, making the served values bit-deterministic regardless of
-// message arrival order.
+/// \file
+/// The sharded KV-store parameter server (paper §4.1, extended with
+/// key-range sharding and bounded staleness).
+///
+/// A server *node* (KvServer) hosts `shards_per_server` independent KvShard
+/// endpoints. Each shard owns a disjoint subset of the KV pairs (the
+/// coordinator's partition plan stripes every large layer across all shard
+/// endpoints in the cluster), registers its own MessageBus mailbox at
+/// {server, kServerPort + shard}, and applies updates on its own thread —
+/// so a hot layer's serve path parallelizes across apply threads instead of
+/// serializing behind one service loop.
+///
+/// Consistency is Stale Synchronous Parallel (SSP) with bound `s =
+/// ClusterInfo::staleness`:
+///   * every gradient push carries its worker's clock (iteration);
+///   * a shard buffers pushes per clock and applies clock `c`'s aggregate
+///     only when all workers' clock-`c` pushes arrived (folded per worker
+///     slot and reduced in worker order — bit-deterministic regardless of
+///     arrival order), advancing `applied_clock` strictly in clock order;
+///   * the reply to worker `w`'s clock-`c` push is released once
+///     `applied_clock >= c - s`, so no worker ever reads parameters missing
+///     an update more than `s` clocks old.
+/// With `s = 0` a reply is released exactly when clock `c` is applied:
+/// the paper's BSP, reproduced bitwise. With `s > 0` a fast worker's push
+/// is answered immediately from the freshest applied values and the worker
+/// runs ahead — at most `s + 1` clocks ahead of the slowest worker.
 #ifndef POSEIDON_SRC_POSEIDON_KV_STORE_H_
 #define POSEIDON_SRC_POSEIDON_KV_STORE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/nn/network.h"
@@ -25,52 +43,80 @@
 
 namespace poseidon {
 
-class KvServer {
+/// One key-range shard: a mailbox, an apply thread, and the master copy (and
+/// optimizer state) of every KV pair the coordinator assigned to
+/// (`server_id`, `shard_id`), plus whole-layer state for 1-bit layers this
+/// endpoint owns.
+class KvShard {
  public:
-  // `init_net` supplies initial parameter values (every worker starts from
-  // the same replica). The server owns the master copy — and the optimizer
-  // state — for every KV pair the coordinator hashed to `server_id`, plus
-  // whole-layer state for 1-bit layers it owns.
-  KvServer(int server_id, const Coordinator& coordinator,
-           const std::vector<RuntimeScheme>& schemes, Network& init_net, MessageBus* bus,
-           const SgdConfig& sgd);
-  ~KvServer();
+  /// `init_net` supplies initial parameter values (every worker starts from
+  /// the same replica). `first_iter` is the clock of the first training
+  /// iteration this run will execute (non-zero after a checkpoint restore);
+  /// the SSP clock starts at `first_iter - 1`.
+  KvShard(int server_id, int shard_id, int64_t first_iter, const Coordinator& coordinator,
+          const std::vector<RuntimeScheme>& schemes, Network& init_net, MessageBus* bus,
+          const SgdConfig& sgd);
+  ~KvShard();
 
-  KvServer(const KvServer&) = delete;
-  KvServer& operator=(const KvServer&) = delete;
+  KvShard(const KvShard&) = delete;
+  KvShard& operator=(const KvShard&) = delete;
 
-  // Spawns the service thread (Receive/Send loop).
+  /// Spawns the shard's service thread (Receive/Apply/Release loop).
   void Start();
-  // Joins after a kShutdown message has been delivered.
+  /// Joins after a kShutdown message has been delivered.
   void Join();
 
-  int id() const { return id_; }
-  // Number of gradient-push messages processed (for tests).
+  int server() const { return server_; }
+  int shard() const { return shard_; }
+
+  /// Number of gradient-push messages processed (for tests).
   int64_t pushes_processed() const { return pushes_processed_; }
+  /// Max over pushes of (push clock - applied clock at arrival): how far the
+  /// fastest worker ran ahead of the global aggregate. SSP bounds this by
+  /// staleness + 1. (Read after Join.)
+  int64_t max_push_lead() const { return max_push_lead_; }
+  /// Max over released replies of (read clock - applied clock at release):
+  /// the staleness a worker actually observed. SSP bounds this by
+  /// `staleness`; under BSP (s = 0) it is always 0. (Read after Join.)
+  int64_t max_reply_gap() const { return max_reply_gap_; }
 
  private:
   struct PairState {
     KvPairInfo info;
     std::vector<float> value;
-    std::vector<std::vector<float>> pending;  // per worker
-    int count = 0;
+  };
+  /// SSP bookkeeping for the dense pairs of one layer on this shard.
+  struct DenseLayerState {
+    std::vector<PairState> pairs;
+    /// clock -> per-worker pending contributions, one vector<float> per pair
+    /// (in pair order). Buffered until the clock's aggregate is applied.
+    std::map<int64_t, std::vector<std::vector<std::vector<float>>>> pending;
+    std::map<int64_t, int> push_count;
+    int64_t applied_clock = -1;
+    std::vector<std::pair<int, int64_t>> waiting_reads;  // (worker, clock)
   };
   struct OneBitLayerState {
     std::vector<float> value;  // whole flattened layer (weight then bias)
     int64_t rows = 0;
     int64_t cols = 0;
-    std::vector<std::shared_ptr<OneBitEncoded>> pending_enc;   // per worker
-    std::vector<std::shared_ptr<std::vector<float>>> pending_bias;
-    int count = 0;
+    std::map<int64_t, std::vector<std::shared_ptr<OneBitEncoded>>> pending_enc;
+    std::map<int64_t, std::vector<std::shared_ptr<std::vector<float>>>> pending_bias;
+    std::map<int64_t, int> push_count;
+    int64_t applied_clock = -1;
+    std::vector<std::pair<int, int64_t>> waiting_reads;
   };
 
   void ServiceLoop();
   void HandleGradPush(const Message& message);
   void HandleOneBitPush(const Message& message);
-  void ApplyAndBroadcast(int layer);
-  void ApplyAndBroadcastOneBit(int layer);
+  void ApplyDense(int layer, int64_t clock);
+  void ApplyOneBit(int layer, int64_t clock);
+  void ReleaseDenseReads(int layer);
+  void ReleaseOneBitReads(int layer);
 
-  const int id_;
+  const int server_;
+  const int shard_;
+  const int staleness_;
   const Coordinator& coordinator_;
   const std::vector<RuntimeScheme> schemes_;
   MessageBus* bus_;
@@ -78,11 +124,43 @@ class KvServer {
   std::shared_ptr<MessageBus::Mailbox> mailbox_;
   std::thread thread_;
 
-  // layer -> pairs owned by this shard; layer-level BSP push counts.
-  std::unordered_map<int, std::vector<PairState>> pairs_;
-  std::unordered_map<int, int> layer_push_count_;
+  std::unordered_map<int, DenseLayerState> dense_layers_;
   std::unordered_map<int, OneBitLayerState> onebit_layers_;
   int64_t pushes_processed_ = 0;
+  int64_t max_push_lead_ = 0;
+  int64_t max_reply_gap_ = 0;
+};
+
+/// One server node: the set of KvShard endpoints colocated on `server_id`.
+/// Kept as the trainer-facing unit so node-level concerns (start/stop,
+/// traffic accounting, colocated placement) stay in one place.
+class KvServer {
+ public:
+  KvServer(int server_id, int64_t first_iter, const Coordinator& coordinator,
+           const std::vector<RuntimeScheme>& schemes, Network& init_net, MessageBus* bus,
+           const SgdConfig& sgd);
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  /// Spawns every shard's service thread.
+  void Start();
+  /// Joins every shard (each after its kShutdown message).
+  void Join();
+
+  int id() const { return id_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const KvShard& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
+
+  /// Gradient-push messages processed across all shards (for tests).
+  int64_t pushes_processed() const;
+  /// Max push lead / observed reply staleness across shards (see KvShard).
+  int64_t max_push_lead() const;
+  int64_t max_reply_gap() const;
+
+ private:
+  const int id_;
+  std::vector<std::unique_ptr<KvShard>> shards_;
 };
 
 }  // namespace poseidon

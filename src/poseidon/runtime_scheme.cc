@@ -1,5 +1,9 @@
 #include "src/poseidon/runtime_scheme.h"
 
+#include <algorithm>
+
+#include "src/common/logging.h"
+
 namespace poseidon {
 namespace {
 
@@ -91,6 +95,28 @@ std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
     }
   }
   return schemes;
+}
+
+SyncPlan ResolveSchemesSharded(const Coordinator& coordinator, FcSyncPolicy policy,
+                               int max_shards) {
+  CHECK_GT(max_shards, 0);
+  SyncPlan plan;
+  plan.schemes = ResolveSchemes(coordinator, policy);
+  const ClusterInfo& cluster = coordinator.cluster();
+  for (int l = 0; l < coordinator.num_layers(); ++l) {
+    if (plan.schemes[static_cast<size_t>(l)] != RuntimeScheme::kPsDense) {
+      continue;
+    }
+    const LayerInfo& info = coordinator.layer(l);
+    CommCostQuery q;
+    q.m = info.type == LayerType::kFC ? info.fc_m : info.total_floats;
+    q.n = info.type == LayerType::kFC ? info.fc_n : 1;
+    q.batch_k = cluster.batch_per_worker;
+    q.num_workers = cluster.num_workers;
+    q.num_servers = cluster.num_servers;
+    plan.ps_shards = std::max(plan.ps_shards, BestPsShardCount(q, max_shards));
+  }
+  return plan;
 }
 
 }  // namespace poseidon

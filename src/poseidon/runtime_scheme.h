@@ -1,4 +1,5 @@
-// Per-layer synchronization plan for the threaded runtime.
+/// \file
+/// Per-layer synchronization plan for the threaded runtime.
 #ifndef POSEIDON_SRC_POSEIDON_RUNTIME_SCHEME_H_
 #define POSEIDON_SRC_POSEIDON_RUNTIME_SCHEME_H_
 
@@ -9,11 +10,11 @@
 
 namespace poseidon {
 
-// What the trainer is asked to do for parameter layers. Under the paper's
-// policies conv layers always use the parameter server and only FC layers
-// vary; the collective policies (ring/tree/hybrid-collective) instead apply
-// to every parameter layer, since allreduce needs no factorization.
-// Stateless layers synchronize nothing either way.
+/// What the trainer is asked to do for parameter layers. Under the paper's
+/// policies conv layers always use the parameter server and only FC layers
+/// vary; the collective policies (ring/tree/hybrid-collective) instead apply
+/// to every parameter layer, since allreduce needs no factorization.
+/// Stateless layers synchronize nothing either way.
 enum class FcSyncPolicy {
   kDense,       // full matrices through the KV store
   kSfb,         // sufficient factor broadcasting
@@ -35,9 +36,24 @@ enum class RuntimeScheme {
 
 const char* RuntimeSchemeName(RuntimeScheme scheme);
 
-// Resolves the policy against the coordinator's information book.
+/// Resolves the policy against the coordinator's information book.
 std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
                                           FcSyncPolicy policy);
+
+/// A resolved synchronization plan: the per-layer schemes plus the KV shard
+/// count per server the cost model recommends for the PS layers.
+struct SyncPlan {
+  std::vector<RuntimeScheme> schemes;
+  int ps_shards = 1;
+};
+
+/// ResolveSchemes plus shard-count selection: for every layer the plan routes
+/// through the PS, asks BestPsShardCount how many shard endpoints per server
+/// (up to `max_shards`) the multi-shard cost rows justify, and recommends the
+/// largest answer (the busiest layer sets the requirement; extra shards only
+/// add idle endpoints for smaller layers).
+SyncPlan ResolveSchemesSharded(const Coordinator& coordinator, FcSyncPolicy policy,
+                               int max_shards);
 
 }  // namespace poseidon
 

@@ -21,10 +21,16 @@ Syncer::Syncer(int worker, int layer_index, RuntimeScheme scheme,
   mailbox_ = bus_->Register(Address{worker_, kSyncerPortBase + layer_index_});
   if (scheme_ == RuntimeScheme::kPsDense) {
     const int num_servers = coordinator_.cluster().num_servers;
-    pairs_by_server_.resize(static_cast<size_t>(num_servers));
+    const int num_shards = coordinator_.cluster().shards_per_server;
     for (int s = 0; s < num_servers; ++s) {
-      pairs_by_server_[static_cast<size_t>(s)] = coordinator_.PairsOnServer(layer_index_, s);
-      total_pairs_ += static_cast<int>(pairs_by_server_[static_cast<size_t>(s)].size());
+      for (int shard = 0; shard < num_shards; ++shard) {
+        std::vector<KvPairInfo> pairs = coordinator_.PairsOnShard(layer_index_, s, shard);
+        if (pairs.empty()) {
+          continue;
+        }
+        total_pairs_ += static_cast<int>(pairs.size());
+        pairs_by_shard_.push_back({ServerShardAddress(s, shard), std::move(pairs)});
+      }
     }
   }
   if (scheme_ == RuntimeScheme::kSfb || scheme_ == RuntimeScheme::kOneBit) {
@@ -96,14 +102,10 @@ void Syncer::Send(int64_t iter) {
 }
 
 void Syncer::SendPs(int64_t iter) {
-  for (size_t s = 0; s < pairs_by_server_.size(); ++s) {
-    const std::vector<KvPairInfo>& pairs = pairs_by_server_[s];
-    if (pairs.empty()) {
-      continue;
-    }
+  for (const ShardDest& dest : pairs_by_shard_) {
     auto chunks = std::make_shared<std::vector<ChunkPayload>>();
-    chunks->reserve(pairs.size());
-    for (const KvPairInfo& pair : pairs) {
+    chunks->reserve(dest.pairs.size());
+    for (const KvPairInfo& pair : dest.pairs) {
       ChunkPayload chunk;
       chunk.offset = pair.offset;
       chunk.data.assign(staged_grads_.begin() + pair.offset,
@@ -113,7 +115,7 @@ void Syncer::SendPs(int64_t iter) {
     Message push;
     push.type = MessageType::kGradPush;
     push.from = Address{worker_, kSyncerPortBase + layer_index_};
-    push.to = Address{static_cast<int>(s), kServerPort};
+    push.to = dest.address;
     push.layer = layer_index_;
     push.worker = worker_;
     push.iter = iter;
@@ -144,11 +146,11 @@ void Syncer::SendSfb(int64_t iter) {
 }
 
 void Syncer::SendOneBit(int64_t iter) {
-  const int owner = layer_index_ % coordinator_.cluster().num_servers;
   Message push;
   push.type = MessageType::kOneBitPush;
   push.from = Address{worker_, kSyncerPortBase + layer_index_};
-  push.to = Address{owner, kServerPort};
+  push.to = ServerShardAddress(coordinator_.OneBitOwnerServer(layer_index_),
+                               coordinator_.OneBitOwnerShard(layer_index_));
   push.layer = layer_index_;
   push.worker = worker_;
   push.iter = iter;

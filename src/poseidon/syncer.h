@@ -1,13 +1,19 @@
-// Per-layer syncer (paper §4.1, Table 2): each NN layer maps one-to-one to a
-// syncer that owns its parameter synchronization. The syncer exposes the
-// paper's three APIs:
-//   Move    — staging between "GPU" and host memory plus SF/gradient
-//             transformations and update application (in-process, the
-//             staging is a flatten/scatter pass);
-//   Send    — non-blocking push of the layer's updates, using the scheme the
-//             coordinator selected;
-//   Receive — blocks until fresh parameters (PS) or all peers' sufficient
-//             factors (SFB) have arrived, then applies them.
+/// \file
+/// Per-layer syncer (paper §4.1, Table 2): each NN layer maps one-to-one to
+/// a syncer that owns its parameter synchronization. The syncer exposes the
+/// paper's three APIs:
+///   Move    — staging between "GPU" and host memory plus SF/gradient
+///             transformations and update application (in-process, the
+///             staging is a flatten/scatter pass);
+///   Send    — non-blocking push of the layer's updates, using the scheme
+///             the coordinator selected;
+///   Receive — blocks until fresh parameters (PS) or all peers' sufficient
+///             factors (SFB) have arrived, then applies them.
+///
+/// On the PS path the layer's KV pairs are grouped by destination shard
+/// endpoint at construction; Send coalesces each endpoint's pairs into one
+/// kGradPush message (request coalescing), so a layer striped over E shard
+/// endpoints costs E messages per iteration, not one per pair.
 #ifndef POSEIDON_SRC_POSEIDON_SYNCER_H_
 #define POSEIDON_SRC_POSEIDON_SYNCER_H_
 
@@ -27,8 +33,8 @@ namespace poseidon {
 
 class Syncer {
  public:
-  // `local_optimizer` applies SFB updates on the worker (shared across this
-  // worker's syncers; may be null for PS-only layers).
+  /// `local_optimizer` applies SFB updates on the worker (shared across this
+  /// worker's syncers; may be null for PS-only layers).
   Syncer(int worker, int layer_index, RuntimeScheme scheme, const Coordinator& coordinator,
          MessageBus* bus, Layer* layer, SgdOptimizer* local_optimizer);
 
@@ -37,17 +43,17 @@ class Syncer {
 
   RuntimeScheme scheme() const { return scheme_; }
 
-  // Move(GPU2CPU): stages gradients (or extracts sufficient factors) out of
-  // the layer into send buffers.
+  /// Move(GPU2CPU): stages gradients (or extracts sufficient factors) out of
+  /// the layer into send buffers.
   void MoveOut();
 
-  // Non-blocking send of the staged updates for iteration `iter`.
+  /// Non-blocking send of the staged updates for iteration `iter`.
   void Send(int64_t iter);
 
-  // Blocks until iteration `iter`'s synchronization completes, then
-  // Move(CPU2GPU): writes fresh parameters back (PS/1-bit) or reconstructs +
-  // applies the aggregate gradient locally (SFB). SF broadcasts from peers
-  // running one iteration ahead are deferred, not lost.
+  /// Blocks until iteration `iter`'s synchronization completes, then
+  /// Move(CPU2GPU): writes fresh parameters back (PS/1-bit) or reconstructs +
+  /// applies the aggregate gradient locally (SFB). SF broadcasts from peers
+  /// running one iteration ahead are deferred, not lost.
   void Receive(int64_t iter);
 
  private:
@@ -69,8 +75,13 @@ class Syncer {
 
   FlatParamView view_;
   std::shared_ptr<MessageBus::Mailbox> mailbox_;
-  // Pairs grouped by owning server, fixed at construction.
-  std::vector<std::vector<KvPairInfo>> pairs_by_server_;
+  /// One coalesced push per destination shard endpoint, fixed at
+  /// construction.
+  struct ShardDest {
+    Address address;
+    std::vector<KvPairInfo> pairs;
+  };
+  std::vector<ShardDest> pairs_by_shard_;
   int total_pairs_ = 0;
 
   std::vector<float> staged_grads_;                 // PS path

@@ -1,5 +1,6 @@
 #include "src/poseidon/trainer.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "src/common/logging.h"
@@ -30,17 +31,29 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
     }
   }
 
+  CHECK_GE(options_.shards_per_server, 0);
+  CHECK_GE(options_.staleness, 0);
   ClusterInfo cluster;
   cluster.num_workers = options_.num_workers;
   cluster.num_servers = options_.num_servers;
+  cluster.shards_per_server = std::max(1, options_.shards_per_server);
+  cluster.staleness = options_.staleness;
   cluster.batch_per_worker = options_.batch_per_worker;
   cluster.kv_pair_bytes = options_.kv_pair_bytes;
   coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+  if (options_.shards_per_server == 0) {
+    // Auto-sharding: let the multi-shard cost rows size the shard pool, then
+    // repartition the KV pairs over the chosen endpoint space.
+    const SyncPlan plan =
+        ResolveSchemesSharded(*coordinator_, options_.fc_policy, kMaxAutoShards);
+    cluster.shards_per_server = plan.ps_shards;
+    coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+  }
   schemes_ = ResolveSchemes(*coordinator_, options_.fc_policy);
 
   for (int s = 0; s < options_.num_servers; ++s) {
-    servers_.push_back(std::make_unique<KvServer>(s, *coordinator_, schemes_, *init_net_,
-                                                  bus_.get(), options_.sgd));
+    servers_.push_back(std::make_unique<KvServer>(s, next_iter_, *coordinator_, schemes_,
+                                                  *init_net_, bus_.get(), options_.sgd));
   }
   for (int w = 0; w < options_.num_workers; ++w) {
     clients_.push_back(std::make_unique<ClientLibrary>(
@@ -60,12 +73,14 @@ void PoseidonTrainer::Shutdown() {
   }
   shut_down_ = true;
   for (auto& server : servers_) {
-    Message shutdown;
-    shutdown.type = MessageType::kShutdown;
-    shutdown.from = Address{0, kSyncerPortBase};
-    shutdown.to = Address{server->id(), kServerPort};
-    const Status status = bus_->Send(std::move(shutdown));
-    CHECK(status.ok()) << status.ToString();
+    for (int shard = 0; shard < server->num_shards(); ++shard) {
+      Message shutdown;
+      shutdown.type = MessageType::kShutdown;
+      shutdown.from = Address{0, kSyncerPortBase};
+      shutdown.to = ServerShardAddress(server->id(), shard);
+      const Status status = bus_->Send(std::move(shutdown));
+      CHECK(status.ok()) << status.ToString();
+    }
   }
   for (auto& server : servers_) {
     server->Join();
@@ -132,6 +147,10 @@ LossResult PoseidonTrainer::EvaluateTest(const SyntheticDataset& dataset) {
 
 Status PoseidonTrainer::SaveCheckpointTo(const std::string& path) {
   return SaveCheckpoint(worker_net(0), next_iter_, path);
+}
+
+int PoseidonTrainer::shards_per_server() const {
+  return coordinator_->cluster().shards_per_server;
 }
 
 Network& PoseidonTrainer::worker_net(int w) {

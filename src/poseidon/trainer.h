@@ -1,12 +1,13 @@
-// PoseidonTrainer: end-to-end distributed data-parallel training inside one
-// process — W worker threads each driving an identical network replica
-// through paper Algorithm 2, S KV-store shard threads, and a coordinator —
-// wired together by the in-process message bus.
-//
-// This is the executable counterpart of the paper's §4: it runs real
-// gradients through the real protocols (dense PS, SFB, HybComm, 1-bit), so
-// statistical experiments (Fig 9b, Fig 11) and BSP-consistency tests measure
-// the true algorithms rather than a model of them.
+/// \file
+/// PoseidonTrainer: end-to-end distributed data-parallel training inside one
+/// process — W worker threads each driving an identical network replica
+/// through paper Algorithm 2, S KV-store shard threads, and a coordinator —
+/// wired together by the in-process message bus.
+///
+/// This is the executable counterpart of the paper's §4: it runs real
+/// gradients through the real protocols (dense PS, SFB, HybComm, 1-bit), so
+/// statistical experiments (Fig 9b, Fig 11) and BSP-consistency tests measure
+/// the true algorithms rather than a model of them.
 #ifndef POSEIDON_SRC_POSEIDON_TRAINER_H_
 #define POSEIDON_SRC_POSEIDON_TRAINER_H_
 
@@ -27,22 +28,35 @@
 
 namespace poseidon {
 
-// Builds one network replica. Called once per worker plus once for server
-// initialization; must be deterministic so all replicas start identical.
+/// Builds one network replica. Called once per worker plus once for server
+/// initialization; must be deterministic so all replicas start identical.
 using NetworkFactory = std::function<std::unique_ptr<Network>()>;
 
 struct TrainerOptions {
   int num_workers = 2;
-  int num_servers = 2;        // colocated shards; may differ from workers
+  int num_servers = 2;        // colocated server nodes; may differ from workers
+  /// Key-range KV shards hosted per server node, each with its own mailbox
+  /// and apply thread. 0 = auto: let the multi-shard cost rows pick (up to
+  /// kMaxAutoShards) from the model's largest PS layer.
+  int shards_per_server = 1;
+  /// SSP staleness bound: workers may run up to this many iterations ahead
+  /// of the slowest worker's applied updates. 0 = the paper's BSP (bitwise
+  /// identical to the pre-SSP runtime). With staleness > 0 worker replicas
+  /// legitimately diverge while training (each reads a different snapshot),
+  /// so per-iteration replica-identity invariants only hold at 0.
+  int staleness = 0;
   int batch_per_worker = 16;
   SgdConfig sgd;
   FcSyncPolicy fc_policy = FcSyncPolicy::kHybrid;
   int64_t kv_pair_bytes = 2 * 1024 * 1024;
   int syncer_threads = 2;     // client-library pool size per worker
-  // When non-empty, parameters and the iteration cursor are restored from
-  // this checkpoint before the KV shards are initialized.
+  /// When non-empty, parameters and the iteration cursor are restored from
+  /// this checkpoint before the KV shards are initialized.
   std::string restore_path;
 };
+
+/// Upper bound for shards_per_server = 0 (auto) selection.
+inline constexpr int kMaxAutoShards = 8;
 
 struct IterationStats {
   int64_t iter = 0;
@@ -58,15 +72,19 @@ class PoseidonTrainer {
   PoseidonTrainer(const PoseidonTrainer&) = delete;
   PoseidonTrainer& operator=(const PoseidonTrainer&) = delete;
 
-  // Runs `iterations` BSP iterations over `dataset`; returns per-iteration
-  // training stats. May be called repeatedly (training continues).
+  /// Runs `iterations` BSP iterations over `dataset`; returns per-iteration
+  /// training stats. May be called repeatedly (training continues).
   std::vector<IterationStats> Train(const SyntheticDataset& dataset, int iterations);
 
-  // Evaluates worker 0's replica (replicas are identical under BSP).
+  /// Evaluates worker 0's replica (replicas are identical under BSP; under
+  /// SSP staleness > 0 this is one of several legitimate snapshots).
   LossResult EvaluateTest(const SyntheticDataset& dataset);
 
-  // Persists the current parameters and iteration cursor (call between
-  // Train() invocations; replicas are quiescent and identical then).
+  /// Persists the current parameters and iteration cursor (call between
+  /// Train() invocations; replicas are quiescent, and identical under BSP).
+  /// Under SSP (staleness > 0) this saves worker 0's snapshot, which may be
+  /// missing up to `staleness` applied updates — a restored run resumes
+  /// from that snapshot on every replica and KV master copy.
   Status SaveCheckpointTo(const std::string& path);
 
   int64_t next_iter() const { return next_iter_; }
@@ -75,6 +93,9 @@ class PoseidonTrainer {
   const Coordinator& coordinator() const { return *coordinator_; }
   const std::vector<RuntimeScheme>& schemes() const { return schemes_; }
   MessageBus& bus() { return *bus_; }
+  /// The shard count actually in use (resolved when shards_per_server = 0).
+  int shards_per_server() const;
+  const KvServer& server(int s) const { return *servers_[static_cast<size_t>(s)]; }
 
  private:
   void Shutdown();

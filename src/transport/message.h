@@ -18,8 +18,10 @@
 
 namespace poseidon {
 
-// Transport-level address. Servers listen on {node, kServerPort}; each
-// worker-side syncer has a mailbox at {node, kSyncerPortBase + layer}.
+// Transport-level address. Server shard s listens on {node, kServerPort + s}
+// (ports [0, kSyncerPortBase) are reserved for shard endpoints, so a server
+// node can host up to 1000 key-range shards); each worker-side syncer has a
+// mailbox at {node, kSyncerPortBase + layer}.
 struct Address {
   int node = 0;
   int port = 0;
@@ -31,6 +33,12 @@ struct Address {
 
 inline constexpr int kServerPort = 0;
 inline constexpr int kSyncerPortBase = 1000;
+inline constexpr int kMaxShardsPerServer = kSyncerPortBase;  // shard port space
+
+// The mailbox address of shard `shard` on server node `server`.
+inline Address ServerShardAddress(int server, int shard) {
+  return Address{server, kServerPort + shard};
+}
 // Collective-communication mailboxes live in their own port space so a
 // layer's collective participant never collides with its PS-style syncer
 // mailbox: {node, kCollectivePortBase + tag} where tag is the layer index.

@@ -20,6 +20,7 @@ struct SweepCase {
   FcSyncPolicy policy;
   int64_t kv_bytes;
   int threads;
+  int shards = 1;  // KV shard endpoints per server (0 = auto)
 };
 
 std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
@@ -49,7 +50,8 @@ std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
       break;
   }
   return "w" + std::to_string(c.workers) + "s" + std::to_string(c.servers) + policy + "kv" +
-         std::to_string(c.kv_bytes) + "t" + std::to_string(c.threads);
+         std::to_string(c.kv_bytes) + "t" + std::to_string(c.threads) +
+         (c.shards != 1 ? "sh" + std::to_string(c.shards) : "");
 }
 
 class TrainerSweepTest : public ::testing::TestWithParam<SweepCase> {};
@@ -85,6 +87,7 @@ TEST_P(TrainerSweepTest, ConvergesConsistentlyAndDeterministically) {
   TrainerOptions options;
   options.num_workers = param.workers;
   options.num_servers = param.servers;
+  options.shards_per_server = param.shards;
   options.batch_per_worker = 6;
   options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
   options.fc_policy = param.policy;
@@ -125,7 +128,12 @@ INSTANTIATE_TEST_SUITE_P(
         SweepCase{3, 3, FcSyncPolicy::kTreeAllreduce, 2048, 2},
         SweepCase{8, 4, FcSyncPolicy::kTreeAllreduce, 512, 2},
         SweepCase{4, 4, FcSyncPolicy::kHybridCollective, 1024, 3},
-        SweepCase{8, 8, FcSyncPolicy::kHybridCollective, 2048, 2}),
+        SweepCase{8, 8, FcSyncPolicy::kHybridCollective, 2048, 2},
+        SweepCase{3, 2, FcSyncPolicy::kDense, 512, 2, /*shards=*/3},
+        SweepCase{4, 4, FcSyncPolicy::kHybrid, 128, 3, /*shards=*/2},
+        SweepCase{4, 2, FcSyncPolicy::kOneBit, 2048, 2, /*shards=*/4},
+        SweepCase{5, 3, FcSyncPolicy::kHybrid, 1024, 4, /*shards=*/0},  // auto
+        SweepCase{2, 4, FcSyncPolicy::kDense, 256, 1, /*shards=*/8}),
     CaseName);
 
 }  // namespace
