@@ -111,11 +111,18 @@ void CostTablePart(const std::vector<int>& workers) {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& bandwidths) {
-  const std::vector<SystemConfig> systems = {
+void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& bandwidths,
+                  bool batch_egress) {
+  std::vector<SystemConfig> systems = {
       CaffePlusWfbp(),       SfbOnlySystem(),       PoseidonSystem(),
       RingAllreduceSystem(), TreeAllreduceSystem(), HybridCollectiveSystem(),
   };
+  for (SystemConfig& system : systems) {
+    system.batch_egress = batch_egress;
+    if (batch_egress) {
+      system.name += "-be";
+    }
+  }
   for (const char* name : {"resnet-152", "vgg19-22k"}) {
     const ModelSpec model = ModelByName(name).value();
     for (double gbps : bandwidths) {
@@ -147,6 +154,13 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
       std::printf("  %s x%d", scheme.c_str(), count);
     }
     std::printf("\n\n");
+    if (batch_egress) {
+      std::printf("%s\n",
+                  FormatBatchAblation("Egress-batcher ablation: ring allreduce", model,
+                                      RingAllreduceSystem(), nodes, cluster.nic_gbps,
+                                      Engine::kCaffe)
+                      .c_str());
+    }
   }
 }
 
@@ -157,6 +171,6 @@ int main(int argc, char** argv) {
   const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
   const std::vector<int> nodes = args.NodesOr({2, 4, 8, 16, 32, 64});
   poseidon::CostTablePart(nodes);
-  poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}));
+  poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}), args.batch_egress);
   return 0;
 }

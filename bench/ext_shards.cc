@@ -111,7 +111,8 @@ void CostTablePart(const std::vector<int>& workers, const std::vector<int>& shar
 }
 
 void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& bandwidths,
-                  const std::vector<int>& shards, const std::vector<int>& staleness) {
+                  const std::vector<int>& shards, const std::vector<int>& staleness,
+                  bool batch_egress) {
   std::vector<SystemConfig> systems;
   for (int s : shards) {
     systems.push_back(ShardedPsSystem(s, /*staleness=*/0));
@@ -122,6 +123,12 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
     }
   }
   systems.push_back(PoseidonSystem());
+  for (SystemConfig& system : systems) {
+    system.batch_egress = batch_egress;
+    if (batch_egress) {
+      system.name += "-be";
+    }
+  }
 
   const ModelSpec model = ModelByName("vgg19").value();
   for (double gbps : bandwidths) {
@@ -131,6 +138,12 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
                   "Sharded PS / SSP extension: %s @ %.0f GbE (Caffe engine)",
                   model.name.c_str(), gbps);
     std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
+  }
+  if (batch_egress) {
+    std::printf("%s\n", FormatBatchAblation("Egress-batcher ablation: sharded PS", model,
+                                            ShardedPsSystem(shards.back(), 0), nodes,
+                                            bandwidths.front(), Engine::kCaffe)
+                            .c_str());
   }
 }
 
@@ -171,7 +184,8 @@ int main(int argc, char** argv) {
   const std::vector<int> staleness = args.fast ? std::vector<int>{0, 1}
                                                : std::vector<int>{0, 1, 3};
   poseidon::CostTablePart(nodes, shards);
-  poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}), shards, staleness);
+  poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}), shards, staleness,
+                         args.batch_egress);
   poseidon::StragglerPart(nodes, args.GbpsOr({10.0, 40.0}).front(), staleness);
   return 0;
 }

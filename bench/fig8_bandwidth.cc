@@ -32,9 +32,17 @@ void Run(const BenchArgs& args) {
   SystemConfig poseidon_sys = PoseidonSystem();
   ps.shards_per_server = shards;
   poseidon_sys.shards_per_server = shards;
+  // --batch-egress: same-destination wire messages share one frame (the
+  // transport's egress batcher, modeled); ablation table printed below.
+  ps.batch_egress = args.batch_egress;
+  poseidon_sys.batch_egress = args.batch_egress;
   if (shards > 1) {
     ps.name += "-s" + std::to_string(shards);
     poseidon_sys.name += "-s" + std::to_string(shards);
+  }
+  if (args.batch_egress) {
+    ps.name += "-be";
+    poseidon_sys.name += "-be";
   }
   const std::vector<Config> configs = {
       {"googlenet", {2.0, 5.0, 10.0}},
@@ -50,6 +58,13 @@ void Run(const BenchArgs& args) {
       std::snprintf(title, sizeof(title), "Fig 8: %s @ %.0f GbE (Caffe engine)",
                     model.name.c_str(), gbps);
       std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
+    }
+    if (args.batch_egress) {
+      std::printf("%s\n",
+                  FormatBatchAblation("Egress-batcher ablation: " + model.name, model, ps,
+                                      nodes, args.GbpsOr(config.gbps).front(),
+                                      Engine::kCaffe)
+                      .c_str());
     }
   }
 }

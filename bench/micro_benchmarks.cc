@@ -5,12 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
+#include "src/nn/builders.h"
+#include "src/poseidon/trainer.h"
 #include "src/sim/fabric.h"
 #include "src/sim/simulator.h"
 #include "src/tensor/onebit.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/sufficient_factor.h"
 #include "src/transport/bus.h"
+#include "src/transport/codec.h"
 
 namespace poseidon {
 namespace {
@@ -110,26 +113,169 @@ void BM_BusRoundTrip(benchmark::State& state) {
   MessageBus bus(2);
   auto server = bus.Register(Address{1, kServerPort});
   auto client = bus.Register(Address{0, kSyncerPortBase});
+  Payload grads = Payload::Allocate(1024);
   for (auto _ : state) {
     Message m;
     m.type = MessageType::kGradPush;
     m.from = Address{0, kSyncerPortBase};
     m.to = Address{1, kServerPort};
-    m.chunks = std::make_shared<std::vector<ChunkPayload>>(1);
-    (*m.chunks)[0].data.assign(1024, 1.0f);
+    m.chunks.push_back({0, grads.View()});
     benchmark::DoNotOptimize(bus.Send(std::move(m)));
     auto received = server->Pop();
     Message reply;
     reply.type = MessageType::kParamReply;
     reply.from = Address{1, kServerPort};
     reply.to = Address{0, kSyncerPortBase};
-    reply.chunks = received->chunks;
+    reply.chunks = received->chunks;  // zero-copy: same slab back
     benchmark::DoNotOptimize(bus.Send(std::move(reply)));
     benchmark::DoNotOptimize(client->Pop());
   }
   state.SetBytesProcessed(state.iterations() * 1024 * 4 * 2);
 }
 BENCHMARK(BM_BusRoundTrip);
+
+// ------------------------------------------------------------- wire path ----
+//
+// End-to-end accounting for the zero-copy wire layer: floats staged, staging
+// copies, and wire messages per training iteration, per scheme, with and
+// without egress batching (arg 1 = batched). Counters:
+//   floats/iter   measured staging-copy floats per iteration (WireCopyStats)
+//   copies/iter   measured staging-copy operations per iteration
+//   msgs/iter     wire frames per iteration (a delivered batch counts once)
+//   logical/iter  pre-batching message count per iteration
+//   before_floats pre-refactor copy model for the same run (see below)
+//   copy_reduction before_floats / floats-per-iter
+//
+// Pre-refactor PS copy model: per iteration the old wire path staged each of
+// the W workers' T layer floats (1) into a host buffer, (2) into per-pair
+// chunk vectors, and (3) into the server's pending buffers, then built one
+// reply payload (T) and scattered it on each worker (W*T): (4W+1)*T floats.
+// The zero-copy path keeps only the two end staging moves (gather+scatter,
+// 2WT), so the modeled reduction is (4W+1)/(2W) ≈ 2.25x at W=2 — the ≥2x
+// acceptance bar for this refactor.
+
+struct WirePathCounters {
+  double floats_per_iter = 0.0;
+  double copies_per_iter = 0.0;
+  double msgs_per_iter = 0.0;
+  double logical_per_iter = 0.0;
+  double model_floats = 0.0;  // total trainable floats, from the model itself
+};
+
+WirePathCounters RunWirePath(FcSyncPolicy policy, int workers, int hidden_layers,
+                             bool batch, int iters) {
+  DatasetConfig data;
+  data.num_classes = 3;
+  data.channels = 1;
+  data.height = 8;
+  data.width = 8;
+  data.train_size = 96;
+  data.seed = 7;
+  SyntheticDataset dataset(data);
+  NetworkFactory factory = [hidden_layers] {
+    Rng rng(13);
+    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/24, hidden_layers, /*classes=*/3,
+                    rng);
+  };
+  TrainerOptions options;
+  options.num_workers = workers;
+  options.num_servers = 2;
+  options.batch_per_worker = 4;
+  options.fc_policy = policy;
+  options.kv_pair_bytes = 1024;
+  options.batch_egress = batch;
+  PoseidonTrainer trainer(factory, options);
+
+  trainer.Train(dataset, 2);  // warm up staging slabs
+  trainer.bus().FlushEgress();
+  WireCopyStats::Reset();
+  trainer.bus().ResetTraffic();
+  trainer.Train(dataset, iters);
+  trainer.bus().FlushEgress();
+
+  WirePathCounters counters;
+  for (auto& layer_params : trainer.worker_net(0).LayerParams()) {
+    for (ParamBlock& p : layer_params) {
+      counters.model_floats += static_cast<double>(p.value->size());
+    }
+  }
+  counters.floats_per_iter = static_cast<double>(WireCopyStats::Floats()) / iters;
+  counters.copies_per_iter = static_cast<double>(WireCopyStats::Copies()) / iters;
+  for (int64_t m : trainer.bus().TxMessages()) {
+    counters.msgs_per_iter += static_cast<double>(m) / iters;
+  }
+  for (int64_t e : trainer.bus().TxEntries()) {
+    counters.logical_per_iter += static_cast<double>(e) / iters;
+  }
+  return counters;
+}
+
+void WirePathBench(benchmark::State& state, FcSyncPolicy policy, int hidden_layers) {
+  const bool batch = state.range(0) != 0;
+  const int workers = 2;
+  WirePathCounters counters;
+  for (auto _ : state) {
+    counters = RunWirePath(policy, workers, hidden_layers, batch, /*iters=*/4);
+  }
+  state.counters["floats/iter"] = counters.floats_per_iter;
+  state.counters["copies/iter"] = counters.copies_per_iter;
+  state.counters["msgs/iter"] = counters.msgs_per_iter;
+  state.counters["logical/iter"] = counters.logical_per_iter;
+  if (policy == FcSyncPolicy::kDense) {
+    // Pre-refactor model (see comment above), anchored on the model's own
+    // parameter count T so the ratio is a real measurement: the old path
+    // staged (4W+1)T floats per iteration; the measured counter should be
+    // the two end moves, 2WT. A regression that adds staging copies shows
+    // up as a falling copy_reduction.
+    const double before = (4.0 * workers + 1.0) * counters.model_floats;
+    state.counters["before_floats"] = before;
+    state.counters["copy_reduction"] = before / counters.floats_per_iter;
+  }
+}
+
+// 20-layer MLP on the PS path: the batcher's headline case.
+void BM_WirePathPs20Layer(benchmark::State& state) {
+  WirePathBench(state, FcSyncPolicy::kDense, /*hidden_layers=*/18);
+}
+BENCHMARK(BM_WirePathPs20Layer)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_WirePathSfb(benchmark::State& state) {
+  WirePathBench(state, FcSyncPolicy::kSfb, /*hidden_layers=*/2);
+}
+BENCHMARK(BM_WirePathSfb)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_WirePathOneBit(benchmark::State& state) {
+  WirePathBench(state, FcSyncPolicy::kOneBit, /*hidden_layers=*/2);
+}
+BENCHMARK(BM_WirePathOneBit)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Codec round trips in isolation (encode + decode, no trainer).
+void BM_CodecSfRoundTrip(benchmark::State& state) {
+  Rng rng(5);
+  Tensor errors = Tensor::RandomUniform({32, 256}, -1.0f, 1.0f, rng);
+  Tensor inputs = Tensor::RandomUniform({32, 512}, -1.0f, 1.0f, rng);
+  const SufficientFactors factors = MakeSufficientFactors(errors, inputs);
+  Tensor out({256, 512});
+  for (auto _ : state) {
+    Payload frame = SufficientFactorCodec::Encode(factors, nullptr, 0);
+    benchmark::DoNotOptimize(SufficientFactorCodec::DecodeReconstruct(frame.View(), &out));
+  }
+  state.SetBytesProcessed(state.iterations() * 256 * 512 * 4);
+}
+BENCHMARK(BM_CodecSfRoundTrip);
+
+void BM_CodecOneBitRoundTrip(benchmark::State& state) {
+  Rng rng(6);
+  Tensor grad = Tensor::RandomUniform({256, 256}, -1.0f, 1.0f, rng);
+  OneBitQuantizer quantizer;
+  Tensor out;
+  for (auto _ : state) {
+    Payload frame = OneBitCodec::Encode(grad, &quantizer, nullptr, 0);
+    benchmark::DoNotOptimize(OneBitCodec::DecodeDense(frame.View(), &out));
+  }
+  state.SetBytesProcessed(state.iterations() * 256 * 256 * 4);
+}
+BENCHMARK(BM_CodecOneBitRoundTrip);
 
 }  // namespace
 }  // namespace poseidon

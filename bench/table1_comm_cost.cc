@@ -8,6 +8,7 @@
 #include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/comm_cost.h"
+#include "src/transport/bus.h"
 
 namespace poseidon {
 namespace {
@@ -53,6 +54,32 @@ void Run(const BenchArgs& args) {
   PrintCostRow(&table, {1000, 1024, 128, 4, 4, shards});
   PrintCostRow(&table, {1000, 1024, 128, 16, 16, shards});
   std::printf("%s\n", table.ToString().c_str());
+
+  if (args.batch_egress) {
+    // Wire-message companion to the float-cost table: per iteration a
+    // worker's PS path sends one push per (layer, shard endpoint). The
+    // egress batcher keys frames on the destination *node* — all of a
+    // server's shard endpoints share frames — and cuts a frame every
+    // max_batch_messages (default 16) entries, so the per-worker egress
+    // drops from L*P2*S messages to P2 * ceil(L*S / max_batch_messages).
+    // (Assumes pushes small enough that the byte cut does not bite; huge
+    // layers cut frames earlier and land between the two columns.)
+    const int kMaxBatchMessages = EgressBatchOptions{}.max_batch_messages;
+    std::printf("Egress batching (modeled): per-worker PS push messages per iteration\n");
+    TextTable msgs({"layers", "servers", "shards", "msgs", "msgs(batched)", "reduction"});
+    for (int layers : {8, 20, 50}) {
+      for (int servers : {8, 16}) {
+        const int plain = layers * servers * shards;
+        const int batched =
+            servers * ((layers * shards + kMaxBatchMessages - 1) / kMaxBatchMessages);
+        msgs.AddRow({std::to_string(layers), std::to_string(servers),
+                     std::to_string(shards), std::to_string(plain),
+                     std::to_string(batched),
+                     TextTable::Num(static_cast<double>(plain) / batched, 1) + "x"});
+      }
+    }
+    std::printf("%s\n", msgs.ToString().c_str());
+  }
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include "src/cluster/protocol_sim.h"
 
+#include "src/transport/bus.h"
+
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <unordered_map>
 
 #include "src/collective/topology.h"
 #include "src/common/logging.h"
@@ -287,6 +290,8 @@ class ProtocolSim {
       }
     }
     iter_start_.assign(total_iters_, -1.0);
+    wire_msgs_.assign(num_nodes_, 0);
+    logical_msgs_.assign(num_nodes_, 0);
     node_busy_at_begin_.assign(num_nodes_, 0.0);
     node_busy_at_end_.assign(num_nodes_, 0.0);
   }
@@ -336,6 +341,21 @@ class ProtocolSim {
     if (n == 0) {
       CHECK_LT(node.iter, total_iters_);
       iter_start_[node.iter] = sim_.Now();
+      // Frame groups of long-finished iterations can never match again
+      // (keys embed the iteration); prune them so the map stays bounded.
+      const int64_t done_iter =
+          static_cast<int64_t>(node.iter) - system_.staleness - 2;
+      if (system_.batch_egress && done_iter > 0) {
+        const int64_t cutoff =
+            done_iter * 4096 * num_nodes_ * num_nodes_;
+        for (auto it = frame_groups_.begin(); it != frame_groups_.end();) {
+          if (it->first < cutoff) {
+            it = frame_groups_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
       if (node.iter == options_.warmup_iters) {
         SnapshotTraffic(&traffic_begin_);
         for (int i = 0; i < num_nodes_; ++i) {
@@ -445,6 +465,55 @@ class ProtocolSim {
     sim_.ScheduleAt(finish, std::move(done));
   }
 
+  // All modeled wire traffic funnels through here so framing overhead and
+  // message counts mirror the real transport (src/transport/message.h):
+  // every message pays kWireFrameBytes, unless egress batching is on, in
+  // which case same-(src, dst, iter) messages share one frame and pay only
+  // the per-entry header after the first.
+  // `frame_tag` separates sends that can never share a frame in the real
+  // batcher because they are causally ordered (e.g. successive ring hops:
+  // hop s+1 is only produced after hop s was received, so only same-step
+  // hops of different layers coalesce). Frames are cut by the same
+  // message-count and byte thresholds as the real batcher (its defaults),
+  // so large layers that overflow max_batch_bytes get no modeled merging
+  // the transport could not deliver.
+  void WireSend(int src, int dst, double payload_bytes, int iter,
+                std::function<void()> done, int frame_tag = 0) {
+    if (src == dst) {
+      // Loopback: the real bus bypasses the NIC for local traffic and
+      // excludes it from framing and message accounting; mirror that.
+      fabric_->Send(src, dst, payload_bytes, std::move(done));
+      return;
+    }
+    double framed = payload_bytes;
+    if (system_.batch_egress) {
+      static const EgressBatchOptions kModeledBatch;  // the real defaults
+      const int64_t key =
+          ((static_cast<int64_t>(iter) * 4096 + frame_tag) * num_nodes_ + src) *
+              num_nodes_ +
+          dst;
+      FrameGroup& group = frame_groups_[key];
+      framed += static_cast<double>(kBatchEntryHeaderBytes);
+      if (group.entries == 0) {
+        // First entry of a (possibly continuation) frame: pay the frame
+        // header, count one wire message.
+        framed += static_cast<double>(kWireFrameBytes);
+        ++wire_msgs_[static_cast<size_t>(src)];
+      }
+      ++group.entries;
+      group.bytes += static_cast<double>(kBatchEntryHeaderBytes) + payload_bytes;
+      if (group.entries >= kModeledBatch.max_batch_messages ||
+          group.bytes >= static_cast<double>(kModeledBatch.max_batch_bytes)) {
+        group = FrameGroup{};  // frame cut; the next send opens a new one
+      }
+    } else {
+      framed += static_cast<double>(kWireFrameBytes);
+      ++wire_msgs_[static_cast<size_t>(src)];
+    }
+    ++logical_msgs_[static_cast<size_t>(src)];
+    fabric_->Send(src, dst, framed, std::move(done));
+  }
+
   void LaunchLayerSync(int n, int layer, int iter) {
     const LayerWire& wire = wires_[layer];
     double pre = wire.local_reduce_s;
@@ -472,13 +541,14 @@ class ProtocolSim {
       case WireScheme::kOneBit:
         if (wire.sharded) {
           for (int s = 0; s < num_nodes_; ++s) {
-            fabric_->Send(n, s, wire.push_bytes,
-                          [this, layer, iter, s] { OnPushArrived(layer, iter, s); });
+            WireSend(n, s, wire.push_bytes, iter,
+                     [this, layer, iter, s] { OnPushArrived(layer, iter, s); });
           }
         } else {
-          fabric_->Send(n, wire.owner, wire.push_bytes, [this, layer, iter, owner = wire.owner] {
-            OnPushArrived(layer, iter, owner);
-          });
+          WireSend(n, wire.owner, wire.push_bytes, iter,
+                   [this, layer, iter, owner = wire.owner] {
+                     OnPushArrived(layer, iter, owner);
+                   });
         }
         break;
       case WireScheme::kSfb:
@@ -487,25 +557,28 @@ class ProtocolSim {
             OnSfArrived(peer, layer, iter, /*local=*/true);
             continue;
           }
-          fabric_->Send(n, peer, wire.sf_msg_bytes, [this, peer, layer, iter] {
+          WireSend(n, peer, wire.sf_msg_bytes, iter, [this, peer, layer, iter] {
             OnSfArrived(peer, layer, iter, /*local=*/false);
           });
         }
         break;
       case WireScheme::kAdamSf:
-        fabric_->Send(n, wire.owner, wire.sf_msg_bytes, [this, layer, iter, owner = wire.owner] {
-          OnPushArrived(layer, iter, owner);
-        });
+        WireSend(n, wire.owner, wire.sf_msg_bytes, iter,
+                 [this, layer, iter, owner = wire.owner] {
+                   OnPushArrived(layer, iter, owner);
+                 });
         break;
       case WireScheme::kRing: {
         // The node's staged gradient exists now: join the ring by sending
         // hop 0 downstream, then drain any hops that arrived early.
         LayerSyncState& state = sync_[iter][layer];
         state.collective_started[n] = true;
-        fabric_->Send(n, RingNext(n, num_nodes_), wire.push_bytes,
-                      [this, layer, iter, next = RingNext(n, num_nodes_)] {
-                        OnRingHopArrived(layer, iter, next);
-                      });
+        WireSend(
+            n, RingNext(n, num_nodes_), wire.push_bytes, iter,
+            [this, layer, iter, next = RingNext(n, num_nodes_)] {
+              OnRingHopArrived(layer, iter, next);
+            },
+            /*frame_tag=*/1);
         DrainRingHops(layer, iter, n);
         break;
       }
@@ -545,10 +618,12 @@ class ProtocolSim {
     const int last_step = 2 * num_nodes_ - 3;
     auto forward = [this, layer, iter, node, step, last_step] {
       if (step < last_step) {
-        fabric_->Send(node, RingNext(node, num_nodes_), wires_[layer].push_bytes,
-                      [this, layer, iter, next = RingNext(node, num_nodes_)] {
-                        OnRingHopArrived(layer, iter, next);
-                      });
+        WireSend(
+            node, RingNext(node, num_nodes_), wires_[layer].push_bytes, iter,
+            [this, layer, iter, next = RingNext(node, num_nodes_)] {
+              OnRingHopArrived(layer, iter, next);
+            },
+            /*frame_tag=*/2 + step);
       } else {
         CompleteCollective(layer, iter, node);
       }
@@ -581,17 +656,17 @@ class ProtocolSim {
       if (node == 0) {
         OnTreeBroadcastArrived(layer, iter, 0);  // root holds the global sum
       } else {
-        fabric_->Send(node, TreeParent(node), wires_[layer].push_bytes,
-                      [this, layer, iter, parent = TreeParent(node)] {
-                        OnTreeReduceArrived(layer, iter, parent);
-                      });
+        WireSend(node, TreeParent(node), wires_[layer].push_bytes, iter,
+                 [this, layer, iter, parent = TreeParent(node)] {
+                   OnTreeReduceArrived(layer, iter, parent);
+                 });
       }
     });
   }
 
   void OnTreeBroadcastArrived(int layer, int iter, int node) {
     for (int child : TreeChildren(node, num_nodes_)) {
-      fabric_->Send(node, child, wires_[layer].push_bytes, [this, layer, iter, child] {
+      WireSend(node, child, wires_[layer].push_bytes, iter, [this, layer, iter, child] {
         OnTreeBroadcastArrived(layer, iter, child);
       });
     }
@@ -654,13 +729,18 @@ class ProtocolSim {
     const LayerWire& wire = wires_[layer];
     if (wire.sharded) {
       for (int s = 0; s < num_nodes_; ++s) {
-        fabric_->Send(n, s, 0.0,
-                      [this, layer, iter, s, n] { OnPullRequest(layer, iter, s, n); });
+        WireSend(
+            n, s, 0.0, iter,
+            [this, layer, iter, s, n] { OnPullRequest(layer, iter, s, n); },
+            /*frame_tag=*/4000);
       }
     } else {
-      fabric_->Send(n, wire.owner, 0.0, [this, layer, iter, owner = wire.owner, n] {
-        OnPullRequest(layer, iter, owner, n);
-      });
+      WireSend(
+          n, wire.owner, 0.0, iter,
+          [this, layer, iter, owner = wire.owner, n] {
+            OnPullRequest(layer, iter, owner, n);
+          },
+          /*frame_tag=*/4000);
     }
   }
 
@@ -680,8 +760,8 @@ class ProtocolSim {
       return;
     }
     shard.sent[w] = true;
-    fabric_->Send(s, w, wires_[layer].pull_bytes,
-                  [this, layer, iter, w] { OnPullArrived(layer, iter, w); });
+    WireSend(s, w, wires_[layer].pull_bytes, iter,
+             [this, layer, iter, w] { OnPullArrived(layer, iter, w); });
   }
 
   void OnPullArrived(int layer, int iter, int w) {
@@ -762,11 +842,15 @@ class ProtocolSim {
   struct TrafficSnapshot {
     std::vector<double> tx;
     std::vector<double> rx;
+    std::vector<int64_t> wire_msgs;
+    std::vector<int64_t> logical_msgs;
   };
 
   void SnapshotTraffic(TrafficSnapshot* snap) {
     snap->tx = fabric_->stats().tx_bytes;
     snap->rx = fabric_->stats().rx_bytes;
+    snap->wire_msgs = wire_msgs_;
+    snap->logical_msgs = logical_msgs_;
   }
 
   SimResult Collect() {
@@ -798,11 +882,20 @@ class ProtocolSim {
 
     result.tx_gbits_per_iter.resize(num_nodes_);
     result.rx_gbits_per_iter.resize(num_nodes_);
+    result.wire_msgs_per_iter.resize(num_nodes_);
+    result.logical_msgs_per_iter.resize(num_nodes_);
     for (int n = 0; n < num_nodes_; ++n) {
       result.tx_gbits_per_iter[n] =
           BytesToGigabits(traffic_end_.tx[n] - traffic_begin_.tx[n]) / m;
       result.rx_gbits_per_iter[n] =
           BytesToGigabits(traffic_end_.rx[n] - traffic_begin_.rx[n]) / m;
+      result.wire_msgs_per_iter[n] = static_cast<double>(traffic_end_.wire_msgs[n] -
+                                                         traffic_begin_.wire_msgs[n]) /
+                                     m;
+      result.logical_msgs_per_iter[n] =
+          static_cast<double>(traffic_end_.logical_msgs[n] -
+                              traffic_begin_.logical_msgs[n]) /
+          m;
     }
 
     for (int l = 0; l < num_layers_; ++l) {
@@ -829,6 +922,14 @@ class ProtocolSim {
   std::vector<std::vector<LayerSyncState>> sync_;  // [iter][layer]
 
   std::vector<double> iter_start_;  // node 0's forward start per iteration
+  std::vector<int64_t> wire_msgs_;     // per node, cumulative wire frames
+  std::vector<int64_t> logical_msgs_;  // per node, cumulative messages
+  /// One modeled open frame per (iter, tag, src, dst) group.
+  struct FrameGroup {
+    int entries = 0;
+    double bytes = 0.0;
+  };
+  std::unordered_map<int64_t, FrameGroup> frame_groups_;
   TrafficSnapshot traffic_begin_;
   TrafficSnapshot traffic_end_;
   std::vector<double> node_busy_at_begin_;

@@ -54,9 +54,16 @@ struct SimResult {
   double speedup = 0.0;            // throughput vs 1-node unmodified engine
   double gpu_busy_frac = 0.0;      // averaged over nodes, measured window
 
-  // Per-node traffic during the measured window, gigabits per iteration.
+  // Per-node traffic during the measured window, gigabits per iteration
+  // (framing overhead included, mirroring src/transport/message.h).
   std::vector<double> tx_gbits_per_iter;
   std::vector<double> rx_gbits_per_iter;
+
+  // Per-node wire frames per iteration. With SystemConfig::batch_egress a
+  // node's same-destination messages within one iteration share a frame, so
+  // wire_msgs < logical_msgs; without batching the two are equal.
+  std::vector<double> wire_msgs_per_iter;
+  std::vector<double> logical_msgs_per_iter;
 
   // layer name -> scheme actually used ("PS", "SFB", "SF->PS" for Adam,
   // "1bit").

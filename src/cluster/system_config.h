@@ -69,6 +69,11 @@ struct SystemConfig {
   // (BSP). Hides stragglers and sync-tail latency at the cost of stale
   // gradients; 0 reproduces BSP timing exactly.
   int staleness = 0;
+  // Per-destination egress batching (the transport's batcher, modeled): a
+  // node's same-destination messages within one iteration share one wire
+  // frame, cutting per-message framing overhead and the message count the
+  // simulation reports. Payload bytes and protocol timing are unchanged.
+  bool batch_egress = false;
 };
 
 // The named systems from Figures 5-11.

@@ -34,11 +34,11 @@ void CollectiveComm::SendHop(int to, int step, int64_t offset, const float* data
   hop.worker = rank_;
   hop.iter = seq_;
   hop.step = step;
-  hop.chunks = std::make_shared<std::vector<ChunkPayload>>();
-  ChunkPayload chunk;
-  chunk.offset = offset;
-  chunk.data.assign(data, data + len);
-  hop.chunks->push_back(std::move(chunk));
+  hop.codec = WireCodec::kRawFloat;
+  // Collective hops copy into a fresh slab: the staging buffer is mutated
+  // in place across hops, so aliasing it across ranks would race (see
+  // docs/WIRE_FORMAT.md aliasing rules).
+  hop.chunks.push_back({offset, RawFloatCodec::Encode(data, len).View()});
   ++messages_sent_;
   floats_sent_ += len;
   const Status status = bus_->Send(std::move(hop));
@@ -53,8 +53,8 @@ Message CollectiveComm::NextMessage(int expected_step, int expected_sender) {
   CHECK_EQ(message->iter, seq_) << "collective sequence mismatch (peer ran ahead?)";
   CHECK_EQ(message->step, expected_step);
   CHECK_EQ(message->worker, expected_sender);
-  CHECK_NOTNULL(message->chunks.get());
-  CHECK_EQ(message->chunks->size(), 1u);
+  CHECK(message->codec == WireCodec::kRawFloat);
+  CHECK_EQ(message->chunks.size(), 1u);
   return std::move(*message);
 }
 
@@ -97,20 +97,22 @@ void CollectiveComm::FinishRing() {
     const int chunk_index = ((rank_ - s - 1) % world_ + world_) % world_;
     const ChunkRange range = CollectiveChunk(total, world_, chunk_index);
     Message message = NextMessage(s, RingPrev(rank_, world_));
-    const ChunkPayload& payload = (*message.chunks)[0];
+    const WireChunk& payload = message.chunks[0];
     CHECK_EQ(payload.offset, range.offset);
-    CHECK_EQ(static_cast<int64_t>(payload.data.size()), range.length);
+    CHECK_EQ(payload.view.size(), range.length);
+    const float* incoming = payload.view.data();
     float* local = data.data() + range.offset;
     if (s < world_ - 1) {
       // Reduce-scatter: fold the incoming partial sum with the local chunk.
       // The accumulation for chunk c runs along the ring starting at rank c,
       // so every rank observes the identical association order.
       for (int64_t i = 0; i < range.length; ++i) {
-        local[i] += payload.data[static_cast<size_t>(i)];
+        local[i] += incoming[i];
       }
     } else {
       // All-gather: adopt the fully reduced chunk.
-      std::copy(payload.data.begin(), payload.data.end(), local);
+      std::copy(incoming, incoming + range.length, local);
+      WireCopyStats::Add(range.length);
     }
     if (s < last_step) {
       SendHop(RingNext(rank_, world_), s + 1, range.offset, local, range.length);
@@ -128,26 +130,27 @@ void CollectiveComm::FinishTree() {
   // Children are distinct senders, so their messages may arrive in either
   // order; buffer by sender first.
   if (!children.empty()) {
-    std::vector<std::shared_ptr<std::vector<ChunkPayload>>> arrived(children.size());
+    std::vector<PayloadView> arrived(children.size());
     for (size_t pending = children.size(); pending > 0; --pending) {
       std::optional<Message> message = mailbox_->Pop();
       CHECK(message.has_value()) << "collective mailbox closed mid-operation";
       CHECK(message->type == MessageType::kCollective);
       CHECK_EQ(message->iter, seq_);
       CHECK_EQ(message->step, kTreeReduceStep);
+      CHECK_EQ(message->chunks.size(), 1u);
       const auto child_it = std::find(children.begin(), children.end(), message->worker);
       CHECK(child_it != children.end())
           << "rank " << rank_ << ": reduce message from non-child " << message->worker;
       const size_t slot = static_cast<size_t>(child_it - children.begin());
-      CHECK(arrived[slot] == nullptr) << "duplicate reduce message";
-      arrived[slot] = message->chunks;
+      CHECK(!arrived[slot].valid()) << "duplicate reduce message";
+      arrived[slot] = message->chunks[0].view;
     }
-    for (const auto& chunks : arrived) {
-      CHECK_NOTNULL(chunks.get());
-      const ChunkPayload& payload = (*chunks)[0];
-      CHECK_EQ(static_cast<int64_t>(payload.data.size()), total);
+    for (const PayloadView& view : arrived) {
+      CHECK(view.valid());
+      CHECK_EQ(view.size(), total);
+      const float* incoming = view.data();
       for (int64_t i = 0; i < total; ++i) {
-        data[static_cast<size_t>(i)] += payload.data[static_cast<size_t>(i)];
+        data[static_cast<size_t>(i)] += incoming[i];
       }
     }
     if (rank_ != 0) {
@@ -159,9 +162,10 @@ void CollectiveComm::FinishTree() {
   // adopts the parent's copy, then forwards it downward.
   if (rank_ != 0) {
     Message message = NextMessage(kTreeBroadcastStep, TreeParent(rank_));
-    const ChunkPayload& payload = (*message.chunks)[0];
-    CHECK_EQ(static_cast<int64_t>(payload.data.size()), total);
-    std::copy(payload.data.begin(), payload.data.end(), data.begin());
+    const PayloadView& view = message.chunks[0].view;
+    CHECK_EQ(view.size(), total);
+    std::copy(view.data(), view.data() + total, data.begin());
+    WireCopyStats::Add(total);
   }
   for (int child : children) {
     SendHop(child, kTreeBroadcastStep, 0, data.data(), total);

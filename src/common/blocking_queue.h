@@ -1,7 +1,8 @@
-// Unbounded MPMC blocking queue used by the transport and thread pools.
-//
-// Close() wakes all waiters; Pop() returns std::nullopt once the queue is
-// closed and drained, which is the shutdown signal for consumer threads.
+/// \file
+/// Unbounded MPMC blocking queue used by the transport and thread pools.
+///
+/// Close() wakes all waiters; Pop() returns std::nullopt once the queue is
+/// closed and drained, which is the shutdown signal for consumer threads.
 #ifndef POSEIDON_SRC_COMMON_BLOCKING_QUEUE_H_
 #define POSEIDON_SRC_COMMON_BLOCKING_QUEUE_H_
 

@@ -41,7 +41,9 @@ void Usage(const char* argv0) {
       "  --shards KV shard endpoints per server (PS-path benches)\n"
       "  --fast   smoke subset: first two node counts, first bandwidth,\n"
       "           reduced iterations where applicable\n"
-      "  --full   paper-sized configuration (where the bench has one)\n",
+      "  --full   paper-sized configuration (where the bench has one)\n"
+      "  --batch-egress  coalesce same-destination wire messages (egress\n"
+      "           batcher ablation, where the bench supports it)\n",
       argv0);
 }
 
@@ -131,6 +133,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.fast = true;
     } else if (arg == "--full") {
       args.full = true;
+    } else if (arg == "--batch-egress") {
+      args.batch_egress = true;
     } else if (arg.rfind("--nodes", 0) == 0) {
       args.nodes = ParseList<int>("--nodes", value_of("--nodes"), [](const char* s, char** e) {
         return static_cast<int>(std::strtol(s, e, 10));

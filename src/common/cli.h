@@ -7,6 +7,8 @@
 //   --fast          smoke mode: truncate default sweeps (and iteration
 //                   counts, where a bench honours it) to a quick subset
 //   --full          paper-sized configuration (fig11's 32x32 CIFAR run)
+//   --batch-egress  coalesce same-destination wire messages (ablates the
+//                   transport's egress batcher in the supported benches)
 // Explicit --nodes/--gbps/--shards always win over --fast truncation.
 #ifndef POSEIDON_SRC_COMMON_CLI_H_
 #define POSEIDON_SRC_COMMON_CLI_H_
@@ -21,6 +23,10 @@ struct BenchArgs {
   std::vector<int> shards;
   bool fast = false;
   bool full = false;
+  // --batch-egress: enable per-destination egress batching in the modeled
+  // wire accounting (and the threaded runtime where a bench uses it), so
+  // the batcher's message-count/framing effect can be ablated.
+  bool batch_egress = false;
 
   // The node counts to sweep: the explicit --nodes list, else `defaults`
   // (truncated to its first two entries under --fast).

@@ -23,6 +23,7 @@ CollectiveSyncer::CollectiveSyncer(int worker, int layer_index, CollectiveAlgo a
 void CollectiveSyncer::MoveOut() {
   staged_grads_.resize(static_cast<size_t>(view_.size()));
   view_.GatherGradSlice(0, &staged_grads_);
+  WireCopyStats::Add(view_.size());
 }
 
 void CollectiveSyncer::Send(int64_t iter) { comm_.Start(algo_, iter, &staged_grads_); }

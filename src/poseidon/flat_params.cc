@@ -41,27 +41,36 @@ void FlatParamView::ForRange(int64_t offset, int64_t len, Fn&& fn) const {
 }
 
 void FlatParamView::GatherGradSlice(int64_t offset, std::vector<float>* out) const {
-  ForRange(offset, static_cast<int64_t>(out->size()),
-           [&](size_t b, int64_t intra, int64_t out_pos, int64_t take) {
-             const float* src = blocks_[b].grad->data() + intra;
-             std::copy(src, src + take, out->data() + out_pos);
-           });
+  GatherGradSlice(offset, out->data(), static_cast<int64_t>(out->size()));
+}
+
+void FlatParamView::GatherGradSlice(int64_t offset, float* out, int64_t len) const {
+  ForRange(offset, len, [&](size_t b, int64_t intra, int64_t out_pos, int64_t take) {
+    const float* src = blocks_[b].grad->data() + intra;
+    std::copy(src, src + take, out + out_pos);
+  });
 }
 
 void FlatParamView::GatherValueSlice(int64_t offset, std::vector<float>* out) const {
-  ForRange(offset, static_cast<int64_t>(out->size()),
-           [&](size_t b, int64_t intra, int64_t out_pos, int64_t take) {
-             const float* src = blocks_[b].value->data() + intra;
-             std::copy(src, src + take, out->data() + out_pos);
-           });
+  GatherValueSlice(offset, out->data(), static_cast<int64_t>(out->size()));
+}
+
+void FlatParamView::GatherValueSlice(int64_t offset, float* out, int64_t len) const {
+  ForRange(offset, len, [&](size_t b, int64_t intra, int64_t out_pos, int64_t take) {
+    const float* src = blocks_[b].value->data() + intra;
+    std::copy(src, src + take, out + out_pos);
+  });
 }
 
 void FlatParamView::ScatterValueSlice(int64_t offset, const std::vector<float>& data) {
-  ForRange(offset, static_cast<int64_t>(data.size()),
-           [&](size_t b, int64_t intra, int64_t out_pos, int64_t take) {
-             float* dst = blocks_[b].value->data() + intra;
-             std::copy(data.data() + out_pos, data.data() + out_pos + take, dst);
-           });
+  ScatterValueSlice(offset, data.data(), static_cast<int64_t>(data.size()));
+}
+
+void FlatParamView::ScatterValueSlice(int64_t offset, const float* data, int64_t len) {
+  ForRange(offset, len, [&](size_t b, int64_t intra, int64_t out_pos, int64_t take) {
+    float* dst = blocks_[b].value->data() + intra;
+    std::copy(data + out_pos, data + out_pos + take, dst);
+  });
 }
 
 std::vector<float> FlatParamView::GatherValues() const {

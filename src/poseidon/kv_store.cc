@@ -31,12 +31,19 @@ KvShard::KvShard(int server_id, int shard_id, int64_t first_iter,
       FlatParamView view(init_net.layer(l).Params());
       DenseLayerState state;
       state.pairs.reserve(owned.size());
+      int64_t total = 0;
+      for (const KvPairInfo& info : owned) {
+        total += info.length;
+      }
+      state.params = Payload::Allocate(total);
+      int64_t slab_offset = 0;
       for (const KvPairInfo& info : owned) {
         PairState pair;
         pair.info = info;
-        pair.value.resize(static_cast<size_t>(info.length));
-        view.GatherValueSlice(info.offset, &pair.value);
-        state.pairs.push_back(std::move(pair));
+        pair.slab_offset = slab_offset;
+        view.GatherValueSlice(info.offset, state.params.data() + slab_offset, info.length);
+        slab_offset += info.length;
+        state.pairs.push_back(pair);
       }
       state.applied_clock = first_iter - 1;
       dense_layers_[l] = std::move(state);
@@ -47,7 +54,8 @@ KvShard::KvShard(int server_id, int shard_id, int64_t first_iter,
       CHECK_GT(info.fc_m, 0) << "1-bit layers must be FC";
       OneBitLayerState state;
       FlatParamView view(init_net.layer(l).Params());
-      state.value = view.GatherValues();
+      state.value = Payload::Allocate(view.size());
+      view.GatherValueSlice(0, state.value.data(), view.size());
       state.rows = info.fc_m;
       state.cols = info.fc_n;
       state.applied_clock = first_iter - 1;
@@ -99,8 +107,8 @@ void KvShard::HandleGradPush(const Message& message) {
   CHECK(it != dense_layers_.end()) << "server " << server_ << " shard " << shard_
                                    << " owns no pairs of layer " << message.layer;
   DenseLayerState& state = it->second;
-  CHECK_NOTNULL(message.chunks.get());
-  CHECK_EQ(message.chunks->size(), state.pairs.size());
+  CHECK(message.codec == WireCodec::kRawFloat);
+  CHECK_EQ(message.chunks.size(), state.pairs.size());
   const int num_workers = coordinator_.cluster().num_workers;
   const int w = message.worker;
   const int64_t clock = message.iter;
@@ -112,13 +120,16 @@ void KvShard::HandleGradPush(const Message& message) {
     per_worker.resize(static_cast<size_t>(num_workers));
   }
   CHECK(per_worker[static_cast<size_t>(w)].empty()) << "duplicate push";
-  std::vector<std::vector<float>> contribution;
+  // Buffer the sender's views zero-copy until this clock's aggregate is
+  // applied; the sender will not overwrite its staging slab while a view is
+  // live (see Syncer::MoveOut).
+  std::vector<PayloadView> contribution;
   contribution.reserve(state.pairs.size());
   for (size_t p = 0; p < state.pairs.size(); ++p) {
-    const ChunkPayload& chunk = (*message.chunks)[p];
+    const WireChunk& chunk = message.chunks[p];
     CHECK_EQ(chunk.offset, state.pairs[p].info.offset);
-    CHECK_EQ(static_cast<int64_t>(chunk.data.size()), state.pairs[p].info.length);
-    contribution.push_back(chunk.data);
+    CHECK_EQ(chunk.view.size(), state.pairs[p].info.length);
+    contribution.push_back(chunk.view);
   }
   per_worker[static_cast<size_t>(w)] = std::move(contribution);
   ++state.push_count[clock];
@@ -143,13 +154,15 @@ void KvShard::ApplyDense(int layer, int64_t clock) {
   CHECK(pending != state.pending.end());
   for (size_t p = 0; p < state.pairs.size(); ++p) {
     PairState& pair = state.pairs[p];
-    // Reduce in worker order for bit-deterministic results.
+    // Reduce in worker order for bit-deterministic results, reading each
+    // contribution straight from the sender's slab.
     std::vector<float> grad(static_cast<size_t>(pair.info.length), 0.0f);
     for (int w = 0; w < num_workers; ++w) {
-      const std::vector<float>& contribution = pending->second[static_cast<size_t>(w)][p];
-      CHECK_EQ(contribution.size(), grad.size());
+      const PayloadView& contribution = pending->second[static_cast<size_t>(w)][p];
+      CHECK_EQ(contribution.size(), static_cast<int64_t>(grad.size()));
+      const float* c = contribution.data();
       for (size_t i = 0; i < grad.size(); ++i) {
-        grad[i] += contribution[i];
+        grad[i] += c[i];
       }
     }
     const float inv = 1.0f / static_cast<float>(num_workers);
@@ -158,7 +171,8 @@ void KvShard::ApplyDense(int layer, int64_t clock) {
     }
     const std::string key =
         "l" + std::to_string(layer) + ".c" + std::to_string(pair.info.chunk);
-    optimizer_.StepSlice(key, grad.data(), pair.value.data(), pair.info.length);
+    optimizer_.StepSlice(key, grad.data(), state.params.data() + pair.slab_offset,
+                         pair.info.length);
   }
   state.pending.erase(pending);
   state.push_count.erase(clock);
@@ -168,22 +182,30 @@ void KvShard::ApplyDense(int layer, int64_t clock) {
 void KvShard::ReleaseDenseReads(int layer) {
   DenseLayerState& state = dense_layers_[layer];
   // One shared payload for every read released in this pass: the freshest
-  // applied values (under BSP, exactly the values clock c's apply produced).
-  std::shared_ptr<std::vector<ChunkPayload>> reply_chunks;
+  // applied values. Under BSP the reply chunks alias the live parameter
+  // slab (no copy): the next apply needs every worker's next push, which
+  // happens only after each worker consumed its reply. Under SSP a later
+  // clock can be applied while a stale reader is still scattering, so the
+  // pass snapshots the slab instead.
+  std::vector<WireChunk> reply_chunks;
   std::vector<std::pair<int, int64_t>> still_waiting;
   for (const auto& [worker, clock] : state.waiting_reads) {
     if (state.applied_clock < clock - staleness_) {
       still_waiting.emplace_back(worker, clock);
       continue;
     }
-    if (!reply_chunks) {
-      reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
-      reply_chunks->reserve(state.pairs.size());
+    if (reply_chunks.empty()) {
+      reply_chunks.reserve(state.pairs.size());
+      Payload source = state.params;
+      if (staleness_ > 0) {
+        source = Payload::Allocate(state.params.size());
+        std::copy(state.params.data(), state.params.data() + state.params.size(),
+                  source.data());
+        WireCopyStats::Add(state.params.size());
+      }
       for (const PairState& pair : state.pairs) {
-        ChunkPayload chunk;
-        chunk.offset = pair.info.offset;
-        chunk.data = pair.value;
-        reply_chunks->push_back(std::move(chunk));
+        reply_chunks.push_back(
+            {pair.info.offset, source.View(pair.slab_offset, pair.info.length)});
       }
     }
     max_reply_gap_ = std::max(max_reply_gap_,
@@ -194,6 +216,7 @@ void KvShard::ReleaseDenseReads(int layer) {
     reply.to = Address{worker, kSyncerPortBase + layer};
     reply.layer = layer;
     reply.iter = clock;
+    reply.codec = WireCodec::kRawFloat;
     reply.chunks = reply_chunks;
     const Status status = bus_->Send(std::move(reply));
     CHECK(status.ok()) << status.ToString();
@@ -206,22 +229,20 @@ void KvShard::HandleOneBitPush(const Message& message) {
   auto it = onebit_layers_.find(message.layer);
   CHECK(it != onebit_layers_.end());
   OneBitLayerState& state = it->second;
-  CHECK_NOTNULL(message.onebit.get());
+  CHECK(message.codec == WireCodec::kOneBit);
+  CHECK_EQ(message.chunks.size(), 1u);
   const int num_workers = coordinator_.cluster().num_workers;
   const int w = message.worker;
   const int64_t clock = message.iter;
   CHECK_GT(clock, state.applied_clock) << "push for an already-applied clock";
   max_push_lead_ = std::max(max_push_lead_, clock - state.applied_clock);
 
-  auto& enc = state.pending_enc[clock];
-  auto& bias = state.pending_bias[clock];
-  if (enc.empty()) {
-    enc.assign(static_cast<size_t>(num_workers), nullptr);
-    bias.assign(static_cast<size_t>(num_workers), nullptr);
+  auto& frames = state.pending[clock];
+  if (frames.empty()) {
+    frames.resize(static_cast<size_t>(num_workers));
   }
-  CHECK(enc[static_cast<size_t>(w)] == nullptr) << "duplicate push";
-  enc[static_cast<size_t>(w)] = message.onebit;
-  bias[static_cast<size_t>(w)] = message.bias_grad;
+  CHECK(!frames[static_cast<size_t>(w)].valid()) << "duplicate push";
+  frames[static_cast<size_t>(w)] = message.chunks[0].view;
   ++state.push_count[clock];
   state.waiting_reads.emplace_back(w, clock);
 
@@ -239,21 +260,26 @@ void KvShard::ApplyOneBit(int layer, int64_t clock) {
   const int num_workers = coordinator_.cluster().num_workers;
   OneBitLayerState& state = onebit_layers_[layer];
   const int64_t weight_floats = state.rows * state.cols;
-  const auto enc = state.pending_enc.find(clock);
-  const auto bias = state.pending_bias.find(clock);
-  CHECK(enc != state.pending_enc.end());
-  CHECK(bias != state.pending_bias.end());
+  const auto pending = state.pending.find(clock);
+  CHECK(pending != state.pending.end());
 
   // Decode and average the quantized weight gradients in worker order, then
-  // the dense bias gradients.
+  // the dense bias gradients, straight from the buffered frames.
   Tensor agg = Tensor::Zeros({state.rows, state.cols});
   std::vector<float> bias_agg(static_cast<size_t>(state.rows), 0.0f);
+  Tensor dense;
   for (int w = 0; w < num_workers; ++w) {
-    const Tensor dense = OneBitQuantizer::Decode(*enc->second[static_cast<size_t>(w)]);
+    const PayloadView& frame = pending->second[static_cast<size_t>(w)];
+    CHECK(frame.valid());
+    const Status decoded = OneBitCodec::DecodeDense(frame, &dense);
+    CHECK(decoded.ok()) << decoded.ToString();
+    CHECK_EQ(dense.size(), weight_floats);
     Axpy(1.0f, dense, &agg);
-    const std::vector<float>& b = *bias->second[static_cast<size_t>(w)];
-    CHECK_EQ(b.size(), bias_agg.size());
-    for (size_t i = 0; i < b.size(); ++i) {
+    StatusOr<OneBitCodec::Frame> parsed = OneBitCodec::Parse(frame);
+    CHECK(parsed.ok()) << parsed.status().ToString();
+    CHECK_EQ(parsed->bias.size(), static_cast<int64_t>(bias_agg.size()));
+    const float* b = parsed->bias.data();
+    for (size_t i = 0; i < bias_agg.size(); ++i) {
       bias_agg[i] += b[i];
     }
   }
@@ -266,27 +292,31 @@ void KvShard::ApplyOneBit(int layer, int64_t clock) {
   optimizer_.StepSlice(key + ".w", agg.data(), state.value.data(), weight_floats);
   optimizer_.StepSlice(key + ".b", bias_agg.data(), state.value.data() + weight_floats,
                        state.rows);
-  state.pending_enc.erase(enc);
-  state.pending_bias.erase(bias);
+  state.pending.erase(pending);
   state.push_count.erase(clock);
   state.applied_clock = clock;
 }
 
 void KvShard::ReleaseOneBitReads(int layer) {
   OneBitLayerState& state = onebit_layers_[layer];
-  std::shared_ptr<std::vector<ChunkPayload>> reply_chunks;
+  std::vector<WireChunk> reply_chunks;
   std::vector<std::pair<int, int64_t>> still_waiting;
   for (const auto& [worker, clock] : state.waiting_reads) {
     if (state.applied_clock < clock - staleness_) {
       still_waiting.emplace_back(worker, clock);
       continue;
     }
-    if (!reply_chunks) {
-      reply_chunks = std::make_shared<std::vector<ChunkPayload>>();
-      ChunkPayload chunk;
-      chunk.offset = 0;
-      chunk.data = state.value;
-      reply_chunks->push_back(std::move(chunk));
+    if (reply_chunks.empty()) {
+      // As on the dense path: alias the live slab under BSP, snapshot under
+      // SSP (a later apply may overlap a stale reader).
+      Payload source = state.value;
+      if (staleness_ > 0) {
+        source = Payload::Allocate(state.value.size());
+        std::copy(state.value.data(), state.value.data() + state.value.size(),
+                  source.data());
+        WireCopyStats::Add(state.value.size());
+      }
+      reply_chunks.push_back({0, source.View()});
     }
     max_reply_gap_ = std::max(max_reply_gap_,
                               std::max<int64_t>(0, clock - state.applied_clock));
@@ -296,6 +326,7 @@ void KvShard::ReleaseOneBitReads(int layer) {
     reply.to = Address{worker, kSyncerPortBase + layer};
     reply.layer = layer;
     reply.iter = clock;
+    reply.codec = WireCodec::kRawFloat;
     reply.chunks = reply_chunks;
     const Status status = bus_->Send(std::move(reply));
     CHECK(status.ok()) << status.ToString();

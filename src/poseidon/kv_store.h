@@ -40,6 +40,8 @@
 #include "src/poseidon/coordinator.h"
 #include "src/poseidon/runtime_scheme.h"
 #include "src/transport/bus.h"
+#include "src/transport/codec.h"
+#include "src/transport/payload.h"
 
 namespace poseidon {
 
@@ -83,24 +85,32 @@ class KvShard {
  private:
   struct PairState {
     KvPairInfo info;
-    std::vector<float> value;
+    /// Float offset of this pair's master copy within the layer's parameter
+    /// slab (pairs are concatenated in pair order).
+    int64_t slab_offset = 0;
   };
-  /// SSP bookkeeping for the dense pairs of one layer on this shard.
+  /// SSP bookkeeping for the dense pairs of one layer on this shard. The
+  /// master copies live in one refcounted slab, so a BSP parameter reply
+  /// can alias it zero-copy (the clock protocol guarantees every released
+  /// reader finishes before the next apply can start; with staleness > 0
+  /// later applies may overlap a reader, so replies snapshot instead).
   struct DenseLayerState {
     std::vector<PairState> pairs;
-    /// clock -> per-worker pending contributions, one vector<float> per pair
-    /// (in pair order). Buffered until the clock's aggregate is applied.
-    std::map<int64_t, std::vector<std::vector<std::vector<float>>>> pending;
+    Payload params;  ///< concatenated pair values, pair order
+    /// clock -> per-worker pending push chunks, one view per pair (in pair
+    /// order), referencing the sender's staging slab. Buffered zero-copy
+    /// until the clock's aggregate is applied.
+    std::map<int64_t, std::vector<std::vector<PayloadView>>> pending;
     std::map<int64_t, int> push_count;
     int64_t applied_clock = -1;
     std::vector<std::pair<int, int64_t>> waiting_reads;  // (worker, clock)
   };
   struct OneBitLayerState {
-    std::vector<float> value;  // whole flattened layer (weight then bias)
+    Payload value;  ///< whole flattened layer (weight then bias)
     int64_t rows = 0;
     int64_t cols = 0;
-    std::map<int64_t, std::vector<std::shared_ptr<OneBitEncoded>>> pending_enc;
-    std::map<int64_t, std::vector<std::shared_ptr<std::vector<float>>>> pending_bias;
+    /// clock -> per-worker pending 1-bit frames (views into sender slabs).
+    std::map<int64_t, std::vector<PayloadView>> pending;
     std::map<int64_t, int> push_count;
     int64_t applied_clock = -1;
     std::vector<std::pair<int, int64_t>> waiting_reads;

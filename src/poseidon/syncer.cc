@@ -54,24 +54,29 @@ void Syncer::MoveOut() {
     case RuntimeScheme::kNone:
       break;
     case RuntimeScheme::kPsDense:
-      staged_grads_.resize(static_cast<size_t>(view_.size()));
-      view_.GatherGradSlice(0, &staged_grads_);
+      // Stage straight into the wire slab; downstream the same slab is
+      // referenced by every push chunk. Reuse is safe only while no receiver
+      // holds a view (always true under BSP once the reply arrived; under
+      // SSP a shard may still buffer last iteration's views).
+      if (!staged_.valid() || staged_.size() != view_.size() || staged_.use_count() > 1) {
+        staged_ = Payload::Allocate(view_.size());
+      }
+      view_.GatherGradSlice(0, staged_.data(), staged_.size());
+      WireCopyStats::Add(staged_.size());
       break;
     case RuntimeScheme::kSfb: {
-      own_sf_ = std::make_shared<SufficientFactors>(fc_->LastSufficientFactors());
       std::vector<ParamBlock> params = layer_->Params();
       CHECK_EQ(params.size(), 2u);  // weight, bias
       const Tensor& bias_grad = *params[1].grad;
-      own_bias_ = std::make_shared<std::vector<float>>(
-          bias_grad.data(), bias_grad.data() + bias_grad.size());
+      sf_frame_ = SufficientFactorCodec::Encode(fc_->LastSufficientFactors(),
+                                                bias_grad.data(), bias_grad.size());
       break;
     }
     case RuntimeScheme::kOneBit: {
-      staged_encoding_ = std::make_shared<OneBitEncoded>(quantizer_.Encode(fc_->weight_grad()));
       std::vector<ParamBlock> params = layer_->Params();
       const Tensor& bias_grad = *params[1].grad;
-      own_bias_ = std::make_shared<std::vector<float>>(
-          bias_grad.data(), bias_grad.data() + bias_grad.size());
+      onebit_frame_ = OneBitCodec::Encode(fc_->weight_grad(), &quantizer_,
+                                          bias_grad.data(), bias_grad.size());
       break;
     }
     case RuntimeScheme::kRingAllreduce:
@@ -103,15 +108,6 @@ void Syncer::Send(int64_t iter) {
 
 void Syncer::SendPs(int64_t iter) {
   for (const ShardDest& dest : pairs_by_shard_) {
-    auto chunks = std::make_shared<std::vector<ChunkPayload>>();
-    chunks->reserve(dest.pairs.size());
-    for (const KvPairInfo& pair : dest.pairs) {
-      ChunkPayload chunk;
-      chunk.offset = pair.offset;
-      chunk.data.assign(staged_grads_.begin() + pair.offset,
-                        staged_grads_.begin() + pair.offset + pair.length);
-      chunks->push_back(std::move(chunk));
-    }
     Message push;
     push.type = MessageType::kGradPush;
     push.from = Address{worker_, kSyncerPortBase + layer_index_};
@@ -119,7 +115,12 @@ void Syncer::SendPs(int64_t iter) {
     push.layer = layer_index_;
     push.worker = worker_;
     push.iter = iter;
-    push.chunks = std::move(chunks);
+    push.codec = WireCodec::kRawFloat;
+    push.chunks.reserve(dest.pairs.size());
+    for (const KvPairInfo& pair : dest.pairs) {
+      // Zero-copy: the chunk is a view into the staging slab.
+      push.chunks.push_back({pair.offset, staged_.View(pair.offset, pair.length)});
+    }
     const Status status = bus_->Send(std::move(push));
     CHECK(status.ok()) << status.ToString();
   }
@@ -138,8 +139,10 @@ void Syncer::SendSfb(int64_t iter) {
     sf.layer = layer_index_;
     sf.worker = worker_;
     sf.iter = iter;
-    sf.sf = own_sf_;
-    sf.bias_grad = own_bias_;
+    sf.codec = WireCodec::kSufficientFactor;
+    // Every peer's view references the one encoded frame: a P-1-way
+    // broadcast of one slab.
+    sf.chunks.push_back({0, sf_frame_.View()});
     const Status status = bus_->Send(std::move(sf));
     CHECK(status.ok()) << status.ToString();
   }
@@ -154,8 +157,8 @@ void Syncer::SendOneBit(int64_t iter) {
   push.layer = layer_index_;
   push.worker = worker_;
   push.iter = iter;
-  push.onebit = staged_encoding_;
-  push.bias_grad = own_bias_;
+  push.codec = WireCodec::kOneBit;
+  push.chunks.push_back({0, onebit_frame_.View()});
   const Status status = bus_->Send(std::move(push));
   CHECK(status.ok()) << status.ToString();
 }
@@ -186,8 +189,11 @@ void Syncer::ReceivePs() {
     std::optional<Message> message = mailbox_->Pop();
     CHECK(message.has_value()) << "mailbox closed mid-iteration";
     CHECK(message->type == MessageType::kParamReply);
-    for (const ChunkPayload& chunk : *message->chunks) {
-      view_.ScatterValueSlice(chunk.offset, chunk.data);
+    CHECK(message->codec == WireCodec::kRawFloat);
+    for (const WireChunk& chunk : message->chunks) {
+      // Move(CPU2GPU): the one staging copy on the receive side.
+      view_.ScatterValueSlice(chunk.offset, chunk.view.data(), chunk.view.size());
+      WireCopyStats::Add(chunk.view.size());
       ++received;
     }
   }
@@ -195,20 +201,23 @@ void Syncer::ReceivePs() {
 
 void Syncer::ReceiveSfb(int64_t iter) {
   const int num_workers = coordinator_.cluster().num_workers;
-  std::vector<std::shared_ptr<SufficientFactors>> factors(
-      static_cast<size_t>(num_workers));
-  std::vector<std::shared_ptr<std::vector<float>>> biases(static_cast<size_t>(num_workers));
-  factors[static_cast<size_t>(worker_)] = own_sf_;
-  biases[static_cast<size_t>(worker_)] = own_bias_;
+  std::vector<PayloadView> frames(static_cast<size_t>(num_workers));
+  frames[static_cast<size_t>(worker_)] = sf_frame_.View();
   int have = 1;
+
+  auto frame_of = [](const Message& message) {
+    CHECK(message.type == MessageType::kSfBroadcast);
+    CHECK(message.codec == WireCodec::kSufficientFactor);
+    CHECK_EQ(message.chunks.size(), 1u);
+    return message.chunks[0].view;
+  };
 
   // First drain anything deferred from a previous Receive that belongs to
   // this iteration (a peer may run at most one iteration ahead under BSP).
   std::vector<Message> still_deferred;
   for (Message& message : deferred_) {
     if (message.iter == iter) {
-      factors[static_cast<size_t>(message.worker)] = message.sf;
-      biases[static_cast<size_t>(message.worker)] = message.bias_grad;
+      frames[static_cast<size_t>(message.worker)] = frame_of(message);
       ++have;
     } else {
       still_deferred.push_back(std::move(message));
@@ -219,14 +228,12 @@ void Syncer::ReceiveSfb(int64_t iter) {
   while (have < num_workers) {
     std::optional<Message> message = mailbox_->Pop();
     CHECK(message.has_value()) << "mailbox closed mid-iteration";
-    CHECK(message->type == MessageType::kSfBroadcast);
     if (message->iter != iter) {
       CHECK_GT(message->iter, iter) << "stale SF broadcast";
       deferred_.push_back(std::move(*message));
       continue;
     }
-    factors[static_cast<size_t>(message->worker)] = message->sf;
-    biases[static_cast<size_t>(message->worker)] = message->bias_grad;
+    frames[static_cast<size_t>(message->worker)] = frame_of(*message);
     ++have;
   }
 
@@ -242,11 +249,16 @@ void Syncer::ReceiveSfb(int64_t iter) {
   Tensor scratch = Tensor::Zeros(weight.shape());
   std::vector<float> bias_agg(static_cast<size_t>(bias.size()), 0.0f);
   for (int w = 0; w < num_workers; ++w) {
-    CHECK_NOTNULL(factors[static_cast<size_t>(w)].get());
-    ReconstructGradient(*factors[static_cast<size_t>(w)], &scratch);
+    const PayloadView& frame = frames[static_cast<size_t>(w)];
+    CHECK(frame.valid());
+    const Status reconstructed = SufficientFactorCodec::DecodeReconstruct(frame, &scratch);
+    CHECK(reconstructed.ok()) << reconstructed.ToString();
     Axpy(1.0f, scratch, &agg);
-    const std::vector<float>& b = *biases[static_cast<size_t>(w)];
-    for (size_t i = 0; i < b.size(); ++i) {
+    StatusOr<SufficientFactorCodec::Frame> parsed = SufficientFactorCodec::Parse(frame);
+    CHECK(parsed.ok()) << parsed.status().ToString();
+    CHECK_EQ(parsed->bias.size(), static_cast<int64_t>(bias_agg.size()));
+    const float* b = parsed->bias.data();
+    for (size_t i = 0; i < bias_agg.size(); ++i) {
       bias_agg[i] += b[i];
     }
   }
@@ -264,8 +276,12 @@ void Syncer::ReceiveOneBit() {
   std::optional<Message> message = mailbox_->Pop();
   CHECK(message.has_value()) << "mailbox closed mid-iteration";
   CHECK(message->type == MessageType::kParamReply);
-  CHECK_EQ(message->chunks->size(), 1u);
-  view_.ScatterValues((*message->chunks)[0].data);
+  CHECK(message->codec == WireCodec::kRawFloat);
+  CHECK_EQ(message->chunks.size(), 1u);
+  const PayloadView& values = message->chunks[0].view;
+  CHECK_EQ(values.size(), view_.size());
+  view_.ScatterValueSlice(0, values.data(), values.size());
+  WireCopyStats::Add(values.size());
 }
 
 }  // namespace poseidon

@@ -28,6 +28,8 @@
 #include "src/poseidon/runtime_scheme.h"
 #include "src/tensor/onebit.h"
 #include "src/transport/bus.h"
+#include "src/transport/codec.h"
+#include "src/transport/payload.h"
 
 namespace poseidon {
 
@@ -84,13 +86,16 @@ class Syncer {
   std::vector<ShardDest> pairs_by_shard_;
   int total_pairs_ = 0;
 
-  std::vector<float> staged_grads_;                 // PS path
-  std::unique_ptr<CollectiveSyncer> collective_;    // ring/tree path
-  std::shared_ptr<SufficientFactors> own_sf_;       // SFB path
-  std::shared_ptr<std::vector<float>> own_bias_;    // SFB / 1-bit bias grads
-  std::shared_ptr<OneBitEncoded> staged_encoding_;  // 1-bit path
-  OneBitQuantizer quantizer_;                       // persistent residual
-  std::vector<Message> deferred_;                   // SFs from future iterations
+  /// PS staging slab: MoveOut gathers the layer's gradient straight into it
+  /// and Send ships per-pair views, zero-copy. Reused across iterations
+  /// while this syncer is the sole owner; reallocated when a receiver still
+  /// holds views (possible under SSP staleness > 0).
+  Payload staged_;
+  std::unique_ptr<CollectiveSyncer> collective_;  // ring/tree path
+  Payload sf_frame_;                              // SFB frame (factors + bias)
+  Payload onebit_frame_;                          // 1-bit frame (signs + levels + bias)
+  OneBitQuantizer quantizer_;                     // persistent residual
+  std::vector<Message> deferred_;                 // SFs from future iterations
 };
 
 }  // namespace poseidon

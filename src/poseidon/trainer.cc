@@ -13,6 +13,9 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
   CHECK_GT(options_.num_servers, 0);
   const int num_nodes = std::max(options_.num_workers, options_.num_servers);
   bus_ = std::make_unique<MessageBus>(num_nodes);
+  if (options_.batch_egress) {
+    bus_->EnableBatching(options_.batch_options);
+  }
 
   // Identical replicas: the factory must be deterministic.
   init_net_ = factory();

@@ -50,6 +50,13 @@ struct TrainerOptions {
   FcSyncPolicy fc_policy = FcSyncPolicy::kHybrid;
   int64_t kv_pair_bytes = 2 * 1024 * 1024;
   int syncer_threads = 2;     // client-library pool size per worker
+  /// When true, the bus coalesces same-destination wire messages from
+  /// different layer syncers into batched frames (MessageBus egress
+  /// batching). Grouping is timing-dependent but content-deterministic:
+  /// training trajectories are bitwise identical with or without it.
+  bool batch_egress = false;
+  /// Batching knobs, used when `batch_egress` is set.
+  EgressBatchOptions batch_options;
   /// When non-empty, parameters and the iteration cursor are restored from
   /// this checkpoint before the KV shards are initialized.
   std::string restore_path;

@@ -65,4 +65,38 @@ std::string FormatSpeedupTable(const std::string& title,
   return out.str();
 }
 
+std::string FormatBatchAblation(const std::string& title, const ModelSpec& model,
+                                SystemConfig system, const std::vector<int>& node_counts,
+                                double gbps, Engine engine) {
+  TextTable table({"nodes", "msgs/iter", "msgs/iter(batched)", "reduction", "tx gbit/iter",
+                   "tx gbit/iter(batched)"});
+  for (int nodes : node_counts) {
+    ClusterSpec cluster;
+    cluster.num_nodes = nodes;
+    cluster.nic_gbps = gbps;
+    system.batch_egress = false;
+    const SimResult plain = RunProtocolSimulation(model, system, cluster, engine);
+    system.batch_egress = true;
+    const SimResult batched = RunProtocolSimulation(model, system, cluster, engine);
+
+    auto mean = [](const std::vector<double>& v) {
+      double total = 0.0;
+      for (double x : v) {
+        total += x;
+      }
+      return v.empty() ? 0.0 : total / static_cast<double>(v.size());
+    };
+    const double plain_msgs = mean(plain.wire_msgs_per_iter);
+    const double batched_msgs = mean(batched.wire_msgs_per_iter);
+    table.AddRow({std::to_string(nodes), TextTable::Num(plain_msgs, 1),
+                  TextTable::Num(batched_msgs, 1),
+                  TextTable::Num(batched_msgs > 0.0 ? plain_msgs / batched_msgs : 0.0, 2),
+                  TextTable::Num(mean(plain.tx_gbits_per_iter), 4),
+                  TextTable::Num(mean(batched.tx_gbits_per_iter), 4)});
+  }
+  std::ostringstream out;
+  out << title << " (" << system.name << ", per-node averages)\n" << table.ToString();
+  return out.str();
+}
+
 }  // namespace poseidon

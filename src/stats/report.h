@@ -32,6 +32,14 @@ std::vector<SweepResult> RunScalingSweep(const ModelSpec& model,
 std::string FormatSpeedupTable(const std::string& title,
                                const std::vector<SweepResult>& results);
 
+// Egress-batcher ablation: runs `system` with batching off and on at each
+// node count and renders per-node wire messages and tx gigabits per
+// iteration side by side (the batcher's effect is on framing and message
+// count; payload bytes and timing are unchanged).
+std::string FormatBatchAblation(const std::string& title, const ModelSpec& model,
+                                SystemConfig system, const std::vector<int>& node_counts,
+                                double gbps, Engine engine);
+
 }  // namespace poseidon
 
 #endif  // POSEIDON_SRC_STATS_REPORT_H_

@@ -1,14 +1,38 @@
 #include "src/transport/bus.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 namespace poseidon {
 
 MessageBus::MessageBus(int num_nodes)
-    : limiters_(static_cast<size_t>(num_nodes)), tx_bytes_(static_cast<size_t>(num_nodes)) {
+    : limiters_(static_cast<size_t>(num_nodes)),
+      tx_bytes_(static_cast<size_t>(num_nodes)),
+      tx_messages_(static_cast<size_t>(num_nodes)),
+      tx_entries_(static_cast<size_t>(num_nodes)) {
   CHECK_GT(num_nodes, 0);
-  for (auto& counter : tx_bytes_) {
-    counter.store(0);
+  for (size_t n = 0; n < tx_bytes_.size(); ++n) {
+    tx_bytes_[n].store(0);
+    tx_messages_[n].store(0);
+    tx_entries_[n].store(0);
+  }
+}
+
+MessageBus::~MessageBus() {
+  if (batching_.load(std::memory_order_acquire)) {
+    for (auto& egress : egress_) {
+      {
+        std::lock_guard<std::mutex> lock(egress->mutex);
+        egress->stop = true;
+      }
+      egress->cv.notify_all();
+    }
+    for (auto& egress : egress_) {
+      if (egress->flusher.joinable()) {
+        egress->flusher.join();
+      }
+    }
   }
 }
 
@@ -21,34 +45,223 @@ std::shared_ptr<MessageBus::Mailbox> MessageBus::Register(const Address& address
   return it->second;
 }
 
-Status MessageBus::Send(Message message) {
-  const int src = message.from.node;
-  CHECK_GE(src, 0);
-  CHECK_LT(src, num_nodes());
-  const int64_t bytes = message.WireBytes();
+Status MessageBus::Route(const Message& message, std::shared_ptr<Mailbox>* mailbox,
+                         std::shared_ptr<RateLimiter>* limiter) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = mailboxes_.find(message.to);
+  if (it == mailboxes_.end()) {
+    return NotFoundError("no mailbox at node " + std::to_string(message.to.node) +
+                         " port " + std::to_string(message.to.port));
+  }
+  *mailbox = it->second;
+  // shared_ptr copy: a concurrent SetEgressLimit cannot invalidate the
+  // limiter while a sender (or flusher) waits on it, and the wait itself
+  // runs with no bus lock held.
+  *limiter = limiters_[static_cast<size_t>(message.from.node)];
+  return Status::Ok();
+}
 
-  RateLimiter* limiter = nullptr;
-  std::shared_ptr<Mailbox> mailbox;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = mailboxes_.find(message.to);
-    if (it == mailboxes_.end()) {
-      return NotFoundError("no mailbox at node " + std::to_string(message.to.node) +
-                           " port " + std::to_string(message.to.port));
+Status MessageBus::SendDirect(Message message, std::shared_ptr<Mailbox> mailbox,
+                              std::shared_ptr<RateLimiter> limiter) {
+  const int src = message.from.node;
+  const bool remote = message.from.node != message.to.node;
+  if (remote) {
+    const int64_t bytes = message.WireBytes();
+    if (limiter != nullptr) {
+      limiter->Acquire(bytes);  // local traffic bypasses the NIC
     }
-    mailbox = it->second;
-    limiter = limiters_[static_cast<size_t>(src)].get();
-  }
-  if (limiter != nullptr && message.from.node != message.to.node) {
-    limiter->Acquire(bytes);  // local traffic bypasses the NIC
-  }
-  if (message.from.node != message.to.node) {
     tx_bytes_[static_cast<size_t>(src)].fetch_add(bytes, std::memory_order_relaxed);
+    tx_messages_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
+    tx_entries_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
   }
   if (!mailbox->Push(std::move(message))) {
     return UnavailableError("mailbox closed");
   }
   return Status::Ok();
+}
+
+Status MessageBus::Send(Message message) {
+  const int src = message.from.node;
+  CHECK_GE(src, 0);
+  CHECK_LT(src, num_nodes());
+
+  std::shared_ptr<Mailbox> mailbox;
+  std::shared_ptr<RateLimiter> limiter;
+  const Status routed = Route(message, &mailbox, &limiter);
+  if (!routed.ok()) {
+    return routed;
+  }
+
+  if (!batching_.load(std::memory_order_acquire) || message.to.node == src) {
+    return SendDirect(std::move(message), std::move(mailbox), std::move(limiter));
+  }
+
+  NodeEgress& egress = *egress_[static_cast<size_t>(src)];
+  const bool force_flush = message.type == MessageType::kShutdown;
+  // Wake the flusher only when it has something new to react to: a batch
+  // cut into the ready queue, or a fresh open batch whose aging timer it
+  // must arm. Joining an existing open batch needs no wakeup.
+  bool wake_flusher = false;
+  {
+    std::lock_guard<std::mutex> lock(egress.mutex);
+    const int dst = message.to.node;
+    Batch* batch = nullptr;
+    for (Batch& open : egress.open) {
+      if (open.dst_node == dst) {
+        batch = &open;
+        break;
+      }
+    }
+    if (batch != nullptr && batch->iter != message.iter) {
+      // Iteration boundary: cut the old batch first so per-destination FIFO
+      // order is preserved.
+      egress.ready.push_back(std::move(*batch));
+      egress.open.erase(egress.open.begin() + (batch - egress.open.data()));
+      batch = nullptr;
+      wake_flusher = true;
+    }
+    if (batch == nullptr) {
+      Batch fresh;
+      fresh.dst_node = dst;
+      fresh.iter = message.iter;
+      fresh.opened = std::chrono::steady_clock::now();
+      egress.open.push_back(std::move(fresh));
+      batch = &egress.open.back();
+      wake_flusher = true;
+    }
+    batch->payload_bytes += kBatchEntryHeaderBytes + message.PayloadBytes();
+    batch->entries.emplace_back(std::move(mailbox), std::move(message));
+    if (force_flush ||
+        static_cast<int>(batch->entries.size()) >= batch_options_.max_batch_messages ||
+        batch->payload_bytes >= batch_options_.max_batch_bytes) {
+      egress.ready.push_back(std::move(*batch));
+      egress.open.erase(egress.open.begin() + (batch - egress.open.data()));
+      wake_flusher = true;
+    }
+  }
+  if (wake_flusher) {
+    egress.cv.notify_all();
+  }
+  return Status::Ok();
+}
+
+void MessageBus::EnableBatching(const EgressBatchOptions& options) {
+  CHECK(!batching_.load(std::memory_order_acquire)) << "batching already enabled";
+  CHECK_GT(options.max_batch_messages, 0);
+  CHECK_GT(options.max_batch_bytes, 0);
+  CHECK_GT(options.flush_interval_us, 0);
+  batch_options_ = options;
+  egress_.resize(static_cast<size_t>(num_nodes()));
+  for (int n = 0; n < num_nodes(); ++n) {
+    egress_[static_cast<size_t>(n)] = std::make_unique<NodeEgress>();
+  }
+  batching_.store(true, std::memory_order_release);
+  for (int n = 0; n < num_nodes(); ++n) {
+    egress_[static_cast<size_t>(n)]->flusher = std::thread([this, n] { FlusherLoop(n); });
+  }
+}
+
+void MessageBus::DeliverBatch(int src, Batch batch) {
+  const int64_t bytes = kWireFrameBytes + batch.payload_bytes;
+  std::shared_ptr<RateLimiter> limiter;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    limiter = limiters_[static_cast<size_t>(src)];
+  }
+  if (limiter != nullptr) {
+    limiter->Acquire(bytes);
+  }
+  tx_bytes_[static_cast<size_t>(src)].fetch_add(bytes, std::memory_order_relaxed);
+  tx_messages_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
+  tx_entries_[static_cast<size_t>(src)].fetch_add(
+      static_cast<int64_t>(batch.entries.size()), std::memory_order_relaxed);
+  for (auto& [mailbox, message] : batch.entries) {
+    const MessageType type = message.type;
+    if (!mailbox->Push(std::move(message)) && type != MessageType::kShutdown) {
+      // The unbatched path surfaces this as UnavailableError to the
+      // sender; here the sender is long gone, so make the drop loud —
+      // outside teardown it means a receiver will wait forever.
+      LOG(Warning) << "egress batch from node " << src
+                   << " dropped a message for a closed mailbox";
+    }
+  }
+}
+
+void MessageBus::FlusherLoop(int node) {
+  NodeEgress& egress = *egress_[static_cast<size_t>(node)];
+  const auto interval = std::chrono::microseconds(batch_options_.flush_interval_us);
+  std::unique_lock<std::mutex> lock(egress.mutex);
+  while (true) {
+    if (egress.stop && egress.ready.empty() && egress.open.empty()) {
+      break;
+    }
+    if (egress.ready.empty()) {
+      if (egress.open.empty()) {
+        if (egress.flush_requested && egress.delivering == 0) {
+          egress.flush_requested = false;
+          egress.idle_cv.notify_all();
+        }
+        egress.cv.wait(lock, [&] {
+          return egress.stop || egress.flush_requested || !egress.ready.empty() ||
+                 !egress.open.empty();
+        });
+        continue;
+      }
+      // Let young open batches age up to the flush interval before cutting
+      // them (unless a flush/stop wants everything out now).
+      if (!egress.stop && !egress.flush_requested) {
+        auto earliest = egress.open.front().opened;
+        for (const Batch& open : egress.open) {
+          earliest = std::min(earliest, open.opened);
+        }
+        egress.cv.wait_until(lock, earliest + interval, [&] {
+          return egress.stop || egress.flush_requested || !egress.ready.empty();
+        });
+      }
+      const auto now = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < egress.open.size();) {
+        if (egress.stop || egress.flush_requested || now - egress.open[i].opened >= interval) {
+          egress.ready.push_back(std::move(egress.open[i]));
+          egress.open.erase(egress.open.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    while (!egress.ready.empty()) {
+      Batch batch = std::move(egress.ready.front());
+      egress.ready.pop_front();
+      ++egress.delivering;
+      lock.unlock();
+      DeliverBatch(node, std::move(batch));
+      lock.lock();
+      --egress.delivering;
+    }
+    if (egress.flush_requested && egress.open.empty() && egress.ready.empty() &&
+        egress.delivering == 0) {
+      egress.flush_requested = false;
+      egress.idle_cv.notify_all();
+    }
+  }
+}
+
+void MessageBus::FlushEgress() {
+  if (!batching_.load(std::memory_order_acquire)) {
+    return;
+  }
+  for (auto& egress_ptr : egress_) {
+    NodeEgress& egress = *egress_ptr;
+    std::unique_lock<std::mutex> lock(egress.mutex);
+    if (egress.open.empty() && egress.ready.empty() && egress.delivering == 0) {
+      continue;
+    }
+    egress.flush_requested = true;
+    egress.cv.notify_all();
+    egress.idle_cv.wait(lock, [&] {
+      return !egress.flush_requested ||
+             (egress.open.empty() && egress.ready.empty() && egress.delivering == 0);
+    });
+  }
 }
 
 void MessageBus::SetEgressLimit(int node, double bytes_per_sec) {
@@ -58,7 +271,7 @@ void MessageBus::SetEgressLimit(int node, double bytes_per_sec) {
   if (bytes_per_sec <= 0.0) {
     limiters_[static_cast<size_t>(node)].reset();
   } else {
-    limiters_[static_cast<size_t>(node)] = std::make_unique<RateLimiter>(bytes_per_sec);
+    limiters_[static_cast<size_t>(node)] = std::make_shared<RateLimiter>(bytes_per_sec);
   }
 }
 
@@ -76,13 +289,44 @@ int64_t MessageBus::TxBytes(int node) const {
   return tx_bytes_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
 }
 
+std::vector<int64_t> MessageBus::TxMessages() const {
+  std::vector<int64_t> out(tx_messages_.size());
+  for (size_t i = 0; i < tx_messages_.size(); ++i) {
+    out[i] = tx_messages_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+int64_t MessageBus::TxMessages(int node) const {
+  CHECK_GE(node, 0);
+  CHECK_LT(node, num_nodes());
+  return tx_messages_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
+}
+
+std::vector<int64_t> MessageBus::TxEntries() const {
+  std::vector<int64_t> out(tx_entries_.size());
+  for (size_t i = 0; i < tx_entries_.size(); ++i) {
+    out[i] = tx_entries_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+int64_t MessageBus::TxEntries(int node) const {
+  CHECK_GE(node, 0);
+  CHECK_LT(node, num_nodes());
+  return tx_entries_[static_cast<size_t>(node)].load(std::memory_order_relaxed);
+}
+
 void MessageBus::ResetTraffic() {
-  for (auto& counter : tx_bytes_) {
-    counter.store(0, std::memory_order_relaxed);
+  for (size_t n = 0; n < tx_bytes_.size(); ++n) {
+    tx_bytes_[n].store(0, std::memory_order_relaxed);
+    tx_messages_[n].store(0, std::memory_order_relaxed);
+    tx_entries_[n].store(0, std::memory_order_relaxed);
   }
 }
 
 void MessageBus::CloseAll() {
+  FlushEgress();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [address, mailbox] : mailboxes_) {
     mailbox->Close();

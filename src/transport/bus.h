@@ -1,20 +1,36 @@
-// In-process message bus with per-endpoint mailboxes and optional egress
-// rate limiting.
-//
-// This stands in for the paper's Ethernet + ZMQ layer: every endpoint
-// (server service loop, worker syncer mailbox) registers a blocking queue;
-// Send() routes by address. A token-bucket rate limiter can be attached per
-// node to emulate a bounded-egress NIC in wall-clock time (used by examples;
-// the quantitative bandwidth experiments use the virtual-time fabric in
-// src/sim instead). Traffic is accounted per node for the load-balance
-// experiments.
+/// \file
+/// In-process message bus with per-endpoint mailboxes, optional egress rate
+/// limiting, and an optional per-destination egress batcher.
+///
+/// This stands in for the paper's Ethernet + ZMQ layer: every endpoint
+/// (server service loop, worker syncer mailbox) registers a blocking queue;
+/// Send() routes by address. A token-bucket rate limiter can be attached per
+/// node to emulate a bounded-egress NIC in wall-clock time (used by examples;
+/// the quantitative bandwidth experiments use the virtual-time fabric in
+/// src/sim instead). Traffic is accounted per node for the load-balance
+/// experiments.
+///
+/// Batching (EnableBatching): outgoing messages from one node to the same
+/// destination node and iteration coalesce into one framed wire message, so
+/// a many-layer model's per-layer pushes to a shard endpoint cost one frame
+/// instead of one per layer. Each node owns an egress queue and a flusher
+/// thread; a batch is cut when it reaches the configured message/byte
+/// thresholds, when the iteration changes, on shutdown messages, or when the
+/// flush interval elapses — so a blocked or throttled destination can only
+/// ever stall its own node's egress, never another node's (see
+/// docs/WIRE_FORMAT.md).
 #ifndef POSEIDON_SRC_TRANSPORT_BUS_H_
 #define POSEIDON_SRC_TRANSPORT_BUS_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/blocking_queue.h"
@@ -24,41 +40,114 @@
 
 namespace poseidon {
 
+/// Egress batching knobs. Defaults favour throughput on many-layer models
+/// while keeping the added latency bounded by the flush interval.
+struct EgressBatchOptions {
+  /// A batch is cut when it holds this many messages.
+  int max_batch_messages = 16;
+  /// ... or this many payload bytes.
+  int64_t max_batch_bytes = 4 << 20;
+  /// ... or when it has aged this long without filling (progress guarantee:
+  /// a push waiting on this batch can never deadlock its receiver).
+  int flush_interval_us = 200;
+};
+
 class MessageBus {
  public:
   using Mailbox = BlockingQueue<Message>;
 
   explicit MessageBus(int num_nodes);
+  ~MessageBus();
 
   MessageBus(const MessageBus&) = delete;
   MessageBus& operator=(const MessageBus&) = delete;
 
-  // Creates (or returns) the mailbox for `address`. Thread-safe.
+  /// Creates (or returns) the mailbox for `address`. Thread-safe.
   std::shared_ptr<Mailbox> Register(const Address& address);
 
-  // Routes `message` to its destination mailbox. Returns NotFound if the
-  // destination was never registered. Applies the sender's rate limit, if
-  // any, based on the message's wire size.
+  /// Routes `message` to its destination mailbox. Returns NotFound if the
+  /// destination was never registered. Applies the sender's rate limit, if
+  /// any, based on the message's wire size; the limiter wait never holds the
+  /// bus lock, so one node's throttled egress cannot stall another node's
+  /// sends. With batching enabled, remote messages are queued on the
+  /// sender's egress batcher instead of being delivered inline.
   Status Send(Message message);
 
-  // Attaches a wall-clock egress limit (bytes/s) to `node`; 0 removes it.
+  /// Turns on per-destination egress batching (idempotent is not supported:
+  /// call at most once, before traffic flows). Spawns one flusher thread per
+  /// node.
+  void EnableBatching(const EgressBatchOptions& options = {});
+  bool batching_enabled() const { return batching_.load(std::memory_order_acquire); }
+
+  /// Blocks until every pending batch has been delivered (tests and
+  /// iteration barriers; no-op without batching).
+  void FlushEgress();
+
+  /// Attaches a wall-clock egress limit (bytes/s) to `node`; 0 removes it.
   void SetEgressLimit(int node, double bytes_per_sec);
 
-  // Cumulative egress bytes per node (approximate wire sizes).
+  /// Cumulative egress bytes per node (approximate wire sizes, framing
+  /// included; batch frames counted once).
   std::vector<int64_t> TxBytes() const;
   int64_t TxBytes(int node) const;
+  /// Cumulative wire messages per node: a delivered batch counts as one.
+  std::vector<int64_t> TxMessages() const;
+  int64_t TxMessages(int node) const;
+  /// Cumulative logical (sub-)messages per node, batched or not.
+  std::vector<int64_t> TxEntries() const;
+  int64_t TxEntries(int node) const;
   void ResetTraffic();
 
-  // Closes every mailbox (wakes all blocked receivers).
+  /// Closes every mailbox (wakes all blocked receivers).
   void CloseAll();
 
   int num_nodes() const { return static_cast<int>(tx_bytes_.size()); }
 
  private:
+  /// One batch under assembly or awaiting delivery: same destination node,
+  /// same iteration, entries in send order.
+  struct Batch {
+    int dst_node = 0;
+    int64_t iter = -1;
+    int64_t payload_bytes = 0;
+    std::chrono::steady_clock::time_point opened;
+    std::vector<std::pair<std::shared_ptr<Mailbox>, Message>> entries;
+  };
+
+  /// Per-node egress queue + flusher thread (only with batching enabled).
+  struct NodeEgress {
+    std::mutex mutex;
+    std::condition_variable cv;       // wakes the flusher
+    std::condition_variable idle_cv;  // signals FlushEgress waiters
+    std::vector<Batch> open;          // at most one per destination node
+    std::deque<Batch> ready;
+    int delivering = 0;
+    bool flush_requested = false;
+    bool stop = false;
+    std::thread flusher;
+  };
+
+  /// Copies the routing state for `message` under the bus lock.
+  Status Route(const Message& message, std::shared_ptr<Mailbox>* mailbox,
+               std::shared_ptr<RateLimiter>* limiter) const;
+  /// Inline delivery (no batching, or local traffic).
+  Status SendDirect(Message message, std::shared_ptr<Mailbox> mailbox,
+                    std::shared_ptr<RateLimiter> limiter);
+  /// Delivers one cut batch: one limiter acquire and one wire frame, then
+  /// the entries in order. Runs on the owning node's flusher thread.
+  void DeliverBatch(int src, Batch batch);
+  void FlusherLoop(int node);
+
   mutable std::mutex mutex_;
   std::unordered_map<Address, std::shared_ptr<Mailbox>, AddressHash> mailboxes_;
-  std::vector<std::unique_ptr<RateLimiter>> limiters_;  // per node, may be null
+  std::vector<std::shared_ptr<RateLimiter>> limiters_;  // per node, may be null
   std::vector<std::atomic<int64_t>> tx_bytes_;
+  std::vector<std::atomic<int64_t>> tx_messages_;
+  std::vector<std::atomic<int64_t>> tx_entries_;
+
+  std::atomic<bool> batching_{false};
+  EgressBatchOptions batch_options_;
+  std::vector<std::unique_ptr<NodeEgress>> egress_;
 };
 
 }  // namespace poseidon

@@ -1,0 +1,422 @@
+#include "src/transport/codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+// Per-dimension sanity bound for wire input: any frame claiming a single
+// dimension beyond this is corrupt, not large (the biggest paper layer
+// dimension is 25088). Keeping every dimension below 2^27 also makes all
+// downstream size products overflow-free in int64.
+constexpr int64_t kMaxWireDim = int64_t{1} << 27;
+
+// Integers are carried in float words bit-cast with memcpy; the words are
+// never read as floats, so the bit patterns (which may be NaNs) are inert.
+void StoreWord(float* dst, uint32_t value) { std::memcpy(dst, &value, sizeof(value)); }
+
+uint32_t LoadWord(const float* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+Status Truncated(const char* codec, int64_t want, int64_t got) {
+  return OutOfRangeError(std::string(codec) + " frame truncated: need " +
+                         std::to_string(want) + " words, have " + std::to_string(got));
+}
+
+Status BadDim(const char* codec, int64_t value) {
+  return InvalidArgumentError(std::string(codec) + " frame has invalid dimension " +
+                              std::to_string(value));
+}
+
+// Reads a header word as a non-negative bounded int64, or fails.
+StatusOr<int64_t> HeaderDim(const char* codec, const PayloadView& frame, int64_t word) {
+  if (word >= frame.size()) {
+    return Truncated(codec, word + 1, frame.size());
+  }
+  const int64_t value = static_cast<int64_t>(static_cast<int32_t>(LoadWord(frame.data() + word)));
+  if (value < 0 || value > kMaxWireDim) {
+    return BadDim(codec, value);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* WireCodecName(WireCodec id) {
+  switch (id) {
+    case WireCodec::kRawFloat:
+      return "raw_float";
+    case WireCodec::kOneBit:
+      return "onebit";
+    case WireCodec::kSufficientFactor:
+      return "sufficient_factor";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------- raw float
+
+StatusOr<int64_t> RawFloatCodec::Validate(const PayloadView& frame) const {
+  if (!frame.valid() && frame.size() != 0) {
+    return InvalidArgumentError("raw_float frame is invalid");
+  }
+  return frame.size();
+}
+
+Status RawFloatCodec::Decode(const PayloadView& frame, Tensor* dense,
+                             std::vector<float>* bias) const {
+  CHECK_NOTNULL(dense);
+  StatusOr<int64_t> floats = Validate(frame);
+  if (!floats.ok()) {
+    return floats.status();
+  }
+  if (*floats == 0) {
+    *dense = Tensor();
+  } else {
+    *dense = Tensor({*floats});
+    std::copy(frame.data(), frame.data() + *floats, dense->data());
+    WireCopyStats::Add(*floats);
+  }
+  if (bias != nullptr) {
+    bias->clear();
+  }
+  return Status::Ok();
+}
+
+Payload RawFloatCodec::Encode(const float* src, int64_t floats) {
+  Payload payload = Payload::Allocate(floats);
+  if (floats > 0) {
+    CHECK_NOTNULL(src);
+    std::copy(src, src + floats, payload.data());
+    WireCopyStats::Add(floats);
+  }
+  return payload;
+}
+
+// --------------------------------------------------------------------- 1-bit
+
+namespace {
+constexpr int64_t kOneBitHeaderWords = 3;
+
+int64_t OneBitSignWords(int64_t rows, int64_t cols) { return (rows * cols + 31) / 32; }
+}  // namespace
+
+uint32_t OneBitCodec::Frame::word(int64_t i) const {
+  CHECK_GE(i, 0);
+  CHECK_LT(i, words.size());
+  return LoadWord(words.data() + i);
+}
+
+StatusOr<OneBitCodec::Frame> OneBitCodec::Parse(const PayloadView& frame) {
+  StatusOr<int64_t> rows = HeaderDim("onebit", frame, 0);
+  if (!rows.ok()) return rows.status();
+  StatusOr<int64_t> cols = HeaderDim("onebit", frame, 1);
+  if (!cols.ok()) return cols.status();
+  StatusOr<int64_t> bias_len = HeaderDim("onebit", frame, 2);
+  if (!bias_len.ok()) return bias_len.status();
+  // A tensor dimension of zero is never produced by an encoder; reject it
+  // so decode targets always have constructible shapes. The per-dimension
+  // bound in HeaderDim keeps rows * cols overflow-free.
+  if (*rows < 1) return BadDim("onebit", *rows);
+  if (*cols < 1) return BadDim("onebit", *cols);
+  const int64_t sign_words = OneBitSignWords(*rows, *cols);
+  const int64_t want = kOneBitHeaderWords + sign_words + 2 * *cols + *bias_len;
+  if (frame.size() != want) {
+    return want > frame.size() ? Truncated("onebit", want, frame.size())
+                               : InvalidArgumentError(
+                                     "onebit frame has " + std::to_string(frame.size()) +
+                                     " words, expected " + std::to_string(want));
+  }
+  Frame parsed;
+  parsed.rows = *rows;
+  parsed.cols = *cols;
+  parsed.bias_len = *bias_len;
+  int64_t cursor = kOneBitHeaderWords;
+  parsed.words = frame.Sub(cursor, sign_words);
+  cursor += sign_words;
+  parsed.positive_level = frame.Sub(cursor, *cols);
+  cursor += *cols;
+  parsed.negative_level = frame.Sub(cursor, *cols);
+  cursor += *cols;
+  parsed.bias = frame.Sub(cursor, *bias_len);
+  return parsed;
+}
+
+StatusOr<int64_t> OneBitCodec::Validate(const PayloadView& frame) const {
+  StatusOr<Frame> parsed = Parse(frame);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return parsed->rows * parsed->cols;
+}
+
+Status OneBitCodec::DecodeDense(const PayloadView& frame, Tensor* out) {
+  CHECK_NOTNULL(out);
+  StatusOr<Frame> parsed = Parse(frame);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const Frame& f = *parsed;
+  // Stage the packed sign words out of the slab once (compressed size, 1/32
+  // of dense), then reconstruct exactly as OneBitQuantizer::Decode does.
+  std::vector<uint32_t> bits(static_cast<size_t>(f.words.size()));
+  if (!bits.empty()) {
+    std::memcpy(bits.data(), f.words.data(), bits.size() * sizeof(uint32_t));
+    WireCopyStats::Add(f.words.size());
+  }
+  const float* positive = f.cols > 0 ? f.positive_level.data() : nullptr;
+  const float* negative = f.cols > 0 ? f.negative_level.data() : nullptr;
+  *out = Tensor({f.rows, f.cols});
+  for (int64_t r = 0; r < f.rows; ++r) {
+    for (int64_t c = 0; c < f.cols; ++c) {
+      const int64_t flat = r * f.cols + c;
+      const bool is_positive = (bits[static_cast<size_t>(flat / 32)] >> (flat % 32)) & 1u;
+      (*out)[flat] = is_positive ? positive[c] : negative[c];
+    }
+  }
+  return Status::Ok();
+}
+
+Status OneBitCodec::Decode(const PayloadView& frame, Tensor* dense,
+                           std::vector<float>* bias) const {
+  CHECK_NOTNULL(dense);
+  StatusOr<Frame> parsed = Parse(frame);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const Status status = DecodeDense(frame, dense);
+  if (!status.ok()) {
+    return status;
+  }
+  if (bias != nullptr) {
+    bias->assign(parsed->bias.size() > 0 ? parsed->bias.data() : nullptr,
+                 parsed->bias.size() > 0 ? parsed->bias.data() + parsed->bias.size()
+                                         : nullptr);
+  }
+  return Status::Ok();
+}
+
+Payload OneBitCodec::Encode(const Tensor& gradient, OneBitQuantizer* quantizer,
+                            const float* bias, int64_t bias_len) {
+  CHECK_NOTNULL(quantizer);
+  CHECK_GE(bias_len, 0);
+  const OneBitEncoded encoded = quantizer->Encode(gradient);
+  const int64_t sign_words = static_cast<int64_t>(encoded.bits.size());
+  CHECK_EQ(sign_words, OneBitSignWords(encoded.rows, encoded.cols));
+  const int64_t total =
+      kOneBitHeaderWords + sign_words + 2 * encoded.cols + bias_len;
+  Payload payload = Payload::Allocate(total);
+  float* words = payload.data();
+  StoreWord(words + 0, static_cast<uint32_t>(encoded.rows));
+  StoreWord(words + 1, static_cast<uint32_t>(encoded.cols));
+  StoreWord(words + 2, static_cast<uint32_t>(bias_len));
+  int64_t cursor = kOneBitHeaderWords;
+  if (sign_words > 0) {
+    std::memcpy(words + cursor, encoded.bits.data(),
+                static_cast<size_t>(sign_words) * sizeof(uint32_t));
+  }
+  cursor += sign_words;
+  std::copy(encoded.positive_level.begin(), encoded.positive_level.end(), words + cursor);
+  cursor += encoded.cols;
+  std::copy(encoded.negative_level.begin(), encoded.negative_level.end(), words + cursor);
+  cursor += encoded.cols;
+  if (bias_len > 0) {
+    CHECK_NOTNULL(bias);
+    std::copy(bias, bias + bias_len, words + cursor);
+  }
+  WireCopyStats::Add(sign_words + 2 * encoded.cols + bias_len);
+  return payload;
+}
+
+// --------------------------------------------------------- sufficient factor
+
+namespace {
+constexpr int64_t kSfHeaderWords = 4;
+}  // namespace
+
+StatusOr<SufficientFactorCodec::Frame> SufficientFactorCodec::Parse(
+    const PayloadView& frame) {
+  StatusOr<int64_t> m = HeaderDim("sufficient_factor", frame, 0);
+  if (!m.ok()) return m.status();
+  StatusOr<int64_t> n = HeaderDim("sufficient_factor", frame, 1);
+  if (!n.ok()) return n.status();
+  StatusOr<int64_t> k = HeaderDim("sufficient_factor", frame, 2);
+  if (!k.ok()) return k.status();
+  StatusOr<int64_t> bias_len = HeaderDim("sufficient_factor", frame, 3);
+  if (!bias_len.ok()) return bias_len.status();
+  if (*m < 1) return BadDim("sufficient_factor", *m);
+  if (*n < 1) return BadDim("sufficient_factor", *n);
+  if (*k < 1) return BadDim("sufficient_factor", *k);
+  const int64_t want = kSfHeaderWords + (*m + *n) * *k + *bias_len;
+  if (frame.size() != want) {
+    return want > frame.size()
+               ? Truncated("sufficient_factor", want, frame.size())
+               : InvalidArgumentError("sufficient_factor frame has " +
+                                      std::to_string(frame.size()) + " words, expected " +
+                                      std::to_string(want));
+  }
+  Frame parsed;
+  parsed.m = *m;
+  parsed.n = *n;
+  parsed.k = *k;
+  parsed.bias_len = *bias_len;
+  int64_t cursor = kSfHeaderWords;
+  parsed.u = frame.Sub(cursor, *m * *k);
+  cursor += *m * *k;
+  parsed.v = frame.Sub(cursor, *n * *k);
+  cursor += *n * *k;
+  parsed.bias = frame.Sub(cursor, *bias_len);
+  return parsed;
+}
+
+StatusOr<int64_t> SufficientFactorCodec::Validate(const PayloadView& frame) const {
+  StatusOr<Frame> parsed = Parse(frame);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return parsed->m * parsed->n;
+}
+
+Status SufficientFactorCodec::DecodeReconstruct(const PayloadView& frame, Tensor* out) {
+  CHECK_NOTNULL(out);
+  StatusOr<Frame> parsed = Parse(frame);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const Frame& f = *parsed;
+  if (out->ndim() != 2 || out->dim(0) != f.m || out->dim(1) != f.n) {
+    return InvalidArgumentError("sufficient_factor reconstruction target is " +
+                                out->ShapeString() + ", frame is " + std::to_string(f.m) +
+                                "x" + std::to_string(f.n));
+  }
+  // U V^T with GemmTransB's exact loop order, reading straight from the
+  // slab: bitwise identical to ReconstructGradient on unserialized factors.
+  const float* u = f.u.size() > 0 ? f.u.data() : nullptr;
+  const float* v = f.v.size() > 0 ? f.v.data() : nullptr;
+  float* od = out->data();
+  for (int64_t i = 0; i < f.m; ++i) {
+    const float* u_row = u + i * f.k;
+    float* o_row = od + i * f.n;
+    for (int64_t j = 0; j < f.n; ++j) {
+      const float* v_row = v + j * f.k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < f.k; ++p) {
+        acc += u_row[p] * v_row[p];
+      }
+      o_row[j] = acc;
+    }
+  }
+  return Status::Ok();
+}
+
+Status SufficientFactorCodec::Decode(const PayloadView& frame, Tensor* dense,
+                                     std::vector<float>* bias) const {
+  CHECK_NOTNULL(dense);
+  StatusOr<Frame> parsed = Parse(frame);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  *dense = Tensor({parsed->m, parsed->n});
+  const Status status = DecodeReconstruct(frame, dense);
+  if (!status.ok()) {
+    return status;
+  }
+  if (bias != nullptr) {
+    bias->assign(parsed->bias.size() > 0 ? parsed->bias.data() : nullptr,
+                 parsed->bias.size() > 0 ? parsed->bias.data() + parsed->bias.size()
+                                         : nullptr);
+  }
+  return Status::Ok();
+}
+
+Payload SufficientFactorCodec::Encode(const SufficientFactors& factors, const float* bias,
+                                      int64_t bias_len) {
+  CHECK_GE(bias_len, 0);
+  const int64_t m = factors.rows();
+  const int64_t n = factors.cols();
+  const int64_t k = factors.rank();
+  const int64_t total = kSfHeaderWords + (m + n) * k + bias_len;
+  Payload payload = Payload::Allocate(total);
+  float* words = payload.data();
+  StoreWord(words + 0, static_cast<uint32_t>(m));
+  StoreWord(words + 1, static_cast<uint32_t>(n));
+  StoreWord(words + 2, static_cast<uint32_t>(k));
+  StoreWord(words + 3, static_cast<uint32_t>(bias_len));
+  int64_t cursor = kSfHeaderWords;
+  std::copy(factors.u.data(), factors.u.data() + m * k, words + cursor);
+  cursor += m * k;
+  std::copy(factors.v.data(), factors.v.data() + n * k, words + cursor);
+  cursor += n * k;
+  if (bias_len > 0) {
+    CHECK_NOTNULL(bias);
+    std::copy(bias, bias + bias_len, words + cursor);
+  }
+  WireCopyStats::Add((m + n) * k + bias_len);
+  return payload;
+}
+
+// ------------------------------------------------------------------ registry
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<uint8_t, std::unique_ptr<Codec>>& RegistryMap() {
+  static std::map<uint8_t, std::unique_ptr<Codec>>* map = [] {
+    auto* m = new std::map<uint8_t, std::unique_ptr<Codec>>();
+    (*m)[static_cast<uint8_t>(WireCodec::kRawFloat)] = std::make_unique<RawFloatCodec>();
+    (*m)[static_cast<uint8_t>(WireCodec::kOneBit)] = std::make_unique<OneBitCodec>();
+    (*m)[static_cast<uint8_t>(WireCodec::kSufficientFactor)] =
+        std::make_unique<SufficientFactorCodec>();
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const Codec& CodecRegistry::Get(WireCodec id) {
+  const Codec* codec = Find(id);
+  CHECK_NOTNULL(codec) << "unregistered codec id " << static_cast<int>(id);
+  return *codec;
+}
+
+const Codec* CodecRegistry::Find(WireCodec id) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& map = RegistryMap();
+  auto it = map.find(static_cast<uint8_t>(id));
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+void CodecRegistry::Register(std::unique_ptr<Codec> codec) {
+  CHECK_NOTNULL(codec.get());
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& map = RegistryMap();
+  const uint8_t id = static_cast<uint8_t>(codec->id());
+  CHECK(map.find(id) == map.end()) << "codec id " << static_cast<int>(id)
+                                   << " already registered";
+  map[id] = std::move(codec);
+}
+
+std::vector<WireCodec> CodecRegistry::Ids() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<WireCodec> ids;
+  for (const auto& [id, codec] : RegistryMap()) {
+    ids.push_back(static_cast<WireCodec>(id));
+  }
+  return ids;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,177 @@
+/// \file
+/// The unified wire-codec registry: every gradient representation that
+/// crosses the wire (raw floats, 1-bit quantized, sufficient factors) is
+/// serialized into a Payload slab by exactly one Codec, and every receiver
+/// decodes through the same codec. No scheme-specific encode/decode logic
+/// lives in the syncers or the KV store; adding a compression (e.g. top-k)
+/// is one codec class registered here.
+///
+/// Frame layout (in 4-byte float words; integers are bit-cast into words
+/// with memcpy, never read as floats):
+///   raw float           [payload floats...]           (offset rides in the
+///                                                      enclosing WireChunk)
+///   1-bit               [rows][cols][bias_len]
+///                       [sign words: ceil(rows*cols/32)]
+///                       [positive levels: cols][negative levels: cols]
+///                       [bias: bias_len]
+///   sufficient factor   [m][n][k][bias_len]
+///                       [u: m*k][v: n*k][bias: bias_len]
+///
+/// Decoding validates framing and returns Status on truncated or corrupt
+/// buffers — a malformed frame must never crash the server. Decode
+/// arithmetic is bitwise identical to the historical in-line paths
+/// (OneBitQuantizer::Decode, ReconstructGradient), which the s=0 BSP
+/// trajectory tests rely on.
+#ifndef POSEIDON_SRC_TRANSPORT_CODEC_H_
+#define POSEIDON_SRC_TRANSPORT_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/onebit.h"
+#include "src/tensor/sufficient_factor.h"
+#include "src/tensor/tensor.h"
+#include "src/transport/payload.h"
+
+namespace poseidon {
+
+/// Wire identifier of a codec, carried in every Message header.
+enum class WireCodec : uint8_t {
+  kRawFloat = 0,
+  kOneBit = 1,
+  kSufficientFactor = 2,
+};
+
+const char* WireCodecName(WireCodec id);
+
+/// One gradient representation's serializer/deserializer. Concrete codecs
+/// additionally expose typed encode entry points (their inputs differ:
+/// dense slices, quantizer state, factor pairs); the virtual surface is the
+/// uniform wire-safety API every receiver and the property tests use.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual WireCodec id() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Validates framing without decoding. Returns the dense float count the
+  /// frame expands to (excluding any bias trailer), or InvalidArgument /
+  /// OutOfRange on malformed or truncated input.
+  virtual StatusOr<int64_t> Validate(const PayloadView& frame) const = 0;
+
+  /// Decodes the frame into a dense gradient tensor (shape from the frame;
+  /// raw frames decode 1-D) and, when the frame carries one, the bias
+  /// gradient trailer. Returns Status instead of crashing on bad input.
+  virtual Status Decode(const PayloadView& frame, Tensor* dense,
+                        std::vector<float>* bias) const = 0;
+};
+
+/// Identity codec: a frame is the floats themselves.
+class RawFloatCodec : public Codec {
+ public:
+  WireCodec id() const override { return WireCodec::kRawFloat; }
+  const char* name() const override { return "raw_float"; }
+  StatusOr<int64_t> Validate(const PayloadView& frame) const override;
+  Status Decode(const PayloadView& frame, Tensor* dense,
+                std::vector<float>* bias) const override;
+
+  /// Stages `floats` floats into a fresh slab (the one unavoidable copy when
+  /// the source is not already slab-resident).
+  static Payload Encode(const float* src, int64_t floats);
+};
+
+/// CNTK-style 1-bit quantization frames (sign words + per-column levels),
+/// with the FC bias gradient riding in the same frame.
+class OneBitCodec : public Codec {
+ public:
+  /// Parsed frame: spans into the slab (bias may be empty). Sign words are
+  /// bit-cast; read them through word(), not as floats.
+  struct Frame {
+    int64_t rows = 0;
+    int64_t cols = 0;
+    int64_t bias_len = 0;
+    PayloadView words;   ///< sign words region (bit-cast floats)
+    PayloadView positive_level;
+    PayloadView negative_level;
+    PayloadView bias;
+
+    /// The i-th packed sign word.
+    uint32_t word(int64_t i) const;
+  };
+
+  WireCodec id() const override { return WireCodec::kOneBit; }
+  const char* name() const override { return "onebit"; }
+  StatusOr<int64_t> Validate(const PayloadView& frame) const override;
+  Status Decode(const PayloadView& frame, Tensor* dense,
+                std::vector<float>* bias) const override;
+
+  /// Quantizes `gradient` through `quantizer` (which carries the error
+  /// feedback residual) and serializes the encoding plus the bias gradient
+  /// into one frame.
+  static Payload Encode(const Tensor& gradient, OneBitQuantizer* quantizer,
+                        const float* bias, int64_t bias_len);
+
+  /// Validated zero-copy access to a frame's regions.
+  static StatusOr<Frame> Parse(const PayloadView& frame);
+
+  /// Reconstructs the dense gradient, bitwise identical to
+  /// OneBitQuantizer::Decode on the unserialized encoding.
+  static Status DecodeDense(const PayloadView& frame, Tensor* out);
+};
+
+/// Sufficient-factor frames (U, V, bias); reconstruction is exact and
+/// bitwise identical to ReconstructGradient on the unserialized factors.
+class SufficientFactorCodec : public Codec {
+ public:
+  /// Parsed frame: spans into the slab (bias may be empty).
+  struct Frame {
+    int64_t m = 0;
+    int64_t n = 0;
+    int64_t k = 0;
+    int64_t bias_len = 0;
+    PayloadView u;  ///< [m, k] row-major
+    PayloadView v;  ///< [n, k] row-major
+    PayloadView bias;
+  };
+
+  WireCodec id() const override { return WireCodec::kSufficientFactor; }
+  const char* name() const override { return "sufficient_factor"; }
+  StatusOr<int64_t> Validate(const PayloadView& frame) const override;
+  Status Decode(const PayloadView& frame, Tensor* dense,
+                std::vector<float>* bias) const override;
+
+  /// Serializes a factor pair plus the bias gradient into one frame.
+  static Payload Encode(const SufficientFactors& factors, const float* bias,
+                        int64_t bias_len);
+
+  /// Validated zero-copy access to a frame's regions.
+  static StatusOr<Frame> Parse(const PayloadView& frame);
+
+  /// Overwrites `out` ([m, n]) with U V^T straight from the frame, using
+  /// the same loop order as ReconstructGradient (GemmTransB) so the result
+  /// is bitwise identical.
+  static Status DecodeReconstruct(const PayloadView& frame, Tensor* out);
+};
+
+/// Process-wide codec registry. The three paper codecs are always present;
+/// extensions register once at startup and are then addressable by id from
+/// any Message.
+class CodecRegistry {
+ public:
+  /// The codec for `id`; CHECK-fails on an unknown id (use Find on wire
+  /// input paths).
+  static const Codec& Get(WireCodec id);
+  /// The codec for `id`, or nullptr when unregistered.
+  static const Codec* Find(WireCodec id);
+  /// Registers an extension codec; CHECK-fails on a duplicate id.
+  static void Register(std::unique_ptr<Codec> codec);
+  /// Ids currently registered, ascending.
+  static std::vector<WireCodec> Ids();
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TRANSPORT_CODEC_H_

@@ -2,23 +2,14 @@
 
 namespace poseidon {
 
-int64_t Message::WireBytes() const {
-  int64_t bytes = 32;  // header
-  if (chunks != nullptr) {
-    for (const ChunkPayload& chunk : *chunks) {
-      bytes += 16 + static_cast<int64_t>(chunk.data.size()) * 4;
-    }
-  }
-  if (sf != nullptr) {
-    bytes += sf->WireBytes();
-  }
-  if (bias_grad != nullptr) {
-    bytes += static_cast<int64_t>(bias_grad->size()) * 4;
-  }
-  if (onebit != nullptr) {
-    bytes += onebit->WireBytes();
+int64_t Message::PayloadBytes() const {
+  int64_t bytes = 0;
+  for (const WireChunk& chunk : chunks) {
+    bytes += kWireChunkHeaderBytes + chunk.view.size() * 4;
   }
   return bytes;
 }
+
+int64_t Message::WireBytes() const { return kWireFrameBytes + PayloadBytes(); }
 
 }  // namespace poseidon

@@ -1,27 +1,33 @@
-// Wire messages exchanged by Poseidon's client libraries and KV stores.
-//
-// The in-process transport moves real payloads (gradient chunks, sufficient
-// factors, 1-bit encodings) between worker and server threads, so the
-// concurrent behaviour of the §4 architecture — BSP count vectors, per-layer
-// syncers, multi-threaded communication — is exercised for real, not just
-// simulated. Payload buffers are shared_ptr so a broadcast does not copy per
-// receiver (receivers never mutate payloads).
+/// \file
+/// Wire messages exchanged by Poseidon's client libraries and KV stores.
+///
+/// The in-process transport moves real payloads (gradient chunks, sufficient
+/// factors, 1-bit encodings) between worker and server threads, so the
+/// concurrent behaviour of the §4 architecture — BSP count vectors, per-layer
+/// syncers, multi-threaded communication — is exercised for real, not just
+/// simulated.
+///
+/// Messages are zero-copy: every payload is a PayloadView into a refcounted
+/// slab (see src/transport/payload.h), tagged with the WireCodec that
+/// serialized it. A broadcast shares one slab across all receivers, and a
+/// shard-coalesced push references the sender's staging slab per KV pair
+/// without per-pair copies. Framing sizes below feed the traffic accounting
+/// and the egress batcher (docs/WIRE_FORMAT.md documents the full layout).
 #ifndef POSEIDON_SRC_TRANSPORT_MESSAGE_H_
 #define POSEIDON_SRC_TRANSPORT_MESSAGE_H_
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
-#include "src/tensor/onebit.h"
-#include "src/tensor/sufficient_factor.h"
+#include "src/transport/codec.h"
+#include "src/transport/payload.h"
 
 namespace poseidon {
 
-// Transport-level address. Server shard s listens on {node, kServerPort + s}
-// (ports [0, kSyncerPortBase) are reserved for shard endpoints, so a server
-// node can host up to 1000 key-range shards); each worker-side syncer has a
-// mailbox at {node, kSyncerPortBase + layer}.
+/// Transport-level address. Server shard s listens on {node, kServerPort + s}
+/// (ports [0, kSyncerPortBase) are reserved for shard endpoints, so a server
+/// node can host up to 1000 key-range shards); each worker-side syncer has a
+/// mailbox at {node, kSyncerPortBase + layer}.
 struct Address {
   int node = 0;
   int port = 0;
@@ -33,15 +39,15 @@ struct Address {
 
 inline constexpr int kServerPort = 0;
 inline constexpr int kSyncerPortBase = 1000;
-inline constexpr int kMaxShardsPerServer = kSyncerPortBase;  // shard port space
+inline constexpr int kMaxShardsPerServer = kSyncerPortBase;  ///< shard port space
 
-// The mailbox address of shard `shard` on server node `server`.
+/// The mailbox address of shard `shard` on server node `server`.
 inline Address ServerShardAddress(int server, int shard) {
   return Address{server, kServerPort + shard};
 }
-// Collective-communication mailboxes live in their own port space so a
-// layer's collective participant never collides with its PS-style syncer
-// mailbox: {node, kCollectivePortBase + tag} where tag is the layer index.
+/// Collective-communication mailboxes live in their own port space so a
+/// layer's collective participant never collides with its PS-style syncer
+/// mailbox: {node, kCollectivePortBase + tag} where tag is the layer index.
 inline constexpr int kCollectivePortBase = 1000000;
 
 struct AddressHash {
@@ -51,20 +57,30 @@ struct AddressHash {
 };
 
 enum class MessageType {
-  kGradPush,    // worker -> server: gradient chunks of one layer
-  kParamReply,  // server -> worker: updated parameter chunks
-  kSfBroadcast, // worker -> peer: sufficient factors (+ bias gradient)
-  kOneBitPush,  // worker -> server: 1-bit encoded FC gradient (+ bias)
-  kCollective,  // peer -> peer: one hop of a ring/tree collective
-  kShutdown,    // trainer -> server: stop serving
+  kGradPush,    ///< worker -> server: gradient chunks of one layer
+  kParamReply,  ///< server -> worker: updated parameter chunks
+  kSfBroadcast, ///< worker -> peer: sufficient-factor frame (bias included)
+  kOneBitPush,  ///< worker -> server: 1-bit frame (bias included)
+  kCollective,  ///< peer -> peer: one hop of a ring/tree collective
+  kShutdown,    ///< trainer -> server: stop serving
 };
 
-// One KV pair's worth of contiguous floats within a layer's flattened
-// parameter vector (Poseidon partitions parameters into fixed-size KV pairs
-// hashed across shards, §4.1).
-struct ChunkPayload {
-  int64_t offset = 0;  // into the layer's flattened params
-  std::vector<float> data;
+/// Per-wire-message framing overhead (type, addresses, layer/worker/iter/
+/// step/codec headers).
+inline constexpr int64_t kWireFrameBytes = 32;
+/// Per-chunk header within a message (offset + length).
+inline constexpr int64_t kWireChunkHeaderBytes = 16;
+/// Per-sub-message header inside a batched frame (see MessageBus batching):
+/// the batch carries from/iter once, each entry keeps its own to-port,
+/// type, layer, worker and step.
+inline constexpr int64_t kBatchEntryHeaderBytes = 12;
+
+/// One encoded span of a layer's flattened parameter space: `offset` floats
+/// into the layer (raw-float chunks; self-describing codec frames use 0)
+/// and a view into the slab holding the encoded words.
+struct WireChunk {
+  int64_t offset = 0;
+  PayloadView view;
 };
 
 struct Message {
@@ -72,19 +88,21 @@ struct Message {
   Address from;
   Address to;
   int layer = -1;
-  int worker = -1;   // originating worker id
+  int worker = -1;   ///< originating worker id
   int64_t iter = -1;
-  // Collective protocol step: ring hop index (0..2(P-1)-1), or the tree
-  // phase (kTreeReducePhase / kTreeBroadcastPhase). Unused otherwise.
+  /// Collective protocol step: ring hop index (0..2(P-1)-1), or the tree
+  /// phase (kTreeReduceStep / kTreeBroadcastStep). Unused otherwise.
   int step = -1;
 
-  std::shared_ptr<std::vector<ChunkPayload>> chunks;
-  std::shared_ptr<SufficientFactors> sf;
-  std::shared_ptr<std::vector<float>> bias_grad;  // rides along with SF/1-bit
-  std::shared_ptr<OneBitEncoded> onebit;
+  /// Codec that serialized every chunk in this message.
+  WireCodec codec = WireCodec::kRawFloat;
+  std::vector<WireChunk> chunks;
 
-  // Approximate wire size, for traffic accounting.
+  /// Approximate wire size including framing, for traffic accounting.
   int64_t WireBytes() const;
+  /// Chunk headers + encoded words only (what a batched frame carries per
+  /// entry, the message-level frame being shared).
+  int64_t PayloadBytes() const;
 };
 
 }  // namespace poseidon

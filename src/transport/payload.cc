@@ -1,0 +1,87 @@
+#include "src/transport/payload.h"
+
+#include <atomic>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+std::atomic<int64_t> g_copied_floats{0};
+std::atomic<int64_t> g_copies{0};
+
+}  // namespace
+
+void WireCopyStats::Add(int64_t floats) {
+  g_copied_floats.fetch_add(floats, std::memory_order_relaxed);
+  g_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t WireCopyStats::Floats() { return g_copied_floats.load(std::memory_order_relaxed); }
+
+int64_t WireCopyStats::Copies() { return g_copies.load(std::memory_order_relaxed); }
+
+void WireCopyStats::Reset() {
+  g_copied_floats.store(0, std::memory_order_relaxed);
+  g_copies.store(0, std::memory_order_relaxed);
+}
+
+Payload Payload::Allocate(int64_t floats) {
+  CHECK_GE(floats, 0);
+  Payload payload;
+  payload.slab_ = std::make_shared<std::vector<float>>(static_cast<size_t>(floats), 0.0f);
+  return payload;
+}
+
+Payload Payload::FromVector(std::vector<float> values) {
+  Payload payload;
+  payload.slab_ = std::make_shared<std::vector<float>>(std::move(values));
+  return payload;
+}
+
+int64_t Payload::size() const {
+  return slab_ ? static_cast<int64_t>(slab_->size()) : 0;
+}
+
+float* Payload::data() {
+  CHECK(valid());
+  return slab_->data();
+}
+
+const float* Payload::data() const {
+  CHECK(valid());
+  return slab_->data();
+}
+
+PayloadView Payload::View() const { return View(0, size()); }
+
+PayloadView Payload::View(int64_t offset, int64_t length) const {
+  CHECK(valid());
+  CHECK_GE(offset, 0);
+  CHECK_GE(length, 0);
+  CHECK_LE(offset + length, size());
+  PayloadView view;
+  view.slab_ = slab_;
+  view.offset_ = offset;
+  view.length_ = length;
+  return view;
+}
+
+const float* PayloadView::data() const {
+  CHECK(valid());
+  return slab_->data() + offset_;
+}
+
+PayloadView PayloadView::Sub(int64_t offset, int64_t length) const {
+  CHECK(valid());
+  CHECK_GE(offset, 0);
+  CHECK_GE(length, 0);
+  CHECK_LE(offset + length, length_);
+  PayloadView view;
+  view.slab_ = slab_;
+  view.offset_ = offset_ + offset;
+  view.length_ = length;
+  return view;
+}
+
+}  // namespace poseidon

@@ -1,0 +1,103 @@
+/// \file
+/// Refcounted arena payloads for the zero-copy wire layer.
+///
+/// A Payload is one contiguous slab of floats with shared ownership; a
+/// PayloadView is a read-only span into a slab that keeps the slab alive.
+/// Wire messages carry views, never owning float vectors, so
+///   * a broadcast shares one slab across every receiver,
+///   * a shard-coalesced push references the sender's staging slab without
+///     copying per KV pair, and
+///   * a parameter reply under BSP aliases the shard's live parameter slab
+///     end to end (the clock protocol guarantees the worker finishes reading
+///     before the slab can change; see docs/WIRE_FORMAT.md for the aliasing
+///     safety rules).
+///
+/// The slab element type is the float word (4 bytes). Codecs that carry
+/// non-float data (the 1-bit sign words, frame headers) bit-cast it into
+/// float words with memcpy on both sides, so no float operation ever touches
+/// those words and the bit patterns survive the trip exactly.
+#ifndef POSEIDON_SRC_TRANSPORT_PAYLOAD_H_
+#define POSEIDON_SRC_TRANSPORT_PAYLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace poseidon {
+
+class PayloadView;
+
+/// Process-wide counters of wire-path float staging copies. The zero-copy
+/// refactor's acceptance metric: every copy of gradient/parameter floats on
+/// the Move/Send/Receive path calls Add() once, so benches can report copies
+/// and floats moved per iteration (see bench/micro_benchmarks.cc).
+class WireCopyStats {
+ public:
+  /// Records one staging copy of `floats` float words.
+  static void Add(int64_t floats);
+  /// Total float words copied since the last Reset.
+  static int64_t Floats();
+  /// Number of staging copies since the last Reset.
+  static int64_t Copies();
+  /// Zeroes both counters.
+  static void Reset();
+};
+
+/// A refcounted slab of `size()` floats. Cheap to copy (shared ownership);
+/// the backing store lives until the last Payload or PayloadView drops it.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// A fresh zero-initialized slab of `floats` words.
+  static Payload Allocate(int64_t floats);
+  /// Wraps (moves) an existing vector into a slab without copying.
+  static Payload FromVector(std::vector<float> values);
+
+  bool valid() const { return slab_ != nullptr; }
+  int64_t size() const;
+  float* data();
+  const float* data() const;
+
+  /// Slab reference count (this handle plus all live views and copies).
+  /// Used to decide whether a staging slab may be reused in place: a sole
+  /// owner can overwrite, otherwise a receiver may still be reading and a
+  /// fresh slab must be allocated.
+  long use_count() const { return slab_.use_count(); }
+
+  /// View of the whole slab.
+  PayloadView View() const;
+  /// View of [offset, offset + length). CHECKs bounds.
+  PayloadView View(int64_t offset, int64_t length) const;
+
+ private:
+  std::shared_ptr<std::vector<float>> slab_;
+};
+
+/// A read-only span into a Payload slab. Holds a reference on the slab, so a
+/// view outliving the sending Payload handle is safe.
+class PayloadView {
+ public:
+  PayloadView() = default;
+
+  bool valid() const { return slab_ != nullptr; }
+  int64_t size() const { return length_; }
+  const float* data() const;
+
+  /// Sub-span [offset, offset + length) of this view. CHECKs bounds.
+  PayloadView Sub(int64_t offset, int64_t length) const;
+
+  /// Identity of the backing slab, for zero-copy aliasing assertions in
+  /// tests (two views into the same slab return the same id).
+  const void* slab_id() const { return slab_.get(); }
+
+ private:
+  friend class Payload;
+  std::shared_ptr<const std::vector<float>> slab_;
+  int64_t offset_ = 0;
+  int64_t length_ = 0;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TRANSPORT_PAYLOAD_H_

@@ -1,6 +1,7 @@
-// Token-bucket egress limiter (wall-clock). Acquire(bytes) blocks the caller
-// until the bucket holds enough tokens, emulating a NIC that serializes a
-// node's outgoing traffic at a fixed rate.
+/// \file
+/// Token-bucket egress limiter (wall-clock). Acquire(bytes) blocks the caller
+/// until the bucket holds enough tokens, emulating a NIC that serializes a
+/// node's outgoing traffic at a fixed rate.
 #ifndef POSEIDON_SRC_TRANSPORT_RATE_LIMITER_H_
 #define POSEIDON_SRC_TRANSPORT_RATE_LIMITER_H_
 

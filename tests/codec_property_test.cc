@@ -1,0 +1,219 @@
+// Property tests for the wire-codec registry: random tensors through each
+// Codec's encode -> wire -> decode, checking bit-exactness (raw floats), the
+// error-feedback residual invariant and reference-decoder equality (1-bit),
+// and exact rank-k reconstruction (sufficient factors) — plus fuzzed
+// truncated/corrupt frames, which must come back as Status, never a crash.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+#include "src/transport/codec.h"
+
+namespace poseidon {
+namespace {
+
+// Models the wire hop: the receiver sees the same words in a different
+// slab (a batched frame is memcpy'd by the NIC, never reinterpreted).
+PayloadView Transit(const Payload& frame, Payload* storage) {
+  *storage = Payload::Allocate(frame.size());
+  std::memcpy(storage->data(), frame.data(),
+              static_cast<size_t>(frame.size()) * sizeof(float));
+  return storage->View();
+}
+
+// ------------------------------------------------------------- raw floats --
+
+TEST(CodecPropertyTest, RawFloatRoundTripIsBitExact) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int64_t n = 1 + static_cast<int64_t>(rng.NextDouble() * 300);
+    Tensor values = Tensor::RandomUniform({n}, -10.0f, 10.0f, rng);
+    Payload frame = RawFloatCodec::Encode(values.data(), n);
+    Payload wire;
+    const PayloadView view = Transit(frame, &wire);
+
+    Tensor decoded;
+    const Status status = CodecRegistry::Get(WireCodec::kRawFloat).Decode(view, &decoded,
+                                                                          nullptr);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(decoded.size(), n);
+    EXPECT_DOUBLE_EQ(MaxAbsDiff(values.Reshaped({n}), decoded), 0.0);
+  }
+}
+
+// ------------------------------------------------------------------- 1-bit --
+
+TEST(CodecPropertyTest, OneBitMatchesReferenceDecoderBitwise) {
+  Rng rng(202);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int64_t rows = 1 + static_cast<int64_t>(rng.NextDouble() * 40);
+    const int64_t cols = 1 + static_cast<int64_t>(rng.NextDouble() * 40);
+    Tensor grad = Tensor::RandomUniform({rows, cols}, -1.0f, 1.0f, rng);
+
+    OneBitQuantizer through_codec;
+    OneBitQuantizer reference;
+    Payload frame = OneBitCodec::Encode(grad, &through_codec, nullptr, 0);
+    const Tensor want = OneBitQuantizer::Decode(reference.Encode(grad));
+
+    Payload wire;
+    Tensor got;
+    const Status status = OneBitCodec::DecodeDense(Transit(frame, &wire), &got);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_DOUBLE_EQ(MaxAbsDiff(want, got), 0.0)
+        << "codec decode must be bitwise identical to OneBitQuantizer::Decode";
+    // Both quantizers saw the same input: identical residuals.
+    EXPECT_DOUBLE_EQ(MaxAbsDiff(through_codec.residual(), reference.residual()), 0.0);
+  }
+}
+
+TEST(CodecPropertyTest, OneBitResidualInvariantHoldsAcrossTheWire) {
+  // Error feedback: Decode(frame) + residual' == gradient + residual.
+  Rng rng(203);
+  Tensor grad = Tensor::RandomUniform({16, 24}, -1.0f, 1.0f, rng);
+  OneBitQuantizer quantizer;
+  Payload frame = OneBitCodec::Encode(grad, &quantizer, nullptr, 0);
+  Payload wire;
+  Tensor decoded;
+  ASSERT_TRUE(OneBitCodec::DecodeDense(Transit(frame, &wire), &decoded).ok());
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    EXPECT_NEAR(decoded[i] + quantizer.residual()[i], grad[i], 1e-6);
+  }
+}
+
+TEST(CodecPropertyTest, OneBitBiasRidesInFrame) {
+  Rng rng(204);
+  Tensor grad = Tensor::RandomUniform({8, 6}, -1.0f, 1.0f, rng);
+  const std::vector<float> bias = {0.5f, -1.25f, 3.0f, 0.0f, -7.5f, 2.25f, 1.0f, -0.5f};
+  OneBitQuantizer quantizer;
+  Payload frame = OneBitCodec::Encode(grad, &quantizer, bias.data(),
+                                      static_cast<int64_t>(bias.size()));
+  Payload wire;
+  Tensor dense;
+  std::vector<float> decoded_bias;
+  const Status status = CodecRegistry::Get(WireCodec::kOneBit)
+                            .Decode(Transit(frame, &wire), &dense, &decoded_bias);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(decoded_bias, bias);
+}
+
+// ------------------------------------------------------ sufficient factors --
+
+TEST(CodecPropertyTest, SufficientFactorReconstructionIsExact) {
+  Rng rng(303);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int64_t k = 1 + static_cast<int64_t>(rng.NextDouble() * 16);
+    const int64_t m = 1 + static_cast<int64_t>(rng.NextDouble() * 30);
+    const int64_t n = 1 + static_cast<int64_t>(rng.NextDouble() * 30);
+    Tensor errors = Tensor::RandomUniform({k, m}, -1.0f, 1.0f, rng);
+    Tensor inputs = Tensor::RandomUniform({k, n}, -1.0f, 1.0f, rng);
+    const SufficientFactors factors = MakeSufficientFactors(errors, inputs);
+
+    Tensor want({m, n});
+    ReconstructGradient(factors, &want);
+
+    Payload frame = SufficientFactorCodec::Encode(factors, nullptr, 0);
+    Payload wire;
+    Tensor got({m, n});
+    const Status status =
+        SufficientFactorCodec::DecodeReconstruct(Transit(frame, &wire), &got);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_DOUBLE_EQ(MaxAbsDiff(want, got), 0.0)
+        << "frame reconstruction must be bitwise identical to ReconstructGradient";
+  }
+}
+
+TEST(CodecPropertyTest, SufficientFactorRankOne) {
+  Tensor errors = Tensor::FromVector({1, 2}, {2, 3});
+  Tensor inputs = Tensor::FromVector({1, 3}, {1, 10, 100});
+  Payload frame =
+      SufficientFactorCodec::Encode(MakeSufficientFactors(errors, inputs), nullptr, 0);
+  Tensor recon({2, 3});
+  ASSERT_TRUE(SufficientFactorCodec::DecodeReconstruct(frame.View(), &recon).ok());
+  EXPECT_FLOAT_EQ(recon.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(recon.At(0, 2), 200.0f);
+  EXPECT_FLOAT_EQ(recon.At(1, 1), 30.0f);
+}
+
+// ------------------------------------------------------------------ fuzzing --
+
+// Every truncation of a valid frame must fail with a Status, never crash.
+void ExpectAllTruncationsFail(const Codec& codec, const Payload& frame) {
+  for (int64_t len = 0; len < frame.size(); ++len) {
+    const PayloadView truncated = frame.View(0, len);
+    const StatusOr<int64_t> validated = codec.Validate(truncated);
+    EXPECT_FALSE(validated.ok()) << codec.name() << " accepted a frame truncated to "
+                                 << len << "/" << frame.size() << " words";
+    Tensor dense;
+    std::vector<float> bias;
+    EXPECT_FALSE(codec.Decode(truncated, &dense, &bias).ok());
+  }
+}
+
+TEST(CodecPropertyTest, TruncatedOneBitFramesReturnStatus) {
+  Rng rng(404);
+  Tensor grad = Tensor::RandomUniform({5, 9}, -1.0f, 1.0f, rng);
+  OneBitQuantizer quantizer;
+  const std::vector<float> bias = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  Payload frame = OneBitCodec::Encode(grad, &quantizer, bias.data(), 5);
+  ExpectAllTruncationsFail(CodecRegistry::Get(WireCodec::kOneBit), frame);
+}
+
+TEST(CodecPropertyTest, TruncatedSufficientFactorFramesReturnStatus) {
+  Rng rng(405);
+  Tensor errors = Tensor::RandomUniform({4, 7}, -1.0f, 1.0f, rng);
+  Tensor inputs = Tensor::RandomUniform({4, 11}, -1.0f, 1.0f, rng);
+  Payload frame = SufficientFactorCodec::Encode(MakeSufficientFactors(errors, inputs),
+                                                nullptr, 0);
+  ExpectAllTruncationsFail(CodecRegistry::Get(WireCodec::kSufficientFactor), frame);
+}
+
+TEST(CodecPropertyTest, FuzzedHeadersNeverCrash) {
+  // Random junk words as frames: decode must either succeed (self-consistent
+  // junk) or return a Status; it must never abort or read out of bounds.
+  Rng rng(506);
+  for (WireCodec id : CodecRegistry::Ids()) {
+    const Codec& codec = CodecRegistry::Get(id);
+    for (int trial = 0; trial < 200; ++trial) {
+      const int64_t words = static_cast<int64_t>(rng.NextDouble() * 64);
+      Payload junk = Payload::Allocate(words);
+      for (int64_t i = 0; i < words; ++i) {
+        const uint32_t bits = static_cast<uint32_t>(rng.NextDouble() * 4294967295.0);
+        std::memcpy(junk.data() + i, &bits, sizeof(bits));
+      }
+      const StatusOr<int64_t> validated = codec.Validate(junk.View());
+      Tensor dense;
+      std::vector<float> bias;
+      const Status decoded = codec.Decode(junk.View(), &dense, &bias);
+      EXPECT_EQ(validated.ok(), decoded.ok())
+          << codec.name() << ": Validate and Decode must agree on fuzzed input";
+    }
+  }
+}
+
+TEST(CodecPropertyTest, NegativeDimensionsAreRejected) {
+  Payload frame = Payload::Allocate(8);
+  const uint32_t negative = 0x80000001u;  // -2147483647 as int32
+  std::memcpy(frame.data(), &negative, sizeof(negative));
+  Tensor dense;
+  EXPECT_FALSE(OneBitCodec::DecodeDense(frame.View(), &dense).ok());
+  Tensor out({1, 1});
+  EXPECT_FALSE(SufficientFactorCodec::DecodeReconstruct(frame.View(), &out).ok());
+}
+
+// ------------------------------------------------------------------ registry --
+
+TEST(CodecPropertyTest, RegistryServesAllBuiltins) {
+  const std::vector<WireCodec> ids = CodecRegistry::Ids();
+  ASSERT_GE(ids.size(), 3u);
+  EXPECT_EQ(CodecRegistry::Get(WireCodec::kRawFloat).id(), WireCodec::kRawFloat);
+  EXPECT_EQ(CodecRegistry::Get(WireCodec::kOneBit).id(), WireCodec::kOneBit);
+  EXPECT_EQ(CodecRegistry::Get(WireCodec::kSufficientFactor).id(),
+            WireCodec::kSufficientFactor);
+  EXPECT_EQ(CodecRegistry::Find(static_cast<WireCodec>(200)), nullptr);
+}
+
+}  // namespace
+}  // namespace poseidon

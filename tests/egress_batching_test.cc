@@ -1,0 +1,156 @@
+// Egress batching is a transport-level optimization: grouping same-
+// destination wire messages into one frame must never change what the
+// training algorithm computes. These tests train identical runs with and
+// without batching and require bitwise-identical parameters, plus strictly
+// fewer (never more) wire messages with batching on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/builders.h"
+#include "src/poseidon/trainer.h"
+
+namespace poseidon {
+namespace {
+
+std::vector<float> AllParams(Network& net) {
+  std::vector<float> out;
+  for (auto& layer_params : net.LayerParams()) {
+    for (ParamBlock& p : layer_params) {
+      out.insert(out.end(), p.value->data(), p.value->data() + p.value->size());
+    }
+  }
+  return out;
+}
+
+struct RunResult {
+  std::vector<float> params;
+  int64_t wire_messages = 0;
+  int64_t logical_messages = 0;
+};
+
+RunResult TrainRun(FcSyncPolicy policy, int workers, int servers, int shards, bool batch) {
+  DatasetConfig data;
+  data.num_classes = 3;
+  data.channels = 1;
+  data.height = 8;
+  data.width = 8;
+  data.train_size = 96;
+  data.noise_stddev = 0.4f;
+  data.seed = 2024;
+  SyntheticDataset dataset(data);
+
+  NetworkFactory factory = [] {
+    Rng rng(13);
+    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/20, /*hidden_layers=*/3,
+                    /*classes=*/3, rng);
+  };
+  TrainerOptions options;
+  options.num_workers = workers;
+  options.num_servers = servers;
+  options.shards_per_server = shards;
+  options.batch_per_worker = 6;
+  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
+  options.fc_policy = policy;
+  options.kv_pair_bytes = 512;
+  options.syncer_threads = 2;
+  options.batch_egress = batch;
+  // A generous window so a backprop burst reliably lands in one frame.
+  options.batch_options.flush_interval_us = 2000;
+
+  PoseidonTrainer trainer(factory, options);
+  trainer.Train(dataset, 10);
+  trainer.bus().FlushEgress();
+  RunResult result;
+  result.params = AllParams(trainer.worker_net(0));
+  for (int64_t m : trainer.bus().TxMessages()) {
+    result.wire_messages += m;
+  }
+  for (int64_t e : trainer.bus().TxEntries()) {
+    result.logical_messages += e;
+  }
+  return result;
+}
+
+class EgressBatchingTest : public ::testing::TestWithParam<FcSyncPolicy> {};
+
+TEST_P(EgressBatchingTest, TrajectoryBitwiseIdenticalWithBatching) {
+  const FcSyncPolicy policy = GetParam();
+  const RunResult plain = TrainRun(policy, 3, 2, 2, /*batch=*/false);
+  const RunResult batched = TrainRun(policy, 3, 2, 2, /*batch=*/true);
+
+  EXPECT_EQ(plain.params, batched.params)
+      << "batching changed the training trajectory";
+  // Batching can only merge frames, never add them; the logical message
+  // stream is identical.
+  EXPECT_EQ(plain.logical_messages, batched.logical_messages);
+  EXPECT_LE(batched.wire_messages, plain.wire_messages);
+  EXPECT_GT(batched.wire_messages, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EgressBatchingTest,
+                         ::testing::Values(FcSyncPolicy::kDense, FcSyncPolicy::kHybrid,
+                                           FcSyncPolicy::kOneBit,
+                                           FcSyncPolicy::kRingAllreduce,
+                                           FcSyncPolicy::kTreeAllreduce),
+                         [](const ::testing::TestParamInfo<FcSyncPolicy>& info) {
+                           switch (info.param) {
+                             case FcSyncPolicy::kDense:
+                               return std::string("Dense");
+                             case FcSyncPolicy::kHybrid:
+                               return std::string("Hybrid");
+                             case FcSyncPolicy::kOneBit:
+                               return std::string("OneBit");
+                             case FcSyncPolicy::kRingAllreduce:
+                               return std::string("Ring");
+                             case FcSyncPolicy::kTreeAllreduce:
+                               return std::string("Tree");
+                             default:
+                               return std::string("Other");
+                           }
+                         });
+
+TEST(EgressBatchingTest, ManyLayerModelBatchesPushes) {
+  // A deeper model gives the batcher same-destination pushes to merge: the
+  // wire message count must drop measurably, with an identical trajectory.
+  const RunResult plain = TrainRun(FcSyncPolicy::kDense, 2, 2, 1, /*batch=*/false);
+  const RunResult batched = TrainRun(FcSyncPolicy::kDense, 2, 2, 1, /*batch=*/true);
+  EXPECT_EQ(plain.params, batched.params);
+  EXPECT_LT(batched.wire_messages, plain.wire_messages)
+      << "no frames were merged on a multi-layer PS run";
+}
+
+// SSP staleness > 0 legitimately reorders reads, so trajectories are only
+// comparable batched-vs-batched; this guards the SSP reply-snapshot path
+// (replies must not alias a slab a later apply can mutate).
+TEST(EgressBatchingTest, SspRunIsDeterministicUnderBatching) {
+  DatasetConfig data;
+  data.num_classes = 3;
+  data.channels = 1;
+  data.height = 8;
+  data.width = 8;
+  data.train_size = 96;
+  data.noise_stddev = 0.4f;
+  data.seed = 2024;
+  SyntheticDataset dataset(data);
+  NetworkFactory factory = [] {
+    Rng rng(13);
+    return BuildMlp(64, 20, 2, 3, rng);
+  };
+  TrainerOptions options;
+  options.num_workers = 3;
+  options.num_servers = 2;
+  options.staleness = 1;
+  options.batch_per_worker = 6;
+  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
+  options.fc_policy = FcSyncPolicy::kDense;
+  options.kv_pair_bytes = 512;
+  options.batch_egress = true;
+  PoseidonTrainer trainer(factory, options);
+  const auto stats = trainer.Train(dataset, 12);
+  EXPECT_LT(stats.back().mean_loss, stats.front().mean_loss) << "no learning under SSP";
+}
+
+}  // namespace
+}  // namespace poseidon
