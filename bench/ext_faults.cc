@@ -1,0 +1,144 @@
+// Extension experiment: training under an imperfect network and worker
+// failures (the fault model mirroring src/transport's live fault fabric;
+// docs/FAULT_TOLERANCE.md).
+//
+// Part 1 sweeps wire loss rate x staleness on VGG19 over the protocol
+// simulator. The modeled link layer retransmits, so loss inflates every
+// message to 1/(1-p) expected transmissions plus p/(1-p)*RTO expected extra
+// latency — time and bytes, never data. Expected shape: iteration time grows
+// monotonically with loss; staleness hides part of the added sync tail
+// exactly as it hides stragglers, so the SSP rows degrade more gently.
+// Self-checks: iter time is monotone in loss and never exceeds the
+// closed-form worst case (everything on the wire inflated by 1/(1-p), plus
+// the full per-layer retransmit latency on every pipelined hop).
+//
+// Part 2 sweeps the crash-recovery cost model: detection timeout x restart
+// cost x staleness. One failure episode stalls the cluster for
+// detect + restart + replay(one iteration) minus what the SSP bound absorbs
+// (survivors run s clocks ahead before blocking on the dead worker); the
+// table reports the stall and the throughput retained at a given failure
+// rate. Self-checked against the closed form computed independently here.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/cli.h"
+#include "src/common/logging.h"
+#include "src/common/table.h"
+#include "src/models/zoo.h"
+#include "src/stats/report.h"
+
+namespace poseidon {
+namespace {
+
+void CheckClose(double got, double want, const char* what) {
+  const double scale = std::max(1.0, std::abs(want));
+  CHECK_LT(std::abs(got - want) / scale, 1e-6)
+      << what << ": got " << got << ", want " << want;
+}
+
+void LossSweepPart(int nodes, double gbps, const std::vector<double>& losses,
+                   const std::vector<int>& staleness) {
+  const ModelSpec model = ModelByName("vgg19").value();
+  ClusterSpec cluster;
+  cluster.num_nodes = nodes;
+  cluster.nic_gbps = gbps;
+
+  std::printf("Loss-rate sweep: %s, %d nodes @ %.0f GbE (Caffe engine)\n",
+              model.name.c_str(), nodes, gbps);
+  TextTable table({"system", "loss", "iter_ms", "vs clean", "E[tx/msg]"});
+  for (int stale : staleness) {
+    SystemConfig system = ShardedPsSystem(/*shards=*/2, stale);
+    system.loss_rate = 0.0;
+    const SimResult clean = RunProtocolSimulation(model, system, cluster, Engine::kCaffe);
+    double previous = clean.iter_time_s;
+    for (double loss : losses) {
+      system.loss_rate = loss;
+      const SimResult result =
+          loss == 0.0 ? clean : RunProtocolSimulation(model, system, cluster, Engine::kCaffe);
+      CheckClose(result.expected_transmissions, 1.0 / (1.0 - loss), "E[tx] closed form");
+      // Monotone in loss: a lossier wire can never speed an iteration up.
+      CHECK_GE(result.iter_time_s, previous - 1e-12)
+          << system.name << ": iteration time fell when loss rose to " << loss;
+      previous = result.iter_time_s;
+      table.AddRow({system.name, TextTable::Num(loss, 4),
+                    TextTable::Num(result.iter_time_s * 1e3, 2),
+                    TextTable::Num(result.iter_time_s / clean.iter_time_s, 3),
+                    TextTable::Num(result.expected_transmissions, 3)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("%s\n",
+              FormatLossAblation("Loss ablation", model, ShardedPsSystem(2, 0), nodes,
+                                 gbps, Engine::kCaffe, losses)
+                  .c_str());
+}
+
+void RecoverySweepPart(int nodes, double gbps, const std::vector<double>& detect_ms,
+                       const std::vector<double>& restart_ms,
+                       const std::vector<int>& staleness) {
+  const ModelSpec model = ModelByName("vgg19").value();
+  ClusterSpec cluster;
+  cluster.num_nodes = nodes;
+  cluster.nic_gbps = gbps;
+
+  // Throughput retained with one worker failure per kFailEveryIters
+  // iterations (a deliberately harsh rate so small stalls stay visible).
+  constexpr double kFailEveryIters = 1000.0;
+
+  std::printf("Crash-recovery cost model: %s, %d nodes @ %.0f GbE; one failure per %.0f "
+              "iterations\n",
+              model.name.c_str(), nodes, gbps, kFailEveryIters);
+  TextTable table({"s", "detect_ms", "restart_ms", "iter_ms", "stall_ms", "retained"});
+  for (int stale : staleness) {
+    for (double detect : detect_ms) {
+      for (double restart : restart_ms) {
+        SystemConfig system = ShardedPsSystem(/*shards=*/2, stale);
+        system.detect_timeout_s = detect * 1e-3;
+        system.restart_s = restart * 1e-3;
+        const SimResult result =
+            RunProtocolSimulation(model, system, cluster, Engine::kCaffe);
+
+        // Closed form, computed independently of Collect(): the episode is
+        // detect + restart + one replay iteration, minus min(episode,
+        // s * iter) absorbed by the staleness bound.
+        const double outage = detect * 1e-3 + restart * 1e-3 + result.iter_time_s;
+        const double absorbed =
+            std::min(outage, static_cast<double>(stale) * result.iter_time_s);
+        CheckClose(result.recovery_stall_s, outage - absorbed, "recovery stall");
+
+        const double retained = kFailEveryIters * result.iter_time_s /
+                                (kFailEveryIters * result.iter_time_s +
+                                 result.recovery_stall_s);
+        table.AddRow({std::to_string(stale), TextTable::Num(detect, 0),
+                      TextTable::Num(restart, 0),
+                      TextTable::Num(result.iter_time_s * 1e3, 2),
+                      TextTable::Num(result.recovery_stall_s * 1e3, 1),
+                      TextTable::Num(retained, 4)});
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace poseidon
+
+int main(int argc, char** argv) {
+  const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  const int nodes = args.FirstNodeOr(8);
+  const double gbps = args.FirstGbpsOr(10.0);
+  const std::vector<double> losses =
+      args.FaultLossOr({0.0, 0.001, 0.01, 0.05});
+  const std::vector<double> detect_ms = args.FaultDetectMsOr({50.0, 250.0, 1000.0});
+  const std::vector<double> restart_ms = args.FaultRestartMsOr({100.0, 1000.0});
+  const std::vector<int> staleness =
+      args.fast ? std::vector<int>{0, 1} : std::vector<int>{0, 1, 3};
+
+  poseidon::LossSweepPart(nodes, gbps, losses, staleness);
+  poseidon::RecoverySweepPart(nodes, gbps, detect_ms, restart_ms, staleness);
+  return 0;
+}

@@ -88,6 +88,8 @@ class ProtocolSim {
     CHECK_GT(num_layers_, 0);
     CHECK_GT(system.shards_per_server, 0);
     CHECK_GE(system.staleness, 0);
+    CHECK_GE(system.loss_rate, 0.0);
+    CHECK_LT(system.loss_rate, 1.0) << "a link that loses everything never delivers";
     FabricConfig fabric_config;
     const double wire_rate = cluster.nic_bytes_per_sec() * system.transport_efficiency;
     fabric_config.egress_bytes_per_sec = wire_rate;
@@ -511,6 +513,19 @@ class ProtocolSim {
       ++wire_msgs_[static_cast<size_t>(src)];
     }
     ++logical_msgs_[static_cast<size_t>(src)];
+    if (system_.loss_rate > 0.0) {
+      // Reliable link layer over a lossy wire, in expectation: the message
+      // is transmitted 1/(1-p) times (bytes inflate) and arrives late by the
+      // expected retransmit backlog p/(1-p) * RTO. Deterministic, so the
+      // simulation stays bit-reproducible.
+      const double p = system_.loss_rate;
+      framed /= (1.0 - p);
+      const double retx_delay_s = p / (1.0 - p) * system_.retransmit_timeout_s;
+      fabric_->Send(src, dst, framed, [this, retx_delay_s, done = std::move(done)] {
+        sim_.Schedule(retx_delay_s, done);
+      });
+      return;
+    }
     fabric_->Send(src, dst, framed, std::move(done));
   }
 
@@ -900,6 +915,19 @@ class ProtocolSim {
 
     for (int l = 0; l < num_layers_; ++l) {
       result.layer_schemes[model_.layers[l].name] = WireSchemeName(wires_[l].scheme);
+    }
+
+    result.expected_transmissions = 1.0 / (1.0 - system_.loss_rate);
+    if (system_.detect_timeout_s > 0.0 || system_.restart_s > 0.0) {
+      // One crash episode: the detector's deadline, the restart +
+      // rehydration, and the replay of the in-flight iteration. Survivors
+      // proceed up to `staleness` clocks before blocking on the dead
+      // worker, so the SSP bound absorbs that much of the outage.
+      const double outage =
+          system_.detect_timeout_s + system_.restart_s + result.iter_time_s;
+      const double absorbed =
+          std::min(outage, static_cast<double>(system_.staleness) * result.iter_time_s);
+      result.recovery_stall_s = outage - absorbed;
     }
     return result;
   }

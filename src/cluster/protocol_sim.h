@@ -68,6 +68,15 @@ struct SimResult {
   // layer name -> scheme actually used ("PS", "SFB", "SF->PS" for Adam,
   // "1bit").
   std::map<std::string, std::string> layer_schemes;
+
+  // ---- fault model outputs (SystemConfig loss/recovery knobs).
+  // Expected wire transmissions per message, 1/(1 - loss_rate).
+  double expected_transmissions = 1.0;
+  // Cluster-visible stall of one crash-recovery episode: detect + restart +
+  // one in-flight-iteration replay, minus what the SSP bound absorbs
+  // (survivors run up to `staleness` clocks before blocking on the dead
+  // worker). Zero when no failure model is configured.
+  double recovery_stall_s = 0.0;
 };
 
 // Runs one configuration to completion. Deterministic.

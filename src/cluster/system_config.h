@@ -74,6 +74,22 @@ struct SystemConfig {
   // frame, cutting per-message framing overhead and the message count the
   // simulation reports. Payload bytes and protocol timing are unchanged.
   bool batch_egress = false;
+  // ---- fault model (mirrors the live transport's fault fabric; see
+  // docs/FAULT_TOLERANCE.md). The modeled link layer is reliable: a lost
+  // message is retransmitted, so loss costs time and bytes, never data.
+  // Per-message wire loss probability. Modeled in expectation (the simulator
+  // stays deterministic): every message's bytes inflate by 1/(1 - p) and its
+  // delivery gains the expected retransmit latency p/(1 - p) * RTO.
+  double loss_rate = 0.0;
+  // Link-layer retransmit timeout charged per expected retransmission.
+  double retransmit_timeout_s = 200e-6;
+  // Crash-recovery episode costs (both zero = no failure model): suspicion
+  // deadline of the heartbeat failure detector, plus worker restart +
+  // checkpoint rehydration. The simulation charges one in-flight-iteration
+  // replay on top and credits what the SSP bound lets survivors absorb
+  // (SimResult::recovery_stall_s).
+  double detect_timeout_s = 0.0;
+  double restart_s = 0.0;
 };
 
 // The named systems from Figures 5-11.

@@ -6,6 +6,7 @@
 #ifndef POSEIDON_SRC_COMMON_BLOCKING_QUEUE_H_
 #define POSEIDON_SRC_COMMON_BLOCKING_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -39,6 +40,21 @@ class BlockingQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Bounded-wait variant: blocks at most `timeout`, then returns nullopt if
+  // no item arrived (also nullopt when the queue closed empty). Consumers
+  // that must interleave queue service with time-based work — the failure
+  // detector's deadline scan — use this instead of polling TryPop.
+  std::optional<T> PopFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) {
       return std::nullopt;
     }

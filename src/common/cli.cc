@@ -43,7 +43,10 @@ void Usage(const char* argv0) {
       "           reduced iterations where applicable\n"
       "  --full   paper-sized configuration (where the bench has one)\n"
       "  --batch-egress  coalesce same-destination wire messages (egress\n"
-      "           batcher ablation, where the bench supports it)\n",
+      "           batcher ablation, where the bench supports it)\n"
+      "  --fault-loss=P1,P2,...     per-message loss rates to sweep\n"
+      "  --fault-detect-ms=D1,...   failure-detection timeouts to sweep (ms)\n"
+      "  --fault-restart-ms=R1,...  worker restart costs to sweep (ms)\n",
       argv0);
 }
 
@@ -112,6 +115,36 @@ double BenchArgs::FirstGbpsOr(double default_value) const {
   return gbps.front();
 }
 
+std::vector<double> BenchArgs::FaultLossOr(std::vector<double> defaults) const {
+  if (!fault_loss.empty()) {
+    return fault_loss;
+  }
+  if (fast && defaults.size() > 2) {
+    defaults.resize(2);
+  }
+  return defaults;
+}
+
+std::vector<double> BenchArgs::FaultDetectMsOr(std::vector<double> defaults) const {
+  if (!fault_detect_ms.empty()) {
+    return fault_detect_ms;
+  }
+  if (fast && defaults.size() > 1) {
+    defaults.resize(1);
+  }
+  return defaults;
+}
+
+std::vector<double> BenchArgs::FaultRestartMsOr(std::vector<double> defaults) const {
+  if (!fault_restart_ms.empty()) {
+    return fault_restart_ms;
+  }
+  if (fast && defaults.size() > 1) {
+    defaults.resize(1);
+  }
+  return defaults;
+}
+
 BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -147,6 +180,18 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (arg.rfind("--gbps", 0) == 0) {
       args.gbps = ParseList<double>("--gbps", value_of("--gbps"),
                                     [](const char* s, char** e) { return std::strtod(s, e); });
+    } else if (arg.rfind("--fault-loss", 0) == 0) {
+      args.fault_loss =
+          ParseList<double>("--fault-loss", value_of("--fault-loss"),
+                            [](const char* s, char** e) { return std::strtod(s, e); });
+    } else if (arg.rfind("--fault-detect-ms", 0) == 0) {
+      args.fault_detect_ms =
+          ParseList<double>("--fault-detect-ms", value_of("--fault-detect-ms"),
+                            [](const char* s, char** e) { return std::strtod(s, e); });
+    } else if (arg.rfind("--fault-restart-ms", 0) == 0) {
+      args.fault_restart_ms =
+          ParseList<double>("--fault-restart-ms", value_of("--fault-restart-ms"),
+                            [](const char* s, char** e) { return std::strtod(s, e); });
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       Usage(argv[0]);

@@ -9,6 +9,10 @@
 //   --full          paper-sized configuration (fig11's 32x32 CIFAR run)
 //   --batch-egress  coalesce same-destination wire messages (ablates the
 //                   transport's egress batcher in the supported benches)
+//   --fault-loss=0.001,0.01     per-message loss rates to sweep (fault-model
+//                   benches; the modeled link layer retransmits)
+//   --fault-detect-ms=50,250    failure-detection timeouts to sweep, ms
+//   --fault-restart-ms=100,1000 worker restart/rehydrate costs to sweep, ms
 // Explicit --nodes/--gbps/--shards always win over --fast truncation.
 #ifndef POSEIDON_SRC_COMMON_CLI_H_
 #define POSEIDON_SRC_COMMON_CLI_H_
@@ -27,6 +31,10 @@ struct BenchArgs {
   // wire accounting (and the threaded runtime where a bench uses it), so
   // the batcher's message-count/framing effect can be ablated.
   bool batch_egress = false;
+  // Fault-model sweeps (bench_ext_faults; see docs/FAULT_TOLERANCE.md).
+  std::vector<double> fault_loss;
+  std::vector<double> fault_detect_ms;
+  std::vector<double> fault_restart_ms;
 
   // The node counts to sweep: the explicit --nodes list, else `defaults`
   // (truncated to its first two entries under --fast).
@@ -44,6 +52,11 @@ struct BenchArgs {
   // sweep never looks like it completed).
   int FirstNodeOr(int default_value) const;
   double FirstGbpsOr(double default_value) const;
+  // Fault-model lists: the explicit flag values, else `defaults` (--fast
+  // keeps the first two loss rates and the first detect/restart values).
+  std::vector<double> FaultLossOr(std::vector<double> defaults) const;
+  std::vector<double> FaultDetectMsOr(std::vector<double> defaults) const;
+  std::vector<double> FaultRestartMsOr(std::vector<double> defaults) const;
 };
 
 // Parses argv; prints usage and exits on --help or an unknown argument.

@@ -1,0 +1,155 @@
+#include "src/poseidon/failure_detector.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+HeartbeatTicker::HeartbeatTicker(int worker, MessageBus* bus,
+                                 const FailureDetectorOptions& options)
+    : worker_(worker), bus_(bus), options_(options) {
+  CHECK_NOTNULL(bus);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+HeartbeatTicker::~HeartbeatTicker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void HeartbeatTicker::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  beating_ = false;
+}
+
+void HeartbeatTicker::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    beating_ = true;
+    beat_now_ = true;
+  }
+  cv_.notify_all();  // wakes the loop so recovery is visible at once
+}
+
+void HeartbeatTicker::Loop() {
+  const auto interval = std::chrono::milliseconds(options_.heartbeat_interval_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    if (beating_) {
+      lock.unlock();
+      Message beat;
+      beat.type = MessageType::kHeartbeat;
+      beat.from = Address{worker_, kMonitorPort};
+      beat.to = Address{options_.monitor_node, kMonitorPort};
+      beat.worker = worker_;
+      // Best effort by design: a beat sent before the detector registered
+      // (or after it shut down) is just lost, like a UDP ping.
+      (void)bus_->Send(std::move(beat));
+      lock.lock();
+    }
+    cv_.wait_for(lock, interval, [this] { return shutdown_ || beat_now_; });
+    beat_now_ = false;
+  }
+}
+
+FailureDetector::FailureDetector(MessageBus* bus, int num_workers,
+                                 const FailureDetectorOptions& options,
+                                 SuspectCallback on_suspect)
+    : bus_(bus),
+      num_workers_(num_workers),
+      options_(options),
+      on_suspect_(std::move(on_suspect)) {
+  CHECK_NOTNULL(bus);
+  CHECK_GT(num_workers, 0);
+  mailbox_ = bus_->Register(Address{options_.monitor_node, kMonitorPort});
+  last_beat_.assign(static_cast<size_t>(num_workers), {});
+  suspected_.assign(static_cast<size_t>(num_workers), false);
+  suspicions_.assign(static_cast<size_t>(num_workers), 0);
+}
+
+FailureDetector::~FailureDetector() { Shutdown(); }
+
+void FailureDetector::Start() {
+  CHECK(!thread_.joinable());
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& beat : last_beat_) {
+      beat = now;  // grace period: nobody is suspected at startup
+    }
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void FailureDetector::Shutdown() {
+  if (stop_.exchange(true)) {
+    return;
+  }
+  mailbox_->Close();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void FailureDetector::NotifyRecovered(int worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  suspected_[static_cast<size_t>(worker)] = false;
+  last_beat_[static_cast<size_t>(worker)] = std::chrono::steady_clock::now();
+}
+
+bool FailureDetector::suspected(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suspected_[static_cast<size_t>(worker)];
+}
+
+int64_t FailureDetector::suspicions(int worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suspicions_[static_cast<size_t>(worker)];
+}
+
+void FailureDetector::Loop() {
+  const auto scan_every = std::chrono::milliseconds(
+      std::max(1, options_.heartbeat_interval_ms / 2));
+  const auto deadline = std::chrono::milliseconds(options_.suspect_after_ms);
+  while (!stop_.load()) {
+    std::optional<Message> message = mailbox_->PopFor(scan_every);
+    if (message.has_value() && message->type == MessageType::kHeartbeat) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const int w = message->worker;
+      if (w >= 0 && w < num_workers_) {
+        last_beat_[static_cast<size_t>(w)] = std::chrono::steady_clock::now();
+      }
+    }
+    // Deadline scan: collect fresh suspicions under the lock, fire the
+    // callback outside it (the recovery manager may call back into us).
+    std::vector<int> newly_suspected;
+    {
+      const auto now = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int w = 0; w < num_workers_; ++w) {
+        if (!suspected_[static_cast<size_t>(w)] &&
+            now - last_beat_[static_cast<size_t>(w)] > deadline) {
+          suspected_[static_cast<size_t>(w)] = true;
+          ++suspicions_[static_cast<size_t>(w)];
+          newly_suspected.push_back(w);
+        }
+      }
+    }
+    for (int w : newly_suspected) {
+      LOG(Warning) << "failure detector: worker " << w << " suspected (no heartbeat for "
+                   << options_.suspect_after_ms << " ms)";
+      if (on_suspect_) {
+        on_suspect_(w);
+      }
+    }
+  }
+}
+
+}  // namespace poseidon

@@ -1,0 +1,118 @@
+/// \file
+/// Coordinator-driven liveness: heartbeat tickers and a failure detector.
+///
+/// Every worker process runs a HeartbeatTicker — a background thread that
+/// sends a kHeartbeat message to the coordinator's monitor mailbox every
+/// `heartbeat_interval_ms`, exactly like a production process would ping its
+/// cluster manager. The FailureDetector service loop (on the coordinator
+/// node) timestamps each beat and declares a worker *suspected* once its
+/// last beat is older than `suspect_after_ms`; the suspicion callback is the
+/// hook the trainer's recovery manager hangs off.
+///
+/// Heartbeats ride the normal MessageBus, so they are subject to the fault
+/// fabric: delayed or dropped-and-retransmitted beats arrive late, which is
+/// why `suspect_after_ms` must comfortably exceed both the heartbeat
+/// interval and the configured fault delays (the classic accuracy /
+/// detection-latency trade-off).
+#ifndef POSEIDON_SRC_POSEIDON_FAILURE_DETECTOR_H_
+#define POSEIDON_SRC_POSEIDON_FAILURE_DETECTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/transport/bus.h"
+
+namespace poseidon {
+
+struct FailureDetectorOptions {
+  bool enabled = false;
+  /// Node hosting the monitor mailbox (the coordinator's node).
+  int monitor_node = 0;
+  int heartbeat_interval_ms = 5;
+  /// A worker is suspected after this long without a beat. Must exceed the
+  /// heartbeat interval plus worst-case injected delay by a wide margin.
+  int suspect_after_ms = 150;
+};
+
+/// Worker-side liveness beacon. Stop() simulates the process dying (beats
+/// cease instantly); Resume() is called by the recovery path after restart.
+class HeartbeatTicker {
+ public:
+  HeartbeatTicker(int worker, MessageBus* bus, const FailureDetectorOptions& options);
+  ~HeartbeatTicker();
+
+  HeartbeatTicker(const HeartbeatTicker&) = delete;
+  HeartbeatTicker& operator=(const HeartbeatTicker&) = delete;
+
+  void Stop();
+  void Resume();
+
+ private:
+  void Loop();
+
+  const int worker_;
+  MessageBus* bus_;
+  const FailureDetectorOptions options_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool beating_ = true;
+  bool beat_now_ = false;  // Resume() requests an immediate beat
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+/// Coordinator-side detector. Runs its own service thread over the monitor
+/// mailbox; invokes `on_suspect(worker)` (on the detector thread) exactly
+/// once per failure episode.
+class FailureDetector {
+ public:
+  using SuspectCallback = std::function<void(int worker)>;
+
+  FailureDetector(MessageBus* bus, int num_workers, const FailureDetectorOptions& options,
+                  SuspectCallback on_suspect);
+  ~FailureDetector();
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// Arms the deadlines and spawns the service thread.
+  void Start();
+  /// Stops the service thread (idempotent; also run by the destructor).
+  void Shutdown();
+
+  /// Recovery completed: clears the suspicion and re-arms the deadline, so
+  /// a later crash of the same worker triggers a fresh callback.
+  void NotifyRecovered(int worker);
+
+  bool suspected(int worker) const;
+  /// Cumulative suspicion episodes for `worker` (tests).
+  int64_t suspicions(int worker) const;
+
+ private:
+  void Loop();
+
+  MessageBus* bus_;
+  const int num_workers_;
+  const FailureDetectorOptions options_;
+  const SuspectCallback on_suspect_;
+  std::shared_ptr<MessageBus::Mailbox> mailbox_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::chrono::steady_clock::time_point> last_beat_;
+  std::vector<bool> suspected_;
+  std::vector<int64_t> suspicions_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_POSEIDON_FAILURE_DETECTOR_H_

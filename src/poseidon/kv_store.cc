@@ -112,28 +112,42 @@ void KvShard::HandleGradPush(const Message& message) {
   const int num_workers = coordinator_.cluster().num_workers;
   const int w = message.worker;
   const int64_t clock = message.iter;
-  CHECK_GT(clock, state.applied_clock) << "push for an already-applied clock";
-  max_push_lead_ = std::max(max_push_lead_, clock - state.applied_clock);
 
-  auto& per_worker = state.pending[clock];
-  if (per_worker.empty()) {
-    per_worker.resize(static_cast<size_t>(num_workers));
+  // Reconciliation: a replayed push (recovery, or an at-least-once link)
+  // must never contribute to an aggregate twice. A clock at or below the
+  // applied cursor buffers nothing; a filled per-worker slot keeps its first
+  // contribution. Either way the (worker, clock) read is queued at most once
+  // and released under the normal SSP gate, so the restarted worker still
+  // gets its parameters.
+  bool fresh = clock > state.applied_clock;
+  if (fresh) {
+    auto& per_worker = state.pending[clock];
+    if (per_worker.empty()) {
+      per_worker.resize(static_cast<size_t>(num_workers));
+    }
+    if (!per_worker[static_cast<size_t>(w)].empty()) {
+      fresh = false;  // duplicate of a buffered contribution
+    } else {
+      max_push_lead_ = std::max(max_push_lead_, clock - state.applied_clock);
+      // Buffer the sender's views zero-copy until this clock's aggregate is
+      // applied; the sender will not overwrite its staging slab while a view
+      // is live (see Syncer::MoveOut).
+      std::vector<PayloadView> contribution;
+      contribution.reserve(state.pairs.size());
+      for (size_t p = 0; p < state.pairs.size(); ++p) {
+        const WireChunk& chunk = message.chunks[p];
+        CHECK_EQ(chunk.offset, state.pairs[p].info.offset);
+        CHECK_EQ(chunk.view.size(), state.pairs[p].info.length);
+        contribution.push_back(chunk.view);
+      }
+      per_worker[static_cast<size_t>(w)] = std::move(contribution);
+      ++state.push_count[clock];
+    }
   }
-  CHECK(per_worker[static_cast<size_t>(w)].empty()) << "duplicate push";
-  // Buffer the sender's views zero-copy until this clock's aggregate is
-  // applied; the sender will not overwrite its staging slab while a view is
-  // live (see Syncer::MoveOut).
-  std::vector<PayloadView> contribution;
-  contribution.reserve(state.pairs.size());
-  for (size_t p = 0; p < state.pairs.size(); ++p) {
-    const WireChunk& chunk = message.chunks[p];
-    CHECK_EQ(chunk.offset, state.pairs[p].info.offset);
-    CHECK_EQ(chunk.view.size(), state.pairs[p].info.length);
-    contribution.push_back(chunk.view);
+  if (!fresh) {
+    ++reconciled_pushes_;
   }
-  per_worker[static_cast<size_t>(w)] = std::move(contribution);
-  ++state.push_count[clock];
-  state.waiting_reads.emplace_back(w, clock);
+  AddWaitingRead(&state.waiting_reads, w, clock);
 
   // Apply strictly in clock order; a clock is complete once all workers'
   // pushes arrived. (A later clock can be complete early only under s > 0.)
@@ -177,6 +191,38 @@ void KvShard::ApplyDense(int layer, int64_t clock) {
   state.pending.erase(pending);
   state.push_count.erase(clock);
   state.applied_clock = clock;
+  ++applies_;
+}
+
+void KvShard::AddWaitingRead(std::vector<std::pair<int, int64_t>>* reads, int worker,
+                             int64_t clock) {
+  for (const auto& [w, c] : *reads) {
+    if (w == worker && c == clock) {
+      return;  // a replayed push keeps the one pending reply it already has
+    }
+  }
+  reads->emplace_back(worker, clock);
+}
+
+void KvShard::SendReply(int layer, int worker, int64_t clock,
+                        std::vector<WireChunk> chunks) {
+  Message reply;
+  reply.type = MessageType::kParamReply;
+  reply.from = ServerShardAddress(server_, shard_);
+  reply.to = Address{worker, kSyncerPortBase + layer};
+  reply.layer = layer;
+  reply.iter = clock;
+  reply.codec = WireCodec::kRawFloat;
+  reply.chunks = std::move(chunks);
+  const Status status = bus_->Send(std::move(reply));
+  if (status.code() == StatusCode::kNotFound ||
+      status.code() == StatusCode::kUnavailable) {
+    // The worker's endpoint died between push and release (crash window).
+    // Its restarted incarnation will replay the push and earn a fresh reply.
+    ++replies_dropped_;
+    return;
+  }
+  CHECK(status.ok()) << status.ToString();
 }
 
 void KvShard::ReleaseDenseReads(int layer) {
@@ -210,16 +256,7 @@ void KvShard::ReleaseDenseReads(int layer) {
     }
     max_reply_gap_ = std::max(max_reply_gap_,
                               std::max<int64_t>(0, clock - state.applied_clock));
-    Message reply;
-    reply.type = MessageType::kParamReply;
-    reply.from = ServerShardAddress(server_, shard_);
-    reply.to = Address{worker, kSyncerPortBase + layer};
-    reply.layer = layer;
-    reply.iter = clock;
-    reply.codec = WireCodec::kRawFloat;
-    reply.chunks = reply_chunks;
-    const Status status = bus_->Send(std::move(reply));
-    CHECK(status.ok()) << status.ToString();
+    SendReply(layer, worker, clock, reply_chunks);
   }
   state.waiting_reads = std::move(still_waiting);
 }
@@ -234,17 +271,26 @@ void KvShard::HandleOneBitPush(const Message& message) {
   const int num_workers = coordinator_.cluster().num_workers;
   const int w = message.worker;
   const int64_t clock = message.iter;
-  CHECK_GT(clock, state.applied_clock) << "push for an already-applied clock";
-  max_push_lead_ = std::max(max_push_lead_, clock - state.applied_clock);
 
-  auto& frames = state.pending[clock];
-  if (frames.empty()) {
-    frames.resize(static_cast<size_t>(num_workers));
+  // Same reconciliation as the dense path (see HandleGradPush).
+  bool fresh = clock > state.applied_clock;
+  if (fresh) {
+    auto& frames = state.pending[clock];
+    if (frames.empty()) {
+      frames.resize(static_cast<size_t>(num_workers));
+    }
+    if (frames[static_cast<size_t>(w)].valid()) {
+      fresh = false;
+    } else {
+      max_push_lead_ = std::max(max_push_lead_, clock - state.applied_clock);
+      frames[static_cast<size_t>(w)] = message.chunks[0].view;
+      ++state.push_count[clock];
+    }
   }
-  CHECK(!frames[static_cast<size_t>(w)].valid()) << "duplicate push";
-  frames[static_cast<size_t>(w)] = message.chunks[0].view;
-  ++state.push_count[clock];
-  state.waiting_reads.emplace_back(w, clock);
+  if (!fresh) {
+    ++reconciled_pushes_;
+  }
+  AddWaitingRead(&state.waiting_reads, w, clock);
 
   while (true) {
     auto next = state.push_count.find(state.applied_clock + 1);
@@ -295,6 +341,7 @@ void KvShard::ApplyOneBit(int layer, int64_t clock) {
   state.pending.erase(pending);
   state.push_count.erase(clock);
   state.applied_clock = clock;
+  ++applies_;
 }
 
 void KvShard::ReleaseOneBitReads(int layer) {
@@ -320,16 +367,7 @@ void KvShard::ReleaseOneBitReads(int layer) {
     }
     max_reply_gap_ = std::max(max_reply_gap_,
                               std::max<int64_t>(0, clock - state.applied_clock));
-    Message reply;
-    reply.type = MessageType::kParamReply;
-    reply.from = ServerShardAddress(server_, shard_);
-    reply.to = Address{worker, kSyncerPortBase + layer};
-    reply.layer = layer;
-    reply.iter = clock;
-    reply.codec = WireCodec::kRawFloat;
-    reply.chunks = reply_chunks;
-    const Status status = bus_->Send(std::move(reply));
-    CHECK(status.ok()) << status.ToString();
+    SendReply(layer, worker, clock, reply_chunks);
   }
   state.waiting_reads = std::move(still_waiting);
 }
@@ -362,6 +400,38 @@ int64_t KvServer::pushes_processed() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->pushes_processed();
+  }
+  return total;
+}
+
+int64_t KvServer::applies() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->applies();
+  }
+  return total;
+}
+
+int64_t KvServer::reconciled_pushes() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->reconciled_pushes();
+  }
+  return total;
+}
+
+int64_t KvServer::replies_dropped() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->replies_dropped();
+  }
+  return total;
+}
+
+int KvServer::owned_layers() const {
+  int total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->owned_layers();
   }
   return total;
 }

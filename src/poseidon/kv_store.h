@@ -24,6 +24,17 @@
 /// the paper's BSP, reproduced bitwise. With `s > 0` a fast worker's push
 /// is answered immediately from the freshest applied values and the worker
 /// runs ahead — at most `s + 1` clocks ahead of the slowest worker.
+///
+/// Crash recovery (docs/FAULT_TOLERANCE.md): a restarted worker replays its
+/// in-flight clock by re-pushing every layer. The shard reconciles replays
+/// so each (layer, clock) aggregate is applied exactly once:
+///   * a push whose clock is already applied buffers nothing — the shard
+///     just releases a reply from the current parameters;
+///   * a push whose per-worker slot for that clock is already filled keeps
+///     the first contribution (recomputation is deterministic, so the bits
+///     match anyway) and queues at most one pending read per (worker, clock).
+/// Replies the shard sends into a crash window (endpoint closed) are
+/// dropped and counted; the replayed push earns the replacement reply.
 #ifndef POSEIDON_SRC_POSEIDON_KV_STORE_H_
 #define POSEIDON_SRC_POSEIDON_KV_STORE_H_
 
@@ -73,6 +84,20 @@ class KvShard {
 
   /// Number of gradient-push messages processed (for tests).
   int64_t pushes_processed() const { return pushes_processed_; }
+  /// Aggregate applications performed (one per (owned layer, clock)). The
+  /// exactly-once invariant: equals owned layers x clocks run, crash or not.
+  /// (Read after Join.)
+  int64_t applies() const { return applies_; }
+  /// Pushes answered without contributing to an aggregate: replays of an
+  /// already-applied clock, or duplicates of an already-buffered slot.
+  int64_t reconciled_pushes() const { return reconciled_pushes_; }
+  /// Replies that could not be delivered (receiver endpoint closed — the
+  /// crash window between worker death and restart).
+  int64_t replies_dropped() const { return replies_dropped_; }
+  /// Layers with state hosted on this shard (dense pairs or 1-bit owner).
+  int owned_layers() const {
+    return static_cast<int>(dense_layers_.size() + onebit_layers_.size());
+  }
   /// Max over pushes of (push clock - applied clock at arrival): how far the
   /// fastest worker ran ahead of the global aggregate. SSP bounds this by
   /// staleness + 1. (Read after Join.)
@@ -123,6 +148,12 @@ class KvShard {
   void ApplyOneBit(int layer, int64_t clock);
   void ReleaseDenseReads(int layer);
   void ReleaseOneBitReads(int layer);
+  /// Queues (worker, clock) for release unless already pending (replayed
+  /// pushes must never earn a second reply).
+  static void AddWaitingRead(std::vector<std::pair<int, int64_t>>* reads, int worker,
+                             int64_t clock);
+  /// Ships one parameter reply; tolerates a dead destination endpoint.
+  void SendReply(int layer, int worker, int64_t clock, std::vector<WireChunk> chunks);
 
   const int server_;
   const int shard_;
@@ -137,6 +168,9 @@ class KvShard {
   std::unordered_map<int, DenseLayerState> dense_layers_;
   std::unordered_map<int, OneBitLayerState> onebit_layers_;
   int64_t pushes_processed_ = 0;
+  int64_t applies_ = 0;
+  int64_t reconciled_pushes_ = 0;
+  int64_t replies_dropped_ = 0;
   int64_t max_push_lead_ = 0;
   int64_t max_reply_gap_ = 0;
 };
@@ -164,6 +198,13 @@ class KvServer {
 
   /// Gradient-push messages processed across all shards (for tests).
   int64_t pushes_processed() const;
+  /// Aggregate applies / reconciled replays / dropped replies across shards
+  /// (the exactly-once accounting; see KvShard).
+  int64_t applies() const;
+  int64_t reconciled_pushes() const;
+  int64_t replies_dropped() const;
+  /// Layers with state hosted on this server, summed over shards.
+  int owned_layers() const;
   /// Max push lead / observed reply staleness across shards (see KvShard).
   int64_t max_push_lead() const;
   int64_t max_reply_gap() const;

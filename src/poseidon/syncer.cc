@@ -187,7 +187,14 @@ void Syncer::ReceivePs() {
   int received = 0;
   while (received < total_pairs_) {
     std::optional<Message> message = mailbox_->Pop();
-    CHECK(message.has_value()) << "mailbox closed mid-iteration";
+    if (!message.has_value()) {
+      // Endpoint closed mid-iteration: this worker is being crash-simulated
+      // (MessageBus::CloseEndpoints). Abandon the sync so the zombie job can
+      // drain; the restarted incarnation replays this clock.
+      LOG(Warning) << "worker " << worker_ << " layer " << layer_index_
+                   << ": syncer mailbox closed mid-iteration; abandoning sync";
+      return;
+    }
     CHECK(message->type == MessageType::kParamReply);
     CHECK(message->codec == WireCodec::kRawFloat);
     for (const WireChunk& chunk : message->chunks) {
@@ -227,7 +234,11 @@ void Syncer::ReceiveSfb(int64_t iter) {
 
   while (have < num_workers) {
     std::optional<Message> message = mailbox_->Pop();
-    CHECK(message.has_value()) << "mailbox closed mid-iteration";
+    if (!message.has_value()) {
+      LOG(Warning) << "worker " << worker_ << " layer " << layer_index_
+                   << ": syncer mailbox closed mid-iteration; abandoning sync";
+      return;
+    }
     if (message->iter != iter) {
       CHECK_GT(message->iter, iter) << "stale SF broadcast";
       deferred_.push_back(std::move(*message));
@@ -274,7 +285,11 @@ void Syncer::ReceiveSfb(int64_t iter) {
 
 void Syncer::ReceiveOneBit() {
   std::optional<Message> message = mailbox_->Pop();
-  CHECK(message.has_value()) << "mailbox closed mid-iteration";
+  if (!message.has_value()) {
+    LOG(Warning) << "worker " << worker_ << " layer " << layer_index_
+                 << ": syncer mailbox closed mid-iteration; abandoning sync";
+    return;
+  }
   CHECK(message->type == MessageType::kParamReply);
   CHECK(message->codec == WireCodec::kRawFloat);
   CHECK_EQ(message->chunks.size(), 1u);

@@ -8,7 +8,7 @@
 namespace poseidon {
 
 PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
-    : options_(options) {
+    : options_(options), factory_(std::move(factory)) {
   CHECK_GT(options_.num_workers, 0);
   CHECK_GT(options_.num_servers, 0);
   const int num_nodes = std::max(options_.num_workers, options_.num_servers);
@@ -16,12 +16,22 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
   if (options_.batch_egress) {
     bus_->EnableBatching(options_.batch_options);
   }
+  if (options_.enable_faults || options_.fault_plan.any()) {
+    bus_->EnableFaultInjection(options_.fault_plan);
+  }
+  if (options_.crash.active()) {
+    CHECK(options_.failure_detection.enabled)
+        << "a crash plan without failure detection deadlocks the cluster";
+    CHECK_GT(options_.checkpoint_every, 0) << "recovery requires checkpoints";
+    CHECK(!options_.checkpoint_dir.empty()) << "recovery requires a checkpoint dir";
+  }
 
   // Identical replicas: the factory must be deterministic.
-  init_net_ = factory();
+  init_net_ = factory_();
   for (int w = 0; w < options_.num_workers; ++w) {
-    worker_nets_.push_back(factory());
+    worker_nets_.push_back(factory_());
     CHECK_EQ(worker_nets_.back()->num_layers(), init_net_->num_layers());
+    crashed_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
   if (!options_.restore_path.empty()) {
     // Restore parameters into every replica (and into the init net the KV
@@ -66,6 +76,17 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
   for (auto& server : servers_) {
     server->Start();
   }
+
+  if (options_.failure_detection.enabled) {
+    detector_ = std::make_unique<FailureDetector>(
+        bus_.get(), options_.num_workers, options_.failure_detection,
+        [this](int w) { OnWorkerSuspected(w); });
+    detector_->Start();
+    for (int w = 0; w < options_.num_workers; ++w) {
+      tickers_.push_back(std::make_unique<HeartbeatTicker>(w, bus_.get(),
+                                                           options_.failure_detection));
+    }
+  }
 }
 
 PoseidonTrainer::~PoseidonTrainer() { Shutdown(); }
@@ -75,6 +96,12 @@ void PoseidonTrainer::Shutdown() {
     return;
   }
   shut_down_ = true;
+  // Liveness machinery first: no beats, suspicions, or recoveries may fire
+  // once teardown starts.
+  tickers_.clear();
+  if (detector_ != nullptr) {
+    detector_->Shutdown();
+  }
   for (auto& server : servers_) {
     for (int shard = 0; shard < server->num_shards(); ++shard) {
       Message shutdown;
@@ -91,6 +118,117 @@ void PoseidonTrainer::Shutdown() {
   bus_->CloseAll();
 }
 
+void PoseidonTrainer::RunWorkerLoop(int w, int64_t from_iter) {
+  const int num_workers = options_.num_workers;
+  const int64_t end_iter = window_.first_iter + window_.iterations;
+  Network& net = *worker_nets_[static_cast<size_t>(w)];
+  ClientLibrary& client = *clients_[static_cast<size_t>(w)];
+  for (int64_t iter = from_iter; iter < end_iter; ++iter) {
+    const size_t i = static_cast<size_t>(iter - window_.first_iter);
+    const Batch batch =
+        window_.dataset->TrainBatch(iter, options_.batch_per_worker, w, num_workers);
+    const LossResult result = net.Forward(batch.images, batch.labels);
+    (*window_.losses)[static_cast<size_t>(w)][i] = result.loss;
+    (*window_.accuracies)[static_cast<size_t>(w)][i] = result.accuracy;
+    client.StartIteration(iter);
+    const bool crash_now = options_.crash.active() && w == options_.crash.worker &&
+                           iter == options_.crash.iter &&
+                           !crash_fired_.load(std::memory_order_acquire);
+    int backward_steps = 0;
+    for (int l = net.num_layers() - 1; l >= 0; --l) {
+      if (crash_now && backward_steps >= options_.crash.layers_before_crash) {
+        break;
+      }
+      net.BackwardThrough(l);
+      client.ScheduleSync(l);  // wait-free backpropagation
+      ++backward_steps;
+    }
+    if (crash_now) {
+      // Simulated process death: in-flight sync jobs are orphaned, beats
+      // cease, no WaitAll, no cleanup. The failure detector takes it from
+      // here (OnWorkerSuspected -> RecoverWorker).
+      crash_fired_.store(true, std::memory_order_release);
+      crashed_[static_cast<size_t>(w)]->store(true, std::memory_order_release);
+      tickers_[static_cast<size_t>(w)]->Stop();
+      LOG(Warning) << "worker " << w << " crashed at iteration " << iter << " after "
+                   << backward_steps << " backward steps";
+      return;
+    }
+    client.WaitAll();  // BSP barrier: every layer synchronized
+    MaybeCheckpoint(w, iter + 1);
+  }
+}
+
+std::string PoseidonTrainer::CheckpointPath(int w) const {
+  return options_.checkpoint_dir + "/worker_" + std::to_string(w) + ".ckpt";
+}
+
+void PoseidonTrainer::MaybeCheckpoint(int w, int64_t next_iter) {
+  if (options_.checkpoint_every <= 0 || options_.checkpoint_dir.empty()) {
+    return;
+  }
+  if (next_iter % options_.checkpoint_every != 0 && next_iter != window_.first_iter) {
+    return;
+  }
+  const Status saved =
+      SaveCheckpoint(*worker_nets_[static_cast<size_t>(w)], next_iter, CheckpointPath(w));
+  CHECK(saved.ok()) << saved.ToString();
+}
+
+void PoseidonTrainer::OnWorkerSuspected(int w) {
+  std::lock_guard<std::mutex> lock(recovery_mutex_);
+  if (!crashed_[static_cast<size_t>(w)]->load(std::memory_order_acquire)) {
+    // False positive (late heartbeats under load). Clear the suspicion so
+    // the detector re-arms — a latched suspicion would suppress the callback
+    // for a later real crash of this worker and hang the cluster.
+    LOG(Warning) << "failure detector suspected live worker " << w
+                 << " (late heartbeats); clearing";
+    detector_->NotifyRecovered(w);
+    return;
+  }
+  ++recoveries_in_flight_;
+  recovery_threads_.emplace_back([this, w] { RecoverWorker(w); });
+}
+
+void PoseidonTrainer::RecoverWorker(int w) {
+  // 1. Fence the dead incarnation: close + unregister its data endpoints
+  // (syncer + collective ports, NOT the coordinator's monitor mailbox — a
+  // colocated monitor survives the worker-process death) so orphaned sync
+  // jobs wake (their Receive abandons) and the old client library can
+  // drain. Replies the shards send into this window are dropped and
+  // re-earned by the replay.
+  bus_->CloseEndpoints(w, kSyncerPortBase, kMonitorPort);
+  clients_[static_cast<size_t>(w)].reset();
+
+  // 2. Rehydrate a fresh replica from the latest recovery checkpoint; its
+  // cursor is the in-flight clock to replay.
+  auto net = factory_();
+  StatusOr<int64_t> cursor = LoadCheckpoint(CheckpointPath(w), net.get());
+  CHECK(cursor.ok()) << "worker " << w << " restart: " << cursor.status().ToString();
+  worker_nets_[static_cast<size_t>(w)] = std::move(net);
+
+  // 3. Re-register with the shards: a fresh client library recreates every
+  // syncer mailbox at the same addresses (sequence streams just continue).
+  clients_[static_cast<size_t>(w)] = std::make_unique<ClientLibrary>(
+      w, *coordinator_, schemes_, worker_nets_[static_cast<size_t>(w)].get(), bus_.get(),
+      options_.sgd, options_.syncer_threads);
+
+  // 4. Rejoin the cluster and replay from the checkpoint cursor. The replay
+  // re-pushes the in-flight clock; shard reconciliation applies each
+  // (layer, clock) aggregate exactly once (see KvShard).
+  crashed_[static_cast<size_t>(w)]->store(false, std::memory_order_release);
+  detector_->NotifyRecovered(w);
+  tickers_[static_cast<size_t>(w)]->Resume();
+  LOG(Info) << "worker " << w << " restarted from iteration " << *cursor;
+  RunWorkerLoop(w, *cursor);
+  recoveries_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    --recoveries_in_flight_;
+  }
+  recovery_cv_.notify_all();
+}
+
 std::vector<IterationStats> PoseidonTrainer::Train(const SyntheticDataset& dataset,
                                                    int iterations) {
   CHECK(!shut_down_);
@@ -102,30 +240,40 @@ std::vector<IterationStats> PoseidonTrainer::Train(const SyntheticDataset& datas
   std::vector<std::vector<double>> accuracies = losses;
 
   const int64_t first_iter = next_iter_;
+  window_ = TrainWindow{&dataset, first_iter, iterations, &losses, &accuracies};
+  if (options_.checkpoint_every > 0 && !options_.checkpoint_dir.empty()) {
+    // Baseline checkpoint so a crash in the very first window iteration can
+    // restart (replicas are quiescent and identical here).
+    for (int w = 0; w < num_workers; ++w) {
+      MaybeCheckpoint(w, first_iter);
+    }
+  }
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w) {
-    threads.emplace_back([&, w] {
-      Network& net = *worker_nets_[static_cast<size_t>(w)];
-      ClientLibrary& client = *clients_[static_cast<size_t>(w)];
-      for (int i = 0; i < iterations; ++i) {
-        const int64_t iter = first_iter + i;
-        const Batch batch =
-            dataset.TrainBatch(iter, options_.batch_per_worker, w, num_workers);
-        const LossResult result = net.Forward(batch.images, batch.labels);
-        losses[static_cast<size_t>(w)][static_cast<size_t>(i)] = result.loss;
-        accuracies[static_cast<size_t>(w)][static_cast<size_t>(i)] = result.accuracy;
-        client.StartIteration(iter);
-        for (int l = net.num_layers() - 1; l >= 0; --l) {
-          net.BackwardThrough(l);
-          client.ScheduleSync(l);  // wait-free backpropagation
-        }
-        client.WaitAll();  // BSP barrier: every layer synchronized
-      }
-    });
+    threads.emplace_back([this, w, first_iter] { RunWorkerLoop(w, first_iter); });
   }
   for (auto& thread : threads) {
     thread.join();
+  }
+  // A crashed worker's thread returned early; its recovery thread finishes
+  // the window. Wait for the restart to be spawned and completed before
+  // declaring the window done.
+  if (options_.crash.active() && crash_fired_.load()) {
+    std::unique_lock<std::mutex> lock(recovery_mutex_);
+    recovery_cv_.wait(lock, [&] {
+      return recoveries_in_flight_ == 0 &&
+             !crashed_[static_cast<size_t>(options_.crash.worker)]->load();
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(recovery_mutex_);
+    for (auto& thread : recovery_threads_) {
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+    recovery_threads_.clear();
   }
   next_iter_ += iterations;
 

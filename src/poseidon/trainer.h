@@ -11,8 +11,13 @@
 #ifndef POSEIDON_SRC_POSEIDON_TRAINER_H_
 #define POSEIDON_SRC_POSEIDON_TRAINER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "src/nn/builders.h"
@@ -22,6 +27,7 @@
 #include "src/poseidon/checkpoint.h"
 #include "src/poseidon/client_library.h"
 #include "src/poseidon/coordinator.h"
+#include "src/poseidon/failure_detector.h"
 #include "src/poseidon/kv_store.h"
 #include "src/poseidon/runtime_scheme.h"
 #include "src/transport/bus.h"
@@ -31,6 +37,21 @@ namespace poseidon {
 /// Builds one network replica. Called once per worker plus once for server
 /// initialization; must be deterministic so all replicas start identical.
 using NetworkFactory = std::function<std::unique_ptr<Network>()>;
+
+/// A test-injected worker crash: during iteration `iter`, worker `worker`
+/// walks `layers_before_crash` backward steps (scheduling their syncs), then
+/// dies without completing the iteration — no WaitAll, no cleanup, beats
+/// cease. The failure detector notices and the trainer's recovery manager
+/// restarts the worker from its latest checkpoint (docs/FAULT_TOLERANCE.md).
+struct CrashPlan {
+  int worker = -1;
+  int64_t iter = -1;
+  /// Backward steps taken before dying: 0 = before any push of the
+  /// iteration; num_layers = after every push (crash in the receive phase).
+  int layers_before_crash = 0;
+
+  bool active() const { return worker >= 0 && iter >= 0; }
+};
 
 struct TrainerOptions {
   int num_workers = 2;
@@ -60,6 +81,26 @@ struct TrainerOptions {
   /// When non-empty, parameters and the iteration cursor are restored from
   /// this checkpoint before the KV shards are initialized.
   std::string restore_path;
+  /// Seeded transport chaos (drop/duplicate/delay/partition); injected when
+  /// any probability is non-zero or `enable_faults` is set. Sequencing +
+  /// receiver-side dedup/reordering keep trajectories bitwise identical to
+  /// fault-free runs under BSP (tests/chaos_property_test.cc).
+  FaultPlan fault_plan;
+  /// Forces the fault fabric on even with all probabilities zero (partition
+  /// experiments drive faults through bus().Partition at runtime).
+  bool enable_faults = false;
+  /// Heartbeats + failure detector + automatic worker restart.
+  FailureDetectorOptions failure_detection;
+  /// Per-worker recovery checkpoints land in this directory (one file per
+  /// worker), written after every `checkpoint_every` completed iterations.
+  /// Bitwise-exact recovery of a crashed BSP worker needs `checkpoint_every
+  /// = 1`: the replayed in-flight iteration then recomputes from exactly the
+  /// parameters the dead incarnation held.
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;  ///< 0 disables recovery checkpoints
+  /// Test-injected crash (requires failure_detection.enabled and recovery
+  /// checkpoints, or training will hang waiting for the dead worker).
+  CrashPlan crash;
 };
 
 /// Upper bound for shards_per_server = 0 (auto) selection.
@@ -100,14 +141,29 @@ class PoseidonTrainer {
   const Coordinator& coordinator() const { return *coordinator_; }
   const std::vector<RuntimeScheme>& schemes() const { return schemes_; }
   MessageBus& bus() { return *bus_; }
+  /// The failure detector (null unless failure_detection.enabled).
+  const FailureDetector* failure_detector() const { return detector_.get(); }
+  /// Completed recovery episodes (a crashed worker restarted and replayed).
+  int64_t recoveries() const { return recoveries_.load(); }
   /// The shard count actually in use (resolved when shards_per_server = 0).
   int shards_per_server() const;
   const KvServer& server(int s) const { return *servers_[static_cast<size_t>(s)]; }
 
  private:
   void Shutdown();
+  /// One worker's training loop from `from_iter` through the end of the
+  /// Train() window (also the recovery replay path).
+  void RunWorkerLoop(int w, int64_t from_iter);
+  /// Detector callback; spawns the recovery thread for a crashed worker.
+  void OnWorkerSuspected(int w);
+  /// Restart protocol: fence the dead incarnation, rebuild the client from
+  /// the latest checkpoint, re-register, replay the in-flight clock.
+  void RecoverWorker(int w);
+  void MaybeCheckpoint(int w, int64_t next_iter);
+  std::string CheckpointPath(int w) const;
 
   TrainerOptions options_;
+  NetworkFactory factory_;
   std::unique_ptr<MessageBus> bus_;
   std::vector<std::unique_ptr<Network>> worker_nets_;
   std::unique_ptr<Network> init_net_;
@@ -117,6 +173,29 @@ class PoseidonTrainer {
   std::vector<std::unique_ptr<ClientLibrary>> clients_;
   int64_t next_iter_ = 0;
   bool shut_down_ = false;
+
+  // Liveness + recovery plumbing (only populated when enabled).
+  std::vector<std::unique_ptr<HeartbeatTicker>> tickers_;
+  std::unique_ptr<FailureDetector> detector_;
+  std::atomic<bool> crash_fired_{false};
+  std::vector<std::unique_ptr<std::atomic<bool>>> crashed_;
+  std::atomic<int64_t> recoveries_{0};
+
+  std::mutex recovery_mutex_;
+  std::condition_variable recovery_cv_;
+  std::vector<std::thread> recovery_threads_;
+  int recoveries_in_flight_ = 0;
+
+  // Live only while Train() runs; the recovery replay records into the same
+  // per-iteration stat slots the dead incarnation would have filled.
+  struct TrainWindow {
+    const SyntheticDataset* dataset = nullptr;
+    int64_t first_iter = 0;
+    int iterations = 0;
+    std::vector<std::vector<double>>* losses = nullptr;
+    std::vector<std::vector<double>>* accuracies = nullptr;
+  };
+  TrainWindow window_;
 };
 
 }  // namespace poseidon

@@ -1,0 +1,17 @@
+#include "src/stats/fault_counters.h"
+
+#include <sstream>
+
+namespace poseidon {
+
+std::string FormatFaultCounters(const FaultCountersSnapshot& snap) {
+  std::ostringstream out;
+  out << "faults{drops=" << snap.drops << " retx=" << snap.retransmits
+      << " dups=" << snap.duplicates << " delays=" << snap.delays
+      << " partition_holds=" << snap.partition_holds << " deduped=" << snap.deduped
+      << " reordered=" << snap.reordered << " dropped_replies=" << snap.dropped_replies
+      << "}";
+  return out.str();
+}
+
+}  // namespace poseidon

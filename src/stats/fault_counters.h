@@ -1,0 +1,75 @@
+/// \file
+/// Process-visible counters for the transport's fault-injection fabric.
+///
+/// Every injected fault increments exactly one counter at the moment the
+/// fault is committed (not when it is decided), so after FlushFaults() the
+/// counters describe what the network actually did to the byte stream. The
+/// chaos tests assert on them both positively ("this run really did see
+/// duplicates") and negatively ("nothing was deduplicated in a clean run").
+#ifndef POSEIDON_SRC_STATS_FAULT_COUNTERS_H_
+#define POSEIDON_SRC_STATS_FAULT_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace poseidon {
+
+/// Plain-value snapshot of FaultCounters, safe to copy and compare.
+struct FaultCountersSnapshot {
+  int64_t drops = 0;            ///< wire transmissions lost (later retransmitted)
+  int64_t retransmits = 0;      ///< link-layer redeliveries of dropped messages
+  int64_t duplicates = 0;       ///< extra copies injected on the wire
+  int64_t delays = 0;           ///< messages held back by a delay fault
+  int64_t partition_holds = 0;  ///< messages parked behind an active partition
+  int64_t deduped = 0;          ///< receiver-side duplicate suppressions
+  int64_t reordered = 0;        ///< arrivals buffered because an earlier seq was missing
+  int64_t dropped_replies = 0;  ///< sends to an endpoint that died (crash window)
+
+  int64_t TotalInjected() const {
+    return drops + duplicates + delays + partition_holds;
+  }
+};
+
+/// Monotonic atomic counters owned by one FaultInjector (one per MessageBus).
+class FaultCounters {
+ public:
+  void AddDrop() { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void AddRetransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddDuplicate() { duplicates_.fetch_add(1, std::memory_order_relaxed); }
+  void AddDelay() { delays_.fetch_add(1, std::memory_order_relaxed); }
+  void AddPartitionHold() { partition_holds_.fetch_add(1, std::memory_order_relaxed); }
+  void AddDeduped() { deduped_.fetch_add(1, std::memory_order_relaxed); }
+  void AddReordered() { reordered_.fetch_add(1, std::memory_order_relaxed); }
+  void AddDroppedReply() { dropped_replies_.fetch_add(1, std::memory_order_relaxed); }
+
+  FaultCountersSnapshot Snapshot() const {
+    FaultCountersSnapshot snap;
+    snap.drops = drops_.load(std::memory_order_relaxed);
+    snap.retransmits = retransmits_.load(std::memory_order_relaxed);
+    snap.duplicates = duplicates_.load(std::memory_order_relaxed);
+    snap.delays = delays_.load(std::memory_order_relaxed);
+    snap.partition_holds = partition_holds_.load(std::memory_order_relaxed);
+    snap.deduped = deduped_.load(std::memory_order_relaxed);
+    snap.reordered = reordered_.load(std::memory_order_relaxed);
+    snap.dropped_replies = dropped_replies_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+ private:
+  std::atomic<int64_t> drops_{0};
+  std::atomic<int64_t> retransmits_{0};
+  std::atomic<int64_t> duplicates_{0};
+  std::atomic<int64_t> delays_{0};
+  std::atomic<int64_t> partition_holds_{0};
+  std::atomic<int64_t> deduped_{0};
+  std::atomic<int64_t> reordered_{0};
+  std::atomic<int64_t> dropped_replies_{0};
+};
+
+/// One-line human-readable rendering for bench output and test failures.
+std::string FormatFaultCounters(const FaultCountersSnapshot& snap);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_STATS_FAULT_COUNTERS_H_

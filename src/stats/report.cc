@@ -8,6 +8,17 @@
 #include "src/common/table.h"
 
 namespace poseidon {
+namespace {
+
+double Mean(const std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) {
+    total += x;
+  }
+  return v.empty() ? 0.0 : total / static_cast<double>(v.size());
+}
+
+}  // namespace
 
 std::vector<SweepResult> RunScalingSweep(const ModelSpec& model,
                                          const std::vector<SystemConfig>& systems,
@@ -79,23 +90,44 @@ std::string FormatBatchAblation(const std::string& title, const ModelSpec& model
     system.batch_egress = true;
     const SimResult batched = RunProtocolSimulation(model, system, cluster, engine);
 
-    auto mean = [](const std::vector<double>& v) {
-      double total = 0.0;
-      for (double x : v) {
-        total += x;
-      }
-      return v.empty() ? 0.0 : total / static_cast<double>(v.size());
-    };
-    const double plain_msgs = mean(plain.wire_msgs_per_iter);
-    const double batched_msgs = mean(batched.wire_msgs_per_iter);
+    const double plain_msgs = Mean(plain.wire_msgs_per_iter);
+    const double batched_msgs = Mean(batched.wire_msgs_per_iter);
     table.AddRow({std::to_string(nodes), TextTable::Num(plain_msgs, 1),
                   TextTable::Num(batched_msgs, 1),
                   TextTable::Num(batched_msgs > 0.0 ? plain_msgs / batched_msgs : 0.0, 2),
-                  TextTable::Num(mean(plain.tx_gbits_per_iter), 4),
-                  TextTable::Num(mean(batched.tx_gbits_per_iter), 4)});
+                  TextTable::Num(Mean(plain.tx_gbits_per_iter), 4),
+                  TextTable::Num(Mean(batched.tx_gbits_per_iter), 4)});
   }
   std::ostringstream out;
   out << title << " (" << system.name << ", per-node averages)\n" << table.ToString();
+  return out.str();
+}
+
+std::string FormatLossAblation(const std::string& title, const ModelSpec& model,
+                               SystemConfig system, int nodes, double gbps, Engine engine,
+                               const std::vector<double>& loss_rates) {
+  ClusterSpec cluster;
+  cluster.num_nodes = nodes;
+  cluster.nic_gbps = gbps;
+
+  system.loss_rate = 0.0;
+  const SimResult clean = RunProtocolSimulation(model, system, cluster, engine);
+
+  TextTable table({"loss", "iter_ms", "vs clean", "E[tx/msg]", "tx gbit/iter"});
+  for (double loss : loss_rates) {
+    system.loss_rate = loss;
+    const SimResult result = loss == 0.0 ? clean
+                                         : RunProtocolSimulation(model, system, cluster,
+                                                                 engine);
+    table.AddRow({TextTable::Num(loss, 4), TextTable::Num(result.iter_time_s * 1e3, 2),
+                  TextTable::Num(result.iter_time_s / clean.iter_time_s, 3),
+                  TextTable::Num(result.expected_transmissions, 3),
+                  TextTable::Num(Mean(result.tx_gbits_per_iter), 4)});
+  }
+  std::ostringstream out;
+  out << title << " (" << system.name << ", " << nodes << " nodes @ " << gbps
+      << " GbE)\n"
+      << table.ToString();
   return out.str();
 }
 

@@ -40,6 +40,15 @@ std::string FormatBatchAblation(const std::string& title, const ModelSpec& model
                                 SystemConfig system, const std::vector<int>& node_counts,
                                 double gbps, Engine engine);
 
+// Loss-rate ablation: runs `system` at each wire loss rate and renders the
+// iteration time, slowdown vs the lossless run, expected transmissions per
+// message, and tx volume (retransmit inflation included). The modeled link
+// layer retransmits, so loss costs time and bytes, never data — mirroring
+// the live transport's fault fabric (docs/FAULT_TOLERANCE.md).
+std::string FormatLossAblation(const std::string& title, const ModelSpec& model,
+                               SystemConfig system, int nodes, double gbps, Engine engine,
+                               const std::vector<double>& loss_rates);
+
 }  // namespace poseidon
 
 #endif  // POSEIDON_SRC_STATS_REPORT_H_

@@ -20,6 +20,16 @@ MessageBus::MessageBus(int num_nodes)
 }
 
 MessageBus::~MessageBus() {
+  if (injector_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(pump_mutex_);
+      pump_stop_ = true;
+    }
+    pump_cv_.notify_all();
+    if (pump_thread_.joinable()) {
+      pump_thread_.join();
+    }
+  }
   if (batching_.load(std::memory_order_acquire)) {
     for (auto& egress : egress_) {
       {
@@ -74,6 +84,10 @@ Status MessageBus::SendDirect(Message message, std::shared_ptr<Mailbox> mailbox,
     tx_messages_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
     tx_entries_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
   }
+  if (remote && injector_ != nullptr && message.type != MessageType::kShutdown) {
+    InjectOrCommit(std::move(mailbox), std::move(message), /*attempt=*/0);
+    return Status::Ok();  // the link layer retransmits; delivery is eventual
+  }
   if (!mailbox->Push(std::move(message))) {
     return UnavailableError("mailbox closed");
   }
@@ -90,6 +104,14 @@ Status MessageBus::Send(Message message) {
   const Status routed = Route(message, &mailbox, &limiter);
   if (!routed.ok()) {
     return routed;
+  }
+
+  // Sequence every remote data message at send time: the stream order fixed
+  // here is the order the receiver's reorder buffer will restore, whatever
+  // the fault fabric does to the individual transmissions in between.
+  if (injector_ != nullptr && message.to.node != src &&
+      message.type != MessageType::kShutdown) {
+    message.seq = sequencer_->NextSeq(message.from, message.to);
   }
 
   if (!batching_.load(std::memory_order_acquire) || message.to.node == src) {
@@ -177,12 +199,241 @@ void MessageBus::DeliverBatch(int src, Batch batch) {
       static_cast<int64_t>(batch.entries.size()), std::memory_order_relaxed);
   for (auto& [mailbox, message] : batch.entries) {
     const MessageType type = message.type;
+    if (injector_ != nullptr && type != MessageType::kShutdown) {
+      // Chaos weather applies per logical message even inside a batched
+      // frame (accounting already happened above, once per frame).
+      InjectOrCommit(std::move(mailbox), std::move(message), /*attempt=*/0);
+      continue;
+    }
     if (!mailbox->Push(std::move(message)) && type != MessageType::kShutdown) {
       // The unbatched path surfaces this as UnavailableError to the
       // sender; here the sender is long gone, so make the drop loud —
       // outside teardown it means a receiver will wait forever.
       LOG(Warning) << "egress batch from node " << src
                    << " dropped a message for a closed mailbox";
+    }
+  }
+}
+
+// ------------------------------------------------------------ fault fabric --
+
+void MessageBus::EnableFaultInjection(const FaultPlan& plan) {
+  CHECK(injector_ == nullptr) << "fault injection already enabled";
+  injector_ = std::make_unique<FaultInjector>(plan);
+  sequencer_ = std::make_unique<StreamSequencer>();
+  reorder_ = std::make_unique<ReorderBuffer>(&injector_->counters());
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+}
+
+void MessageBus::InjectOrCommit(std::shared_ptr<Mailbox> mailbox, Message message,
+                                int attempt) {
+  FaultCounters& counters = injector_->counters();
+  if (injector_->IsPartitioned(message.from.node, message.to.node)) {
+    counters.AddPartitionHold();
+    TimedDelivery held;
+    held.mailbox = std::move(mailbox);
+    held.message = std::move(message);
+    held.attempt = attempt;
+    {
+      std::lock_guard<std::mutex> lock(pump_mutex_);
+      partition_held_.push_back(std::move(held));
+    }
+    pump_cv_.notify_all();  // arms the periodic partition recheck
+    return;
+  }
+  const FaultDecision decision = injector_->Decide(message, attempt);
+  const auto now = std::chrono::steady_clock::now();
+  if (decision.drop) {
+    // Lost on the wire; the modeled reliable link layer retransmits the
+    // same sequence number after the RTO, rolling fresh dice.
+    counters.AddDrop();
+    TimedDelivery retx;
+    retx.due = now + std::chrono::microseconds(injector_->plan().retransmit_timeout_us);
+    retx.mailbox = std::move(mailbox);
+    retx.message = std::move(message);
+    retx.attempt = attempt + 1;
+    retx.commit_only = false;
+    SchedulePumped(std::move(retx));
+    return;
+  }
+  if (decision.duplicate) {
+    counters.AddDuplicate();
+    TimedDelivery copy;
+    copy.due = now + std::chrono::microseconds(injector_->plan().duplicate_lag_us);
+    copy.mailbox = mailbox;
+    copy.message = message;  // same seq: the receiver will deduplicate
+    copy.attempt = attempt;
+    copy.commit_only = true;
+    SchedulePumped(std::move(copy));
+  }
+  if (decision.delay_us > 0) {
+    counters.AddDelay();
+    TimedDelivery delayed;
+    delayed.due = now + std::chrono::microseconds(decision.delay_us);
+    delayed.mailbox = std::move(mailbox);
+    delayed.message = std::move(message);
+    delayed.attempt = attempt;
+    delayed.commit_only = true;
+    SchedulePumped(std::move(delayed));
+    return;
+  }
+  Commit(mailbox, std::move(message));
+}
+
+void MessageBus::Commit(const std::shared_ptr<Mailbox>& mailbox, Message message) {
+  const MessageType type = message.type;
+  std::vector<Message> released;
+  reorder_->Admit(std::move(message), &released);
+  if (released.empty()) {
+    return;
+  }
+  // Deliver to the destination's *current* mailbox, looked up at release
+  // time: between send (or parking in the reorder buffer) and now the
+  // endpoint may have died and been re-registered (crash recovery), and the
+  // mailbox captured at send time could belong to the dead incarnation.
+  // Every message of a released run shares one stream, hence one address.
+  std::shared_ptr<Mailbox> target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = mailboxes_.find(released.front().to);
+    if (it != mailboxes_.end()) {
+      target = it->second;
+    }
+  }
+  if (target == nullptr) {
+    target = mailbox;  // unregistered: the endpoint is gone; fall through
+  }
+  for (Message& ready : released) {
+    if (!target->Push(std::move(ready)) && type != MessageType::kShutdown) {
+      // The endpoint died between send and delivery (crash window): the
+      // message is lost, as it would be on a real dead socket. Recovery
+      // re-pushes; the shard reconciles.
+      injector_->counters().AddDroppedReply();
+    }
+  }
+}
+
+void MessageBus::SchedulePumped(TimedDelivery delivery) {
+  {
+    std::lock_guard<std::mutex> lock(pump_mutex_);
+    delivery.order = pump_order_++;
+    pump_queue_.push(std::move(delivery));
+  }
+  pump_cv_.notify_all();
+}
+
+void MessageBus::PumpLoop() {
+  constexpr auto kPartitionRecheck = std::chrono::microseconds(200);
+  std::unique_lock<std::mutex> lock(pump_mutex_);
+  while (true) {
+    if (pump_stop_) {
+      break;
+    }
+    if (pump_queue_.empty()) {
+      pump_idle_cv_.notify_all();  // FlushFaults waiters (held traffic excluded)
+    }
+    if (pump_queue_.empty() && partition_held_.empty()) {
+      pump_cv_.wait(lock, [&] {
+        return pump_stop_ || !pump_queue_.empty() || !partition_held_.empty();
+      });
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    // Replay parked traffic whose partition healed (in park order; the
+    // reorder buffer fixes any residual interleaving).
+    std::vector<TimedDelivery> replay;
+    for (size_t i = 0; i < partition_held_.size();) {
+      TimedDelivery& held = partition_held_[i];
+      if (!injector_->IsPartitioned(held.message.from.node, held.message.to.node)) {
+        replay.push_back(std::move(held));
+        partition_held_.erase(partition_held_.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!pump_queue_.empty() && pump_queue_.top().due <= now) {
+      TimedDelivery due = pump_queue_.top();
+      pump_queue_.pop();
+      replay.push_back(std::move(due));
+    }
+    if (replay.empty()) {
+      // Nothing due: sleep until the next deadline (or the partition
+      // recheck tick while anything is parked).
+      auto wake = now + std::chrono::hours(24);
+      if (!pump_queue_.empty()) {
+        wake = std::min(wake, pump_queue_.top().due);
+      }
+      if (!partition_held_.empty()) {
+        wake = std::min(wake, now + kPartitionRecheck);
+      }
+      pump_cv_.wait_until(lock, wake, [&] {
+        // Also wake early when a fresher item undercuts the deadline.
+        return pump_stop_ || (!pump_queue_.empty() && pump_queue_.top().due < wake);
+      });
+      continue;
+    }
+    ++pump_busy_;
+    lock.unlock();
+    for (TimedDelivery& item : replay) {
+      if (item.commit_only) {
+        Commit(item.mailbox, std::move(item.message));
+      } else {
+        if (item.attempt > 0) {
+          injector_->counters().AddRetransmit();
+        }
+        InjectOrCommit(std::move(item.mailbox), std::move(item.message), item.attempt);
+      }
+    }
+    lock.lock();
+    --pump_busy_;
+  }
+}
+
+void MessageBus::FlushFaults() {
+  if (injector_ == nullptr) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(pump_mutex_);
+  pump_cv_.notify_all();
+  pump_idle_cv_.wait(lock, [&] {
+    if (pump_stop_) {
+      return true;
+    }
+    if (!pump_queue_.empty() || pump_busy_ > 0) {
+      return false;
+    }
+    // Held traffic only blocks the flush while its partition has healed but
+    // the pump has not replayed it yet; traffic behind a live partition is
+    // excluded by contract.
+    for (const TimedDelivery& held : partition_held_) {
+      if (!injector_->IsPartitioned(held.message.from.node, held.message.to.node)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void MessageBus::Partition(int a, int b) {
+  CHECK(injector_ != nullptr) << "Partition requires EnableFaultInjection";
+  injector_->Partition(a, b);
+}
+
+void MessageBus::HealPartitions() {
+  CHECK(injector_ != nullptr) << "HealPartitions requires EnableFaultInjection";
+  injector_->HealAll();
+  pump_cv_.notify_all();
+}
+
+void MessageBus::CloseEndpoints(int node, int min_port, int max_port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = mailboxes_.begin(); it != mailboxes_.end();) {
+    if (it->first.node == node && it->first.port >= min_port &&
+        it->first.port < max_port) {
+      it->second->Close();
+      it = mailboxes_.erase(it);
+    } else {
+      ++it;
     }
   }
 }
@@ -275,6 +526,13 @@ void MessageBus::SetEgressLimit(int node, double bytes_per_sec) {
   }
 }
 
+std::shared_ptr<RateLimiter> MessageBus::egress_limiter(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CHECK_GE(node, 0);
+  CHECK_LT(node, num_nodes());
+  return limiters_[static_cast<size_t>(node)];
+}
+
 std::vector<int64_t> MessageBus::TxBytes() const {
   std::vector<int64_t> out(tx_bytes_.size());
   for (size_t i = 0; i < tx_bytes_.size(); ++i) {
@@ -327,6 +585,7 @@ void MessageBus::ResetTraffic() {
 
 void MessageBus::CloseAll() {
   FlushEgress();
+  FlushFaults();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [address, mailbox] : mailboxes_) {
     mailbox->Close();

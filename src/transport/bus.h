@@ -19,15 +19,26 @@
 /// flush interval elapses — so a blocked or throttled destination can only
 /// ever stall its own node's egress, never another node's (see
 /// docs/WIRE_FORMAT.md).
+///
+/// Fault injection (EnableFaultInjection): a seeded FaultInjector sits on
+/// the remote delivery path and drops (with link-layer retransmit),
+/// duplicates, delays, or partitions traffic; every remote data message is
+/// stamped with a per-stream sequence number and passes through a
+/// receiver-side ReorderBuffer that deduplicates and restores per-stream
+/// FIFO order before the consumer sees it. Traffic counters keep reporting
+/// the fault-free logical traffic; the injected weather is accounted
+/// separately in FaultCounters (see docs/FAULT_TOLERANCE.md).
 #ifndef POSEIDON_SRC_TRANSPORT_BUS_H_
 #define POSEIDON_SRC_TRANSPORT_BUS_H_
 
 #include <atomic>
 #include <chrono>
+#include <climits>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -35,8 +46,10 @@
 
 #include "src/common/blocking_queue.h"
 #include "src/common/status.h"
+#include "src/transport/fault_injector.h"
 #include "src/transport/message.h"
 #include "src/transport/rate_limiter.h"
+#include "src/transport/sequencer.h"
 
 namespace poseidon {
 
@@ -83,8 +96,39 @@ class MessageBus {
   /// iteration barriers; no-op without batching).
   void FlushEgress();
 
+  /// Turns on the seeded fault-injection fabric (call at most once, before
+  /// traffic flows). Spawns the delivery-pump thread that serves delayed,
+  /// duplicated, retransmitted, and partition-held messages.
+  void EnableFaultInjection(const FaultPlan& plan);
+  bool faults_enabled() const { return injector_ != nullptr; }
+  /// The injector (partition control, counters); null when disabled.
+  FaultInjector* fault_injector() { return injector_.get(); }
+
+  /// Blocks until no delayed/retransmit deliveries are pending. Messages
+  /// parked behind an active partition are excluded (they flow on heal).
+  /// No-op without fault injection.
+  void FlushFaults();
+
+  /// Cuts both directions between `a` and `b` (requires fault injection).
+  void Partition(int a, int b);
+  /// Restores all cut links and immediately replays parked traffic.
+  void HealPartitions();
+
+  /// Simulates the death of a node's endpoints: closes and unregisters every
+  /// mailbox at `node` with port in [min_port, max_port), so blocked
+  /// receivers wake (Pop returns nullopt) and a restarted process can
+  /// Register fresh mailboxes at the same addresses. In-flight messages to
+  /// the closed endpoints are dropped and counted
+  /// (FaultCounters::dropped_replies). Callers bound the range so endpoints
+  /// owned by *other* processes colocated on the node (the coordinator's
+  /// monitor mailbox at kMonitorPort) survive a worker-process death.
+  void CloseEndpoints(int node, int min_port, int max_port = INT_MAX);
+
   /// Attaches a wall-clock egress limit (bytes/s) to `node`; 0 removes it.
   void SetEgressLimit(int node, double bytes_per_sec);
+  /// The node's current limiter (tests synchronize on its waiter count);
+  /// null when no limit is set.
+  std::shared_ptr<RateLimiter> egress_limiter(int node) const;
 
   /// Cumulative egress bytes per node (approximate wire sizes, framing
   /// included; batch frames counted once).
@@ -127,6 +171,25 @@ class MessageBus {
     std::thread flusher;
   };
 
+  /// One message waiting on the fault pump: a delayed or duplicated
+  /// delivery, a scheduled retransmission, or partition-parked traffic.
+  struct TimedDelivery {
+    std::chrono::steady_clock::time_point due;
+    uint64_t order = 0;  // FIFO tie-break for equal due times
+    std::shared_ptr<Mailbox> mailbox;
+    Message message;
+    int attempt = 0;
+    /// True: just commit at `due` (the fault dice were already rolled);
+    /// false: this is a fresh transmission attempt (retransmit) that rolls
+    /// its own dice.
+    bool commit_only = false;
+  };
+  struct TimedDeliveryLater {
+    bool operator()(const TimedDelivery& a, const TimedDelivery& b) const {
+      return a.due != b.due ? a.due > b.due : a.order > b.order;
+    }
+  };
+
   /// Copies the routing state for `message` under the bus lock.
   Status Route(const Message& message, std::shared_ptr<Mailbox>* mailbox,
                std::shared_ptr<RateLimiter>* limiter) const;
@@ -138,6 +201,15 @@ class MessageBus {
   void DeliverBatch(int src, Batch batch);
   void FlusherLoop(int node);
 
+  /// Remote delivery behind the injector: parks partitioned traffic, rolls
+  /// the fault dice for this transmission attempt, and either schedules the
+  /// message on the pump or commits it now.
+  void InjectOrCommit(std::shared_ptr<Mailbox> mailbox, Message message, int attempt);
+  /// Final delivery: runs the reorder buffer and pushes the released run.
+  void Commit(const std::shared_ptr<Mailbox>& mailbox, Message message);
+  void SchedulePumped(TimedDelivery delivery);
+  void PumpLoop();
+
   mutable std::mutex mutex_;
   std::unordered_map<Address, std::shared_ptr<Mailbox>, AddressHash> mailboxes_;
   std::vector<std::shared_ptr<RateLimiter>> limiters_;  // per node, may be null
@@ -148,6 +220,21 @@ class MessageBus {
   std::atomic<bool> batching_{false};
   EgressBatchOptions batch_options_;
   std::vector<std::unique_ptr<NodeEgress>> egress_;
+
+  // Fault fabric (set once by EnableFaultInjection, then immutable pointers).
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<StreamSequencer> sequencer_;
+  std::unique_ptr<ReorderBuffer> reorder_;
+  std::mutex pump_mutex_;
+  std::condition_variable pump_cv_;   // wakes the pump
+  std::condition_variable pump_idle_cv_;  // signals FlushFaults waiters
+  std::priority_queue<TimedDelivery, std::vector<TimedDelivery>, TimedDeliveryLater>
+      pump_queue_;
+  std::vector<TimedDelivery> partition_held_;
+  uint64_t pump_order_ = 0;
+  int pump_busy_ = 0;
+  bool pump_stop_ = false;
+  std::thread pump_thread_;
 };
 
 }  // namespace poseidon

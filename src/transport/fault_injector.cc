@@ -1,0 +1,76 @@
+#include "src/transport/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace poseidon {
+namespace {
+
+/// Mixes the stream identity, sequence number and attempt into one RNG seed.
+/// Golden-ratio multipliers keep adjacent (seq, attempt) pairs decorrelated;
+/// the Rng constructor's SplitMix pass finishes the scrambling.
+uint64_t DecisionSeed(uint64_t seed, const Message& m, int attempt) {
+  uint64_t h = seed;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(m.from.node));
+  mix(static_cast<uint64_t>(m.from.port));
+  mix(static_cast<uint64_t>(m.to.node));
+  mix(static_cast<uint64_t>(m.to.port));
+  mix(static_cast<uint64_t>(m.seq));
+  mix(static_cast<uint64_t>(attempt));
+  return h;
+}
+
+}  // namespace
+
+FaultDecision FaultInjector::Decide(const Message& message, int attempt) const {
+  FaultDecision decision;
+  if (!plan_.any()) {
+    return decision;
+  }
+  Rng rng(DecisionSeed(plan_.seed, message, attempt));
+  // Fixed draw order keeps decisions stable if the plan gains knobs later.
+  const double drop_draw = rng.NextDouble();
+  const double dup_draw = rng.NextDouble();
+  const double delay_draw = rng.NextDouble();
+
+  if (drop_draw < plan_.drop_prob && attempt + 1 < plan_.max_transmissions) {
+    decision.drop = true;
+    return decision;  // the retransmission rolls its own dice
+  }
+  if (dup_draw < plan_.duplicate_prob) {
+    decision.duplicate = true;
+  }
+  if (delay_draw < plan_.delay_prob && plan_.delay_max_us > 0) {
+    const uint64_t span =
+        static_cast<uint64_t>(std::max(1, plan_.delay_max_us - plan_.delay_min_us + 1));
+    decision.delay_us =
+        plan_.delay_min_us + static_cast<int>(rng.NextBounded(span));
+  }
+  return decision;
+}
+
+void FaultInjector::Partition(int a, int b) {
+  CHECK_NE(a, b) << "cannot partition a node from itself";
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitions_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void FaultInjector::HealAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitions_.clear();
+}
+
+bool FaultInjector::IsPartitioned(int src, int dst) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (partitions_.empty()) {
+    return false;
+  }
+  return partitions_.count({std::min(src, dst), std::max(src, dst)}) > 0;
+}
+
+}  // namespace poseidon

@@ -49,6 +49,10 @@ inline Address ServerShardAddress(int server, int shard) {
 /// layer's collective participant never collides with its PS-style syncer
 /// mailbox: {node, kCollectivePortBase + tag} where tag is the layer index.
 inline constexpr int kCollectivePortBase = 1000000;
+/// The failure detector's mailbox lives above every data-plane port: workers
+/// heartbeat to {monitor node, kMonitorPort} (see
+/// src/poseidon/failure_detector.h).
+inline constexpr int kMonitorPort = 2000000;
 
 struct AddressHash {
   size_t operator()(const Address& a) const {
@@ -62,6 +66,7 @@ enum class MessageType {
   kSfBroadcast, ///< worker -> peer: sufficient-factor frame (bias included)
   kOneBitPush,  ///< worker -> server: 1-bit frame (bias included)
   kCollective,  ///< peer -> peer: one hop of a ring/tree collective
+  kHeartbeat,   ///< worker -> failure detector: liveness beacon
   kShutdown,    ///< trainer -> server: stop serving
 };
 
@@ -93,6 +98,13 @@ struct Message {
   /// Collective protocol step: ring hop index (0..2(P-1)-1), or the tree
   /// phase (kTreeReduceStep / kTreeBroadcastStep). Unused otherwise.
   int step = -1;
+  /// Per-stream sequence number, assigned by the bus when fault injection is
+  /// on (a "stream" is one (from address, to address) pair). -1 means
+  /// unsequenced: local traffic, shutdowns, and all traffic on a fault-free
+  /// bus. The receiver-side reorder buffer uses it to deduplicate and
+  /// re-order deliveries (see src/transport/sequencer.h); it rides in the
+  /// existing kWireFrameBytes header budget.
+  int64_t seq = -1;
 
   /// Codec that serialized every chunk in this message.
   WireCodec codec = WireCodec::kRawFloat;

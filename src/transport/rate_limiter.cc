@@ -38,10 +38,23 @@ void RateLimiter::Acquire(int64_t bytes) {
       return;
     }
     const double wait_s = std::min(needed, burst_bytes_) / bytes_per_sec_;
+    ++waiters_;
+    waiter_cv_.notify_all();
     lock.unlock();
     std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
     lock.lock();
+    --waiters_;
   }
+}
+
+int RateLimiter::current_waiters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiters_;
+}
+
+bool RateLimiter::WaitUntilBlocked(int waiters, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return waiter_cv_.wait_for(lock, timeout, [&] { return waiters_ >= waiters; });
 }
 
 }  // namespace poseidon

@@ -6,6 +6,7 @@
 #define POSEIDON_SRC_TRANSPORT_RATE_LIMITER_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 
@@ -21,12 +22,24 @@ class RateLimiter {
 
   double bytes_per_sec() const { return bytes_per_sec_; }
 
+  // Callers currently blocked inside Acquire waiting for tokens.
+  int current_waiters() const;
+
+  // Blocks until at least `waiters` callers are waiting inside Acquire, or
+  // `timeout` elapses; returns whether the condition was met. Lets tests
+  // synchronize on "the sender is throttled now" with a condition variable
+  // instead of a sleep (delay injection makes sleep-based timing flaky).
+  bool WaitUntilBlocked(int waiters,
+                        std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
  private:
   void Refill();
 
   const double bytes_per_sec_;
   const double burst_bytes_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
+  std::condition_variable waiter_cv_;
+  int waiters_ = 0;
   double tokens_;
   std::chrono::steady_clock::time_point last_refill_;
 };

@@ -1,0 +1,58 @@
+#include "src/transport/sequencer.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+int64_t StreamSequencer::NextSeq(const Address& from, const Address& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_[StreamKey{from, to}]++;
+}
+
+void ReorderBuffer::Admit(Message message, std::vector<Message>* out) {
+  if (message.seq < 0) {
+    out->push_back(std::move(message));  // unsequenced traffic passes through
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  StreamState& stream = streams_[StreamKey{message.from, message.to}];
+  if (message.seq < stream.next_expected || stream.parked.count(message.seq) > 0) {
+    if (counters_ != nullptr) {
+      counters_->AddDeduped();
+    }
+    return;  // duplicate: already released or already parked
+  }
+  if (message.seq > stream.next_expected) {
+    CHECK_LT(static_cast<int64_t>(stream.parked.size()), max_buffered_)
+        << "reorder buffer overflow on stream " << message.from.node << ":"
+        << message.from.port << " -> " << message.to.node << ":" << message.to.port
+        << " (next expected " << stream.next_expected << ", got " << message.seq << ")";
+    if (counters_ != nullptr) {
+      counters_->AddReordered();
+    }
+    stream.parked.emplace(message.seq, std::move(message));
+    return;  // gap: wait for the missing seq (retransmit guarantees arrival)
+  }
+  // In order: release it plus any parked run it unblocks.
+  out->push_back(std::move(message));
+  ++stream.next_expected;
+  auto it = stream.parked.begin();
+  while (it != stream.parked.end() && it->first == stream.next_expected) {
+    out->push_back(std::move(it->second));
+    it = stream.parked.erase(it);
+    ++stream.next_expected;
+  }
+}
+
+int64_t ReorderBuffer::buffered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [key, stream] : streams_) {
+    total += static_cast<int64_t>(stream.parked.size());
+  }
+  return total;
+}
+
+}  // namespace poseidon

@@ -7,22 +7,13 @@
 
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/nn/builders.h"
 #include "src/poseidon/trainer.h"
+#include "tests/testing/harness.h"
 
 namespace poseidon {
 namespace {
 
-std::vector<float> AllParams(Network& net) {
-  std::vector<float> out;
-  for (auto& layer_params : net.LayerParams()) {
-    for (ParamBlock& p : layer_params) {
-      out.insert(out.end(), p.value->data(), p.value->data() + p.value->size());
-    }
-  }
-  return out;
-}
+using testing::AllParams;
 
 struct RunResult {
   std::vector<float> params;
@@ -31,35 +22,15 @@ struct RunResult {
 };
 
 RunResult TrainRun(FcSyncPolicy policy, int workers, int servers, int shards, bool batch) {
-  DatasetConfig data;
-  data.num_classes = 3;
-  data.channels = 1;
-  data.height = 8;
-  data.width = 8;
-  data.train_size = 96;
-  data.noise_stddev = 0.4f;
-  data.seed = 2024;
-  SyntheticDataset dataset(data);
-
-  NetworkFactory factory = [] {
-    Rng rng(13);
-    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/20, /*hidden_layers=*/3,
-                    /*classes=*/3, rng);
-  };
-  TrainerOptions options;
-  options.num_workers = workers;
-  options.num_servers = servers;
-  options.shards_per_server = shards;
-  options.batch_per_worker = 6;
-  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
-  options.fc_policy = policy;
+  const SyntheticDataset dataset = testing::TinyDataset();
+  TrainerOptions options =
+      testing::SmallTrainerOptions(workers, servers, shards, /*staleness=*/0, policy);
   options.kv_pair_bytes = 512;
-  options.syncer_threads = 2;
   options.batch_egress = batch;
   // A generous window so a backprop burst reliably lands in one frame.
   options.batch_options.flush_interval_us = 2000;
 
-  PoseidonTrainer trainer(factory, options);
+  PoseidonTrainer trainer(testing::TinyMlpFactory(/*hidden_layers=*/3), options);
   trainer.Train(dataset, 10);
   trainer.bus().FlushEgress();
   RunResult result;
@@ -125,29 +96,12 @@ TEST(EgressBatchingTest, ManyLayerModelBatchesPushes) {
 // comparable batched-vs-batched; this guards the SSP reply-snapshot path
 // (replies must not alias a slab a later apply can mutate).
 TEST(EgressBatchingTest, SspRunIsDeterministicUnderBatching) {
-  DatasetConfig data;
-  data.num_classes = 3;
-  data.channels = 1;
-  data.height = 8;
-  data.width = 8;
-  data.train_size = 96;
-  data.noise_stddev = 0.4f;
-  data.seed = 2024;
-  SyntheticDataset dataset(data);
-  NetworkFactory factory = [] {
-    Rng rng(13);
-    return BuildMlp(64, 20, 2, 3, rng);
-  };
-  TrainerOptions options;
-  options.num_workers = 3;
-  options.num_servers = 2;
-  options.staleness = 1;
-  options.batch_per_worker = 6;
-  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
-  options.fc_policy = FcSyncPolicy::kDense;
+  const SyntheticDataset dataset = testing::TinyDataset();
+  TrainerOptions options = testing::SmallTrainerOptions(
+      /*workers=*/3, /*servers=*/2, /*shards=*/1, /*staleness=*/1);
   options.kv_pair_bytes = 512;
   options.batch_egress = true;
-  PoseidonTrainer trainer(factory, options);
+  PoseidonTrainer trainer(testing::TinyMlpFactory(/*hidden_layers=*/2), options);
   const auto stats = trainer.Train(dataset, 12);
   EXPECT_LT(stats.back().mean_loss, stats.front().mean_loss) << "no learning under SSP";
 }

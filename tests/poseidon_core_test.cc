@@ -10,23 +10,17 @@
 #include "src/poseidon/coordinator.h"
 #include "src/poseidon/flat_params.h"
 #include "src/poseidon/runtime_scheme.h"
+#include "tests/testing/harness.h"
 
 namespace poseidon {
 namespace {
 
-ClusterInfo SmallCluster(int workers, int servers, int batch, int64_t kv_bytes = 1024) {
-  ClusterInfo cluster;
-  cluster.num_workers = workers;
-  cluster.num_servers = servers;
-  cluster.batch_per_worker = batch;
-  cluster.kv_pair_bytes = kv_bytes;
-  return cluster;
-}
+using testing::SmallClusterInfo;
 
 TEST(CoordinatorTest, QueryInformationBook) {
   Rng rng(1);
   auto net = BuildMlp(64, 32, 2, 10, rng);
-  Coordinator coordinator(*net, SmallCluster(4, 2, 16));
+  Coordinator coordinator(*net, SmallClusterInfo(4, 2, 16));
   EXPECT_EQ(coordinator.Query("n_worker").value(), 4);
   EXPECT_EQ(coordinator.Query("n_server").value(), 2);
   EXPECT_EQ(coordinator.Query("batchsize").value(), 16);
@@ -37,7 +31,7 @@ TEST(CoordinatorTest, QueryInformationBook) {
 TEST(CoordinatorTest, PairsCoverEveryParameterExactlyOnce) {
   Rng rng(2);
   auto net = BuildCifarQuick(3, 16, 10, rng);
-  Coordinator coordinator(*net, SmallCluster(2, 3, 8, /*kv_bytes=*/4096));
+  Coordinator coordinator(*net, SmallClusterInfo(2, 3, 8, /*kv_bytes=*/4096));
   for (int l = 0; l < coordinator.num_layers(); ++l) {
     const LayerInfo& info = coordinator.layer(l);
     int64_t covered = 0;
@@ -61,7 +55,7 @@ TEST(CoordinatorTest, KvPairsBalanceServerLoad) {
   auto net = BuildMlp(/*input_dim=*/2048, /*hidden_dim=*/512, /*hidden_layers=*/1,
                       /*classes=*/10, rng);
   const int servers = 4;
-  Coordinator coordinator(*net, SmallCluster(4, servers, 8, /*kv_bytes=*/8192));
+  Coordinator coordinator(*net, SmallClusterInfo(4, servers, 8, /*kv_bytes=*/8192));
   const std::vector<int64_t> load = coordinator.ServerLoadFloats();
   const int64_t max = *std::max_element(load.begin(), load.end());
   const int64_t min = *std::min_element(load.begin(), load.end());
@@ -73,7 +67,7 @@ TEST(CoordinatorTest, BestSchemeUsesAlgorithm1) {
   // Wide FC layers, tiny batch: SFB should win on multiple workers.
   auto net = BuildMlp(/*input_dim=*/4096, /*hidden_dim=*/1024, /*hidden_layers=*/1,
                       /*classes=*/10, rng);
-  Coordinator multi(*net, SmallCluster(8, 8, 8));
+  Coordinator multi(*net, SmallClusterInfo(8, 8, 8));
   bool any_sfb = false;
   for (int l = 0; l < multi.num_layers(); ++l) {
     if (multi.layer(l).type == LayerType::kFC && multi.BestScheme(l) == CommScheme::kSFB) {
@@ -83,7 +77,7 @@ TEST(CoordinatorTest, BestSchemeUsesAlgorithm1) {
   EXPECT_TRUE(any_sfb);
 
   // Single worker: everything through the PS.
-  Coordinator single(*net, SmallCluster(1, 1, 8));
+  Coordinator single(*net, SmallClusterInfo(1, 1, 8));
   for (int l = 0; l < single.num_layers(); ++l) {
     EXPECT_EQ(single.BestScheme(l), CommScheme::kPS);
   }
@@ -92,7 +86,7 @@ TEST(CoordinatorTest, BestSchemeUsesAlgorithm1) {
 TEST(CoordinatorTest, BestSchemeByNameAndUnknownName) {
   Rng rng(5);
   auto net = BuildMlp(64, 32, 1, 4, rng);
-  Coordinator coordinator(*net, SmallCluster(2, 2, 8));
+  Coordinator coordinator(*net, SmallClusterInfo(2, 2, 8));
   EXPECT_TRUE(coordinator.BestScheme("fc1").ok());
   EXPECT_FALSE(coordinator.BestScheme("nope").ok());
 }
@@ -100,7 +94,7 @@ TEST(CoordinatorTest, BestSchemeByNameAndUnknownName) {
 TEST(RuntimeSchemeTest, ResolvesPolicies) {
   Rng rng(6);
   auto net = BuildCifarQuick(3, 16, 10, rng);
-  Coordinator coordinator(*net, SmallCluster(4, 4, 8));
+  Coordinator coordinator(*net, SmallClusterInfo(4, 4, 8));
 
   const auto dense = ResolveSchemes(coordinator, FcSyncPolicy::kDense);
   const auto sfb = ResolveSchemes(coordinator, FcSyncPolicy::kSfb);

@@ -13,46 +13,23 @@
 #include <string>
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/nn/builders.h"
 #include "src/poseidon/trainer.h"
+#include "tests/testing/harness.h"
 
 namespace poseidon {
 namespace {
 
-SyntheticDataset MakeDataset() {
-  DatasetConfig data;
-  data.num_classes = 3;
-  data.channels = 1;
-  data.height = 8;
-  data.width = 8;
-  data.train_size = 96;
-  data.noise_stddev = 0.4f;
-  data.seed = 2024;
-  return SyntheticDataset(data);
-}
+using testing::TinyDataset;
+using testing::TinyMlpFactory;
 
-NetworkFactory MlpFactory() {
-  return [] {
-    Rng rng(13);
-    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/20, /*hidden_layers=*/2,
-                    /*classes=*/3, rng);
-  };
-}
+SyntheticDataset MakeDataset() { return TinyDataset(); }
 
-TrainerOptions SspOptions(int staleness, int shards = 2, FcSyncPolicy policy =
-                                                             FcSyncPolicy::kDense) {
-  TrainerOptions options;
-  options.num_workers = 4;
-  options.num_servers = 2;
-  options.shards_per_server = shards;
-  options.staleness = staleness;
-  options.batch_per_worker = 6;
-  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
-  options.fc_policy = policy;
-  options.kv_pair_bytes = 256;
-  options.syncer_threads = 2;
-  return options;
+NetworkFactory MlpFactory() { return TinyMlpFactory(/*hidden_layers=*/2); }
+
+TrainerOptions SspOptions(int staleness, int shards = 2,
+                          FcSyncPolicy policy = FcSyncPolicy::kDense) {
+  return testing::SmallTrainerOptions(/*workers=*/4, /*servers=*/2, shards, staleness,
+                                      policy);
 }
 
 void ExpectClockGapBounded(PoseidonTrainer& trainer, const TrainerOptions& options) {
@@ -135,13 +112,7 @@ TEST(SspTest, StalenessZeroMatchesUnshardedBspBitwise) {
     TrainerOptions options = SspOptions(staleness, shards);
     PoseidonTrainer trainer(MlpFactory(), options);
     trainer.Train(dataset, 12);
-    std::vector<float> out;
-    for (auto& layer_params : trainer.worker_net(0).LayerParams()) {
-      for (ParamBlock& p : layer_params) {
-        out.insert(out.end(), p.value->data(), p.value->data() + p.value->size());
-      }
-    }
-    return out;
+    return testing::AllParams(trainer.worker_net(0));
   };
   EXPECT_EQ(run(/*shards=*/1, /*staleness=*/0), run(/*shards=*/4, /*staleness=*/0));
 }

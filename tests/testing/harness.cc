@@ -1,0 +1,104 @@
+#include "tests/testing/harness.h"
+
+#include <cstdlib>
+
+#include "src/common/rng.h"
+
+namespace poseidon {
+namespace testing {
+
+SyntheticDataset TinyDataset() {
+  DatasetConfig data;
+  data.num_classes = 3;
+  data.channels = 1;
+  data.height = 8;
+  data.width = 8;
+  data.train_size = 96;
+  data.noise_stddev = 0.4f;
+  data.seed = 2024;
+  return SyntheticDataset(data);
+}
+
+NetworkFactory TinyMlpFactory(int hidden_layers) {
+  return [hidden_layers] {
+    Rng rng(13);
+    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/20, hidden_layers,
+                    /*classes=*/3, rng);
+  };
+}
+
+TrainerOptions SmallTrainerOptions(int workers, int servers, int shards, int staleness,
+                                   FcSyncPolicy policy) {
+  TrainerOptions options;
+  options.num_workers = workers;
+  options.num_servers = servers;
+  options.shards_per_server = shards;
+  options.staleness = staleness;
+  options.batch_per_worker = 6;
+  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
+  options.fc_policy = policy;
+  options.kv_pair_bytes = 256;
+  options.syncer_threads = 2;
+  return options;
+}
+
+ClusterInfo SmallClusterInfo(int workers, int servers, int batch, int64_t kv_bytes) {
+  ClusterInfo cluster;
+  cluster.num_workers = workers;
+  cluster.num_servers = servers;
+  cluster.batch_per_worker = batch;
+  cluster.kv_pair_bytes = kv_bytes;
+  return cluster;
+}
+
+std::vector<float> AllParams(Network& net) {
+  std::vector<float> out;
+  for (auto& layer_params : net.LayerParams()) {
+    for (ParamBlock& p : layer_params) {
+      out.insert(out.end(), p.value->data(), p.value->data() + p.value->size());
+    }
+  }
+  return out;
+}
+
+Trajectory CaptureTrajectory(const TrainerOptions& options, int iterations,
+                             int hidden_layers) {
+  const SyntheticDataset dataset = TinyDataset();
+  PoseidonTrainer trainer(TinyMlpFactory(hidden_layers), options);
+  Trajectory trajectory;
+  for (const IterationStats& stats : trainer.Train(dataset, iterations)) {
+    trajectory.mean_losses.push_back(stats.mean_loss);
+  }
+  trainer.bus().FlushEgress();
+  trainer.bus().FlushFaults();
+  trajectory.final_params = AllParams(trainer.worker_net(0));
+  if (trainer.bus().fault_injector() != nullptr) {
+    trajectory.faults = trainer.bus().fault_injector()->Counters();
+  }
+  return trajectory;
+}
+
+std::vector<uint64_t> ChaosSeeds(int count) {
+  uint64_t base = 1;
+  if (const char* env = std::getenv("POSEIDON_CHAOS_SEED")) {
+    base = static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+    if (base == 0) {
+      base = 1;
+    }
+  }
+  std::vector<uint64_t> seeds;
+  seeds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Spread the bases out so consecutive CI shards never overlap seeds.
+    seeds.push_back(base * 1000 + static_cast<uint64_t>(i));
+  }
+  return seeds;
+}
+
+std::string SeedTrace(uint64_t seed) {
+  return "chaos seed " + std::to_string(seed) +
+         " (reproduce with POSEIDON_CHAOS_SEED and this test filter)";
+}
+
+}  // namespace testing
+}  // namespace poseidon

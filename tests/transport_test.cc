@@ -137,8 +137,9 @@ TEST(BusTest, ThrottledSenderDoesNotBlockOtherNodes) {
     // ~800 KB through a 1 MB/s limiter: blocks well past the probe below.
     EXPECT_TRUE(bus.Send(MakeChunkMessage(0, 2, kServerPort, 200000)).ok());
   });
-  // Give the throttled sender time to enter its limiter wait.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wait (condition variable, not a sleep) until the throttled sender is
+  // actually inside its limiter wait.
+  ASSERT_TRUE(bus.egress_limiter(0)->WaitUntilBlocked(1));
 
   const auto start = std::chrono::steady_clock::now();
   EXPECT_TRUE(bus.Send(MakeChunkMessage(1, 2, kServerPort, 100)).ok());
@@ -154,10 +155,13 @@ TEST(BusTest, ResetLimitDuringBlockedSendIsSafe) {
   MessageBus bus(2);
   bus.Register(Address{1, kServerPort});
   bus.SetEgressLimit(0, 2e5);
+  // Snapshot the limiter before dropping it so the wait below has something
+  // to observe (the bus forgets it on reset, by design).
+  auto limiter = bus.egress_limiter(0);
   std::thread sender([&] {
     EXPECT_TRUE(bus.Send(MakeChunkMessage(0, 1, kServerPort, 100000)).ok());
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(limiter->WaitUntilBlocked(1));
   bus.SetEgressLimit(0, 0.0);  // drop the limiter under the blocked sender
   sender.join();
 }
@@ -295,7 +299,8 @@ TEST(BatchingTest, ThrottledNodeDoesNotStallOtherNodesBatches) {
   for (int i = 0; i < 2; ++i) {
     EXPECT_TRUE(bus.Send(MakeChunkMessage(0, 2, kServerPort, 50000)).ok());  // slow batch
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // flusher 0 now blocked
+  // Flusher 0 is blocked once it enters the limiter wait for its batch.
+  ASSERT_TRUE(bus.egress_limiter(0)->WaitUntilBlocked(1));
 
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < 2; ++i) {
