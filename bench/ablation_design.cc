@@ -93,8 +93,10 @@ void StragglerAblation(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  poseidon::InitBenchTelemetry(args);
   poseidon::OverlapAblation(args);
   poseidon::ShardingAblation(args);
   poseidon::StragglerAblation(args);
+  poseidon::FinishBenchTelemetry(args);
   return 0;
 }

@@ -169,8 +169,10 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
 
 int main(int argc, char** argv) {
   const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  poseidon::InitBenchTelemetry(args);
   const std::vector<int> nodes = args.NodesOr({2, 4, 8, 16, 32, 64});
   poseidon::CostTablePart(nodes);
   poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}), args.batch_egress);
+  poseidon::FinishBenchTelemetry(args);
   return 0;
 }

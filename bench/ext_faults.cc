@@ -138,7 +138,9 @@ int main(int argc, char** argv) {
   const std::vector<int> staleness =
       args.fast ? std::vector<int>{0, 1} : std::vector<int>{0, 1, 3};
 
+  poseidon::InitBenchTelemetry(args);
   poseidon::LossSweepPart(nodes, gbps, losses, staleness);
   poseidon::RecoverySweepPart(nodes, gbps, detect_ms, restart_ms, staleness);
+  poseidon::FinishBenchTelemetry(args);
   return 0;
 }

@@ -183,9 +183,11 @@ int main(int argc, char** argv) {
   const std::vector<int> shards = args.ShardsOr({1, 2, 4, 8});
   const std::vector<int> staleness = args.fast ? std::vector<int>{0, 1}
                                                : std::vector<int>{0, 1, 3};
+  poseidon::InitBenchTelemetry(args);
   poseidon::CostTablePart(nodes, shards);
   poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}), shards, staleness,
                          args.batch_egress);
   poseidon::StragglerPart(nodes, args.GbpsOr({10.0, 40.0}).front(), staleness);
+  poseidon::FinishBenchTelemetry(args);
   return 0;
 }

@@ -35,6 +35,9 @@ void Run(const BenchArgs& args) {
 }  // namespace poseidon
 
 int main(int argc, char** argv) {
-  poseidon::Run(poseidon::ParseBenchArgs(argc, argv));
+  const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  poseidon::InitBenchTelemetry(args);
+  poseidon::Run(args);
+  poseidon::FinishBenchTelemetry(args);
   return 0;
 }

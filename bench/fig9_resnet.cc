@@ -89,7 +89,9 @@ void ConvergencePart(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  poseidon::InitBenchTelemetry(args);
   poseidon::ThroughputPart(args);
   poseidon::ConvergencePart(args);
+  poseidon::FinishBenchTelemetry(args);
   return 0;
 }

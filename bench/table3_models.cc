@@ -3,6 +3,7 @@
 // parameter share, compute distribution) that motivate WFBP and HybComm.
 #include <cstdio>
 
+#include "src/common/cli.h"
 #include "src/common/table.h"
 #include "src/models/zoo.h"
 
@@ -39,7 +40,10 @@ void Run() {
 }  // namespace
 }  // namespace poseidon
 
-int main() {
+int main(int argc, char** argv) {
+  const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
+  poseidon::InitBenchTelemetry(args);
   poseidon::Run();
+  poseidon::FinishBenchTelemetry(args);
   return 0;
 }

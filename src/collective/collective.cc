@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/stats/trace.h"
 
 namespace poseidon {
 
@@ -26,6 +27,7 @@ CollectiveComm::CollectiveComm(MessageBus* bus, int rank, int world, int tag)
 
 void CollectiveComm::SendHop(int to, int step, int64_t offset, const float* data,
                              int64_t len) {
+  TraceSpan span("collective.send_hop", "collective", step);
   Message hop;
   hop.type = MessageType::kCollective;
   hop.from = Address{rank_, kCollectivePortBase + tag_};
@@ -46,6 +48,7 @@ void CollectiveComm::SendHop(int to, int step, int64_t offset, const float* data
 }
 
 Message CollectiveComm::NextMessage(int expected_step, int expected_sender) {
+  TraceSpan span("collective.recv_hop", "collective", expected_step);
   std::optional<Message> message = mailbox_->Pop();
   CHECK(message.has_value()) << "collective mailbox closed mid-operation";
   CHECK(message->type == MessageType::kCollective)

@@ -5,6 +5,10 @@
 #include <cstring>
 #include <string>
 
+#include "src/stats/bench_record.h"
+#include "src/stats/metrics.h"
+#include "src/stats/trace.h"
+
 namespace poseidon {
 namespace {
 
@@ -46,7 +50,10 @@ void Usage(const char* argv0) {
       "           batcher ablation, where the bench supports it)\n"
       "  --fault-loss=P1,P2,...     per-message loss rates to sweep\n"
       "  --fault-detect-ms=D1,...   failure-detection timeouts to sweep (ms)\n"
-      "  --fault-restart-ms=R1,...  worker restart costs to sweep (ms)\n",
+      "  --fault-restart-ms=R1,...  worker restart costs to sweep (ms)\n"
+      "  --json-out=PATH      write the bench result record as JSON\n"
+      "  --trace-out=PATH     enable span tracing; export Chrome trace JSON\n"
+      "  --metrics-json=PATH  export the process metrics registry as JSON\n",
       argv0);
 }
 
@@ -192,6 +199,12 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.fault_restart_ms =
           ParseList<double>("--fault-restart-ms", value_of("--fault-restart-ms"),
                             [](const char* s, char** e) { return std::strtod(s, e); });
+    } else if (arg.rfind("--json-out", 0) == 0) {
+      args.json_out = value_of("--json-out");
+    } else if (arg.rfind("--trace-out", 0) == 0) {
+      args.trace_out = value_of("--trace-out");
+    } else if (arg.rfind("--metrics-json", 0) == 0) {
+      args.metrics_json = value_of("--metrics-json");
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       Usage(argv[0]);
@@ -199,6 +212,37 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+void InitBenchTelemetry(const BenchArgs& args) {
+  if (!args.trace_out.empty()) {
+    Tracer::Enable();
+  }
+}
+
+void FinishBenchTelemetry(const BenchArgs& args, const BenchRecord* record) {
+  if (!args.trace_out.empty()) {
+    const Status written = Tracer::WriteChromeJson(args.trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", written.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "trace: %s (%lld events, %lld dropped)\n",
+                   args.trace_out.c_str(), static_cast<long long>(Tracer::recorded()),
+                   static_cast<long long>(Tracer::dropped()));
+    }
+  }
+  if (!args.metrics_json.empty()) {
+    const Status written = MetricsRegistry::Default().WriteJson(args.metrics_json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n", written.ToString().c_str());
+    }
+  }
+  if (!args.json_out.empty() && record != nullptr) {
+    const Status written = record->WriteJson(args.json_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench record export failed: %s\n", written.ToString().c_str());
+    }
+  }
 }
 
 }  // namespace poseidon

@@ -13,13 +13,21 @@
 //                   benches; the modeled link layer retransmits)
 //   --fault-detect-ms=50,250    failure-detection timeouts to sweep, ms
 //   --fault-restart-ms=100,1000 worker restart/rehydrate costs to sweep, ms
+// Telemetry flags (every bench; see docs/OBSERVABILITY.md):
+//   --json-out=PATH      write the bench's BenchRecord result JSON to PATH
+//   --trace-out=PATH     enable the span tracer and export Chrome/Perfetto
+//                        trace JSON to PATH at exit
+//   --metrics-json=PATH  export the process metrics registry to PATH at exit
 // Explicit --nodes/--gbps/--shards always win over --fast truncation.
 #ifndef POSEIDON_SRC_COMMON_CLI_H_
 #define POSEIDON_SRC_COMMON_CLI_H_
 
+#include <string>
 #include <vector>
 
 namespace poseidon {
+
+class BenchRecord;
 
 struct BenchArgs {
   std::vector<int> nodes;
@@ -35,6 +43,10 @@ struct BenchArgs {
   std::vector<double> fault_loss;
   std::vector<double> fault_detect_ms;
   std::vector<double> fault_restart_ms;
+  // Telemetry sinks (empty = off); see InitBenchTelemetry/FinishBenchTelemetry.
+  std::string json_out;
+  std::string trace_out;
+  std::string metrics_json;
 
   // The node counts to sweep: the explicit --nodes list, else `defaults`
   // (truncated to its first two entries under --fast).
@@ -61,6 +73,16 @@ struct BenchArgs {
 
 // Parses argv; prints usage and exits on --help or an unknown argument.
 BenchArgs ParseBenchArgs(int argc, char** argv);
+
+// Call right after ParseBenchArgs: arms the span tracer when --trace-out was
+// given (tracing stays compiled-in but off otherwise).
+void InitBenchTelemetry(const BenchArgs& args);
+
+// Call at the end of main: exports the trace (--trace-out), the process
+// metrics registry (--metrics-json), and the bench's result record
+// (--json-out, when the bench produced one). Failures are logged, not fatal
+// — a bench run's numbers outrank its telemetry files.
+void FinishBenchTelemetry(const BenchArgs& args, const BenchRecord* record = nullptr);
 
 }  // namespace poseidon
 

@@ -39,6 +39,25 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+// Small dense thread ids (1, 2, ...) in registration order: stable within a
+// run, readable next to trace tids, and free of the platform's opaque
+// 15-digit native handles.
+int LocalThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+// Monotonic (steady-clock) microseconds since the first log line: makes
+// intra-run latency arithmetic valid even if the wall clock steps.
+int64_t MonotonicMicros() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
 }  // namespace
 
 void SetMinLogSeverity(LogSeverity severity) {
@@ -57,10 +76,16 @@ LogMessage::~LogMessage() {
   if (fatal || static_cast<int>(severity_) >= g_min_severity.load(std::memory_order_relaxed)) {
     const auto now = std::chrono::system_clock::now().time_since_epoch();
     const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+    const int64_t mono_us = MonotonicMicros();
+    const int tid = LocalThreadId();
     std::lock_guard<std::mutex> lock(LogMutex());
-    std::fprintf(stderr, "%s %lld.%03lld %s:%d] %s\n", SeverityTag(severity_),
-                 static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
-                 Basename(file_), line_, stream_.str().c_str());
+    // Format: severity wall-seconds monotonic-seconds tid file:line] message
+    std::fprintf(stderr, "%s %lld.%03lld %lld.%06lld t%d %s:%d] %s\n",
+                 SeverityTag(severity_), static_cast<long long>(ms / 1000),
+                 static_cast<long long>(ms % 1000),
+                 static_cast<long long>(mono_us / 1000000),
+                 static_cast<long long>(mono_us % 1000000), tid, Basename(file_), line_,
+                 stream_.str().c_str());
     std::fflush(stderr);
   }
   if (fatal) {

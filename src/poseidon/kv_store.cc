@@ -1,12 +1,23 @@
 #include "src/poseidon/kv_store.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/logging.h"
 #include "src/poseidon/flat_params.h"
+#include "src/stats/trace.h"
 #include "src/tensor/ops.h"
 
 namespace poseidon {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 KvShard::KvShard(int server_id, int shard_id, int64_t first_iter,
                  const Coordinator& coordinator, const std::vector<RuntimeScheme>& schemes,
@@ -20,6 +31,7 @@ KvShard::KvShard(int server_id, int shard_id, int64_t first_iter,
       optimizer_(sgd) {
   CHECK_NOTNULL(bus);
   CHECK_LT(shard_id, kMaxShardsPerServer);
+  ssp_stall_hist_ = MetricsRegistry::Default().GetHistogram("kv.ssp_stall_ns");
   mailbox_ = bus_->Register(ServerShardAddress(server_, shard_));
 
   for (int l = 0; l < coordinator_.num_layers(); ++l) {
@@ -162,6 +174,7 @@ void KvShard::HandleGradPush(const Message& message) {
 }
 
 void KvShard::ApplyDense(int layer, int64_t clock) {
+  TraceSpan apply_span("kv.apply", "server", layer);
   const int num_workers = coordinator_.cluster().num_workers;
   DenseLayerState& state = dense_layers_[layer];
   const auto pending = state.pending.find(clock);
@@ -194,14 +207,31 @@ void KvShard::ApplyDense(int layer, int64_t clock) {
   ++applies_;
 }
 
-void KvShard::AddWaitingRead(std::vector<std::pair<int, int64_t>>* reads, int worker,
-                             int64_t clock) {
-  for (const auto& [w, c] : *reads) {
-    if (w == worker && c == clock) {
+void KvShard::AddWaitingRead(std::vector<WaitingRead>* reads, int worker, int64_t clock) {
+  for (const WaitingRead& read : *reads) {
+    if (read.worker == worker && read.clock == clock) {
       return;  // a replayed push keeps the one pending reply it already has
     }
   }
-  reads->emplace_back(worker, clock);
+  WaitingRead read;
+  read.worker = worker;
+  read.clock = clock;
+  read.enqueue_ns = SteadyNowNs();
+  reads->push_back(read);
+}
+
+void KvShard::RecordSspStall(const WaitingRead& read) {
+  if (!read.deferred) {
+    return;  // answered in the pass that queued it: never gated
+  }
+  const int64_t stall_ns = std::max<int64_t>(0, SteadyNowNs() - read.enqueue_ns);
+  ssp_stall_ns_.fetch_add(stall_ns, std::memory_order_relaxed);
+  ssp_stall_hist_->Record(stall_ns);
+  if (Tracer::enabled()) {
+    // Retroactive complete event: the stall started before this call stack.
+    Tracer::Complete("kv.ssp_stall", "server", Tracer::NowNs() - stall_ns, stall_ns,
+                     read.worker);
+  }
 }
 
 void KvShard::SendReply(int layer, int worker, int64_t clock,
@@ -234,10 +264,11 @@ void KvShard::ReleaseDenseReads(int layer) {
   // clock can be applied while a stale reader is still scattering, so the
   // pass snapshots the slab instead.
   std::vector<WireChunk> reply_chunks;
-  std::vector<std::pair<int, int64_t>> still_waiting;
-  for (const auto& [worker, clock] : state.waiting_reads) {
-    if (state.applied_clock < clock - staleness_) {
-      still_waiting.emplace_back(worker, clock);
+  std::vector<WaitingRead> still_waiting;
+  for (WaitingRead& read : state.waiting_reads) {
+    if (state.applied_clock < read.clock - staleness_) {
+      read.deferred = true;
+      still_waiting.push_back(read);
       continue;
     }
     if (reply_chunks.empty()) {
@@ -255,8 +286,9 @@ void KvShard::ReleaseDenseReads(int layer) {
       }
     }
     max_reply_gap_ = std::max(max_reply_gap_,
-                              std::max<int64_t>(0, clock - state.applied_clock));
-    SendReply(layer, worker, clock, reply_chunks);
+                              std::max<int64_t>(0, read.clock - state.applied_clock));
+    RecordSspStall(read);
+    SendReply(layer, read.worker, read.clock, reply_chunks);
   }
   state.waiting_reads = std::move(still_waiting);
 }
@@ -303,6 +335,7 @@ void KvShard::HandleOneBitPush(const Message& message) {
 }
 
 void KvShard::ApplyOneBit(int layer, int64_t clock) {
+  TraceSpan apply_span("kv.apply", "server", layer);
   const int num_workers = coordinator_.cluster().num_workers;
   OneBitLayerState& state = onebit_layers_[layer];
   const int64_t weight_floats = state.rows * state.cols;
@@ -347,10 +380,11 @@ void KvShard::ApplyOneBit(int layer, int64_t clock) {
 void KvShard::ReleaseOneBitReads(int layer) {
   OneBitLayerState& state = onebit_layers_[layer];
   std::vector<WireChunk> reply_chunks;
-  std::vector<std::pair<int, int64_t>> still_waiting;
-  for (const auto& [worker, clock] : state.waiting_reads) {
-    if (state.applied_clock < clock - staleness_) {
-      still_waiting.emplace_back(worker, clock);
+  std::vector<WaitingRead> still_waiting;
+  for (WaitingRead& read : state.waiting_reads) {
+    if (state.applied_clock < read.clock - staleness_) {
+      read.deferred = true;
+      still_waiting.push_back(read);
       continue;
     }
     if (reply_chunks.empty()) {
@@ -366,8 +400,9 @@ void KvShard::ReleaseOneBitReads(int layer) {
       reply_chunks.push_back({0, source.View()});
     }
     max_reply_gap_ = std::max(max_reply_gap_,
-                              std::max<int64_t>(0, clock - state.applied_clock));
-    SendReply(layer, worker, clock, reply_chunks);
+                              std::max<int64_t>(0, read.clock - state.applied_clock));
+    RecordSspStall(read);
+    SendReply(layer, read.worker, read.clock, reply_chunks);
   }
   state.waiting_reads = std::move(still_waiting);
 }
@@ -450,6 +485,14 @@ int64_t KvServer::max_reply_gap() const {
     gap = std::max(gap, shard->max_reply_gap());
   }
   return gap;
+}
+
+int64_t KvServer::SspStallNs() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->ssp_stall_ns();
+  }
+  return total;
 }
 
 }  // namespace poseidon

@@ -38,6 +38,7 @@
 #ifndef POSEIDON_SRC_POSEIDON_KV_STORE_H_
 #define POSEIDON_SRC_POSEIDON_KV_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -47,6 +48,7 @@
 #include <vector>
 
 #include "src/nn/network.h"
+#include "src/stats/metrics.h"
 #include "src/nn/sgd.h"
 #include "src/poseidon/coordinator.h"
 #include "src/poseidon/runtime_scheme.h"
@@ -106,6 +108,11 @@ class KvShard {
   /// the staleness a worker actually observed. SSP bounds this by
   /// `staleness`; under BSP (s = 0) it is always 0. (Read after Join.)
   int64_t max_reply_gap() const { return max_reply_gap_; }
+  /// Total wall time replies spent parked behind the SSP gate (a read whose
+  /// clock outran applied_clock + staleness waits here until the aggregate
+  /// catches up). Summed over all gated reads; also recorded per-stall in
+  /// the "kv.ssp_stall_ns" histogram and as "kv.ssp_stall" trace events.
+  int64_t ssp_stall_ns() const { return ssp_stall_ns_.load(std::memory_order_relaxed); }
 
  private:
   struct PairState {
@@ -113,6 +120,15 @@ class KvShard {
     /// Float offset of this pair's master copy within the layer's parameter
     /// slab (pairs are concatenated in pair order).
     int64_t slab_offset = 0;
+  };
+  /// One parked parameter read awaiting the SSP gate. `enqueue_ns` (steady
+  /// clock) and `deferred` drive the stall accounting: a read answered in
+  /// the pass that queued it was never gated and records no stall.
+  struct WaitingRead {
+    int worker = -1;
+    int64_t clock = -1;
+    int64_t enqueue_ns = 0;
+    bool deferred = false;
   };
   /// SSP bookkeeping for the dense pairs of one layer on this shard. The
   /// master copies live in one refcounted slab, so a BSP parameter reply
@@ -128,7 +144,7 @@ class KvShard {
     std::map<int64_t, std::vector<std::vector<PayloadView>>> pending;
     std::map<int64_t, int> push_count;
     int64_t applied_clock = -1;
-    std::vector<std::pair<int, int64_t>> waiting_reads;  // (worker, clock)
+    std::vector<WaitingRead> waiting_reads;
   };
   struct OneBitLayerState {
     Payload value;  ///< whole flattened layer (weight then bias)
@@ -138,7 +154,7 @@ class KvShard {
     std::map<int64_t, std::vector<PayloadView>> pending;
     std::map<int64_t, int> push_count;
     int64_t applied_clock = -1;
-    std::vector<std::pair<int, int64_t>> waiting_reads;
+    std::vector<WaitingRead> waiting_reads;
   };
 
   void ServiceLoop();
@@ -150,8 +166,9 @@ class KvShard {
   void ReleaseOneBitReads(int layer);
   /// Queues (worker, clock) for release unless already pending (replayed
   /// pushes must never earn a second reply).
-  static void AddWaitingRead(std::vector<std::pair<int, int64_t>>* reads, int worker,
-                             int64_t clock);
+  static void AddWaitingRead(std::vector<WaitingRead>* reads, int worker, int64_t clock);
+  /// Accounts a gated read's stall on release (metric + histogram + trace).
+  void RecordSspStall(const WaitingRead& read);
   /// Ships one parameter reply; tolerates a dead destination endpoint.
   void SendReply(int layer, int worker, int64_t clock, std::vector<WireChunk> chunks);
 
@@ -173,6 +190,9 @@ class KvShard {
   int64_t replies_dropped_ = 0;
   int64_t max_push_lead_ = 0;
   int64_t max_reply_gap_ = 0;
+  /// Atomic: read by the trainer's stall breakdown while the shard serves.
+  std::atomic<int64_t> ssp_stall_ns_{0};
+  Histogram* ssp_stall_hist_ = nullptr;  // "kv.ssp_stall_ns" in the registry
 };
 
 /// One server node: the set of KvShard endpoints colocated on `server_id`.
@@ -208,6 +228,8 @@ class KvServer {
   /// Max push lead / observed reply staleness across shards (see KvShard).
   int64_t max_push_lead() const;
   int64_t max_reply_gap() const;
+  /// Total SSP gate time across shards (see KvShard::ssp_stall_ns).
+  int64_t SspStallNs() const;
 
  private:
   const int id_;

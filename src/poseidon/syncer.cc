@@ -1,6 +1,7 @@
 #include "src/poseidon/syncer.h"
 
 #include "src/common/logging.h"
+#include "src/stats/trace.h"
 #include "src/tensor/ops.h"
 
 namespace poseidon {
@@ -50,6 +51,7 @@ Syncer::Syncer(int worker, int layer_index, RuntimeScheme scheme,
 }
 
 void Syncer::MoveOut() {
+  TraceSpan span("sync.move_out", "syncer", layer_index_);
   switch (scheme_) {
     case RuntimeScheme::kNone:
       break;
@@ -87,6 +89,7 @@ void Syncer::MoveOut() {
 }
 
 void Syncer::Send(int64_t iter) {
+  TraceSpan span("sync.send", "syncer", layer_index_);
   switch (scheme_) {
     case RuntimeScheme::kNone:
       break;
@@ -164,6 +167,7 @@ void Syncer::SendOneBit(int64_t iter) {
 }
 
 void Syncer::Receive(int64_t iter) {
+  TraceSpan span("sync.receive", "syncer", layer_index_);
   switch (scheme_) {
     case RuntimeScheme::kNone:
       break;

@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/stats/stopwatch.h"
+#include "src/stats/trace.h"
 
 namespace poseidon {
 
@@ -124,10 +126,16 @@ void PoseidonTrainer::RunWorkerLoop(int w, int64_t from_iter) {
   Network& net = *worker_nets_[static_cast<size_t>(w)];
   ClientLibrary& client = *clients_[static_cast<size_t>(w)];
   for (int64_t iter = from_iter; iter < end_iter; ++iter) {
+    TraceSpan iteration_span("iteration", "trainer", iter);
     const size_t i = static_cast<size_t>(iter - window_.first_iter);
     const Batch batch =
         window_.dataset->TrainBatch(iter, options_.batch_per_worker, w, num_workers);
-    const LossResult result = net.Forward(batch.images, batch.labels);
+    Stopwatch compute_watch;
+    LossResult result;
+    {
+      TraceSpan forward_span("forward", "trainer", iter);
+      result = net.Forward(batch.images, batch.labels);
+    }
     (*window_.losses)[static_cast<size_t>(w)][i] = result.loss;
     (*window_.accuracies)[static_cast<size_t>(w)][i] = result.accuracy;
     client.StartIteration(iter);
@@ -139,10 +147,14 @@ void PoseidonTrainer::RunWorkerLoop(int w, int64_t from_iter) {
       if (crash_now && backward_steps >= options_.crash.layers_before_crash) {
         break;
       }
-      net.BackwardThrough(l);
+      {
+        TraceSpan backward_span("backward", "trainer", l);
+        net.BackwardThrough(l);
+      }
       client.ScheduleSync(l);  // wait-free backpropagation
       ++backward_steps;
     }
+    const int64_t compute_ns = compute_watch.ElapsedNs();
     if (crash_now) {
       // Simulated process death: in-flight sync jobs are orphaned, beats
       // cease, no WaitAll, no cleanup. The failure detector takes it from
@@ -154,7 +166,18 @@ void PoseidonTrainer::RunWorkerLoop(int w, int64_t from_iter) {
                    << backward_steps << " backward steps";
       return;
     }
-    client.WaitAll();  // BSP barrier: every layer synchronized
+    Stopwatch wait_watch;
+    {
+      TraceSpan wait_span("wait_all", "trainer", iter);
+      client.WaitAll();  // BSP barrier: every layer synchronized
+    }
+    const int64_t wait_ns = wait_watch.ElapsedNs();
+    (*window_.compute_ms)[static_cast<size_t>(w)][i] =
+        static_cast<double>(compute_ns) * 1e-6;
+    (*window_.comm_wait_ms)[static_cast<size_t>(w)][i] =
+        static_cast<double>(wait_ns) * 1e-6;
+    compute_ns_total_.fetch_add(compute_ns, std::memory_order_relaxed);
+    comm_wait_ns_total_.fetch_add(wait_ns, std::memory_order_relaxed);
     MaybeCheckpoint(w, iter + 1);
   }
 }
@@ -191,6 +214,7 @@ void PoseidonTrainer::OnWorkerSuspected(int w) {
 }
 
 void PoseidonTrainer::RecoverWorker(int w) {
+  TraceSpan recovery_span("recovery", "trainer", w);
   // 1. Fence the dead incarnation: close + unregister its data endpoints
   // (syncer + collective ports, NOT the coordinator's monitor mailbox — a
   // colocated monitor survives the worker-process death) so orphaned sync
@@ -238,9 +262,12 @@ std::vector<IterationStats> PoseidonTrainer::Train(const SyntheticDataset& datas
       static_cast<size_t>(num_workers),
       std::vector<double>(static_cast<size_t>(iterations), 0.0));
   std::vector<std::vector<double>> accuracies = losses;
+  std::vector<std::vector<double>> compute_ms = losses;
+  std::vector<std::vector<double>> comm_wait_ms = losses;
 
   const int64_t first_iter = next_iter_;
-  window_ = TrainWindow{&dataset, first_iter, iterations, &losses, &accuracies};
+  window_ = TrainWindow{&dataset,    first_iter,  iterations,   &losses,
+                        &accuracies, &compute_ms, &comm_wait_ms};
   if (options_.checkpoint_every > 0 && !options_.checkpoint_dir.empty()) {
     // Baseline checkpoint so a crash in the very first window iteration can
     // restart (replicas are quiescent and identical here).
@@ -284,11 +311,29 @@ std::vector<IterationStats> PoseidonTrainer::Train(const SyntheticDataset& datas
     for (int w = 0; w < num_workers; ++w) {
       s.mean_loss += losses[static_cast<size_t>(w)][static_cast<size_t>(i)];
       s.mean_accuracy += accuracies[static_cast<size_t>(w)][static_cast<size_t>(i)];
+      s.compute_ms += compute_ms[static_cast<size_t>(w)][static_cast<size_t>(i)];
+      s.comm_wait_ms += comm_wait_ms[static_cast<size_t>(w)][static_cast<size_t>(i)];
     }
     s.mean_loss /= num_workers;
     s.mean_accuracy /= num_workers;
+    s.compute_ms /= num_workers;
+    s.comm_wait_ms /= num_workers;
   }
   return stats;
+}
+
+StallBreakdown PoseidonTrainer::stall_breakdown() const {
+  StallBreakdown breakdown;
+  breakdown.compute_s =
+      static_cast<double>(compute_ns_total_.load(std::memory_order_relaxed)) * 1e-9;
+  breakdown.comm_wait_s =
+      static_cast<double>(comm_wait_ns_total_.load(std::memory_order_relaxed)) * 1e-9;
+  int64_t ssp_ns = 0;
+  for (const auto& server : servers_) {
+    ssp_ns += server->SspStallNs();
+  }
+  breakdown.ssp_stall_s = static_cast<double>(ssp_ns) * 1e-9;
+  return breakdown;
 }
 
 LossResult PoseidonTrainer::EvaluateTest(const SyntheticDataset& dataset) {

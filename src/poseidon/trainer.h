@@ -110,6 +110,26 @@ struct IterationStats {
   int64_t iter = 0;
   double mean_loss = 0.0;      // across workers
   double mean_accuracy = 0.0;  // train batch top-1
+  /// Mean wall time per worker spent in forward + backward compute.
+  double compute_ms = 0.0;
+  /// Mean wall time per worker blocked in WaitAll (communication + any SSP
+  /// gating at the shards). compute_ms + comm_wait_ms ~= iteration wall time.
+  double comm_wait_ms = 0.0;
+};
+
+/// Cumulative where-did-the-time-go view across everything trained so far:
+/// worker compute vs worker comm-wait (both summed over workers), and the
+/// server-side SSP gate time (summed over shards; a subset of the comm wait
+/// the gated workers observed). See docs/OBSERVABILITY.md.
+struct StallBreakdown {
+  double compute_s = 0.0;
+  double comm_wait_s = 0.0;
+  double ssp_stall_s = 0.0;
+
+  double GpuBusyFrac() const {
+    const double total = compute_s + comm_wait_s;
+    return total > 0.0 ? compute_s / total : 0.0;
+  }
 };
 
 class PoseidonTrainer {
@@ -145,6 +165,8 @@ class PoseidonTrainer {
   const FailureDetector* failure_detector() const { return detector_.get(); }
   /// Completed recovery episodes (a crashed worker restarted and replayed).
   int64_t recoveries() const { return recoveries_.load(); }
+  /// Cumulative compute / comm-wait / SSP-stall seconds (see StallBreakdown).
+  StallBreakdown stall_breakdown() const;
   /// The shard count actually in use (resolved when shards_per_server = 0).
   int shards_per_server() const;
   const KvServer& server(int s) const { return *servers_[static_cast<size_t>(s)]; }
@@ -194,8 +216,15 @@ class PoseidonTrainer {
     int iterations = 0;
     std::vector<std::vector<double>>* losses = nullptr;
     std::vector<std::vector<double>>* accuracies = nullptr;
+    std::vector<std::vector<double>>* compute_ms = nullptr;
+    std::vector<std::vector<double>>* comm_wait_ms = nullptr;
   };
   TrainWindow window_;
+
+  // Cumulative stall accounting across Train() windows (summed over
+  // workers); the per-iteration view lives in IterationStats.
+  std::atomic<int64_t> compute_ns_total_{0};
+  std::atomic<int64_t> comm_wait_ns_total_{0};
 };
 
 }  // namespace poseidon

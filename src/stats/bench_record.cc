@@ -1,0 +1,112 @@
+#include "src/stats/bench_record.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+void AppendEscaped(std::ostringstream* out, const std::string& s) {
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      *out << '\\';
+    }
+    *out << ch;
+  }
+}
+
+void AppendNumber(std::ostringstream* out, double value) {
+  if (value != value) {
+    *out << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out << buf;
+}
+
+}  // namespace
+
+void BenchRecord::SetMeta(const std::string& key, const std::string& value) {
+  string_meta_[key] = value;
+}
+
+void BenchRecord::SetMeta(const std::string& key, double value) {
+  numeric_meta_[key] = value;
+}
+
+void BenchRecord::Append(const std::string& series, double value) {
+  series_[series].push_back(value);
+}
+
+void BenchRecord::Set(const std::string& series, double value) {
+  series_[series] = {value};
+}
+
+bool BenchRecord::HasSeries(const std::string& series) const {
+  return series_.count(series) > 0;
+}
+
+const std::vector<double>& BenchRecord::Series(const std::string& series) const {
+  auto it = series_.find(series);
+  CHECK(it != series_.end()) << "no such series: " << series;
+  return it->second;
+}
+
+std::string BenchRecord::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"";
+  AppendEscaped(&out, bench_name_);
+  out << "\",\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [key, value] : string_meta_) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    AppendEscaped(&out, key);
+    out << "\": \"";
+    AppendEscaped(&out, value);
+    out << "\"";
+    first = false;
+  }
+  for (const auto& [key, value] : numeric_meta_) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    AppendEscaped(&out, key);
+    out << "\": ";
+    AppendNumber(&out, value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"series\": {";
+  first = true;
+  for (const auto& [name, values] : series_) {
+    out << (first ? "\n" : ",\n") << "    \"";
+    AppendEscaped(&out, name);
+    out << "\": [";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      AppendNumber(&out, values[i]);
+    }
+    out << "]";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+Status BenchRecord::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open " + path + " for writing");
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return UnavailableError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace poseidon

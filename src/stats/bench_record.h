@@ -1,0 +1,63 @@
+/// \file
+/// BenchRecord: a small JSON writer for bench results, giving every bench
+/// target a uniform `--json-out <path>` artifact (and producing the
+/// `BENCH_micro.json` perf trajectory checked by CI).
+///
+/// The schema is deliberately flat so the CI checker and ad-hoc plotting
+/// stay trivial:
+///
+/// \code{.json}
+/// {
+///   "bench": "micro_benchmarks",
+///   "meta": {"git_describe": "...", "nproc": 1},
+///   "series": {
+///     "codec.dense.floats_per_s": [1.2e9],
+///     "wire.copies_per_iter": [3.0]
+///   }
+/// }
+/// \endcode
+///
+/// Series hold doubles; Append() grows a named series, Set() replaces it
+/// with a single value. Not thread-safe — benches record from one thread.
+#ifndef POSEIDON_SRC_STATS_BENCH_RECORD_H_
+#define POSEIDON_SRC_STATS_BENCH_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace poseidon {
+
+class BenchRecord {
+ public:
+  explicit BenchRecord(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  /// Attaches a string key to the "meta" object (environment, config).
+  void SetMeta(const std::string& key, const std::string& value);
+  void SetMeta(const std::string& key, double value);
+
+  /// Appends one sample to the named series (created on first use).
+  void Append(const std::string& series, double value);
+  /// Replaces the named series with a single value.
+  void Set(const std::string& series, double value);
+
+  bool HasSeries(const std::string& series) const;
+  const std::vector<double>& Series(const std::string& series) const;
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  const std::string& bench_name() const { return bench_name_; }
+
+ private:
+  std::string bench_name_;
+  std::map<std::string, std::string> string_meta_;
+  std::map<std::string, double> numeric_meta_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_STATS_BENCH_RECORD_H_

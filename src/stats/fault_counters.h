@@ -6,12 +6,19 @@
 /// counters describe what the network actually did to the byte stream. The
 /// chaos tests assert on them both positively ("this run really did see
 /// duplicates") and negatively ("nothing was deduplicated in a clean run").
+///
+/// Each FaultInjector owns one FaultCounters instance (per-bus isolation:
+/// two buses in one test never mix their weather). The counters are built
+/// on the stats::Counter metrics primitive, and every increment is also
+/// mirrored into MetricsRegistry::Default() under "fault.*" so the process
+/// metrics JSON carries aggregate fault totals alongside everything else.
 #ifndef POSEIDON_SRC_STATS_FAULT_COUNTERS_H_
 #define POSEIDON_SRC_STATS_FAULT_COUNTERS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "src/stats/metrics.h"
 
 namespace poseidon {
 
@@ -31,40 +38,59 @@ struct FaultCountersSnapshot {
   }
 };
 
-/// Monotonic atomic counters owned by one FaultInjector (one per MessageBus).
+/// Monotonic counters owned by one FaultInjector (one per MessageBus).
+/// Backed by the metrics registry primitives; see file comment.
 class FaultCounters {
  public:
-  void AddDrop() { drops_.fetch_add(1, std::memory_order_relaxed); }
-  void AddRetransmit() { retransmits_.fetch_add(1, std::memory_order_relaxed); }
-  void AddDuplicate() { duplicates_.fetch_add(1, std::memory_order_relaxed); }
-  void AddDelay() { delays_.fetch_add(1, std::memory_order_relaxed); }
-  void AddPartitionHold() { partition_holds_.fetch_add(1, std::memory_order_relaxed); }
-  void AddDeduped() { deduped_.fetch_add(1, std::memory_order_relaxed); }
-  void AddReordered() { reordered_.fetch_add(1, std::memory_order_relaxed); }
-  void AddDroppedReply() { dropped_replies_.fetch_add(1, std::memory_order_relaxed); }
+  FaultCounters();
+
+  void AddDrop() { Bump(drops_, global_drops_); }
+  void AddRetransmit() { Bump(retransmits_, global_retransmits_); }
+  void AddDuplicate() { Bump(duplicates_, global_duplicates_); }
+  void AddDelay() { Bump(delays_, global_delays_); }
+  void AddPartitionHold() { Bump(partition_holds_, global_partition_holds_); }
+  void AddDeduped() { Bump(deduped_, global_deduped_); }
+  void AddReordered() { Bump(reordered_, global_reordered_); }
+  void AddDroppedReply() { Bump(dropped_replies_, global_dropped_replies_); }
 
   FaultCountersSnapshot Snapshot() const {
     FaultCountersSnapshot snap;
-    snap.drops = drops_.load(std::memory_order_relaxed);
-    snap.retransmits = retransmits_.load(std::memory_order_relaxed);
-    snap.duplicates = duplicates_.load(std::memory_order_relaxed);
-    snap.delays = delays_.load(std::memory_order_relaxed);
-    snap.partition_holds = partition_holds_.load(std::memory_order_relaxed);
-    snap.deduped = deduped_.load(std::memory_order_relaxed);
-    snap.reordered = reordered_.load(std::memory_order_relaxed);
-    snap.dropped_replies = dropped_replies_.load(std::memory_order_relaxed);
+    snap.drops = drops_.Value();
+    snap.retransmits = retransmits_.Value();
+    snap.duplicates = duplicates_.Value();
+    snap.delays = delays_.Value();
+    snap.partition_holds = partition_holds_.Value();
+    snap.deduped = deduped_.Value();
+    snap.reordered = reordered_.Value();
+    snap.dropped_replies = dropped_replies_.Value();
     return snap;
   }
 
  private:
-  std::atomic<int64_t> drops_{0};
-  std::atomic<int64_t> retransmits_{0};
-  std::atomic<int64_t> duplicates_{0};
-  std::atomic<int64_t> delays_{0};
-  std::atomic<int64_t> partition_holds_{0};
-  std::atomic<int64_t> deduped_{0};
-  std::atomic<int64_t> reordered_{0};
-  std::atomic<int64_t> dropped_replies_{0};
+  static void Bump(Counter& local, Counter* global) {
+    local.Add();
+    global->Add();
+  }
+
+  Counter drops_;
+  Counter retransmits_;
+  Counter duplicates_;
+  Counter delays_;
+  Counter partition_holds_;
+  Counter deduped_;
+  Counter reordered_;
+  Counter dropped_replies_;
+
+  // Cached handles into MetricsRegistry::Default() ("fault.*"), shared by
+  // every FaultCounters instance in the process.
+  Counter* global_drops_;
+  Counter* global_retransmits_;
+  Counter* global_duplicates_;
+  Counter* global_delays_;
+  Counter* global_partition_holds_;
+  Counter* global_deduped_;
+  Counter* global_reordered_;
+  Counter* global_dropped_replies_;
 };
 
 /// One-line human-readable rendering for bench output and test failures.

@@ -1,0 +1,197 @@
+#include "src/stats/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+
+Histogram::Histogram(std::vector<int64_t> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1) {
+  CHECK(!edges_.empty());
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    CHECK_LT(edges_[i - 1], edges_[i]) << "histogram edges must be strictly increasing";
+  }
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(int64_t sample) {
+  size_t bucket = edges_.size();  // overflow bucket
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (sample <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  // Racy max: two concurrent recorders may both win their CAS round, but the
+  // final value is always one of the recorded samples and never decreases.
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.edges = edges_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.total_count = total_count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  total_count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> LatencyBucketsNs() {
+  // 1us, 4us, 16us, ..., ~1.07s: 11 buckets plus overflow.
+  std::vector<int64_t> edges;
+  for (int64_t e = 1000; e <= 1'100'000'000; e *= 4) {
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<int64_t> edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>(std::move(edges));
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->TakeSnapshot();
+  }
+  return snap;
+}
+
+namespace {
+
+void AppendJsonNumber(std::ostringstream* out, double value) {
+  // JSON has no NaN/Inf; clamp to null for safety.
+  if (value != value) {
+    *out << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out << buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  const Snapshot snap = TakeSnapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    AppendJsonNumber(&out, value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"edges\": [";
+    for (size_t i = 0; i < hist.edges.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << hist.edges[i];
+    }
+    out << "], \"counts\": [";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << hist.counts[i];
+    }
+    out << "], \"count\": " << hist.total_count << ", \"sum\": " << hist.sum
+        << ", \"max\": " << hist.max << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open " + path + " for writing");
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return UnavailableError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace poseidon

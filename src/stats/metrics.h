@@ -1,0 +1,139 @@
+/// \file
+/// Process-wide metrics registry: typed counters, gauges, and fixed-bucket
+/// histograms with a lock-free hot path.
+///
+/// Design contract (docs/OBSERVABILITY.md):
+///   * Registration is slow-path (mutex + map) and returns a stable pointer;
+///     callers cache the handle once and then increment through it.
+///   * Increments/records are relaxed atomics — no locks, no allocation, no
+///     clock reads — so instrumenting a hot loop costs one `lock xadd`.
+///   * Snapshot() walks the registry under the registration mutex and reads
+///     every atomic once, producing a self-consistent point-in-time view
+///     (each metric monotone between snapshots; cross-metric skew is bounded
+///     by the walk, which performs no blocking work).
+///   * ToJson()/WriteJson() export the snapshot for dashboards, the bench
+///     JSON trajectory, and the `--metrics-json` CLI flag.
+///
+/// Two registry scopes exist: MetricsRegistry::Default() is the process-wide
+/// registry every subsystem records into; independent instances can be
+/// constructed where per-object isolation matters (FaultCounters keeps one
+/// per MessageBus so two buses in one test never mix their weather).
+#ifndef POSEIDON_SRC_STATS_METRICS_H_
+#define POSEIDON_SRC_STATS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace poseidon {
+
+/// Monotonically increasing relaxed-atomic counter.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, observed bandwidth).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over int64 samples (latencies in ns, sizes in
+/// bytes). Bucket i counts samples <= edges[i]; one overflow bucket counts
+/// the rest. Record() is two relaxed atomic adds plus a branch-free-ish
+/// linear edge scan (edge counts are small, typically <= 16).
+class Histogram {
+ public:
+  /// `edges` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<int64_t> edges);
+
+  void Record(int64_t sample);
+
+  /// Plain-value copy, safe to compare and serialize.
+  struct Snapshot {
+    std::vector<int64_t> edges;   ///< upper bucket edges (inclusive)
+    std::vector<int64_t> counts;  ///< edges.size() + 1 buckets (last = overflow)
+    int64_t total_count = 0;
+    int64_t sum = 0;
+    int64_t max = 0;
+
+    double Mean() const {
+      return total_count > 0 ? static_cast<double>(sum) / static_cast<double>(total_count)
+                             : 0.0;
+    }
+  };
+  Snapshot TakeSnapshot() const;
+  const std::vector<int64_t>& edges() const { return edges_; }
+  void Reset();
+
+ private:
+  const std::vector<int64_t> edges_;
+  std::vector<std::atomic<int64_t>> counts_;  // edges_.size() + 1
+  std::atomic<int64_t> total_count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Default latency bucket edges: 1us .. ~1s in powers of 4, in nanoseconds.
+std::vector<int64_t> LatencyBucketsNs();
+
+/// Named registry of metrics. Get*() registers on first use and returns a
+/// stable pointer; names are flat dotted strings ("bus.link.bytes").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (created on first use, never destroyed).
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Registers a histogram with the given bucket edges; on a name collision
+  /// the existing histogram is returned (its edges win).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> edges = LatencyBucketsNs());
+
+  /// Point-in-time view of every registered metric.
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+  /// Zeroes every registered metric (benches and tests; handles stay valid).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_STATS_METRICS_H_

@@ -1,0 +1,69 @@
+/// \file
+/// Shared wall-clock timing for the bench harnesses and runtime stall
+/// accounting, so no bench hand-rolls its own std::chrono arithmetic.
+///
+/// Stopwatch measures one interval (restartable); WallTimer accumulates
+/// disjoint intervals (Resume/Pause), which is what the trainer's
+/// compute-vs-comm-wait breakdown needs.
+#ifndef POSEIDON_SRC_STATS_STOPWATCH_H_
+#define POSEIDON_SRC_STATS_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace poseidon {
+
+/// Steady-clock interval timer, started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Now()) {}
+
+  /// Re-arms the start point.
+  void Restart() { start_ = Now(); }
+
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Now() - start_).count();
+  }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNs()) * 1e-9; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNs()) * 1e-6; }
+
+ private:
+  static std::chrono::steady_clock::time_point Now() {
+    return std::chrono::steady_clock::now();
+  }
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates wall time across disjoint Resume()/Pause() windows.
+class WallTimer {
+ public:
+  void Resume() {
+    if (!running_) {
+      running_ = true;
+      watch_.Restart();
+    }
+  }
+  void Pause() {
+    if (running_) {
+      running_ = false;
+      total_ns_ += watch_.ElapsedNs();
+    }
+  }
+  void Reset() {
+    running_ = false;
+    total_ns_ = 0;
+  }
+
+  /// Accumulated ns (a running window counts up to now).
+  int64_t TotalNs() const { return total_ns_ + (running_ ? watch_.ElapsedNs() : 0); }
+  double TotalSeconds() const { return static_cast<double>(TotalNs()) * 1e-9; }
+
+ private:
+  Stopwatch watch_;
+  int64_t total_ns_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_STATS_STOPWATCH_H_

@@ -1,0 +1,263 @@
+#include "src/stats/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace poseidon {
+namespace {
+
+/// One thread's event ring. Owned by the global collector (shared_ptr), so a
+/// thread may exit while its events await export. Writes race only with
+/// export/reset, which snapshot `size` after taking the registry mutex; the
+/// writing thread never takes a lock.
+struct ThreadRing {
+  explicit ThreadRing(int32_t id, int64_t capacity)
+      : tid(id), events(static_cast<size_t>(capacity)) {}
+
+  const int32_t tid;
+  std::vector<TraceEvent> events;
+  std::atomic<int64_t> size{0};
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  int64_t ring_capacity = Tracer::kDefaultRingCapacity;
+  /// Bumped by Reset so threads re-acquire a fresh ring lazily.
+  std::atomic<int64_t> generation{0};
+  std::atomic<int64_t> dropped{0};
+  std::atomic<int64_t> epoch_ns{0};  // steady-clock origin, set at Enable
+};
+
+Collector& collector() {
+  static Collector* c = new Collector;
+  return *c;
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The calling thread's ring for the current generation (registered on first
+/// use; re-registered after Reset). The thread_local holds a shared_ptr so a
+/// concurrent Reset can never free a ring out from under a recording thread —
+/// at worst a racing event lands in a detached ring and is discarded.
+ThreadRing* LocalRing() {
+  thread_local std::shared_ptr<ThreadRing> ring;
+  thread_local int64_t ring_generation = -1;
+  Collector& c = collector();
+  const int64_t gen = c.generation.load(std::memory_order_acquire);
+  if (ring == nullptr || ring_generation != gen) {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    ring = std::make_shared<ThreadRing>(static_cast<int32_t>(c.rings.size()),
+                                        c.ring_capacity);
+    c.rings.push_back(ring);
+    ring_generation = gen;
+  }
+  return ring.get();
+}
+
+void Record(const char* name, const char* category, char phase, int64_t dur_ns,
+            int64_t arg) {
+  Collector& c = collector();
+  ThreadRing* ring = LocalRing();
+  const int64_t slot = ring->size.load(std::memory_order_relaxed);
+  if (slot >= static_cast<int64_t>(ring->events.size())) {
+    c.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = ring->events[static_cast<size_t>(slot)];
+  event.name = name;
+  event.category = category;
+  event.phase = phase;
+  event.ts_ns = SteadyNowNs() - c.epoch_ns.load(std::memory_order_relaxed);
+  event.dur_ns = dur_ns;
+  event.tid = ring->tid;
+  event.arg = arg;
+  ring->size.store(slot + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+std::atomic<bool>& Tracer::enabled_flag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+void Tracer::Enable(int64_t ring_capacity) {
+  CHECK_GT(ring_capacity, 0);
+  Collector& c = collector();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.ring_capacity = ring_capacity;
+  }
+  if (!enabled()) {
+    c.epoch_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+  }
+  enabled_flag().store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_flag().store(false, std::memory_order_release); }
+
+void Tracer::Reset() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  c.rings.clear();
+  c.dropped.store(0, std::memory_order_relaxed);
+  c.epoch_ns.store(SteadyNowNs(), std::memory_order_relaxed);
+  // Invalidate every thread's cached ring pointer (they re-register lazily).
+  c.generation.fetch_add(1, std::memory_order_release);
+}
+
+int64_t Tracer::dropped() { return collector().dropped.load(std::memory_order_relaxed); }
+
+int64_t Tracer::recorded() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  int64_t total = 0;
+  for (const auto& ring : c.rings) {
+    total += ring->size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+int64_t Tracer::NowNs() {
+  if (!enabled()) {
+    return 0;
+  }
+  return SteadyNowNs() - collector().epoch_ns.load(std::memory_order_relaxed);
+}
+
+void Tracer::Instant(const char* name, const char* category, int64_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Record(name, category, 'i', 0, arg);
+}
+
+void Tracer::Begin(const char* name, const char* category, int64_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Record(name, category, 'B', 0, arg);
+}
+
+void Tracer::End(const char* name, const char* category) {
+  if (!enabled()) {
+    return;
+  }
+  Record(name, category, 'E', 0, TraceEvent::kNoArg);
+}
+
+void Tracer::Complete(const char* name, const char* category, int64_t start_ns,
+                      int64_t dur_ns, int64_t arg) {
+  if (!enabled()) {
+    return;
+  }
+  Collector& c = collector();
+  ThreadRing* ring = LocalRing();
+  const int64_t slot = ring->size.load(std::memory_order_relaxed);
+  if (slot >= static_cast<int64_t>(ring->events.size())) {
+    c.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& event = ring->events[static_cast<size_t>(slot)];
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.ts_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.tid = ring->tid;
+  event.arg = arg;
+  ring->size.store(slot + 1, std::memory_order_release);
+}
+
+namespace {
+
+void AppendEscaped(std::ostringstream* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char ch = *s;
+    if (ch == '"' || ch == '\\') {
+      *out << '\\';
+    }
+    *out << ch;
+  }
+}
+
+void AppendEvent(std::ostringstream* out, const TraceEvent& event, bool* first) {
+  *out << (*first ? "\n" : ",\n") << "    {\"name\": \"";
+  *first = false;
+  AppendEscaped(out, event.name);
+  *out << "\", \"cat\": \"";
+  AppendEscaped(out, event.category);
+  *out << "\", \"ph\": \"" << event.phase << "\", \"pid\": 1, \"tid\": " << event.tid
+       << ", \"ts\": ";
+  // Chrome trace timestamps are microseconds; keep ns resolution as a
+  // fractional part.
+  char ts[40];
+  std::snprintf(ts, sizeof(ts), "%lld.%03lld", static_cast<long long>(event.ts_ns / 1000),
+                static_cast<long long>(event.ts_ns % 1000));
+  *out << ts;
+  if (event.phase == 'X') {
+    std::snprintf(ts, sizeof(ts), "%lld.%03lld", static_cast<long long>(event.dur_ns / 1000),
+                  static_cast<long long>(event.dur_ns % 1000));
+    *out << ", \"dur\": " << ts;
+  }
+  if (event.phase == 'i') {
+    *out << ", \"s\": \"t\"";  // instant scope: thread
+  }
+  if (event.arg != TraceEvent::kNoArg) {
+    *out << ", \"args\": {\"v\": " << event.arg << "}";
+  }
+  *out << "}";
+}
+
+}  // namespace
+
+std::string Tracer::ExportChromeJson() {
+  Collector& c = collector();
+  // Snapshot ring pointers + sizes under the mutex, then serialize without
+  // blocking recorders (events below the snapshotted size are immutable).
+  std::vector<std::pair<std::shared_ptr<ThreadRing>, int64_t>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    snapshot.reserve(c.rings.size());
+    for (const auto& ring : c.rings) {
+      snapshot.emplace_back(ring, ring->size.load(std::memory_order_acquire));
+    }
+  }
+  std::ostringstream out;
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const auto& [ring, size] : snapshot) {
+    for (int64_t i = 0; i < size; ++i) {
+      AppendEvent(&out, ring->events[static_cast<size_t>(i)], &first);
+    }
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return UnavailableError("cannot open " + path + " for writing");
+  }
+  const std::string json = ExportChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return UnavailableError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace poseidon

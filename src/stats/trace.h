@@ -1,0 +1,124 @@
+/// \file
+/// Low-overhead span tracer: per-thread ring buffers of begin/end/instant
+/// events with steady-clock-ns timestamps, exported as Chrome/Perfetto trace
+/// JSON (chrome://tracing or https://ui.perfetto.dev load the file as-is).
+///
+/// The tracer is compiled in but off by default. Every instrumentation point
+/// first does one relaxed atomic load of the global enable flag and returns
+/// immediately when tracing is off — the measured disabled cost is a few
+/// nanoseconds per span (bench_micro_benchmarks asserts the <2% hot-path
+/// budget; see docs/OBSERVABILITY.md).
+///
+/// When enabled, recording an event is: one steady_clock read, one bump of a
+/// thread-local ring cursor, one struct store. No locks and no allocation on
+/// the hot path; the per-thread ring is registered with the global collector
+/// once per thread (slow path, mutex). A full ring drops the new event and
+/// increments the global drop counter — recording never blocks and never
+/// perturbs the traced system beyond the clock read.
+///
+/// Event names and categories must be string literals (or otherwise outlive
+/// the tracer): the ring stores the pointers, not copies.
+#ifndef POSEIDON_SRC_STATS_TRACE_H_
+#define POSEIDON_SRC_STATS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace poseidon {
+
+/// One recorded trace event. `phase` follows the Chrome trace format:
+/// 'B' begin, 'E' end, 'i' instant, 'X' complete (explicit duration).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  char phase = 'i';
+  int64_t ts_ns = 0;   ///< steady-clock ns since Tracer::Enable
+  int64_t dur_ns = 0;  ///< 'X' events only
+  int32_t tid = 0;     ///< small dense thread id, assigned at registration
+  int64_t arg = kNoArg;  ///< optional numeric payload (layer, iter, bytes)
+
+  static constexpr int64_t kNoArg = INT64_MIN;
+};
+
+/// Global tracer control and event sinks. All methods are static: there is
+/// one tracer per process, mirroring the Chrome trace model.
+class Tracer {
+ public:
+  /// Turns tracing on. Threads allocate a ring of `ring_capacity` events on
+  /// their first recorded event. Idempotent while enabled (capacity of
+  /// already-allocated rings is unchanged).
+  static void Enable(int64_t ring_capacity = kDefaultRingCapacity);
+  /// Turns tracing off; recorded events are retained for export.
+  static void Disable();
+  static bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+  /// Discards all recorded events and zeroes the drop counter.
+  static void Reset();
+
+  /// Events dropped because a thread's ring was full.
+  static int64_t dropped();
+  /// Events currently buffered across all threads.
+  static int64_t recorded();
+
+  /// Records an instant event (a point in time on the calling thread).
+  static void Instant(const char* name, const char* category = kDefaultCategory,
+                      int64_t arg = TraceEvent::kNoArg);
+  /// Records a begin/end pair edge; prefer TraceSpan for matched pairs.
+  static void Begin(const char* name, const char* category = kDefaultCategory,
+                    int64_t arg = TraceEvent::kNoArg);
+  static void End(const char* name, const char* category = kDefaultCategory);
+  /// Records a complete ('X') event with explicit start and duration, for
+  /// durations measured outside a single call stack (e.g. an SSP stall that
+  /// starts when a reply is gated and ends when it is released).
+  static void Complete(const char* name, const char* category, int64_t start_ns,
+                       int64_t dur_ns, int64_t arg = TraceEvent::kNoArg);
+
+  /// Nanoseconds on the trace clock (steady clock, zeroed at Enable); usable
+  /// as `start_ns` for Complete(). Returns 0 when tracing is disabled.
+  static int64_t NowNs();
+
+  /// Serializes every buffered event as Chrome trace JSON
+  /// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+  static std::string ExportChromeJson();
+  static Status WriteChromeJson(const std::string& path);
+
+  static constexpr int64_t kDefaultRingCapacity = 1 << 16;
+  static constexpr const char* kDefaultCategory = "poseidon";
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+/// RAII begin/end span on the calling thread. Construction and destruction
+/// are no-ops (one relaxed load) while tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = Tracer::kDefaultCategory,
+                     int64_t arg = TraceEvent::kNoArg)
+      : name_(name), category_(category) {
+    if (Tracer::enabled()) {
+      active_ = true;
+      Tracer::Begin(name_, category_, arg);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) {
+      Tracer::End(name_, category_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_ = false;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_STATS_TRACE_H_

@@ -4,7 +4,18 @@
 #include <string>
 #include <utility>
 
+#include "src/stats/trace.h"
+
 namespace poseidon {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 MessageBus::MessageBus(int num_nodes)
     : limiters_(static_cast<size_t>(num_nodes)),
@@ -83,10 +94,14 @@ Status MessageBus::SendDirect(Message message, std::shared_ptr<Mailbox> mailbox,
     tx_bytes_[static_cast<size_t>(src)].fetch_add(bytes, std::memory_order_relaxed);
     tx_messages_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
     tx_entries_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
+    RecordLinkTx(src, message.to.node, bytes);
   }
   if (remote && injector_ != nullptr && message.type != MessageType::kShutdown) {
     InjectOrCommit(std::move(mailbox), std::move(message), /*attempt=*/0);
     return Status::Ok();  // the link layer retransmits; delivery is eventual
+  }
+  if (remote) {
+    RecordLinkDelivery(message);
   }
   if (!mailbox->Push(std::move(message))) {
     return UnavailableError("mailbox closed");
@@ -112,6 +127,13 @@ Status MessageBus::Send(Message message) {
   if (injector_ != nullptr && message.to.node != src &&
       message.type != MessageType::kShutdown) {
     message.seq = sequencer_->NextSeq(message.from, message.to);
+  }
+
+  // Stamp remote messages at bus accept so RecordLinkDelivery() can report
+  // end-to-end delivery latency including batching queue time and injected
+  // fault delays.
+  if (message.to.node != src && link_stats_enabled()) {
+    message.send_ns = SteadyNowNs();
   }
 
   if (!batching_.load(std::memory_order_acquire) || message.to.node == src) {
@@ -184,6 +206,8 @@ void MessageBus::EnableBatching(const EgressBatchOptions& options) {
 }
 
 void MessageBus::DeliverBatch(int src, Batch batch) {
+  TraceSpan span("bus.deliver_batch", "transport",
+                 static_cast<int64_t>(batch.entries.size()));
   const int64_t bytes = kWireFrameBytes + batch.payload_bytes;
   std::shared_ptr<RateLimiter> limiter;
   {
@@ -197,6 +221,7 @@ void MessageBus::DeliverBatch(int src, Batch batch) {
   tx_messages_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
   tx_entries_[static_cast<size_t>(src)].fetch_add(
       static_cast<int64_t>(batch.entries.size()), std::memory_order_relaxed);
+  RecordLinkTx(src, batch.dst_node, bytes);
   for (auto& [mailbox, message] : batch.entries) {
     const MessageType type = message.type;
     if (injector_ != nullptr && type != MessageType::kShutdown) {
@@ -205,6 +230,7 @@ void MessageBus::DeliverBatch(int src, Batch batch) {
       InjectOrCommit(std::move(mailbox), std::move(message), /*attempt=*/0);
       continue;
     }
+    RecordLinkDelivery(message);
     if (!mailbox->Push(std::move(message)) && type != MessageType::kShutdown) {
       // The unbatched path surfaces this as UnavailableError to the
       // sender; here the sender is long gone, so make the drop loud —
@@ -304,6 +330,7 @@ void MessageBus::Commit(const std::shared_ptr<Mailbox>& mailbox, Message message
     target = mailbox;  // unregistered: the endpoint is gone; fall through
   }
   for (Message& ready : released) {
+    RecordLinkDelivery(ready);
     if (!target->Push(std::move(ready)) && type != MessageType::kShutdown) {
       // The endpoint died between send and delivery (crash window): the
       // message is lost, as it would be on a real dead socket. Recovery
@@ -531,6 +558,77 @@ std::shared_ptr<RateLimiter> MessageBus::egress_limiter(int node) const {
   CHECK_GE(node, 0);
   CHECK_LT(node, num_nodes());
   return limiters_[static_cast<size_t>(node)];
+}
+
+void MessageBus::EnableLinkStats() {
+  if (link_stats_enabled()) {
+    return;
+  }
+  const size_t n = static_cast<size_t>(num_nodes());
+  link_cells_.resize(n * n);
+  for (auto& cell : link_cells_) {
+    cell = std::make_unique<LinkCell>();
+  }
+  link_stats_since_ = std::chrono::steady_clock::now();
+  link_stats_enabled_.store(true, std::memory_order_release);
+}
+
+void MessageBus::RecordLinkTx(int src, int dst, int64_t bytes) {
+  if (!link_stats_enabled()) {
+    return;
+  }
+  LinkCell& cell = *link_cells_[static_cast<size_t>(src) *
+                                    static_cast<size_t>(num_nodes()) +
+                                static_cast<size_t>(dst)];
+  cell.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  cell.messages.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MessageBus::RecordLinkDelivery(const Message& message) {
+  if (!link_stats_enabled() || message.send_ns <= 0 ||
+      message.from.node == message.to.node) {
+    return;
+  }
+  const int64_t latency = SteadyNowNs() - message.send_ns;
+  LinkCell& cell = *link_cells_[static_cast<size_t>(message.from.node) *
+                                    static_cast<size_t>(num_nodes()) +
+                                static_cast<size_t>(message.to.node)];
+  cell.latency_ns.Record(latency > 0 ? latency : 0);
+}
+
+ObservedLinkStats MessageBus::SnapshotLinkStats() const {
+  ObservedLinkStats snap;
+  if (!link_stats_enabled()) {
+    return snap;
+  }
+  const double window_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - link_stats_since_)
+          .count();
+  snap.window_s = window_s;
+  const int n = num_nodes();
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      const LinkCell& cell =
+          *link_cells_[static_cast<size_t>(src) * static_cast<size_t>(n) +
+                       static_cast<size_t>(dst)];
+      const int64_t bytes = cell.bytes.load(std::memory_order_relaxed);
+      const int64_t messages = cell.messages.load(std::memory_order_relaxed);
+      if (bytes == 0 && messages == 0) {
+        continue;
+      }
+      LinkStat link;
+      link.src = src;
+      link.dst = dst;
+      link.bytes = bytes;
+      link.messages = messages;
+      link.delivery_latency_ns = cell.latency_ns.TakeSnapshot();
+      link.observed_gbps =
+          window_s > 0.0 ? static_cast<double>(bytes) * 8.0 / 1e9 / window_s : 0.0;
+      snap.links.push_back(std::move(link));
+    }
+  }
+  return snap;
 }
 
 std::vector<int64_t> MessageBus::TxBytes() const {

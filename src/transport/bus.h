@@ -46,12 +46,43 @@
 
 #include "src/common/blocking_queue.h"
 #include "src/common/status.h"
+#include "src/stats/metrics.h"
 #include "src/transport/fault_injector.h"
 #include "src/transport/message.h"
 #include "src/transport/rate_limiter.h"
 #include "src/transport/sequencer.h"
 
 namespace poseidon {
+
+/// Observed traffic on one directed (src node, dst node) link since
+/// EnableLinkStats: wire bytes, wire messages (a batched frame counts once),
+/// and the distribution of bus-accept-to-mailbox-push delivery latency.
+struct LinkStat {
+  int src = 0;
+  int dst = 0;
+  int64_t bytes = 0;
+  int64_t messages = 0;
+  Histogram::Snapshot delivery_latency_ns;
+  /// bytes * 8 over the observation window — the live per-link bandwidth
+  /// estimate the CommPlanner consumes.
+  double observed_gbps = 0.0;
+};
+
+/// Point-in-time per-link traffic matrix (links with no traffic omitted).
+struct ObservedLinkStats {
+  double window_s = 0.0;  ///< seconds since EnableLinkStats
+  std::vector<LinkStat> links;
+
+  /// The stat for (src, dst), or nullptr if that link carried no traffic.
+  const LinkStat* Find(int src, int dst) const {
+    for (const LinkStat& link : links) {
+      if (link.src == src && link.dst == dst) {
+        return &link;
+      }
+    }
+    return nullptr;
+  }
+};
 
 /// Egress batching knobs. Defaults favour throughput on many-layer models
 /// while keeping the added latency bounded by the flush interval.
@@ -130,6 +161,19 @@ class MessageBus {
   /// null when no limit is set.
   std::shared_ptr<RateLimiter> egress_limiter(int node) const;
 
+  /// Turns on per-(src,dst) link accounting: bytes, wire messages, and
+  /// delivery-latency histograms per directed node pair. Remote messages are
+  /// stamped at Send() and the latency recorded at the final mailbox push,
+  /// so batching queue time and injected fault delays show up in the
+  /// distribution. Idempotent; cheap enough to leave on (a few relaxed adds
+  /// per wire message).
+  void EnableLinkStats();
+  bool link_stats_enabled() const {
+    return link_stats_enabled_.load(std::memory_order_acquire);
+  }
+  /// Snapshot of every link that carried traffic since EnableLinkStats.
+  ObservedLinkStats SnapshotLinkStats() const;
+
   /// Cumulative egress bytes per node (approximate wire sizes, framing
   /// included; batch frames counted once).
   std::vector<int64_t> TxBytes() const;
@@ -190,6 +234,19 @@ class MessageBus {
     }
   };
 
+  /// One directed link's accumulators (allocated n*n by EnableLinkStats).
+  struct LinkCell {
+    LinkCell() : latency_ns(LatencyBucketsNs()) {}
+    std::atomic<int64_t> bytes{0};
+    std::atomic<int64_t> messages{0};
+    Histogram latency_ns;
+  };
+
+  /// Accounts `bytes` of wire traffic on src -> dst (no-op when disabled).
+  void RecordLinkTx(int src, int dst, int64_t bytes);
+  /// Records bus-accept-to-push latency for a stamped remote message.
+  void RecordLinkDelivery(const Message& message);
+
   /// Copies the routing state for `message` under the bus lock.
   Status Route(const Message& message, std::shared_ptr<Mailbox>* mailbox,
                std::shared_ptr<RateLimiter>* limiter) const;
@@ -220,6 +277,11 @@ class MessageBus {
   std::atomic<bool> batching_{false};
   EgressBatchOptions batch_options_;
   std::vector<std::unique_ptr<NodeEgress>> egress_;
+
+  // Link accounting (set once by EnableLinkStats, then immutable pointers).
+  std::atomic<bool> link_stats_enabled_{false};
+  std::vector<std::unique_ptr<LinkCell>> link_cells_;  // n*n, row-major by src
+  std::chrono::steady_clock::time_point link_stats_since_;
 
   // Fault fabric (set once by EnableFaultInjection, then immutable pointers).
   std::unique_ptr<FaultInjector> injector_;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/stats/trace.h"
 
 namespace poseidon {
 namespace {
@@ -93,6 +94,7 @@ Status RawFloatCodec::Decode(const PayloadView& frame, Tensor* dense,
 }
 
 Payload RawFloatCodec::Encode(const float* src, int64_t floats) {
+  TraceSpan span("codec.encode.raw", "codec", floats);
   Payload payload = Payload::Allocate(floats);
   if (floats > 0) {
     CHECK_NOTNULL(src);
@@ -160,6 +162,7 @@ StatusOr<int64_t> OneBitCodec::Validate(const PayloadView& frame) const {
 }
 
 Status OneBitCodec::DecodeDense(const PayloadView& frame, Tensor* out) {
+  TraceSpan span("codec.decode.onebit", "codec");
   CHECK_NOTNULL(out);
   StatusOr<Frame> parsed = Parse(frame);
   if (!parsed.ok()) {
@@ -207,6 +210,7 @@ Status OneBitCodec::Decode(const PayloadView& frame, Tensor* dense,
 
 Payload OneBitCodec::Encode(const Tensor& gradient, OneBitQuantizer* quantizer,
                             const float* bias, int64_t bias_len) {
+  TraceSpan span("codec.encode.onebit", "codec");
   CHECK_NOTNULL(quantizer);
   CHECK_GE(bias_len, 0);
   const OneBitEncoded encoded = quantizer->Encode(gradient);
@@ -287,6 +291,7 @@ StatusOr<int64_t> SufficientFactorCodec::Validate(const PayloadView& frame) cons
 }
 
 Status SufficientFactorCodec::DecodeReconstruct(const PayloadView& frame, Tensor* out) {
+  TraceSpan span("codec.decode.sf", "codec");
   CHECK_NOTNULL(out);
   StatusOr<Frame> parsed = Parse(frame);
   if (!parsed.ok()) {
@@ -340,6 +345,7 @@ Status SufficientFactorCodec::Decode(const PayloadView& frame, Tensor* dense,
 
 Payload SufficientFactorCodec::Encode(const SufficientFactors& factors, const float* bias,
                                       int64_t bias_len) {
+  TraceSpan span("codec.encode.sf", "codec");
   CHECK_GE(bias_len, 0);
   const int64_t m = factors.rows();
   const int64_t n = factors.cols();

@@ -106,6 +106,12 @@ struct Message {
   /// existing kWireFrameBytes header budget.
   int64_t seq = -1;
 
+  /// Steady-clock ns at which the bus accepted this message for a remote
+  /// destination, stamped only while link stats are enabled (see
+  /// MessageBus::EnableLinkStats). 0 means unstamped. Transport metadata
+  /// like a NIC hardware timestamp — not part of the accounted wire bytes.
+  int64_t send_ns = 0;
+
   /// Codec that serialized every chunk in this message.
   WireCodec codec = WireCodec::kRawFloat;
   std::vector<WireChunk> chunks;

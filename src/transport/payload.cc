@@ -1,29 +1,37 @@
 #include "src/transport/payload.h"
 
-#include <atomic>
-
 #include "src/common/logging.h"
+#include "src/stats/metrics.h"
 
 namespace poseidon {
 namespace {
 
-std::atomic<int64_t> g_copied_floats{0};
-std::atomic<int64_t> g_copies{0};
+// Registry-backed counters ("wire.copied_floats" / "wire.copies"), cached
+// once so the hot path stays one relaxed fetch_add per field.
+Counter& CopiedFloatsCounter() {
+  static Counter* c = MetricsRegistry::Default().GetCounter("wire.copied_floats");
+  return *c;
+}
+
+Counter& CopiesCounter() {
+  static Counter* c = MetricsRegistry::Default().GetCounter("wire.copies");
+  return *c;
+}
 
 }  // namespace
 
 void WireCopyStats::Add(int64_t floats) {
-  g_copied_floats.fetch_add(floats, std::memory_order_relaxed);
-  g_copies.fetch_add(1, std::memory_order_relaxed);
+  CopiedFloatsCounter().Add(floats);
+  CopiesCounter().Add(1);
 }
 
-int64_t WireCopyStats::Floats() { return g_copied_floats.load(std::memory_order_relaxed); }
+int64_t WireCopyStats::Floats() { return CopiedFloatsCounter().Value(); }
 
-int64_t WireCopyStats::Copies() { return g_copies.load(std::memory_order_relaxed); }
+int64_t WireCopyStats::Copies() { return CopiesCounter().Value(); }
 
 void WireCopyStats::Reset() {
-  g_copied_floats.store(0, std::memory_order_relaxed);
-  g_copies.store(0, std::memory_order_relaxed);
+  CopiedFloatsCounter().Reset();
+  CopiesCounter().Reset();
 }
 
 Payload Payload::Allocate(int64_t floats) {

@@ -31,6 +31,10 @@ class PayloadView;
 /// refactor's acceptance metric: every copy of gradient/parameter floats on
 /// the Move/Send/Receive path calls Add() once, so benches can report copies
 /// and floats moved per iteration (see bench/micro_benchmarks.cc).
+///
+/// Backed by MetricsRegistry::Default() counters "wire.copied_floats" and
+/// "wire.copies"; this facade keeps existing call sites and gives the
+/// metrics JSON the same numbers for free.
 class WireCopyStats {
  public:
   /// Records one staging copy of `floats` float words.

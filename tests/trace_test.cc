@@ -1,0 +1,190 @@
+// Tests for the span tracer (src/stats/trace.h): recording semantics, ring
+// overflow, Chrome-trace JSON export — and the flight-recorder guarantees
+// that matter at the system level: a traced sharded-SSP training run emits
+// the full WFBP span schema, tracing never changes the training trajectory,
+// and the live stall breakdown is directionally consistent with the
+// protocol simulator's GPU busy fraction.
+#include "src/stats/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/cluster/protocol_sim.h"
+#include "src/cluster/system_config.h"
+#include "src/models/zoo.h"
+#include "src/poseidon/trainer.h"
+#include "tests/testing/harness.h"
+
+namespace poseidon {
+namespace {
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Every tracer test starts from a clean, disabled tracer. The tracer is
+// process-global, so tests in this binary are written to be order-safe.
+void ResetTracer() {
+  Tracer::Disable();
+  Tracer::Reset();
+}
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  ResetTracer();
+  EXPECT_FALSE(Tracer::enabled());
+  Tracer::Instant("noop");
+  Tracer::Begin("noop");
+  Tracer::End("noop");
+  { TraceSpan span("noop"); }
+  EXPECT_EQ(Tracer::recorded(), 0);
+  EXPECT_EQ(Tracer::NowNs(), 0);
+}
+
+TEST(TracerTest, SpansExportAsChromeTraceJson) {
+  ResetTracer();
+  Tracer::Enable();
+  {
+    TraceSpan outer("outer", "test", /*arg=*/7);
+    { TraceSpan inner("inner", "test"); }
+    Tracer::Instant("tick", "test", /*arg=*/3);
+  }
+  Tracer::Complete("window", "test", /*start_ns=*/1000, /*dur_ns=*/2500);
+  Tracer::Disable();
+
+  EXPECT_EQ(Tracer::recorded(), 6);  // 2 begins + 2 ends + instant + complete
+  const std::string json = Tracer::ExportChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"test\""), std::string::npos);
+  // Balanced begin/end pairs, one instant (with scope), one complete (with
+  // duration), and the numeric args survive.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"B\""), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"E\""), 2);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"i\""), 1);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"X\""), 1);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"v\": 7}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"v\": 3}"), std::string::npos);
+}
+
+TEST(TracerTest, FullRingDropsInsteadOfBlocking) {
+  ResetTracer();
+  Tracer::Enable(/*ring_capacity=*/16);
+  for (int i = 0; i < 100; ++i) {
+    Tracer::Instant("flood", "test");
+  }
+  Tracer::Disable();
+  EXPECT_EQ(Tracer::recorded(), 16);
+  EXPECT_EQ(Tracer::dropped(), 84);
+
+  Tracer::Reset();
+  EXPECT_EQ(Tracer::recorded(), 0);
+  EXPECT_EQ(Tracer::dropped(), 0);
+}
+
+// ------------------------------------------------------- system-level -------
+
+// A traced sharded-SSP training run must contain the whole WFBP lifecycle:
+// per-layer backward, syncer send/receive, shard apply, and SSP stall spans.
+// Whether any read actually stalls depends on thread interleaving, so the
+// run is repeated (fresh trace each time) until a stall has been observed.
+TEST(TraceSchemaTest, ShardedSspRunEmitsWfbpSpans) {
+  const SyntheticDataset dataset = testing::TinyDataset();
+  std::string json;
+  for (int attempt = 0; attempt < 6 && json.empty(); ++attempt) {
+    ResetTracer();
+    Tracer::Enable();
+    // Later attempts fall back to staleness 0 (BSP is SSP with s=0 here):
+    // gating every read on the full push quorum makes a deferred read — and
+    // therefore a recorded stall — all but certain.
+    const int staleness = attempt < 3 ? 1 : 0;
+    TrainerOptions options = testing::SmallTrainerOptions(
+        /*workers=*/4, /*servers=*/2, /*shards=*/2, staleness);
+    PoseidonTrainer trainer(testing::TinyMlpFactory(/*hidden_layers=*/2), options);
+    trainer.Train(dataset, 8);
+    trainer.bus().FlushEgress();
+    Tracer::Disable();
+    const std::string exported = Tracer::ExportChromeJson();
+    if (exported.find("kv.ssp_stall") != std::string::npos) {
+      json = exported;
+    }
+  }
+  ASSERT_FALSE(json.empty()) << "no SSP stall observed in any attempt";
+
+  // The WFBP lifecycle, worker side...
+  EXPECT_NE(json.find("\"iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"backward\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_all\""), std::string::npos);
+  // ...the syncer pipeline...
+  EXPECT_NE(json.find("\"sync.move_out\""), std::string::npos);
+  EXPECT_NE(json.find("\"sync.send\""), std::string::npos);
+  EXPECT_NE(json.find("\"sync.receive\""), std::string::npos);
+  // ...and the server side.
+  EXPECT_NE(json.find("\"kv.apply\""), std::string::npos);
+  EXPECT_NE(json.find("\"kv.ssp_stall\""), std::string::npos);
+
+  // Begin/end pairs must balance: every TraceSpan that began also ended.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\": \"B\""),
+            CountOccurrences(json, "\"ph\": \"E\""));
+  ResetTracer();
+}
+
+// Tracing is observation only: a traced run must follow bitwise the same
+// trajectory (losses and final parameters) as an untraced one.
+TEST(TraceSchemaTest, TracingDoesNotPerturbTheTrajectory) {
+  ResetTracer();
+  TrainerOptions options = testing::SmallTrainerOptions();
+  const testing::Trajectory untraced = testing::CaptureTrajectory(options, 6);
+
+  Tracer::Enable();
+  const testing::Trajectory traced = testing::CaptureTrajectory(options, 6);
+  ResetTracer();
+
+  EXPECT_TRUE(untraced == traced);
+}
+
+// The live trainer's compute/comm-wait/SSP-stall breakdown must be populated
+// and directionally consistent with the protocol simulator's GPU busy
+// fraction: both are fractions in (0, 1], and for the tiny MLP both must
+// report that the GPU does real work (neither pure compute nor pure stall).
+TEST(StallBreakdownTest, LiveBreakdownConsistentWithProtocolSim) {
+  const SyntheticDataset dataset = testing::TinyDataset();
+  TrainerOptions options = testing::SmallTrainerOptions(/*workers=*/2, /*servers=*/2);
+  PoseidonTrainer trainer(testing::TinyMlpFactory(), options);
+  const std::vector<IterationStats> stats = trainer.Train(dataset, 6);
+
+  ASSERT_EQ(stats.size(), 6u);
+  for (const IterationStats& s : stats) {
+    EXPECT_GT(s.compute_ms, 0.0);
+    EXPECT_GE(s.comm_wait_ms, 0.0);
+  }
+
+  const StallBreakdown live = trainer.stall_breakdown();
+  EXPECT_GT(live.compute_s, 0.0);
+  EXPECT_GE(live.comm_wait_s, 0.0);
+  EXPECT_GE(live.ssp_stall_s, 0.0);
+  const double live_busy = live.GpuBusyFrac();
+  EXPECT_GT(live_busy, 0.0);
+  EXPECT_LE(live_busy, 1.0);
+
+  // The simulator's independent model of the same phenomenon (Fig 7): a
+  // multi-node dense-PS run has a busy fraction strictly inside (0, 1).
+  ClusterSpec cluster;
+  cluster.num_nodes = 2;
+  const SimResult sim =
+      RunProtocolSimulation(MakeAlexNet(), CaffePlusWfbp(), cluster, Engine::kCaffe);
+  EXPECT_GT(sim.gpu_busy_frac, 0.0);
+  EXPECT_LE(sim.gpu_busy_frac, 1.0);
+}
+
+}  // namespace
+}  // namespace poseidon

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validates the bench JSON records emitted via --json-out.
+
+CI runs this over BENCH_micro.json after the bench-smoke job: a refactor
+that silently stops producing a tracked series (or produces NaN/empty
+garbage) must fail the build, not ship a hole in the perf trajectory.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exit status: 0 when every file is well-formed, 1 otherwise.
+"""
+
+import json
+import math
+import sys
+
+# Every series the micro-benchmark record must carry, with a lower bound the
+# value has to clear (counts and rates are strictly positive; the overhead
+# fraction only has to be a finite non-negative number — the binary itself
+# enforces the 2% budget and this checker re-enforces it below).
+MICRO_REQUIRED = {
+    "raw_encode_floats_per_s": 0.0,
+    "sf_roundtrip_floats_per_s": 0.0,
+    "onebit_roundtrip_floats_per_s": 0.0,
+    "wire_ps_floats_per_iter": 0.0,
+    "wire_ps_copies_per_iter": 0.0,
+    "wire_ps_msgs_per_iter": 0.0,
+    "wire_ps_copy_reduction": 1.0,
+    "wire_sfb_floats_per_iter": 0.0,
+    "wire_sfb_copies_per_iter": 0.0,
+    "wire_onebit_floats_per_iter": 0.0,
+    "wire_onebit_copies_per_iter": 0.0,
+    "disabled_span_ns": 0.0,
+    "telemetry_overhead_frac": -1.0,
+}
+
+OVERHEAD_BUDGET = 0.02
+
+
+def fail(path, message):
+    print(f"{path}: FAIL: {message}", file=sys.stderr)
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable or malformed JSON ({err})")
+
+    if not isinstance(record, dict):
+        return fail(path, "top level is not an object")
+    bench = record.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return fail(path, "missing 'bench' name")
+    series = record.get("series")
+    if not isinstance(series, dict) or not series:
+        return fail(path, "missing or empty 'series' object")
+
+    ok = True
+    for name, values in series.items():
+        if not isinstance(values, list) or not values:
+            ok = fail(path, f"series '{name}' is empty")
+            continue
+        for v in values:
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v):
+                ok = fail(path, f"series '{name}' has a non-finite sample: {v!r}")
+                break
+
+    if bench == "micro_benchmarks":
+        for name, minimum in MICRO_REQUIRED.items():
+            values = series.get(name)
+            if not isinstance(values, list) or not values:
+                ok = fail(path, f"required series '{name}' is missing or empty")
+                continue
+            if any(not math.isfinite(v) or v <= minimum for v in values
+                   if isinstance(v, (int, float))):
+                ok = fail(path, f"series '{name}' has samples <= {minimum}: {values}")
+        overhead = series.get("telemetry_overhead_frac", [])
+        if overhead and max(overhead) >= OVERHEAD_BUDGET:
+            ok = fail(path, f"disabled-tracing overhead {max(overhead):.4f} "
+                            f">= budget {OVERHEAD_BUDGET}")
+
+    if ok:
+        print(f"{path}: ok ({bench}: {len(series)} series)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    return 0 if all([check_file(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
