@@ -29,7 +29,9 @@
 #include "src/common/table.h"
 #include "src/models/comm_cost.h"
 #include "src/models/zoo.h"
+#include "src/stats/bench_record.h"
 #include "src/stats/report.h"
+#include "src/transport/socket_bench.h"
 
 namespace poseidon {
 namespace {
@@ -184,10 +186,18 @@ int main(int argc, char** argv) {
   const std::vector<int> staleness = args.fast ? std::vector<int>{0, 1}
                                                : std::vector<int>{0, 1, 3};
   poseidon::InitBenchTelemetry(args);
+  poseidon::BenchRecord record("ext_shards");
+  // --transport=tcp|unix: the live socket probe's payload Gb/s joins the
+  // sharded-PS sweep, so the shard/staleness tables include the bandwidth
+  // this machine's sockets actually deliver.
+  const double measured_gbps = poseidon::MeasureTransportForBench(args, &record);
+  std::vector<double> bandwidths = args.GbpsOr({10.0, 40.0});
+  if (measured_gbps > 0.0) {
+    bandwidths.push_back(measured_gbps);
+  }
   poseidon::CostTablePart(nodes, shards);
-  poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}), shards, staleness,
-                         args.batch_egress);
-  poseidon::StragglerPart(nodes, args.GbpsOr({10.0, 40.0}).front(), staleness);
-  poseidon::FinishBenchTelemetry(args);
+  poseidon::SimSweepPart(nodes, bandwidths, shards, staleness, args.batch_egress);
+  poseidon::StragglerPart(nodes, bandwidths.front(), staleness);
+  poseidon::FinishBenchTelemetry(args, &record);
   return 0;
 }

@@ -12,7 +12,9 @@
 
 #include "src/common/cli.h"
 #include "src/models/zoo.h"
+#include "src/stats/bench_record.h"
 #include "src/stats/report.h"
+#include "src/transport/socket_bench.h"
 
 namespace poseidon {
 namespace {
@@ -22,7 +24,10 @@ struct Config {
   std::vector<double> gbps;
 };
 
-void Run(const BenchArgs& args) {
+// `measured_gbps` > 0 is the live socket probe's payload bandwidth
+// (--transport=tcp|unix); it rides the sweep as an extra bandwidth point so
+// the modeled tables include what this machine's sockets actually achieve.
+void Run(const BenchArgs& args, double measured_gbps) {
   const std::vector<int> nodes = args.NodesOr({1, 2, 4, 8, 16});
   // PS serve paths are costed at the configured shard count (--shards,
   // default 1 = the paper's single-endpoint servers), matching the
@@ -51,7 +56,11 @@ void Run(const BenchArgs& args) {
   };
   for (const Config& config : configs) {
     const ModelSpec model = ModelByName(config.model).value();
-    for (double gbps : args.GbpsOr(config.gbps)) {
+    std::vector<double> sweep = args.GbpsOr(config.gbps);
+    if (measured_gbps > 0.0) {
+      sweep.push_back(measured_gbps);
+    }
+    for (double gbps : sweep) {
       const auto results =
           RunScalingSweep(model, {ps, poseidon_sys}, nodes, gbps, Engine::kCaffe);
       char title[128];
@@ -75,7 +84,9 @@ void Run(const BenchArgs& args) {
 int main(int argc, char** argv) {
   const poseidon::BenchArgs args = poseidon::ParseBenchArgs(argc, argv);
   poseidon::InitBenchTelemetry(args);
-  poseidon::Run(args);
-  poseidon::FinishBenchTelemetry(args);
+  poseidon::BenchRecord record("fig8_bandwidth");
+  const double measured_gbps = poseidon::MeasureTransportForBench(args, &record);
+  poseidon::Run(args, measured_gbps);
+  poseidon::FinishBenchTelemetry(args, &record);
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "src/tensor/sufficient_factor.h"
 #include "src/transport/bus.h"
 #include "src/transport/codec.h"
+#include "src/transport/socket_bench.h"
 
 namespace poseidon {
 namespace {
@@ -364,6 +365,25 @@ bool SelfCheckAndRecord(BenchRecord* record) {
   RecordWirePath("wire_ps", FcSyncPolicy::kDense, /*hidden_layers=*/18, record);
   RecordWirePath("wire_sfb", FcSyncPolicy::kSfb, /*hidden_layers=*/2, record);
   RecordWirePath("wire_onebit", FcSyncPolicy::kOneBit, /*hidden_layers=*/2, record);
+
+  // Real-network datapoint: payload Gb/s through the socket transport on
+  // loopback TCP and a Unix-domain socket (the multi-process cluster's data
+  // path, wire frames and all). A regression here is a socket-path
+  // serialization or flusher problem, not a codec one.
+  for (const bool unix_sockets : {false, true}) {
+    SocketBandwidthOptions options;
+    options.unix_sockets = unix_sockets;
+    const StatusOr<SocketBandwidthResult> measured = MeasureSocketBandwidth(options);
+    const char* series = unix_sockets ? "socket_unix_gbps" : "socket_tcp_gbps";
+    if (!measured.ok()) {
+      std::fprintf(stderr, "FAIL: %s probe: %s\n", series,
+                   measured.status().ToString().c_str());
+      return false;
+    }
+    record->Append(series, measured->payload_gbps);
+    std::printf("%s: %.2f Gb/s payload (%.2f Gb/s on the stream)\n", series,
+                measured->payload_gbps, measured->wire_gbps);
+  }
 
   // Disabled-overhead budget: a TraceSpan while tracing is off costs one
   // relaxed atomic load at construction and a flag test at destruction. The

@@ -48,6 +48,8 @@ void Usage(const char* argv0) {
       "  --full   paper-sized configuration (where the bench has one)\n"
       "  --batch-egress  coalesce same-destination wire messages (egress\n"
       "           batcher ablation, where the bench supports it)\n"
+      "  --transport=inproc|tcp|unix  bus backend; tcp/unix add a live\n"
+      "           loopback socket-bandwidth measurement (supported benches)\n"
       "  --fault-loss=P1,P2,...     per-message loss rates to sweep\n"
       "  --fault-detect-ms=D1,...   failure-detection timeouts to sweep (ms)\n"
       "  --fault-restart-ms=R1,...  worker restart costs to sweep (ms)\n"
@@ -175,6 +177,14 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.full = true;
     } else if (arg == "--batch-egress") {
       args.batch_egress = true;
+    } else if (arg.rfind("--transport", 0) == 0) {
+      args.transport = value_of("--transport");
+      if (args.transport != "inproc" && args.transport != "tcp" &&
+          args.transport != "unix") {
+        std::fprintf(stderr, "invalid --transport value: '%s' (inproc|tcp|unix)\n",
+                     args.transport.c_str());
+        std::exit(2);
+      }
     } else if (arg.rfind("--nodes", 0) == 0) {
       args.nodes = ParseList<int>("--nodes", value_of("--nodes"), [](const char* s, char** e) {
         return static_cast<int>(std::strtol(s, e, 10));

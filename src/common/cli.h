@@ -9,6 +9,8 @@
 //   --full          paper-sized configuration (fig11's 32x32 CIFAR run)
 //   --batch-egress  coalesce same-destination wire messages (ablates the
 //                   transport's egress batcher in the supported benches)
+//   --transport=inproc|tcp|unix  bus backend: socket choices add a live
+//                   loopback bandwidth measurement (supported benches)
 //   --fault-loss=0.001,0.01     per-message loss rates to sweep (fault-model
 //                   benches; the modeled link layer retransmits)
 //   --fault-detect-ms=50,250    failure-detection timeouts to sweep, ms
@@ -39,6 +41,11 @@ struct BenchArgs {
   // wire accounting (and the threaded runtime where a bench uses it), so
   // the batcher's message-count/framing effect can be ablated.
   bool batch_egress = false;
+  // --transport=inproc|tcp|unix: which bus backend the bench exercises.
+  // "inproc" (default) keeps the modeled/in-memory path; "tcp"/"unix" add a
+  // live loopback socket-bandwidth measurement next to the modeled sweep
+  // (see src/transport/socket_bench.h).
+  std::string transport = "inproc";
   // Fault-model sweeps (bench_ext_faults; see docs/FAULT_TOLERANCE.md).
   std::vector<double> fault_loss;
   std::vector<double> fault_detect_ms;
@@ -59,6 +66,9 @@ struct BenchArgs {
   int FirstShardOr(int default_value) const;
   // Iteration-count knob for the threaded-runtime benches.
   int ItersOr(int normal, int fast_iters) const { return fast ? fast_iters : normal; }
+  // --transport asked for a socket backend (tcp or unix).
+  bool SocketTransportRequested() const { return transport != "inproc"; }
+  bool UnixTransport() const { return transport == "unix"; }
   // For single-configuration benches that cannot sweep: the first entry,
   // with a stderr warning when a multi-value list was given (so a truncated
   // sweep never looks like it completed).

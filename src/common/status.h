@@ -100,6 +100,9 @@ inline Status OutOfRangeError(std::string message) {
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
 }
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
 }

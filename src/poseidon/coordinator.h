@@ -14,6 +14,7 @@
 #ifndef POSEIDON_SRC_POSEIDON_COORDINATOR_H_
 #define POSEIDON_SRC_POSEIDON_COORDINATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "src/models/comm_cost.h"
 #include "src/models/model_spec.h"
 #include "src/nn/network.h"
+#include "src/transport/message.h"
 
 namespace poseidon {
 
@@ -39,6 +41,26 @@ struct ClusterInfo {
   int staleness = 0;
   int batch_per_worker = 32;
   int64_t kv_pair_bytes = 2 * 1024 * 1024;  ///< paper: fixed small pairs (2 MB)
+  /// First bus node hosting a server. 0 (the default) colocates server s
+  /// with worker s — the single-process trainer's historical layout, where
+  /// one machine runs both roles. A multi-process launch sets it past the
+  /// worker nodes (typically = num_workers) so every role maps onto its own
+  /// OS process. Node ids never enter the arithmetic — shard striping,
+  /// worker slots and reply scattering all key on worker/server *ids* — so
+  /// the training trajectory is invariant under the placement.
+  int server_node_base = 0;
+
+  /// The bus node hosting server `server`.
+  int ServerNode(int server) const { return server_node_base + server; }
+  /// Bus nodes needed for this cluster shape.
+  int NumNodes() const {
+    return std::max(num_workers, server_node_base + num_servers);
+  }
+  /// The mailbox address of shard `shard` on server `server` under this
+  /// cluster's placement (see ServerShardAddress for the port layout).
+  Address ShardAddress(int server, int shard) const {
+    return Address{ServerNode(server), kServerPort + shard};
+  }
 };
 
 /// One KV pair: a contiguous slice of a layer's flattened parameter vector,

@@ -114,6 +114,18 @@ int64_t FailureDetector::suspicions(int worker) const {
   return suspicions_[static_cast<size_t>(worker)];
 }
 
+int64_t FailureDetector::scans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scans_;
+}
+
+bool FailureDetector::AwaitScans(int64_t n, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const int64_t target = scans_ + n;
+  return scan_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [&] { return scans_ >= target; });
+}
+
 void FailureDetector::Loop() {
   const auto scan_every = std::chrono::milliseconds(
       std::max(1, options_.heartbeat_interval_ms / 2));
@@ -149,6 +161,11 @@ void FailureDetector::Loop() {
         on_suspect_(w);
       }
     }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++scans_;
+    }
+    scan_cv_.notify_all();
   }
 }
 

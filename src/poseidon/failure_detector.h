@@ -96,6 +96,14 @@ class FailureDetector {
   /// Cumulative suspicion episodes for `worker` (tests).
   int64_t suspicions(int worker) const;
 
+  /// Completed deadline scans since Start() (one per service-loop pass).
+  int64_t scans() const;
+  /// Test hook: blocks until `n` more deadline scans complete — a condition
+  /// wait on the service loop's observed progress, so "a couple of
+  /// deadlines elapsed" never degrades into a wall-clock sleep that a slow
+  /// CI box can undercut. False if `timeout_ms` passes first.
+  bool AwaitScans(int64_t n, int timeout_ms);
+
  private:
   void Loop();
 
@@ -106,6 +114,8 @@ class FailureDetector {
   std::shared_ptr<MessageBus::Mailbox> mailbox_;
 
   mutable std::mutex mutex_;
+  std::condition_variable scan_cv_;
+  int64_t scans_ = 0;  // guarded by mutex_
   std::vector<std::chrono::steady_clock::time_point> last_beat_;
   std::vector<bool> suspected_;
   std::vector<int64_t> suspicions_;

@@ -32,7 +32,7 @@ KvShard::KvShard(int server_id, int shard_id, int64_t first_iter,
   CHECK_NOTNULL(bus);
   CHECK_LT(shard_id, kMaxShardsPerServer);
   ssp_stall_hist_ = MetricsRegistry::Default().GetHistogram("kv.ssp_stall_ns");
-  mailbox_ = bus_->Register(ServerShardAddress(server_, shard_));
+  mailbox_ = bus_->Register(coordinator_.cluster().ShardAddress(server_, shard_));
 
   for (int l = 0; l < coordinator_.num_layers(); ++l) {
     if (schemes_[static_cast<size_t>(l)] == RuntimeScheme::kPsDense) {
@@ -238,7 +238,7 @@ void KvShard::SendReply(int layer, int worker, int64_t clock,
                         std::vector<WireChunk> chunks) {
   Message reply;
   reply.type = MessageType::kParamReply;
-  reply.from = ServerShardAddress(server_, shard_);
+  reply.from = coordinator_.cluster().ShardAddress(server_, shard_);
   reply.to = Address{worker, kSyncerPortBase + layer};
   reply.layer = layer;
   reply.iter = clock;

@@ -30,7 +30,8 @@ Syncer::Syncer(int worker, int layer_index, RuntimeScheme scheme,
           continue;
         }
         total_pairs_ += static_cast<int>(pairs.size());
-        pairs_by_shard_.push_back({ServerShardAddress(s, shard), std::move(pairs)});
+        pairs_by_shard_.push_back(
+            {coordinator_.cluster().ShardAddress(s, shard), std::move(pairs)});
       }
     }
   }
@@ -155,8 +156,9 @@ void Syncer::SendOneBit(int64_t iter) {
   Message push;
   push.type = MessageType::kOneBitPush;
   push.from = Address{worker_, kSyncerPortBase + layer_index_};
-  push.to = ServerShardAddress(coordinator_.OneBitOwnerServer(layer_index_),
-                               coordinator_.OneBitOwnerShard(layer_index_));
+  push.to = coordinator_.cluster().ShardAddress(
+      coordinator_.OneBitOwnerServer(layer_index_),
+      coordinator_.OneBitOwnerShard(layer_index_));
   push.layer = layer_index_;
   push.worker = worker_;
   push.iter = iter;

@@ -13,7 +13,9 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
     : options_(options), factory_(std::move(factory)) {
   CHECK_GT(options_.num_workers, 0);
   CHECK_GT(options_.num_servers, 0);
-  const int num_nodes = std::max(options_.num_workers, options_.num_servers);
+  CHECK_GE(options_.server_node_base, 0);
+  const int num_nodes = std::max(options_.num_workers,
+                                 options_.server_node_base + options_.num_servers);
   bus_ = std::make_unique<MessageBus>(num_nodes);
   if (options_.batch_egress) {
     bus_->EnableBatching(options_.batch_options);
@@ -52,6 +54,7 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
   cluster.num_workers = options_.num_workers;
   cluster.num_servers = options_.num_servers;
   cluster.shards_per_server = std::max(1, options_.shards_per_server);
+  cluster.server_node_base = options_.server_node_base;
   cluster.staleness = options_.staleness;
   cluster.batch_per_worker = options_.batch_per_worker;
   cluster.kv_pair_bytes = options_.kv_pair_bytes;
@@ -109,7 +112,7 @@ void PoseidonTrainer::Shutdown() {
       Message shutdown;
       shutdown.type = MessageType::kShutdown;
       shutdown.from = Address{0, kSyncerPortBase};
-      shutdown.to = ServerShardAddress(server->id(), shard);
+      shutdown.to = coordinator_->cluster().ShardAddress(server->id(), shard);
       const Status status = bus_->Send(std::move(shutdown));
       CHECK(status.ok()) << status.ToString();
     }

@@ -56,6 +56,11 @@ struct CrashPlan {
 struct TrainerOptions {
   int num_workers = 2;
   int num_servers = 2;        // colocated server nodes; may differ from workers
+  /// First bus node hosting a server (ClusterInfo::server_node_base): 0
+  /// colocates server s with worker s; a multi-process launch sets it to
+  /// num_workers so every role gets its own node, hence its own process.
+  /// Trajectory-invariant — node ids never enter the math.
+  int server_node_base = 0;
   /// Key-range KV shards hosted per server node, each with its own mailbox
   /// and apply thread. 0 = auto: let the multi-shard cost rows pick (up to
   /// kMaxAutoShards) from the model's largest PS layer.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/stats/trace.h"
+#include "src/transport/wire_format.h"
 
 namespace poseidon {
 namespace {
@@ -109,34 +110,75 @@ Status MessageBus::SendDirect(Message message, std::shared_ptr<Mailbox> mailbox,
   return Status::Ok();
 }
 
+Status MessageBus::SendViaTransport(Message message,
+                                    std::shared_ptr<RateLimiter> limiter) {
+  const int src = message.from.node;
+  const int64_t bytes = message.WireBytes();
+  if (limiter != nullptr) {
+    limiter->Acquire(bytes);
+  }
+  tx_bytes_[static_cast<size_t>(src)].fetch_add(bytes, std::memory_order_relaxed);
+  tx_messages_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
+  tx_entries_[static_cast<size_t>(src)].fetch_add(1, std::memory_order_relaxed);
+  RecordLinkTx(src, message.to.node, bytes);
+  const int dst = message.to.node;
+  return transport_->SendFrame(src, dst, EncodeMessageFrame(message));
+}
+
 Status MessageBus::Send(Message message) {
   const int src = message.from.node;
   CHECK_GE(src, 0);
   CHECK_LT(src, num_nodes());
 
+  const bool wire_remote = IsWireRemote(message.to.node);
   std::shared_ptr<Mailbox> mailbox;
   std::shared_ptr<RateLimiter> limiter;
-  const Status routed = Route(message, &mailbox, &limiter);
-  if (!routed.ok()) {
-    return routed;
+  if (wire_remote) {
+    // The destination's mailboxes live in another process: no local routing,
+    // the frame goes to the transport instead.
+    CHECK(transport_->IsLocal(src))
+        << "node " << src << " is not hosted by this process";
+    // Always sequence remote data traffic over a wire: real sockets (and
+    // the lossy shim especially) can duplicate and reorder records, and the
+    // receiving bus's reorder buffer needs the stream order fixed at send
+    // time. send_ns is NOT stamped — it would be meaningless on the
+    // receiver's clock; DeliverWire restamps at ingress.
+    if (message.type != MessageType::kShutdown) {
+      message.seq = wire_sequencer_->NextSeq(message.from, message.to);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    limiter = limiters_[static_cast<size_t>(src)];
+  } else {
+    const Status routed = Route(message, &mailbox, &limiter);
+    if (!routed.ok()) {
+      return routed;
+    }
+
+    // Sequence every remote data message at send time: the stream order
+    // fixed here is the order the receiver's reorder buffer will restore,
+    // whatever the fault fabric does to the individual transmissions in
+    // between.
+    if (injector_ != nullptr && message.to.node != src &&
+        message.type != MessageType::kShutdown) {
+      message.seq = sequencer_->NextSeq(message.from, message.to);
+    }
+
+    // Stamp remote messages at bus accept so RecordLinkDelivery() can report
+    // end-to-end delivery latency including batching queue time and injected
+    // fault delays.
+    if (message.to.node != src && link_stats_enabled()) {
+      message.send_ns = SteadyNowNs();
+    }
   }
 
-  // Sequence every remote data message at send time: the stream order fixed
-  // here is the order the receiver's reorder buffer will restore, whatever
-  // the fault fabric does to the individual transmissions in between.
-  if (injector_ != nullptr && message.to.node != src &&
-      message.type != MessageType::kShutdown) {
-    message.seq = sequencer_->NextSeq(message.from, message.to);
+  if (!batching_.load(std::memory_order_acquire)) {
+    if (wire_remote) {
+      return SendViaTransport(std::move(message), std::move(limiter));
+    }
+    return SendDirect(std::move(message), std::move(mailbox), std::move(limiter));
   }
-
-  // Stamp remote messages at bus accept so RecordLinkDelivery() can report
-  // end-to-end delivery latency including batching queue time and injected
-  // fault delays.
-  if (message.to.node != src && link_stats_enabled()) {
-    message.send_ns = SteadyNowNs();
-  }
-
-  if (!batching_.load(std::memory_order_acquire) || message.to.node == src) {
+  if (!wire_remote && message.to.node == src) {
+    // Local traffic never batches (it never leaves the process).
     return SendDirect(std::move(message), std::move(mailbox), std::move(limiter));
   }
 
@@ -222,6 +264,26 @@ void MessageBus::DeliverBatch(int src, Batch batch) {
   tx_entries_[static_cast<size_t>(src)].fetch_add(
       static_cast<int64_t>(batch.entries.size()), std::memory_order_relaxed);
   RecordLinkTx(src, batch.dst_node, bytes);
+  if (IsWireRemote(batch.dst_node)) {
+    // The whole batch crosses the process boundary as one frame — the exact
+    // framing the accounting above just charged.
+    std::vector<Message> entries;
+    entries.reserve(batch.entries.size());
+    for (auto& [mailbox, message] : batch.entries) {
+      entries.push_back(std::move(message));
+    }
+    std::vector<uint8_t> frame = EncodeBatchFrame(entries);
+    CHECK_EQ(static_cast<int64_t>(frame.size()), bytes);
+    const Status status =
+        transport_->SendFrame(src, batch.dst_node, std::move(frame));
+    if (!status.ok()) {
+      // Mirrors the closed-mailbox case below: the senders are long gone,
+      // so a dead peer connection can only be reported loudly.
+      LOG(Warning) << "egress batch from node " << src << " to node "
+                   << batch.dst_node << " lost: " << status.ToString();
+    }
+    return;
+  }
   for (auto& [mailbox, message] : batch.entries) {
     const MessageType type = message.type;
     if (injector_ != nullptr && type != MessageType::kShutdown) {
@@ -241,10 +303,96 @@ void MessageBus::DeliverBatch(int src, Batch batch) {
   }
 }
 
+// ---------------------------------------------------------- transport seam --
+
+void MessageBus::AttachTransport(std::shared_ptr<Transport> transport) {
+  CHECK(transport != nullptr);
+  CHECK(transport_ == nullptr) << "transport already attached";
+  CHECK(injector_ == nullptr)
+      << "in-process fault injection and a wire transport are mutually "
+         "exclusive (use the transport's lossy shim for cross-process chaos)";
+  wire_sequencer_ = std::make_unique<StreamSequencer>();
+  wire_counters_ = std::make_unique<FaultCounters>();
+  wire_reorder_ = std::make_unique<ReorderBuffer>(wire_counters_.get());
+  transport_ = std::move(transport);
+}
+
+Status MessageBus::DeliverWire(const uint8_t* data, int64_t size) {
+  CHECK(transport_ != nullptr) << "DeliverWire requires AttachTransport";
+  std::vector<Message> messages;
+  Status status = DecodeWireFrame(data, size, &messages);
+  if (!status.ok()) {
+    return status;
+  }
+  if (messages.empty()) {
+    return Status::Ok();
+  }
+  // Every message of a frame shares (from node, to node) — the batch
+  // invariant — so one bounds check and one link-accounting add cover all.
+  const int src = messages.front().from.node;
+  const int dst = messages.front().to.node;
+  if (src < 0 || src >= num_nodes() || dst < 0 || dst >= num_nodes()) {
+    return InvalidArgumentError("wire frame addressed outside this cluster: " +
+                                std::to_string(src) + " -> " +
+                                std::to_string(dst));
+  }
+  // Ingress-side link accounting: the sending bus records links whose source
+  // it hosts, this bus records links arriving from remote sources — one bus
+  // never counts a (src, dst) pair from both sides.
+  RecordLinkTx(src, dst, size);
+  const int64_t now_ns = link_stats_enabled() ? SteadyNowNs() : 0;
+  for (Message& m : messages) {
+    // Receiver-side restamp: delivery latency is measured ingress-to-push on
+    // this process's steady clock. Two processes' steady clocks have
+    // unrelated epochs, so the sender's stamp must never be compared here.
+    m.send_ns = now_ns;
+    std::vector<Message> released;
+    if (m.seq >= 0) {
+      wire_reorder_->Admit(std::move(m), &released);
+    } else {
+      released.push_back(std::move(m));
+    }
+    for (Message& ready : released) {
+      std::shared_ptr<Mailbox> target;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = mailboxes_.find(ready.to);
+        if (it != mailboxes_.end()) {
+          target = it->second;
+        }
+      }
+      const MessageType type = ready.type;
+      if (target == nullptr) {
+        // The endpoint died (or was never registered here): the message is
+        // lost exactly as on a dead socket; count it so tests can see.
+        if (type != MessageType::kShutdown) {
+          wire_counters_->AddDroppedReply();
+        }
+        continue;
+      }
+      RecordLinkDelivery(ready);
+      if (!target->Push(std::move(ready)) && type != MessageType::kShutdown) {
+        wire_counters_->AddDroppedReply();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+FaultCountersSnapshot MessageBus::WireCounters() const {
+  if (wire_counters_ == nullptr) {
+    return FaultCountersSnapshot{};
+  }
+  return wire_counters_->Snapshot();
+}
+
 // ------------------------------------------------------------ fault fabric --
 
 void MessageBus::EnableFaultInjection(const FaultPlan& plan) {
   CHECK(injector_ == nullptr) << "fault injection already enabled";
+  CHECK(transport_ == nullptr)
+      << "in-process fault injection and a wire transport are mutually "
+         "exclusive (use the transport's lossy shim for cross-process chaos)";
   injector_ = std::make_unique<FaultInjector>(plan);
   sequencer_ = std::make_unique<StreamSequencer>();
   reorder_ = std::make_unique<ReorderBuffer>(&injector_->counters());
@@ -452,6 +600,18 @@ void MessageBus::HealPartitions() {
   pump_cv_.notify_all();
 }
 
+bool MessageBus::AwaitPartitionHolds(int64_t n, int timeout_ms) {
+  if (injector_ == nullptr) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(pump_mutex_);
+  // InjectOrCommit bumps the counter before notifying the pump, so the
+  // predicate observes every hold.
+  return pump_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return injector_->Counters().partition_holds >= n;
+  });
+}
+
 void MessageBus::CloseEndpoints(int node, int min_port, int max_port) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = mailboxes_.begin(); it != mailboxes_.end();) {
@@ -525,6 +685,9 @@ void MessageBus::FlusherLoop(int node) {
 
 void MessageBus::FlushEgress() {
   if (!batching_.load(std::memory_order_acquire)) {
+    if (transport_ != nullptr) {
+      transport_->Flush();
+    }
     return;
   }
   for (auto& egress_ptr : egress_) {
@@ -539,6 +702,11 @@ void MessageBus::FlushEgress() {
       return !egress.flush_requested ||
              (egress.open.empty() && egress.ready.empty() && egress.delivering == 0);
     });
+  }
+  if (transport_ != nullptr) {
+    // Batches are cut and encoded; now drain the transport's own egress
+    // queues so the bytes actually leave the process.
+    transport_->Flush();
   }
 }
 

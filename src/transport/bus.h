@@ -51,6 +51,7 @@
 #include "src/transport/message.h"
 #include "src/transport/rate_limiter.h"
 #include "src/transport/sequencer.h"
+#include "src/transport/transport.h"
 
 namespace poseidon {
 
@@ -117,6 +118,30 @@ class MessageBus {
   /// sender's egress batcher instead of being delivered inline.
   Status Send(Message message);
 
+  /// Attaches the frame carrier for destinations outside this process (call
+  /// at most once, before traffic flows; mutually exclusive with
+  /// EnableFaultInjection — cross-process chaos lives in the socket
+  /// transport's lossy shim instead). Once attached, Send() serializes
+  /// messages for non-local nodes into docs/WIRE_FORMAT.md frames and hands
+  /// them to the transport; every remote data message is stamped from a
+  /// per-stream sequencer so the receiving bus can deduplicate and restore
+  /// FIFO order whatever the wire does (see DeliverWire).
+  void AttachTransport(std::shared_ptr<Transport> transport);
+  /// The attached backend; null means the historical in-process-only bus.
+  Transport* transport() const { return transport_.get(); }
+
+  /// Ingress from the transport: decodes one wire frame (message or batch)
+  /// and delivers its logical messages to local mailboxes. Sequenced
+  /// messages pass through the wire reorder buffer (dedup + in-order
+  /// release); `send_ns` is restamped here, on the receiver's clock, so
+  /// delivery-latency stats never compare steady clocks of two processes.
+  /// Returns InvalidArgument/OutOfRange on malformed bytes. Thread-safe.
+  Status DeliverWire(const uint8_t* data, int64_t size);
+
+  /// Dedup/reorder counters of the wire ingress path (all zero until a
+  /// transport is attached and weather happens).
+  FaultCountersSnapshot WireCounters() const;
+
   /// Turns on per-destination egress batching (idempotent is not supported:
   /// call at most once, before traffic flows). Spawns one flusher thread per
   /// node.
@@ -144,6 +169,12 @@ class MessageBus {
   void Partition(int a, int b);
   /// Restores all cut links and immediately replays parked traffic.
   void HealPartitions();
+  /// Test hook: blocks until at least `n` messages (cumulative) have been
+  /// parked behind an active partition — a condition wait on the pump, so a
+  /// heal can be scheduled after the cut provably touched live traffic
+  /// instead of after a wall-clock guess. False on timeout or when fault
+  /// injection is off.
+  bool AwaitPartitionHolds(int64_t n, int timeout_ms);
 
   /// Simulates the death of a node's endpoints: closes and unregisters every
   /// mailbox at `node` with port in [min_port, max_port), so blocked
@@ -250,6 +281,13 @@ class MessageBus {
   /// Copies the routing state for `message` under the bus lock.
   Status Route(const Message& message, std::shared_ptr<Mailbox>* mailbox,
                std::shared_ptr<RateLimiter>* limiter) const;
+  /// True when `node`'s mailboxes are hosted by another process.
+  bool IsWireRemote(int node) const {
+    return transport_ != nullptr && !transport_->IsLocal(node);
+  }
+  /// Serializes one unbatched message and ships it via the transport
+  /// (accounting + rate limit identical to SendDirect's remote path).
+  Status SendViaTransport(Message message, std::shared_ptr<RateLimiter> limiter);
   /// Inline delivery (no batching, or local traffic).
   Status SendDirect(Message message, std::shared_ptr<Mailbox> mailbox,
                     std::shared_ptr<RateLimiter> limiter);
@@ -282,6 +320,16 @@ class MessageBus {
   std::atomic<bool> link_stats_enabled_{false};
   std::vector<std::unique_ptr<LinkCell>> link_cells_;  // n*n, row-major by src
   std::chrono::steady_clock::time_point link_stats_since_;
+
+  // Frame carrier for cross-process destinations (set once by
+  // AttachTransport, then immutable). The wire sequencer stamps every
+  // outbound remote data message; the wire reorder buffer restores
+  // exactly-once FIFO per stream on ingress (real sockets — and the lossy
+  // shim especially — can duplicate and reorder records).
+  std::shared_ptr<Transport> transport_;
+  std::unique_ptr<StreamSequencer> wire_sequencer_;
+  std::unique_ptr<FaultCounters> wire_counters_;
+  std::unique_ptr<ReorderBuffer> wire_reorder_;
 
   // Fault fabric (set once by EnableFaultInjection, then immutable pointers).
   std::unique_ptr<FaultInjector> injector_;

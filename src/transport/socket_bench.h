@@ -1,0 +1,64 @@
+/// \file
+/// Live loopback socket-bandwidth probe for the bench harnesses.
+///
+/// The figure benches sweep *modeled* NIC bandwidths through the protocol
+/// simulator; this probe measures what the real socket transport actually
+/// moves between two processes' buses on this machine (loopback TCP or a
+/// Unix-domain socket), pumping raw-float wire frames through the same
+/// SocketTransport path the multi-process cluster uses. Benches run it when
+/// `--transport=tcp|unix` is given, print the measurement next to the
+/// modeled sweep, and record it into their BenchRecord so the perf
+/// trajectory gains a real-network datapoint (`BENCH_micro.json` carries
+/// both variants unconditionally).
+#ifndef POSEIDON_SRC_TRANSPORT_SOCKET_BENCH_H_
+#define POSEIDON_SRC_TRANSPORT_SOCKET_BENCH_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace poseidon {
+
+struct SocketBandwidthOptions {
+  /// AF_UNIX stream sockets instead of loopback TCP.
+  bool unix_sockets = false;
+  /// Floats per frame (1 << 18 = 1 MiB payload, a large dense layer chunk).
+  int64_t payload_floats = 1 << 18;
+  /// Timed frames pumped sender -> receiver.
+  int frames = 48;
+  /// Untimed frames first (connection + slab warmup).
+  int warmup_frames = 8;
+};
+
+struct SocketBandwidthResult {
+  /// Training payload bits over the send-to-last-pop wall-clock window.
+  double payload_gbps = 0.0;
+  /// Same window counted in actual stream bytes (wire frame headers + the
+  /// 8-byte record header included).
+  double wire_gbps = 0.0;
+  int64_t payload_bytes = 0;
+  int64_t wire_bytes = 0;
+  double seconds = 0.0;
+};
+
+/// Stands up a two-process SocketTransport pair on this host, streams
+/// `frames` raw-float kGradPush frames through it, and reports the achieved
+/// bandwidth. Every byte crosses a real socket (the two buses live in one
+/// process, but node 0 -> node 1 is never local to either transport).
+StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
+    const SocketBandwidthOptions& options);
+
+struct BenchArgs;
+class BenchRecord;
+
+/// Bench-harness convenience: no-op (returns 0) unless the user passed
+/// `--transport=tcp|unix`; otherwise runs the probe for that backend, prints
+/// the measurement, appends `socket_payload_gbps` / `socket_wire_gbps` to
+/// `record`, and returns the payload Gb/s so the caller can sweep it as an
+/// extra bandwidth point. Probe failures warn and return 0 — the modeled
+/// sweep outranks the live datapoint.
+double MeasureTransportForBench(const BenchArgs& args, BenchRecord* record);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TRANSPORT_SOCKET_BENCH_H_

@@ -1,0 +1,91 @@
+/// \file
+/// Byte-exact serialization of wire messages: the docs/WIRE_FORMAT.md frames
+/// become real bytes here, and the socket transport ships them verbatim.
+///
+/// Layout invariant: an encoded message frame is exactly
+/// `Message::WireBytes()` bytes (32-byte frame header + per chunk a 16-byte
+/// chunk header + 4 bytes per payload word), and an encoded batch frame is
+/// exactly `kWireFrameBytes + sum(kBatchEntryHeaderBytes +
+/// entry.PayloadBytes())` bytes — the traffic accounting the bus, the cost
+/// model and the benches have always charged is the truth on the wire, not an
+/// approximation. tests/wire_conformance_test.cc pins the exact bytes with a
+/// committed golden fixture.
+///
+/// Message frame header (32 bytes, little-endian):
+///   [0]  u8  type          MessageType
+///   [1]  u8  codec         WireCodec
+///   [2]  u16 num_chunks
+///   [4]  i16 from_node
+///   [6]  i16 to_node
+///   [8]  i32 from_port
+///   [12] i32 to_port
+///   [16] i16 layer
+///   [18] i16 worker
+///   [20] i16 step
+///   [22] u16 flags         (reserved, 0)
+///   [24] i32 iter
+///   [28] i32 seq           (-1 = unsequenced)
+/// Chunk header (16 bytes): i64 float offset, i64 length in words; followed
+/// by length*4 payload bytes (float words copied bit-exactly, so bit-cast
+/// codec headers and 1-bit sign words survive).
+///
+/// Batch frame: the same 32-byte header with type = kWireBatchType (0xFF),
+/// from/to ports zero, num_chunks = entry count, iter shared; then per entry
+/// a packed 12-byte header (three u32 words — port spaces, type, codec,
+/// chunk count, layer, worker, step, seq; see PackedEntry in wire_format.cc)
+/// followed by the entry's chunk headers and payload words. The packed
+/// header is why a batched logical message costs kBatchEntryHeaderBytes = 12
+/// instead of a full frame header; its field ranges (layer <= 1021,
+/// worker <= 61, step <= 125, 1023 chunks, seq <= 2^25 - 2) are CHECKed at
+/// encode.
+///
+/// `Message::send_ns` never crosses the wire: it is a per-process
+/// steady-clock stamp, meaningless on another machine. The receiving bus
+/// restamps it on ingress so delivery latency is measured entirely on the
+/// receiver's clock (see MessageBus::DeliverWire).
+///
+/// Below the frame layer the socket stream carries 8-byte records
+/// ([u32 body length][u8 version][u8 kind][u16 src process]); that record
+/// header is transport overhead, excluded from the accounted wire bytes the
+/// same way an Ethernet preamble would be (see docs/TRANSPORT.md).
+#ifndef POSEIDON_SRC_TRANSPORT_WIRE_FORMAT_H_
+#define POSEIDON_SRC_TRANSPORT_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/transport/message.h"
+
+namespace poseidon {
+
+/// On-wire `type` byte marking a batched frame (plain messages use their
+/// MessageType value, all of which are < 0x80).
+inline constexpr uint8_t kWireBatchType = 0xFF;
+
+/// Serializes one message into an exact docs/WIRE_FORMAT.md frame. The
+/// result has size `message.WireBytes()`. CHECKs that header fields fit
+/// their wire widths (node/layer/worker/step in 16 bits, iter/seq in 32).
+std::vector<uint8_t> EncodeMessageFrame(const Message& message);
+
+/// Serializes a batch of same-(from node, to node, iter) messages into one
+/// batched frame: shared 32-byte header + per entry a packed 12-byte entry
+/// header + chunk headers + payload words. CHECKs the shared-field
+/// invariant and the packed-field ranges.
+std::vector<uint8_t> EncodeBatchFrame(const std::vector<Message>& entries);
+
+/// Decodes one frame (message or batch) into logical messages, in entry
+/// order. Payload words land in one fresh slab per frame; every chunk view
+/// aliases it (zero-copy fan-out on the receive side). Returns
+/// InvalidArgument/OutOfRange on truncated or malformed input — wire bytes
+/// must never crash a receiver.
+Status DecodeWireFrame(const uint8_t* data, int64_t size,
+                       std::vector<Message>* out);
+
+/// True when the frame bytes are a batched frame (size >= 1 and the type
+/// byte is kWireBatchType).
+bool IsBatchFrame(const uint8_t* data, int64_t size);
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_TRANSPORT_WIRE_FORMAT_H_

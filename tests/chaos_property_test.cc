@@ -15,6 +15,7 @@
 
 #include "src/poseidon/trainer.h"
 #include "tests/testing/harness.h"
+#include "tests/testing/socket_cluster.h"
 
 namespace poseidon {
 namespace {
@@ -106,6 +107,60 @@ TEST(ChaosPropertyTest, DropsWithRetransmitConvergeToTheCleanParameters) {
   }
 }
 
+// ------------------------------------------------------- socket backend ----
+// The same trajectory invariants with the weather injected by the *socket*
+// backend: cluster members run as threads but every remote byte crosses a
+// real loopback socket, and the lossy shim drops/duplicates/delays whole
+// records. The wire reorder buffer — not the in-process fault pump — is the
+// machinery under test.
+
+TEST(ChaosPropertyTest, SocketBackendBitwiseIdenticalUnderRecordWeather) {
+  testing::SocketClusterOptions base;  // 2 workers / 2 servers / 2 shards, BSP
+  base.iterations = kIters;
+  const Trajectory clean = CaptureTrajectory(
+      SmallTrainerOptions(base.workers, base.servers, base.shards,
+                          base.staleness, base.policy),
+      kIters, base.hidden_layers);
+  for (uint64_t seed : ChaosSeeds(2)) {
+    SCOPED_TRACE(SeedTrace(seed));
+    testing::SocketClusterOptions options = base;
+    options.shim.seed = seed;
+    options.shim.duplicate_prob = 0.10;
+    options.shim.delay_prob = 0.25;
+    options.shim.delay_min_us = 10;
+    options.shim.delay_max_us = 400;
+    const testing::SocketClusterRun run = testing::RunSocketCluster(options);
+    EXPECT_GT(run.shim.duplicates, 0) << "no duplicates injected; vacuous run";
+    EXPECT_GT(run.shim.delays, 0) << "no delays injected; vacuous run";
+    EXPECT_GT(run.wire.deduped, 0)
+        << "duplicates never reached the wire dedup layer";
+    EXPECT_TRUE(run.trajectory == clean)
+        << "record weather changed the socket-cluster trajectory; "
+        << FormatFaultCounters(run.shim);
+  }
+}
+
+TEST(ChaosPropertyTest, SocketBackendDropsConvergeToTheCleanParameters) {
+  testing::SocketClusterOptions base;
+  base.iterations = kIters;
+  const Trajectory clean = CaptureTrajectory(
+      SmallTrainerOptions(base.workers, base.servers, base.shards,
+                          base.staleness, base.policy),
+      kIters, base.hidden_layers);
+  for (uint64_t seed : ChaosSeeds(2)) {
+    SCOPED_TRACE(SeedTrace(seed));
+    testing::SocketClusterOptions options = base;
+    options.shim.seed = seed;
+    options.shim.drop_prob = 0.05;
+    options.shim.retransmit_timeout_us = 100;
+    const testing::SocketClusterRun run = testing::RunSocketCluster(options);
+    EXPECT_GT(run.shim.drops, 0) << "no losses injected; vacuous run";
+    EXPECT_GE(run.shim.retransmits, run.shim.drops);
+    EXPECT_EQ(run.trajectory.final_params, clean.final_params)
+        << FormatFaultCounters(run.shim);
+  }
+}
+
 TEST(ChaosPropertyTest, PartitionStallsThenHealsWithoutDivergence) {
   // Cut worker/server node 1 off from node 0 mid-run; the link layer parks
   // traffic, BSP stalls, and on heal the run completes on the clean
@@ -118,9 +173,10 @@ TEST(ChaosPropertyTest, PartitionStallsThenHealsWithoutDivergence) {
   PoseidonTrainer trainer(testing::TinyMlpFactory(), options);
   trainer.bus().Partition(0, 1);
   std::thread healer([&trainer] {
-    // Event injection (not a synchronization wait): any duration works, the
-    // cluster simply stalls until the heal lands.
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // Heal only after the cut provably parked live traffic (condition wait
+    // on the pump): the test can neither race the first hold nor be vacuous.
+    EXPECT_TRUE(trainer.bus().AwaitPartitionHolds(1, /*timeout_ms=*/20000))
+        << "partitioned traffic never reached the fabric";
     trainer.bus().HealPartitions();
   });
   trainer.Train(dataset, kIters);

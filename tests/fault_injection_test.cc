@@ -1,14 +1,20 @@
 // Unit tests for the transport fault fabric: deterministic fault decisions,
 // the sequencer/reorder correctness layer, and bus-level delivery under
-// drops, duplicates, delays, partitions and endpoint death.
+// drops, duplicates, delays, partitions and endpoint death — on both
+// backends. The in-process fabric (EnableFaultInjection) and the socket
+// transport's record-level shim inject the same weather through different
+// machinery; the SocketBackend tests at the bottom re-prove the dedup /
+// in-order / retransmit-on-drop properties over real loopback sockets.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "src/transport/bus.h"
 #include "src/transport/fault_injector.h"
 #include "src/transport/sequencer.h"
 #include "tests/testing/harness.h"
+#include "tests/testing/socket_pair.h"
 
 namespace poseidon {
 namespace {
@@ -253,6 +259,82 @@ TEST(FaultyBusTest, ShutdownBypassesTheFaultFabric) {
   auto received = mailbox->TryPop();
   ASSERT_TRUE(received.has_value());
   EXPECT_EQ(received->type, MessageType::kShutdown);
+}
+
+// ------------------------------------------------------- socket backend ----
+// The same properties as the FaultyBusTest suite, but injected by the
+// socket transport's record-level shim and repaired by the receiving bus's
+// wire reorder buffer. Each test pops every message (blocking: delivery is
+// eventual), then uses a stream barrier before reading counters so late
+// duplicates and retransmissions have definitely been processed.
+
+TEST(SocketBackendFaultTest, DuplicatesAreInjectedAndDeduplicated) {
+  FaultPlan shim;
+  shim.seed = 5;
+  shim.duplicate_prob = 1.0;
+  testing::SocketBusPair pair(/*unix_sockets=*/false, shim);
+  auto mailbox = pair.bus(1).Register(Address{1, kServerPort});
+
+  const int kMessages = 20;
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_TRUE(pair.bus(0).Send(MakeMessage(0, 1, /*seq=*/-1, /*layer=*/i)).ok());
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    std::optional<Message> received = mailbox->Pop();
+    ASSERT_TRUE(received.has_value()) << "message " << i << " missing";
+    EXPECT_EQ(received->layer, i);
+    EXPECT_EQ(received->seq, i);  // the bus sequenced the wire stream
+  }
+  pair.Barrier(0, 1);
+  const FaultCountersSnapshot shim_counters = pair.transport(0).ShimCounters();
+  EXPECT_EQ(shim_counters.duplicates, kMessages);
+  EXPECT_EQ(pair.bus(1).WireCounters().deduped, kMessages);
+  EXPECT_FALSE(mailbox->TryPop().has_value()) << "a duplicate leaked through";
+}
+
+TEST(SocketBackendFaultTest, DropsAreRetransmittedUntilDelivered) {
+  FaultPlan shim;
+  shim.seed = 11;
+  shim.drop_prob = 0.5;
+  shim.retransmit_timeout_us = 50;
+  testing::SocketBusPair pair(/*unix_sockets=*/false, shim);
+  auto mailbox = pair.bus(1).Register(Address{1, kServerPort});
+
+  const int kMessages = 50;
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_TRUE(pair.bus(0).Send(MakeMessage(0, 1, /*seq=*/-1, /*layer=*/i)).ok());
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    std::optional<Message> received = mailbox->Pop();
+    ASSERT_TRUE(received.has_value()) << "message " << i << " lost for good";
+    EXPECT_EQ(received->layer, i) << "stream order broken";
+  }
+  pair.Barrier(0, 1);
+  const FaultCountersSnapshot shim_counters = pair.transport(0).ShimCounters();
+  EXPECT_GT(shim_counters.drops, 0);
+  EXPECT_GE(shim_counters.retransmits, shim_counters.drops);
+}
+
+TEST(SocketBackendFaultTest, DelayedStreamStillArrivesInOrder) {
+  FaultPlan shim;
+  shim.seed = 23;
+  shim.delay_prob = 0.7;
+  shim.delay_min_us = 10;
+  shim.delay_max_us = 2000;
+  testing::SocketBusPair pair(/*unix_sockets=*/false, shim);
+  auto mailbox = pair.bus(1).Register(Address{1, kServerPort});
+
+  const int kMessages = 50;
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_TRUE(pair.bus(0).Send(MakeMessage(0, 1, /*seq=*/-1, /*layer=*/i)).ok());
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    std::optional<Message> received = mailbox->Pop();
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(received->layer, i) << "per-stream FIFO violated";
+  }
+  pair.Barrier(0, 1);
+  EXPECT_GT(pair.transport(0).ShimCounters().delays, 0);
 }
 
 TEST(FaultyBusTest, CloseEndpointsWakesReceiversAndAllowsReRegistration) {

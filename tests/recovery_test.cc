@@ -4,8 +4,11 @@
 // shard plus (under BSP) bitwise-correct final parameters.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -217,40 +220,66 @@ TEST(FailureDetectorTest, SuspectsSilentWorkerOncePerEpisode) {
   options.heartbeat_interval_ms = 5;
   options.suspect_after_ms = 60;
 
-  std::atomic<int> suspected_worker{-1};
-  std::atomic<int> callbacks{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  int suspected_worker = -1;
+  int callbacks = 0;
   FailureDetector detector(&bus, /*num_workers=*/2, options, [&](int w) {
-    suspected_worker.store(w);
-    callbacks.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      suspected_worker = w;
+      ++callbacks;
+    }
+    cv.notify_all();
   });
   detector.Start();
   HeartbeatTicker ticker0(0, &bus, options);
   HeartbeatTicker ticker1(1, &bus, options);
 
-  // Both beating: nobody suspected after a couple of deadlines.
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
-  EXPECT_EQ(callbacks.load(), 0);
+  // "A couple of suspicion deadlines elapsed" counted in completed detector
+  // scans rather than wall-clock sleeps, so a stalled CI box can never
+  // undercut the negative assertions below.
+  const int64_t scans_per_deadline =
+      options.suspect_after_ms / std::max(1, options.heartbeat_interval_ms / 2);
+  auto await_deadlines = [&](int n) {
+    return detector.AwaitScans(n * scans_per_deadline, /*timeout_ms=*/30000);
+  };
+
+  // Both beating: nobody suspected across a couple of deadlines.
+  ASSERT_TRUE(await_deadlines(2));
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(callbacks, 0);
+  }
 
   ticker1.Stop();  // worker 1 "dies"
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (callbacks.load() == 0 && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return callbacks > 0; }))
+        << "silent worker never suspected";
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_EQ(suspected_worker, 1);
   }
-  EXPECT_EQ(callbacks.load(), 1) << "silent worker never suspected";
-  EXPECT_EQ(suspected_worker.load(), 1);
   EXPECT_TRUE(detector.suspected(1));
   EXPECT_FALSE(detector.suspected(0)) << "live worker wrongly suspected";
 
   // Exactly one callback per episode, even while the worker stays dead.
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
-  EXPECT_EQ(callbacks.load(), 1);
+  ASSERT_TRUE(await_deadlines(2));
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(callbacks, 1);
+  }
 
   // Recovery: resume beats, clear the suspicion; no further callbacks.
   ticker1.Resume();
   detector.NotifyRecovered(1);
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(await_deadlines(2));
   EXPECT_FALSE(detector.suspected(1));
-  EXPECT_EQ(callbacks.load(), 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(callbacks, 1);
+  }
   EXPECT_EQ(detector.suspicions(1), 1);
 }
 

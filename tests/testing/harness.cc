@@ -3,43 +3,23 @@
 #include <cstdlib>
 
 #include "src/common/rng.h"
+#include "src/poseidon/workloads.h"
 
 namespace poseidon {
 namespace testing {
 
-SyntheticDataset TinyDataset() {
-  DatasetConfig data;
-  data.num_classes = 3;
-  data.channels = 1;
-  data.height = 8;
-  data.width = 8;
-  data.train_size = 96;
-  data.noise_stddev = 0.4f;
-  data.seed = 2024;
-  return SyntheticDataset(data);
-}
+// The canonical workload definitions moved to src/poseidon/workloads.{h,cc}
+// so tools/poseidon_launch trains the exact model the in-process oracle
+// trains; the harness keeps its historical entry points as delegates.
+SyntheticDataset TinyDataset() { return workloads::TinyDataset(); }
 
 NetworkFactory TinyMlpFactory(int hidden_layers) {
-  return [hidden_layers] {
-    Rng rng(13);
-    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/20, hidden_layers,
-                    /*classes=*/3, rng);
-  };
+  return workloads::TinyMlpFactory(hidden_layers);
 }
 
 TrainerOptions SmallTrainerOptions(int workers, int servers, int shards, int staleness,
                                    FcSyncPolicy policy) {
-  TrainerOptions options;
-  options.num_workers = workers;
-  options.num_servers = servers;
-  options.shards_per_server = shards;
-  options.staleness = staleness;
-  options.batch_per_worker = 6;
-  options.sgd = {.learning_rate = 0.05f, .momentum = 0.9f};
-  options.fc_policy = policy;
-  options.kv_pair_bytes = 256;
-  options.syncer_threads = 2;
-  return options;
+  return workloads::SmallTrainerOptions(workers, servers, shards, staleness, policy);
 }
 
 ClusterInfo SmallClusterInfo(int workers, int servers, int batch, int64_t kv_bytes) {

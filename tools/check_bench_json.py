@@ -29,6 +29,8 @@ MICRO_REQUIRED = {
     "wire_sfb_copies_per_iter": 0.0,
     "wire_onebit_floats_per_iter": 0.0,
     "wire_onebit_copies_per_iter": 0.0,
+    "socket_tcp_gbps": 0.0,
+    "socket_unix_gbps": 0.0,
     "disabled_span_ns": 0.0,
     "telemetry_overhead_frac": -1.0,
 }
