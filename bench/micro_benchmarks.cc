@@ -10,6 +10,7 @@
 
 #include "src/common/cli.h"
 #include "src/common/rng.h"
+#include "src/simd/vec.h"
 #include "src/stats/bench_record.h"
 #include "src/stats/stopwatch.h"
 #include "src/stats/trace.h"
@@ -297,8 +298,18 @@ BENCHMARK(BM_CodecOneBitRoundTrip);
 // on the hot path (and re-enabling the tracer resets its clock epoch).
 
 // Runs `fn` in small batches until ~20ms have elapsed; returns ns per call.
+// A ~2ms untimed warmup runs first: the first calls through a fresh slab
+// fault in pages and miss cold caches, which used to put ~2x run-to-run
+// variance on the short raw-encode series. Warming until the allocator's
+// slab pages are touched makes the timed section measure steady state.
 template <typename Fn>
 double NsPerCall(Fn&& fn) {
+  {
+    Stopwatch warmup;
+    do {
+      fn();
+    } while (warmup.ElapsedNs() < 2 * 1000 * 1000);
+  }
   Stopwatch watch;
   int64_t calls = 0;
   do {
@@ -308,6 +319,77 @@ double NsPerCall(Fn&& fn) {
     calls += 8;
   } while (watch.ElapsedNs() < 20 * 1000 * 1000);
   return static_cast<double>(watch.ElapsedNs()) / static_cast<double>(calls);
+}
+
+// ------------------------------------------------------------- roofline ----
+//
+// SIMD roofline section (docs/PERFORMANCE.md): the same hot kernels timed
+// under pinned scalar dispatch and under the best available SIMD level, plus
+// a streaming memory-bandwidth measurement that bounds what any bandwidth-
+// limited kernel can reach. Emitted series:
+//   onebit_roundtrip_floats_per_s_{scalar,simd}   codec round trip
+//   ring_reduce_floats_per_s_{scalar,simd}        collective accumulate loop
+//   mem_bw_gbps                                   large-buffer copy bandwidth
+// When the host has no SIMD backend (meta simd_available = 0) the _simd
+// series repeat the scalar numbers so the required-series contract holds;
+// the CI ratio gate skips itself in that case (tools/check_bench_json.py).
+void RecordRoofline(BenchRecord* record) {
+  const simd::Level best = simd::BestLevel();
+  const bool simd_available = best != simd::Level::kScalar;
+  record->SetMeta("simd_available", simd_available ? 1.0 : 0.0);
+  record->SetMeta("simd_best_level", simd::LevelName(best));
+
+  Rng rng(17);
+  Tensor onebit_grad = Tensor::RandomUniform({256, 256}, -1.0f, 1.0f, rng);
+  Tensor onebit_out;
+  // Ring reduce working set: one collective chunk's worth of floats, sized
+  // to live in cache so the scalar/simd contrast measures compute, not DRAM.
+  const int64_t reduce_n = 64 * 1024;
+  std::vector<float> reduce_dst(static_cast<size_t>(reduce_n), 0.5f);
+  std::vector<float> reduce_src(static_cast<size_t>(reduce_n), 0.25f);
+
+  for (const bool use_simd : {false, true}) {
+    const simd::ScopedLevel pinned(use_simd ? best : simd::Level::kScalar);
+    const char* suffix = use_simd ? "simd" : "scalar";
+    OneBitQuantizer quantizer;
+    for (int rep = 0; rep < 3; ++rep) {
+      const double onebit_ns = NsPerCall([&] {
+        Payload frame = OneBitCodec::Encode(onebit_grad, &quantizer, nullptr, 0);
+        benchmark::DoNotOptimize(OneBitCodec::DecodeDense(frame.View(), &onebit_out));
+      });
+      record->Append(std::string("onebit_roundtrip_floats_per_s_") + suffix,
+                     1e9 * (256.0 * 256.0) / onebit_ns);
+      const double reduce_ns = NsPerCall([&] {
+        simd::ReduceAdd(reduce_dst.data(), reduce_src.data(), reduce_n);
+        benchmark::DoNotOptimize(reduce_dst.data());
+      });
+      record->Append(std::string("ring_reduce_floats_per_s_") + suffix,
+                     1e9 * static_cast<double>(reduce_n) / reduce_ns);
+    }
+  }
+
+  // Streaming bandwidth: copy a buffer much larger than the last-level
+  // cache; each call moves the bytes twice (read + write).
+  const int64_t bw_floats = 16 * 1024 * 1024;
+  std::vector<float> bw_src(static_cast<size_t>(bw_floats), 1.0f);
+  std::vector<float> bw_dst(static_cast<size_t>(bw_floats), 0.0f);
+  for (int rep = 0; rep < 3; ++rep) {
+    const double copy_ns = NsPerCall([&] {
+      std::memcpy(bw_dst.data(), bw_src.data(),
+                  static_cast<size_t>(bw_floats) * sizeof(float));
+      benchmark::DoNotOptimize(bw_dst.data());
+    });
+    record->Append("mem_bw_gbps",
+                   8.0 * 2.0 * static_cast<double>(bw_floats) * 4.0 / copy_ns);
+  }
+
+  const double scalar =
+      record->Series("onebit_roundtrip_floats_per_s_scalar").front();
+  const double vec = record->Series("onebit_roundtrip_floats_per_s_simd").front();
+  std::printf("roofline: onebit %s %.0fM floats/s vs scalar %.0fM floats/s "
+              "(%.1fx), mem_bw %.1f Gb/s\n",
+              simd::LevelName(best), vec / 1e6, scalar / 1e6, vec / scalar,
+              record->Series("mem_bw_gbps").front());
 }
 
 void RecordWirePath(const char* prefix, FcSyncPolicy policy, int hidden_layers,
@@ -360,6 +442,9 @@ bool SelfCheckAndRecord(BenchRecord* record) {
     });
     record->Append("onebit_roundtrip_floats_per_s", 1e9 * (256.0 * 256.0) / onebit_ns);
   }
+
+  // SIMD roofline: scalar-vs-dispatched kernel throughput + memory bandwidth.
+  RecordRoofline(record);
 
   // Wire-path staging-copy counts per training iteration, per scheme.
   RecordWirePath("wire_ps", FcSyncPolicy::kDense, /*hidden_layers=*/18, record);
@@ -440,7 +525,14 @@ int main(int argc, char** argv) {
       }
       return v;
     };
-    if (arg.rfind("--json-out", 0) == 0) {
+    if (arg.rfind("--simd", 0) == 0) {
+      args.simd = value_of("--simd");
+      if (!poseidon::simd::SetLevelFromString(args.simd)) {
+        std::fprintf(stderr, "invalid --simd value: '%s' (auto|avx2|neon|scalar)\n",
+                     args.simd.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--json-out", 0) == 0) {
       args.json_out = value_of("--json-out");
     } else if (arg.rfind("--trace-out", 0) == 0) {
       args.trace_out = value_of("--trace-out");

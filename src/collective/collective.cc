@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/simd/vec.h"
 #include "src/stats/trace.h"
 
 namespace poseidon {
@@ -109,9 +110,7 @@ void CollectiveComm::FinishRing() {
       // Reduce-scatter: fold the incoming partial sum with the local chunk.
       // The accumulation for chunk c runs along the ring starting at rank c,
       // so every rank observes the identical association order.
-      for (int64_t i = 0; i < range.length; ++i) {
-        local[i] += incoming[i];
-      }
+      simd::ReduceAdd(local, incoming, range.length);
     } else {
       // All-gather: adopt the fully reduced chunk.
       std::copy(incoming, incoming + range.length, local);
@@ -151,10 +150,7 @@ void CollectiveComm::FinishTree() {
     for (const PayloadView& view : arrived) {
       CHECK(view.valid());
       CHECK_EQ(view.size(), total);
-      const float* incoming = view.data();
-      for (int64_t i = 0; i < total; ++i) {
-        data[static_cast<size_t>(i)] += incoming[i];
-      }
+      simd::ReduceAdd(data.data(), view.data(), total);
     }
     if (rank_ != 0) {
       SendHop(TreeParent(rank_), kTreeReduceStep, 0, data.data(), total);

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/simd/vec.h"
 #include "src/stats/bench_record.h"
 #include "src/stats/metrics.h"
 #include "src/stats/trace.h"
@@ -53,6 +54,8 @@ void Usage(const char* argv0) {
       "  --fault-loss=P1,P2,...     per-message loss rates to sweep\n"
       "  --fault-detect-ms=D1,...   failure-detection timeouts to sweep (ms)\n"
       "  --fault-restart-ms=R1,...  worker restart costs to sweep (ms)\n"
+      "  --simd=auto|avx2|neon|scalar  SIMD dispatch level for the hot\n"
+      "           kernels (default: POSEIDON_SIMD env, else CPUID)\n"
       "  --json-out=PATH      write the bench result record as JSON\n"
       "  --trace-out=PATH     enable span tracing; export Chrome trace JSON\n"
       "  --metrics-json=PATH  export the process metrics registry as JSON\n",
@@ -209,6 +212,13 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.fault_restart_ms =
           ParseList<double>("--fault-restart-ms", value_of("--fault-restart-ms"),
                             [](const char* s, char** e) { return std::strtod(s, e); });
+    } else if (arg.rfind("--simd", 0) == 0) {
+      args.simd = value_of("--simd");
+      if (!simd::SetLevelFromString(args.simd)) {
+        std::fprintf(stderr, "invalid --simd value: '%s' (auto|avx2|neon|scalar)\n",
+                     args.simd.c_str());
+        std::exit(2);
+      }
     } else if (arg.rfind("--json-out", 0) == 0) {
       args.json_out = value_of("--json-out");
     } else if (arg.rfind("--trace-out", 0) == 0) {

@@ -15,6 +15,8 @@
 //                   benches; the modeled link layer retransmits)
 //   --fault-detect-ms=50,250    failure-detection timeouts to sweep, ms
 //   --fault-restart-ms=100,1000 worker restart/rehydrate costs to sweep, ms
+//   --simd=auto|avx2|neon|scalar  SIMD dispatch level for the hot kernels
+//                   (src/simd); same values as POSEIDON_SIMD, flag wins
 // Telemetry flags (every bench; see docs/OBSERVABILITY.md):
 //   --json-out=PATH      write the bench's BenchRecord result JSON to PATH
 //   --trace-out=PATH     enable the span tracer and export Chrome/Perfetto
@@ -50,6 +52,10 @@ struct BenchArgs {
   std::vector<double> fault_loss;
   std::vector<double> fault_detect_ms;
   std::vector<double> fault_restart_ms;
+  // --simd=auto|avx2|neon|scalar: pins the SIMD dispatch level before the
+  // bench runs (ParseBenchArgs applies it immediately). Empty = leave the
+  // POSEIDON_SIMD / CPUID-derived default in place.
+  std::string simd;
   // Telemetry sinks (empty = off); see InitBenchTelemetry/FinishBenchTelemetry.
   std::string json_out;
   std::string trace_out;

@@ -1,6 +1,7 @@
 #include "src/nn/sgd.h"
 
 #include "src/common/logging.h"
+#include "src/simd/vec.h"
 
 namespace poseidon {
 
@@ -24,10 +25,7 @@ void SgdOptimizer::StepSlice(const std::string& key, const float* grad, float* v
   const float lr = config_.learning_rate;
   const float mu = config_.momentum;
   const float wd = config_.weight_decay;
-  for (int64_t i = 0; i < len; ++i) {
-    v[i] = mu * v[i] + grad[i] + wd * value[i];
-    value[i] -= lr * v[i];
-  }
+  simd::SgdStep(v, value, grad, lr, mu, wd, len);
 }
 
 }  // namespace poseidon

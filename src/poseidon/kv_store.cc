@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/poseidon/flat_params.h"
+#include "src/simd/vec.h"
 #include "src/stats/trace.h"
 #include "src/tensor/ops.h"
 
@@ -187,15 +188,10 @@ void KvShard::ApplyDense(int layer, int64_t clock) {
     for (int w = 0; w < num_workers; ++w) {
       const PayloadView& contribution = pending->second[static_cast<size_t>(w)][p];
       CHECK_EQ(contribution.size(), static_cast<int64_t>(grad.size()));
-      const float* c = contribution.data();
-      for (size_t i = 0; i < grad.size(); ++i) {
-        grad[i] += c[i];
-      }
+      simd::ReduceAdd(grad.data(), contribution.data(), pair.info.length);
     }
     const float inv = 1.0f / static_cast<float>(num_workers);
-    for (float& g : grad) {
-      g *= inv;
-    }
+    simd::Scale(grad.data(), inv, pair.info.length);
     const std::string key =
         "l" + std::to_string(layer) + ".c" + std::to_string(pair.info.chunk);
     optimizer_.StepSlice(key, grad.data(), state.params.data() + pair.slab_offset,
@@ -357,16 +353,11 @@ void KvShard::ApplyOneBit(int layer, int64_t clock) {
     StatusOr<OneBitCodec::Frame> parsed = OneBitCodec::Parse(frame);
     CHECK(parsed.ok()) << parsed.status().ToString();
     CHECK_EQ(parsed->bias.size(), static_cast<int64_t>(bias_agg.size()));
-    const float* b = parsed->bias.data();
-    for (size_t i = 0; i < bias_agg.size(); ++i) {
-      bias_agg[i] += b[i];
-    }
+    simd::ReduceAdd(bias_agg.data(), parsed->bias.data(), state.rows);
   }
   const float inv = 1.0f / static_cast<float>(num_workers);
   Scale(inv, &agg);
-  for (float& b : bias_agg) {
-    b *= inv;
-  }
+  simd::Scale(bias_agg.data(), inv, state.rows);
   const std::string key = "l" + std::to_string(layer);
   optimizer_.StepSlice(key + ".w", agg.data(), state.value.data(), weight_floats);
   optimizer_.StepSlice(key + ".b", bias_agg.data(), state.value.data() + weight_floats,

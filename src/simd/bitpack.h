@@ -1,0 +1,45 @@
+/// \file
+/// Internal helpers shared by the simd backends: packing and unpacking 8
+/// consecutive row-major sign bits at an arbitrary bit offset in a uint32
+/// word array. Pure integer ops — identical on every backend by definition.
+#ifndef POSEIDON_SRC_SIMD_BITPACK_H_
+#define POSEIDON_SRC_SIMD_BITPACK_H_
+
+#include <cstdint>
+
+namespace poseidon {
+namespace simd {
+namespace internal {
+
+/// ORs the low 8 bits of `mask8` into `bits` at bit offset `flat`
+/// (bit i of mask8 lands at flat + i). The word array must be pre-zeroed and
+/// long enough to hold bit flat + 7; each bit is set at most once, so OR
+/// order never matters.
+inline void OrBits8(uint32_t* bits, int64_t flat, uint32_t mask8) {
+  const int64_t word = flat >> 5;
+  const int shift = static_cast<int>(flat & 31);
+  bits[word] |= mask8 << shift;
+  if (shift > 24) {
+    // The 8 bits straddle a word boundary; bit flat + 7 < total guarantees
+    // word + 1 is in range.
+    bits[word + 1] |= mask8 >> (32 - shift);
+  }
+}
+
+/// Reads the 8 consecutive bits starting at bit offset `flat`, as the low
+/// byte of the result (bit i of the result is bit flat + i).
+inline uint32_t LoadBits8(const uint32_t* bits, int64_t flat) {
+  const int64_t word = flat >> 5;
+  const int shift = static_cast<int>(flat & 31);
+  uint32_t out = bits[word] >> shift;
+  if (shift > 24) {
+    out |= bits[word + 1] << (32 - shift);
+  }
+  return out & 0xFFu;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_SIMD_BITPACK_H_

@@ -1,0 +1,229 @@
+// AVX2 backend: fixed 8-lane blocks, scalar tails, no FMA anywhere (vector
+// code composes explicit mul/add intrinsics; AVX2 does not imply FMA, and
+// this TU is additionally compiled with -ffp-contract=off), so every result
+// is bit-identical to the scalar reference in vec_scalar.cc.
+//
+// Functions carry __attribute__((target("avx2"))) instead of the TU being
+// built with -mavx2: the rest of the file (dispatch glue, tails) stays
+// baseline-ISA, and the binary runs on non-AVX2 machines as long as dispatch
+// never selects this backend.
+#include "src/simd/vec.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "src/simd/bitpack.h"
+
+namespace poseidon {
+namespace simd {
+namespace {
+
+#define POSEIDON_AVX2 __attribute__((target("avx2")))
+
+POSEIDON_AVX2 void Avx2ReduceAdd(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_loadu_ps(dst + i);
+    const __m256 s = _mm256_loadu_ps(src + i);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(d, s));
+  }
+  ScalarKernels()->reduce_add(dst + i, src + i, n - i);
+}
+
+POSEIDON_AVX2 void Avx2Scale(float* dst, float alpha, int64_t n) {
+  const __m256 a = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i), a));
+  }
+  ScalarKernels()->scale(dst + i, alpha, n - i);
+}
+
+POSEIDON_AVX2 void Avx2Axpy(float* y, float alpha, const float* x, int64_t n) {
+  const __m256 a = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 ax = _mm256_mul_ps(a, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), ax));
+  }
+  ScalarKernels()->axpy(y + i, alpha, x + i, n - i);
+}
+
+POSEIDON_AVX2 void Avx2SgdStep(float* v, float* value, const float* grad, float lr,
+                               float mu, float wd, int64_t n) {
+  const __m256 vmu = _mm256_set1_ps(mu);
+  const __m256 vwd = _mm256_set1_ps(wd);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vel = _mm256_loadu_ps(v + i);
+    const __m256 val = _mm256_loadu_ps(value + i);
+    const __m256 g = _mm256_loadu_ps(grad + i);
+    // (mu * v + g) + wd * value — the scalar expression's association.
+    const __m256 nv = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(vmu, vel), g),
+                                    _mm256_mul_ps(vwd, val));
+    _mm256_storeu_ps(v + i, nv);
+    _mm256_storeu_ps(value + i, _mm256_sub_ps(val, _mm256_mul_ps(vlr, nv)));
+  }
+  ScalarKernels()->sgd_step(v + i, value + i, grad + i, lr, mu, wd, n - i);
+}
+
+// Widens the low/high 4 float lanes of `mask` (all-ones or all-zeros per
+// lane) to 4 all-ones/all-zeros double lanes.
+POSEIDON_AVX2 inline __m256d MaskLoPd(__m256 mask) {
+  return _mm256_castsi256_pd(
+      _mm256_cvtepi32_epi64(_mm_castps_si128(_mm256_castps256_ps128(mask))));
+}
+POSEIDON_AVX2 inline __m256d MaskHiPd(__m256 mask) {
+  return _mm256_castsi256_pd(
+      _mm256_cvtepi32_epi64(_mm_castps_si128(_mm256_extractf128_ps(mask, 1))));
+}
+
+POSEIDON_AVX2 void Avx2OneBitEncodeStats(const float* grad, const float* residual,
+                                         int64_t rows, int64_t cols, uint32_t* bits,
+                                         double* pos_sum, double* neg_sum,
+                                         int32_t* pos_count, int32_t* neg_count) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256i ones = _mm256_set1_epi32(-1);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const int64_t flat = base + c;
+      const __m256 q = _mm256_add_ps(_mm256_loadu_ps(grad + flat),
+                                     _mm256_loadu_ps(residual + flat));
+      // Movemask-style sign extraction: lane compare q >= 0 (ordered, so a
+      // NaN classifies negative exactly like the scalar `q >= 0.0f`).
+      const __m256 mask = _mm256_cmp_ps(q, zero, _CMP_GE_OQ);
+      const uint32_t m8 = static_cast<uint32_t>(_mm256_movemask_ps(mask));
+      internal::OrBits8(bits, flat, m8);
+
+      // Per-column double accumulation: masked lanes contribute +0.0, which
+      // is bit-exact on these sums (see the scalar reference).
+      const __m256d qlo = _mm256_cvtps_pd(_mm256_castps256_ps128(q));
+      const __m256d qhi = _mm256_cvtps_pd(_mm256_extractf128_ps(q, 1));
+      const __m256d mlo = MaskLoPd(mask);
+      const __m256d mhi = MaskHiPd(mask);
+      _mm256_storeu_pd(pos_sum + c,
+                       _mm256_add_pd(_mm256_loadu_pd(pos_sum + c),
+                                     _mm256_and_pd(qlo, mlo)));
+      _mm256_storeu_pd(pos_sum + c + 4,
+                       _mm256_add_pd(_mm256_loadu_pd(pos_sum + c + 4),
+                                     _mm256_and_pd(qhi, mhi)));
+      _mm256_storeu_pd(neg_sum + c,
+                       _mm256_add_pd(_mm256_loadu_pd(neg_sum + c),
+                                     _mm256_andnot_pd(mlo, qlo)));
+      _mm256_storeu_pd(neg_sum + c + 4,
+                       _mm256_add_pd(_mm256_loadu_pd(neg_sum + c + 4),
+                                     _mm256_andnot_pd(mhi, qhi)));
+
+      // Counts: a set mask lane is integer -1, so subtracting the mask
+      // increments; the complement increments the negative count.
+      const __m256i maski = _mm256_castps_si256(mask);
+      __m256i* pc = reinterpret_cast<__m256i*>(pos_count + c);
+      __m256i* nc = reinterpret_cast<__m256i*>(neg_count + c);
+      _mm256_storeu_si256(
+          pc, _mm256_sub_epi32(_mm256_loadu_si256(pc), maski));
+      _mm256_storeu_si256(
+          nc, _mm256_sub_epi32(_mm256_loadu_si256(nc),
+                               _mm256_andnot_si256(maski, ones)));
+    }
+    // Scalar tail for the row's trailing columns (same expressions as the
+    // scalar reference; no multiplies, so contraction cannot differ).
+    for (; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const float q = grad[flat] + residual[flat];
+      const bool positive = q >= 0.0f;
+      if (positive) {
+        bits[flat >> 5] |= 1u << (flat & 31);
+      }
+      pos_sum[c] += positive ? static_cast<double>(q) : 0.0;
+      neg_sum[c] += positive ? 0.0 : static_cast<double>(q);
+      pos_count[c] += positive ? 1 : 0;
+      neg_count[c] += positive ? 0 : 1;
+    }
+  }
+}
+
+// Expands the low 8 bits of m8 into an 8-lane all-ones/all-zeros mask.
+POSEIDON_AVX2 inline __m256 Mask8ToLanes(uint32_t m8) {
+  const __m256i lane_bit = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256i v = _mm256_set1_epi32(static_cast<int>(m8));
+  return _mm256_castsi256_ps(
+      _mm256_cmpeq_epi32(_mm256_and_si256(v, lane_bit), lane_bit));
+}
+
+POSEIDON_AVX2 void Avx2OneBitResidualUpdate(const float* grad, int64_t rows,
+                                            int64_t cols, const uint32_t* bits,
+                                            const float* pos_level,
+                                            const float* neg_level, float* residual) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const int64_t flat = base + c;
+      const __m256 q = _mm256_add_ps(_mm256_loadu_ps(grad + flat),
+                                     _mm256_loadu_ps(residual + flat));
+      const __m256 mask = Mask8ToLanes(internal::LoadBits8(bits, flat));
+      const __m256 level = _mm256_blendv_ps(_mm256_loadu_ps(neg_level + c),
+                                            _mm256_loadu_ps(pos_level + c), mask);
+      _mm256_storeu_ps(residual + flat, _mm256_sub_ps(q, level));
+    }
+    for (; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const float q = grad[flat] + residual[flat];
+      const bool positive = (bits[flat >> 5] >> (flat & 31)) & 1u;
+      residual[flat] = q - (positive ? pos_level[c] : neg_level[c]);
+    }
+  }
+}
+
+POSEIDON_AVX2 void Avx2OneBitDecode(const uint32_t* bits, const float* pos_level,
+                                    const float* neg_level, int64_t rows,
+                                    int64_t cols, float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const int64_t flat = base + c;
+      const __m256 mask = Mask8ToLanes(internal::LoadBits8(bits, flat));
+      _mm256_storeu_ps(out + flat,
+                       _mm256_blendv_ps(_mm256_loadu_ps(neg_level + c),
+                                        _mm256_loadu_ps(pos_level + c), mask));
+    }
+    for (; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const bool positive = (bits[flat >> 5] >> (flat & 31)) & 1u;
+      out[flat] = positive ? pos_level[c] : neg_level[c];
+    }
+  }
+}
+
+#undef POSEIDON_AVX2
+
+const Kernels kAvx2Kernels = {
+    Level::kAvx2,           Avx2ReduceAdd,
+    Avx2Scale,              Avx2Axpy,
+    Avx2SgdStep,            Avx2OneBitEncodeStats,
+    Avx2OneBitResidualUpdate, Avx2OneBitDecode,
+};
+
+}  // namespace
+
+const Kernels* Avx2Kernels() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+}
+
+}  // namespace simd
+}  // namespace poseidon
+
+#else  // !x86
+
+namespace poseidon {
+namespace simd {
+const Kernels* Avx2Kernels() { return nullptr; }
+}  // namespace simd
+}  // namespace poseidon
+
+#endif

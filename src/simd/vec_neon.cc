@@ -1,0 +1,222 @@
+// NEON (AArch64) backend: the same fixed 8-wide blocks as AVX2, built from
+// two 4-lane halves. Never uses vmla/fmla (those fuse the multiply-add and
+// round once); every multiply-add is an explicit vmul + vadd so results are
+// bit-identical to the scalar reference. This TU is compiled with
+// -ffp-contract=off so its scalar tail expressions cannot contract either
+// (AArch64 scalar code otherwise fuses to fmadd freely).
+#include "src/simd/vec.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "src/simd/bitpack.h"
+
+namespace poseidon {
+namespace simd {
+namespace {
+
+void NeonReduceAdd(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), vld1q_f32(src + i)));
+    vst1q_f32(dst + i + 4, vaddq_f32(vld1q_f32(dst + i + 4), vld1q_f32(src + i + 4)));
+  }
+  ScalarKernels()->reduce_add(dst + i, src + i, n - i);
+}
+
+void NeonScale(float* dst, float alpha, int64_t n) {
+  const float32x4_t a = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vst1q_f32(dst + i, vmulq_f32(vld1q_f32(dst + i), a));
+    vst1q_f32(dst + i + 4, vmulq_f32(vld1q_f32(dst + i + 4), a));
+  }
+  ScalarKernels()->scale(dst + i, alpha, n - i);
+}
+
+void NeonAxpy(float* y, float alpha, const float* x, int64_t n) {
+  const float32x4_t a = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i), vmulq_f32(a, vld1q_f32(x + i))));
+    vst1q_f32(y + i + 4,
+              vaddq_f32(vld1q_f32(y + i + 4), vmulq_f32(a, vld1q_f32(x + i + 4))));
+  }
+  ScalarKernels()->axpy(y + i, alpha, x + i, n - i);
+}
+
+void NeonSgdStep(float* v, float* value, const float* grad, float lr, float mu,
+                 float wd, int64_t n) {
+  const float32x4_t vmu = vdupq_n_f32(mu);
+  const float32x4_t vwd = vdupq_n_f32(wd);
+  const float32x4_t vlr = vdupq_n_f32(lr);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int64_t h = i; h < i + 8; h += 4) {
+      const float32x4_t vel = vld1q_f32(v + h);
+      const float32x4_t val = vld1q_f32(value + h);
+      const float32x4_t g = vld1q_f32(grad + h);
+      // (mu * v + g) + wd * value — the scalar expression's association.
+      const float32x4_t nv =
+          vaddq_f32(vaddq_f32(vmulq_f32(vmu, vel), g), vmulq_f32(vwd, val));
+      vst1q_f32(v + h, nv);
+      vst1q_f32(value + h, vsubq_f32(val, vmulq_f32(vlr, nv)));
+    }
+  }
+  ScalarKernels()->sgd_step(v + i, value + i, grad + i, lr, mu, wd, n - i);
+}
+
+// Movemask emulation: 4 mask lanes (all-ones/all-zeros) -> 4 bits, using
+// per-lane bit weights and a horizontal add.
+inline uint32_t MoveMask4(uint32x4_t mask, uint32x4_t lane_bit) {
+  return vaddvq_u32(vandq_u32(mask, lane_bit));
+}
+
+void NeonOneBitEncodeStats(const float* grad, const float* residual, int64_t rows,
+                           int64_t cols, uint32_t* bits, double* pos_sum,
+                           double* neg_sum, int32_t* pos_count, int32_t* neg_count) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const uint32x4_t bit_lo = {1u, 2u, 4u, 8u};
+  const uint32x4_t bit_hi = {16u, 32u, 64u, 128u};
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const int64_t flat = base + c;
+      for (int half = 0; half < 2; ++half) {
+        const int64_t f = flat + 4 * half;
+        const int64_t col = c + 4 * half;
+        const float32x4_t q =
+            vaddq_f32(vld1q_f32(grad + f), vld1q_f32(residual + f));
+        // q >= 0 (NaN classifies negative, like the scalar compare).
+        const uint32x4_t mask = vcgeq_f32(q, zero);
+        const uint32_t m4 = MoveMask4(mask, half == 0 ? bit_lo : bit_hi) >>
+                            (half == 0 ? 0 : 4);
+        internal::OrBits8(bits, f, m4);
+
+        // Widen mask lanes to 64-bit all-ones via sign extension, then mask
+        // the double contributions to +-q or +0.0.
+        const int32x4_t maski = vreinterpretq_s32_u32(mask);
+        const int64x2_t m64_lo = vmovl_s32(vget_low_s32(maski));
+        const int64x2_t m64_hi = vmovl_s32(vget_high_s32(maski));
+        const float64x2_t q_lo = vcvt_f64_f32(vget_low_f32(q));
+        const float64x2_t q_hi = vcvt_high_f64_f32(q);
+        const int64x2_t qb_lo = vreinterpretq_s64_f64(q_lo);
+        const int64x2_t qb_hi = vreinterpretq_s64_f64(q_hi);
+        const float64x2_t pos_lo = vreinterpretq_f64_s64(vandq_s64(qb_lo, m64_lo));
+        const float64x2_t pos_hi = vreinterpretq_f64_s64(vandq_s64(qb_hi, m64_hi));
+        const float64x2_t neg_lo = vreinterpretq_f64_s64(vbicq_s64(qb_lo, m64_lo));
+        const float64x2_t neg_hi = vreinterpretq_f64_s64(vbicq_s64(qb_hi, m64_hi));
+        vst1q_f64(pos_sum + col, vaddq_f64(vld1q_f64(pos_sum + col), pos_lo));
+        vst1q_f64(pos_sum + col + 2, vaddq_f64(vld1q_f64(pos_sum + col + 2), pos_hi));
+        vst1q_f64(neg_sum + col, vaddq_f64(vld1q_f64(neg_sum + col), neg_lo));
+        vst1q_f64(neg_sum + col + 2, vaddq_f64(vld1q_f64(neg_sum + col + 2), neg_hi));
+
+        // Counts: a set mask lane is -1; subtracting increments.
+        const int32x4_t pc = vld1q_s32(pos_count + col);
+        const int32x4_t nc = vld1q_s32(neg_count + col);
+        vst1q_s32(pos_count + col, vsubq_s32(pc, maski));
+        vst1q_s32(neg_count + col,
+                  vsubq_s32(nc, vreinterpretq_s32_u32(vmvnq_u32(mask))));
+      }
+    }
+    for (; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const float q = grad[flat] + residual[flat];
+      const bool positive = q >= 0.0f;
+      if (positive) {
+        bits[flat >> 5] |= 1u << (flat & 31);
+      }
+      pos_sum[c] += positive ? static_cast<double>(q) : 0.0;
+      neg_sum[c] += positive ? 0.0 : static_cast<double>(q);
+      pos_count[c] += positive ? 1 : 0;
+      neg_count[c] += positive ? 0 : 1;
+    }
+  }
+}
+
+// Expands bits 0..3 (half 0) or 4..7 (half 1) of m8 into a 4-lane mask.
+inline uint32x4_t Mask8ToLanes4(uint32_t m8, int half) {
+  const uint32x4_t lane_bit =
+      half == 0 ? uint32x4_t{1u, 2u, 4u, 8u} : uint32x4_t{16u, 32u, 64u, 128u};
+  return vtstq_u32(vdupq_n_u32(m8), lane_bit);
+}
+
+void NeonOneBitResidualUpdate(const float* grad, int64_t rows, int64_t cols,
+                              const uint32_t* bits, const float* pos_level,
+                              const float* neg_level, float* residual) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const int64_t flat = base + c;
+      const uint32_t m8 = internal::LoadBits8(bits, flat);
+      for (int half = 0; half < 2; ++half) {
+        const int64_t f = flat + 4 * half;
+        const int64_t col = c + 4 * half;
+        const float32x4_t q =
+            vaddq_f32(vld1q_f32(grad + f), vld1q_f32(residual + f));
+        const float32x4_t level =
+            vbslq_f32(Mask8ToLanes4(m8, half), vld1q_f32(pos_level + col),
+                      vld1q_f32(neg_level + col));
+        vst1q_f32(residual + f, vsubq_f32(q, level));
+      }
+    }
+    for (; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const float q = grad[flat] + residual[flat];
+      const bool positive = (bits[flat >> 5] >> (flat & 31)) & 1u;
+      residual[flat] = q - (positive ? pos_level[c] : neg_level[c]);
+    }
+  }
+}
+
+void NeonOneBitDecode(const uint32_t* bits, const float* pos_level,
+                      const float* neg_level, int64_t rows, int64_t cols,
+                      float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    int64_t c = 0;
+    for (; c + 8 <= cols; c += 8) {
+      const int64_t flat = base + c;
+      const uint32_t m8 = internal::LoadBits8(bits, flat);
+      for (int half = 0; half < 2; ++half) {
+        const int64_t f = flat + 4 * half;
+        const int64_t col = c + 4 * half;
+        vst1q_f32(out + f, vbslq_f32(Mask8ToLanes4(m8, half),
+                                     vld1q_f32(pos_level + col),
+                                     vld1q_f32(neg_level + col)));
+      }
+    }
+    for (; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const bool positive = (bits[flat >> 5] >> (flat & 31)) & 1u;
+      out[flat] = positive ? pos_level[c] : neg_level[c];
+    }
+  }
+}
+
+const Kernels kNeonKernels = {
+    Level::kNeon,           NeonReduceAdd,
+    NeonScale,              NeonAxpy,
+    NeonSgdStep,            NeonOneBitEncodeStats,
+    NeonOneBitResidualUpdate, NeonOneBitDecode,
+};
+
+}  // namespace
+
+const Kernels* NeonKernels() { return &kNeonKernels; }
+
+}  // namespace simd
+}  // namespace poseidon
+
+#else  // !__aarch64__
+
+namespace poseidon {
+namespace simd {
+const Kernels* NeonKernels() { return nullptr; }
+}  // namespace simd
+}  // namespace poseidon
+
+#endif

@@ -1,0 +1,102 @@
+// The scalar reference backend. This translation unit defines the semantics
+// every vector backend must reproduce bit-for-bit; CMake compiles it with
+// -fno-tree-vectorize -ffp-contract=off so it stays an honest scalar
+// baseline (no autovectorization inflating the roofline denominator, no
+// fused multiply-adds changing rounding on FMA-capable ISAs).
+#include "src/simd/bitpack.h"
+#include "src/simd/vec.h"
+
+namespace poseidon {
+namespace simd {
+namespace {
+
+void ScalarReduceAdd(float* dst, const float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] += src[i];
+  }
+}
+
+void ScalarScale(float* dst, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] *= alpha;
+  }
+}
+
+void ScalarAxpy(float* y, float alpha, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void ScalarSgdStep(float* v, float* value, const float* grad, float lr, float mu,
+                   float wd, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    v[i] = (mu * v[i] + grad[i]) + wd * value[i];
+    value[i] -= lr * v[i];
+  }
+}
+
+void ScalarOneBitEncodeStats(const float* grad, const float* residual, int64_t rows,
+                             int64_t cols, uint32_t* bits, double* pos_sum,
+                             double* neg_sum, int32_t* pos_count,
+                             int32_t* neg_count) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const float q = grad[flat] + residual[flat];
+      const bool positive = q >= 0.0f;
+      if (positive) {
+        bits[flat >> 5] |= 1u << (flat & 31);
+      }
+      // Blended accumulation — the vector backends mask lanes to +0.0, and
+      // adding +0.0 to these sums is bit-exact (they can never be -0.0), so
+      // this matches both the lanes and the historical branchy loop.
+      pos_sum[c] += positive ? static_cast<double>(q) : 0.0;
+      neg_sum[c] += positive ? 0.0 : static_cast<double>(q);
+      pos_count[c] += positive ? 1 : 0;
+      neg_count[c] += positive ? 0 : 1;
+    }
+  }
+}
+
+void ScalarOneBitResidualUpdate(const float* grad, int64_t rows, int64_t cols,
+                                const uint32_t* bits, const float* pos_level,
+                                const float* neg_level, float* residual) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const float q = grad[flat] + residual[flat];
+      const bool positive = (bits[flat >> 5] >> (flat & 31)) & 1u;
+      residual[flat] = q - (positive ? pos_level[c] : neg_level[c]);
+    }
+  }
+}
+
+void ScalarOneBitDecode(const uint32_t* bits, const float* pos_level,
+                        const float* neg_level, int64_t rows, int64_t cols,
+                        float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t base = r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t flat = base + c;
+      const bool positive = (bits[flat >> 5] >> (flat & 31)) & 1u;
+      out[flat] = positive ? pos_level[c] : neg_level[c];
+    }
+  }
+}
+
+const Kernels kScalarKernels = {
+    Level::kScalar,          ScalarReduceAdd,
+    ScalarScale,             ScalarAxpy,
+    ScalarSgdStep,           ScalarOneBitEncodeStats,
+    ScalarOneBitResidualUpdate, ScalarOneBitDecode,
+};
+
+}  // namespace
+
+const Kernels* ScalarKernels() { return &kScalarKernels; }
+
+}  // namespace simd
+}  // namespace poseidon

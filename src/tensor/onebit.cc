@@ -1,6 +1,9 @@
 #include "src/tensor/onebit.h"
 
 #include <cmath>
+#include <vector>
+
+#include "src/simd/vec.h"
 
 namespace poseidon {
 
@@ -26,25 +29,17 @@ OneBitEncoded OneBitQuantizer::Encode(const Tensor& gradient) {
   encoded.positive_level.assign(static_cast<size_t>(cols), 0.0f);
   encoded.negative_level.assign(static_cast<size_t>(cols), 0.0f);
 
-  // Pass 1: effective values and per-column sums for each sign class.
+  // Pass 1 (simd kernel): sign extraction plus per-column sums and counts of
+  // each sign class for the effective values q = gradient + residual. The
+  // kernel accumulates each column strictly in row order, so its result is
+  // identical at every dispatch level.
   std::vector<double> pos_sum(static_cast<size_t>(cols), 0.0);
   std::vector<double> neg_sum(static_cast<size_t>(cols), 0.0);
-  std::vector<int64_t> pos_count(static_cast<size_t>(cols), 0);
-  std::vector<int64_t> neg_count(static_cast<size_t>(cols), 0);
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) {
-      const int64_t flat = r * cols + c;
-      const float q = gradient[flat] + residual_[flat];
-      if (q >= 0.0f) {
-        encoded.bits[static_cast<size_t>(flat / 32)] |= (1u << (flat % 32));
-        pos_sum[static_cast<size_t>(c)] += q;
-        ++pos_count[static_cast<size_t>(c)];
-      } else {
-        neg_sum[static_cast<size_t>(c)] += q;
-        ++neg_count[static_cast<size_t>(c)];
-      }
-    }
-  }
+  std::vector<int32_t> pos_count(static_cast<size_t>(cols), 0);
+  std::vector<int32_t> neg_count(static_cast<size_t>(cols), 0);
+  simd::OneBitEncodeStats(gradient.data(), residual_.data(), rows, cols,
+                          encoded.bits.data(), pos_sum.data(), neg_sum.data(),
+                          pos_count.data(), neg_count.data());
   for (int64_t c = 0; c < cols; ++c) {
     const size_t ci = static_cast<size_t>(c);
     encoded.positive_level[ci] =
@@ -53,30 +48,18 @@ OneBitEncoded OneBitQuantizer::Encode(const Tensor& gradient) {
         neg_count[ci] > 0 ? static_cast<float>(neg_sum[ci] / neg_count[ci]) : 0.0f;
   }
 
-  // Pass 2: new residual = effective value - reconstruction.
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t c = 0; c < cols; ++c) {
-      const int64_t flat = r * cols + c;
-      const float q = gradient[flat] + residual_[flat];
-      const bool positive = (encoded.bits[static_cast<size_t>(flat / 32)] >> (flat % 32)) & 1u;
-      const float recon = positive ? encoded.positive_level[static_cast<size_t>(c)]
-                                   : encoded.negative_level[static_cast<size_t>(c)];
-      residual_[flat] = q - recon;
-    }
-  }
+  // Pass 2 (simd kernel): new residual = effective value - reconstruction.
+  simd::OneBitResidualUpdate(gradient.data(), rows, cols, encoded.bits.data(),
+                             encoded.positive_level.data(),
+                             encoded.negative_level.data(), residual_.data());
   return encoded;
 }
 
 Tensor OneBitQuantizer::Decode(const OneBitEncoded& encoded) {
   Tensor out({encoded.rows, encoded.cols});
-  for (int64_t r = 0; r < encoded.rows; ++r) {
-    for (int64_t c = 0; c < encoded.cols; ++c) {
-      const int64_t flat = r * encoded.cols + c;
-      const bool positive = (encoded.bits[static_cast<size_t>(flat / 32)] >> (flat % 32)) & 1u;
-      out[flat] = positive ? encoded.positive_level[static_cast<size_t>(c)]
-                           : encoded.negative_level[static_cast<size_t>(c)];
-    }
-  }
+  simd::OneBitDecode(encoded.bits.data(), encoded.positive_level.data(),
+                     encoded.negative_level.data(), encoded.rows, encoded.cols,
+                     out.data());
   return out;
 }
 

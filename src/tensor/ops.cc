@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/simd/vec.h"
+
 namespace poseidon {
 namespace {
 
@@ -106,21 +108,10 @@ void GemmTransB(const Tensor& a, const Tensor& b, Tensor* out) {
 
 void Axpy(float alpha, const Tensor& x, Tensor* y) {
   CHECK(x.SameShape(*y));
-  const float* xd = x.data();
-  float* yd = y->data();
-  const int64_t n = x.size();
-  for (int64_t i = 0; i < n; ++i) {
-    yd[i] += alpha * xd[i];
-  }
+  simd::Axpy(y->data(), alpha, x.data(), x.size());
 }
 
-void Scale(float alpha, Tensor* y) {
-  float* yd = y->data();
-  const int64_t n = y->size();
-  for (int64_t i = 0; i < n; ++i) {
-    yd[i] *= alpha;
-  }
-}
+void Scale(float alpha, Tensor* y) { simd::Scale(y->data(), alpha, y->size()); }
 
 double SumSquares(const Tensor& x) {
   double acc = 0.0;
@@ -148,11 +139,10 @@ void AddRowVector(const Tensor& v, Tensor* m) {
   CHECK_EQ(v.dim(0), m->dim(1));
   const int64_t rows = m->dim(0);
   const int64_t cols = m->dim(1);
+  // Per-row simd::ReduceAdd keeps the per-element association identical to
+  // the historical scalar loop (row[c] += v[c], elementwise).
   for (int64_t r = 0; r < rows; ++r) {
-    float* row = m->data() + r * cols;
-    for (int64_t c = 0; c < cols; ++c) {
-      row[c] += v[c];
-    }
+    simd::ReduceAdd(m->data() + r * cols, v.data(), cols);
   }
 }
 
@@ -163,11 +153,10 @@ void SumRows(const Tensor& m, Tensor* v) {
   v->SetZero();
   const int64_t rows = m.dim(0);
   const int64_t cols = m.dim(1);
+  // Row-major accumulation in row order: each v[c] sees rows in the same
+  // sequence as the historical loop, so the sums are bitwise unchanged.
   for (int64_t r = 0; r < rows; ++r) {
-    const float* row = m.data() + r * cols;
-    for (int64_t c = 0; c < cols; ++c) {
-      (*v)[c] += row[c];
-    }
+    simd::ReduceAdd(v->data(), m.data() + r * cols, cols);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/simd/vec.h"
 #include "src/stats/trace.h"
 
 namespace poseidon {
@@ -176,16 +177,9 @@ Status OneBitCodec::DecodeDense(const PayloadView& frame, Tensor* out) {
     std::memcpy(bits.data(), f.words.data(), bits.size() * sizeof(uint32_t));
     WireCopyStats::Add(f.words.size());
   }
-  const float* positive = f.cols > 0 ? f.positive_level.data() : nullptr;
-  const float* negative = f.cols > 0 ? f.negative_level.data() : nullptr;
   *out = Tensor({f.rows, f.cols});
-  for (int64_t r = 0; r < f.rows; ++r) {
-    for (int64_t c = 0; c < f.cols; ++c) {
-      const int64_t flat = r * f.cols + c;
-      const bool is_positive = (bits[static_cast<size_t>(flat / 32)] >> (flat % 32)) & 1u;
-      (*out)[flat] = is_positive ? positive[c] : negative[c];
-    }
-  }
+  simd::OneBitDecode(bits.data(), f.positive_level.data(), f.negative_level.data(),
+                     f.rows, f.cols, out->data());
   return Status::Ok();
 }
 

@@ -1,5 +1,9 @@
 #include "src/transport/payload.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 #include "src/common/logging.h"
 #include "src/stats/metrics.h"
 
@@ -34,22 +38,41 @@ void WireCopyStats::Reset() {
   CopiesCounter().Reset();
 }
 
+namespace internal {
+
+AlignedSlab::AlignedSlab(int64_t floats) : size_(floats) {
+  CHECK_GE(floats, 0);
+  if (floats > 0) {
+    // aligned_alloc needs the byte count rounded up to a multiple of the
+    // alignment; the zero-fill covers the padding too so reads of the last
+    // partial cache line are defined.
+    const size_t bytes =
+        (static_cast<size_t>(floats) * sizeof(float) + Payload::kAlignment - 1) /
+        Payload::kAlignment * Payload::kAlignment;
+    data_ = static_cast<float*>(std::aligned_alloc(Payload::kAlignment, bytes));
+    CHECK_NOTNULL(data_);
+    std::memset(data_, 0, bytes);
+  }
+}
+
+AlignedSlab::~AlignedSlab() { std::free(data_); }
+
+}  // namespace internal
+
 Payload Payload::Allocate(int64_t floats) {
   CHECK_GE(floats, 0);
   Payload payload;
-  payload.slab_ = std::make_shared<std::vector<float>>(static_cast<size_t>(floats), 0.0f);
+  payload.slab_ = std::make_shared<internal::AlignedSlab>(floats);
   return payload;
 }
 
 Payload Payload::FromVector(std::vector<float> values) {
-  Payload payload;
-  payload.slab_ = std::make_shared<std::vector<float>>(std::move(values));
+  Payload payload = Allocate(static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), payload.slab_->data());
   return payload;
 }
 
-int64_t Payload::size() const {
-  return slab_ ? static_cast<int64_t>(slab_->size()) : 0;
-}
+int64_t Payload::size() const { return slab_ ? slab_->size() : 0; }
 
 float* Payload::data() {
   CHECK(valid());

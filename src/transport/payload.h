@@ -27,6 +27,33 @@ namespace poseidon {
 
 class PayloadView;
 
+namespace internal {
+
+/// The backing store of a Payload: a fixed-size float slab whose base
+/// address is 64-byte aligned (one cache line; also the widest vector
+/// register the SIMD kernels in src/simd use). Alignment is a performance
+/// property, not a correctness requirement — the kernels use unaligned
+/// loads — but aligned slabs keep 8-lane blocks from straddling cache
+/// lines on the wire staging path.
+class AlignedSlab {
+ public:
+  /// Allocates a zero-initialized slab of `floats` words.
+  explicit AlignedSlab(int64_t floats);
+  ~AlignedSlab();
+  AlignedSlab(const AlignedSlab&) = delete;
+  AlignedSlab& operator=(const AlignedSlab&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  int64_t size() const { return size_; }
+
+ private:
+  float* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace internal
+
 /// Process-wide counters of wire-path float staging copies. The zero-copy
 /// refactor's acceptance metric: every copy of gradient/parameter floats on
 /// the Move/Send/Receive path calls Add() once, so benches can report copies
@@ -53,9 +80,13 @@ class Payload {
  public:
   Payload() = default;
 
+  /// Slab base alignment in bytes. Payload::data() of a valid non-empty
+  /// payload is always aligned to this.
+  static constexpr int64_t kAlignment = 64;
+
   /// A fresh zero-initialized slab of `floats` words.
   static Payload Allocate(int64_t floats);
-  /// Wraps (moves) an existing vector into a slab without copying.
+  /// Copies an existing vector into a fresh aligned slab.
   static Payload FromVector(std::vector<float> values);
 
   bool valid() const { return slab_ != nullptr; }
@@ -75,7 +106,7 @@ class Payload {
   PayloadView View(int64_t offset, int64_t length) const;
 
  private:
-  std::shared_ptr<std::vector<float>> slab_;
+  std::shared_ptr<internal::AlignedSlab> slab_;
 };
 
 /// A read-only span into a Payload slab. Holds a reference on the slab, so a
@@ -97,7 +128,7 @@ class PayloadView {
 
  private:
   friend class Payload;
-  std::shared_ptr<const std::vector<float>> slab_;
+  std::shared_ptr<const internal::AlignedSlab> slab_;
   int64_t offset_ = 0;
   int64_t length_ = 0;
 };

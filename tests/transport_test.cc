@@ -27,6 +27,31 @@ Message MakeChunkMessage(int src, int dst, int port, int floats, int64_t iter = 
   return m;
 }
 
+TEST(PayloadTest, AllocatedSlabsAre64ByteAligned) {
+  // The SIMD wire kernels (src/simd) stream 8-lane blocks out of payload
+  // slabs; Payload::kAlignment guarantees block 0 never straddles a cache
+  // line. Odd sizes must not disturb the base alignment.
+  for (int64_t floats : {1, 7, 8, 9, 31, 32, 33, 1000, 4096}) {
+    Payload payload = Payload::Allocate(floats);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(payload.data()) %
+                  static_cast<uintptr_t>(Payload::kAlignment),
+              0u)
+        << "slab of " << floats << " floats is misaligned";
+  }
+}
+
+TEST(PayloadTest, FromVectorSlabsAre64ByteAligned) {
+  std::vector<float> values(37, 1.5f);
+  Payload payload = Payload::FromVector(values);
+  ASSERT_EQ(payload.size(), 37);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(payload.data()) %
+                static_cast<uintptr_t>(Payload::kAlignment),
+            0u);
+  for (int64_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(payload.data()[i], 1.5f);
+  }
+}
+
 TEST(BusTest, DeliversToRegisteredMailbox) {
   MessageBus bus(2);
   auto mailbox = bus.Register(Address{1, kServerPort});

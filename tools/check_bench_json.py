@@ -33,9 +33,23 @@ MICRO_REQUIRED = {
     "socket_unix_gbps": 0.0,
     "disabled_span_ns": 0.0,
     "telemetry_overhead_frac": -1.0,
+    # Roofline section (docs/PERFORMANCE.md): scalar-vs-dispatched kernel
+    # throughput plus the streaming-bandwidth ceiling.
+    "onebit_roundtrip_floats_per_s_scalar": 0.0,
+    "onebit_roundtrip_floats_per_s_simd": 0.0,
+    "ring_reduce_floats_per_s_scalar": 0.0,
+    "ring_reduce_floats_per_s_simd": 0.0,
+    "mem_bw_gbps": 0.0,
 }
 
 OVERHEAD_BUDGET = 0.02
+
+# Minimum speedup of the dispatched 1-bit round trip over the pinned-scalar
+# run, enforced only when the host actually has a SIMD backend (meta
+# simd_available). The kernels' headline case: anything under this means the
+# vector path quietly fell off (dispatch regression, scalar fallback, a
+# de-vectorized kernel) even if every series is still present.
+ONEBIT_SIMD_MIN_RATIO = 4.0
 
 
 def fail(path, message):
@@ -82,6 +96,19 @@ def check_file(path):
         if overhead and max(overhead) >= OVERHEAD_BUDGET:
             ok = fail(path, f"disabled-tracing overhead {max(overhead):.4f} "
                             f">= budget {OVERHEAD_BUDGET}")
+        meta = record.get("meta", {})
+        simd_available = meta.get("simd_available", 0)
+        scalar = series.get("onebit_roundtrip_floats_per_s_scalar") or []
+        simd = series.get("onebit_roundtrip_floats_per_s_simd") or []
+        if simd_available and scalar and simd:
+            ratio = max(simd) / max(scalar)
+            if ratio < ONEBIT_SIMD_MIN_RATIO:
+                ok = fail(path, f"onebit simd/scalar speedup {ratio:.2f}x is below "
+                                f"the {ONEBIT_SIMD_MIN_RATIO}x floor "
+                                f"(simd {max(simd):.3g}, scalar {max(scalar):.3g})")
+        elif not simd_available:
+            print(f"{path}: note: no SIMD backend on this host; "
+                  f"skipping the onebit speedup gate")
 
     if ok:
         print(f"{path}: ok ({bench}: {len(series)} series)")
