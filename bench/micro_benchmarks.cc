@@ -4,6 +4,7 @@
 // experiments and protocol simulations run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "src/common/rng.h"
 #include "src/simd/vec.h"
 #include "src/stats/bench_record.h"
+#include "src/stats/report.h"
 #include "src/stats/stopwatch.h"
 #include "src/stats/trace.h"
 #include "src/nn/builders.h"
@@ -408,6 +410,62 @@ void RecordWirePath(const char* prefix, FcSyncPolicy policy, int hidden_layers,
   }
 }
 
+// ------------------------------------------------- compression trajectory ----
+//
+// Bytes-vs-final-loss point for each PS wire codec (docs/COMPRESSION.md),
+// measured on a real seeded training run through the bus. Recorded series:
+//   ext_compression_{raw,fp16,int8,topk}_bytes_per_iter   bus egress bytes
+//   ext_compression_{raw,fp16,int8,topk}_final_loss       after 16 iters
+//   ext_compression_best_matched_reduction                see below
+// The headline number is the best byte reduction among codecs whose run is
+// "matched": it recovers at least 90% of the raw run's loss improvement.
+// The acceptance bar — and the CI gate in tools/check_bench_json.py — is a
+// >= 2x reduction at matched loss. bench_ext_compression sweeps the wider
+// grid; this section pins the tracked trajectory.
+bool RecordCompressionAblation(BenchRecord* record) {
+  const int iters = 16;
+  const double density = 0.25;
+  const CompressionAblationPoint raw =
+      RunCompressionAblation(PsCompressionPolicy::kNone, density, iters);
+  record->Append("ext_compression_raw_bytes_per_iter", raw.wire_bytes_per_iter);
+  record->Append("ext_compression_raw_final_loss", raw.final_loss);
+  const double raw_gain = raw.first_loss - raw.final_loss;
+
+  double best_matched = 0.0;
+  const struct {
+    const char* name;
+    PsCompressionPolicy policy;
+  } codecs[] = {{"fp16", PsCompressionPolicy::kFp16},
+                {"int8", PsCompressionPolicy::kInt8},
+                {"topk", PsCompressionPolicy::kTopK}};
+  for (const auto& codec : codecs) {
+    const CompressionAblationPoint point =
+        RunCompressionAblation(codec.policy, density, iters);
+    const double reduction = raw.wire_bytes_per_iter / point.wire_bytes_per_iter;
+    const bool matched = raw.first_loss - point.final_loss >= 0.9 * raw_gain;
+    record->Append(std::string("ext_compression_") + codec.name + "_bytes_per_iter",
+                   point.wire_bytes_per_iter);
+    record->Append(std::string("ext_compression_") + codec.name + "_final_loss",
+                   point.final_loss);
+    if (matched) {
+      best_matched = std::max(best_matched, reduction);
+    }
+    std::printf("ext_compression %s: %.0f B/iter (%.2fx vs raw), final loss %.4f "
+                "(raw %.4f)%s\n",
+                codec.name, point.wire_bytes_per_iter, reduction, point.final_loss,
+                raw.final_loss, matched ? "" : " [NOT loss-matched]");
+  }
+  record->Append("ext_compression_best_matched_reduction", best_matched);
+  if (best_matched < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: best loss-matched wire-byte reduction %.2fx is below the "
+                 "2x acceptance bar\n",
+                 best_matched);
+    return false;
+  }
+  return true;
+}
+
 bool SelfCheckAndRecord(BenchRecord* record) {
   record->SetMeta("wire_workers", 2.0);
   record->SetMeta("wire_iters", 4.0);
@@ -450,6 +508,11 @@ bool SelfCheckAndRecord(BenchRecord* record) {
   RecordWirePath("wire_ps", FcSyncPolicy::kDense, /*hidden_layers=*/18, record);
   RecordWirePath("wire_sfb", FcSyncPolicy::kSfb, /*hidden_layers=*/2, record);
   RecordWirePath("wire_onebit", FcSyncPolicy::kOneBit, /*hidden_layers=*/2, record);
+
+  // Compressed-PS bytes-vs-loss trajectory and its 2x matched-loss gate.
+  if (!RecordCompressionAblation(record)) {
+    return false;
+  }
 
   // Real-network datapoint: payload Gb/s through the socket transport on
   // loopback TCP and a Unix-domain socket (the multi-process cluster's data

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "src/collective/topology.h"
@@ -55,6 +56,10 @@ WireScheme WireFromCommScheme(CommScheme scheme) {
 // scheme is decidable before any byte moves).
 struct LayerWire {
   WireScheme scheme = WireScheme::kPsDense;
+  // Wire codec of the dense-PS path (docs/COMPRESSION.md): rescales
+  // push/pull bytes by the per-direction byte rows and charges the encode /
+  // decode CPU passes through quant_cpu_s, like the 1-bit row.
+  GradCompression compression = GradCompression::kNone;
   double dense_bytes = 0.0;    // full fp32 gradient/parameter size
   double push_bytes = 0.0;     // per destination server (PS-style schemes)
   double pull_bytes = 0.0;     // per source server
@@ -125,6 +130,7 @@ class ProtocolSim {
       // collective modes apply to every parameter layer; the paper's FC
       // schemes only to FC layers.
       wire.scheme = WireScheme::kPsDense;
+      GradCompression compression = GradCompression::kNone;
       if (p > 1) {
         switch (system_.fc_scheme) {
           case FcScheme::kRing:
@@ -134,8 +140,18 @@ class ProtocolSim {
             wire.scheme = WireScheme::kTree;
             break;
           case FcScheme::kHybridCollective:
-            wire.scheme = WireFromCommScheme(
-                BestSchemeExtended(layer, batch_, p, p, system_.shards_per_server));
+            if (system_.auto_ps_compression) {
+              // Compression joins the scheme menu: the chooser minimizes
+              // wire bytes over (PS, codec) and the raw-float alternatives.
+              const SchemeChoice choice = BestSchemeExtendedCompressed(
+                  layer, batch_, p, p, system_.shards_per_server,
+                  system_.topk_density);
+              wire.scheme = WireFromCommScheme(choice.scheme);
+              compression = choice.compression;
+            } else {
+              wire.scheme = WireFromCommScheme(BestSchemeExtended(
+                  layer, batch_, p, p, system_.shards_per_server));
+            }
             break;
           case FcScheme::kDense:
             break;
@@ -163,21 +179,50 @@ class ProtocolSim {
         }
       }
 
+      // Fixed-policy compression of the dense-PS path (mirrors the runtime's
+      // ResolveCompression): every PS layer clearing the size gate runs the
+      // configured codec, or its per-layer BestCompression pick under auto.
+      // The hybrid-collective chooser above resolved it jointly with the
+      // scheme instead.
+      if (p > 1 && wire.scheme == WireScheme::kPsDense &&
+          system_.fc_scheme != FcScheme::kHybridCollective) {
+        if (system_.auto_ps_compression) {
+          compression = BestCompression(layer.params, system_.topk_density,
+                                        system_.compression_min_floats);
+        } else if (layer.params >= system_.compression_min_floats) {
+          compression = system_.ps_compression;
+        }
+      }
+
       const int64_t m = layer.fc_m;
       const int64_t n = layer.fc_n;
       const int64_t k_eff = static_cast<int64_t>(batch_) * cluster_.gpus_per_node;
       switch (wire.scheme) {
-        case WireScheme::kPsDense:
+        case WireScheme::kPsDense: {
           wire.sharded = system_.sharding == ShardingMode::kKvPairs;
-          wire.push_bytes = wire.sharded ? wire.dense_bytes / p : wire.dense_bytes;
-          wire.pull_bytes = wire.push_bytes;
+          wire.compression = compression;
+          // Per-direction byte rows (docs/COST_MODEL.md): the raw fp32 base
+          // rescaled by push (quantized / sparse frames) and pull (binary16
+          // round-to-nearest replies) bytes per float.
+          const double base = wire.sharded ? wire.dense_bytes / p : wire.dense_bytes;
+          wire.push_bytes =
+              base * PushBytesPerFloat(compression, system_.topk_density) / 4.0;
+          wire.pull_bytes = base * PullBytesPerFloat(compression) / 4.0;
           if (wire.sharded) {
             // Key-range shards apply their slices on independent threads, so
             // the per-server apply latency divides by the shard count; the
             // bytes on the wire do not change.
             wire.apply_cpu_s /= system_.shards_per_server;
           }
+          if (compression != GradCompression::kNone) {
+            // One encode pass over the gradient before each push, and the
+            // matching decode passes downstream — charged on the same aux
+            // engine as the 1-bit row's quantizer.
+            wire.quant_cpu_s =
+                2.0 * static_cast<double>(layer.params) / cluster_.cpu_flops;
+          }
           break;
+        }
         case WireScheme::kSfb:
           wire.sf_msg_bytes = static_cast<double>(k_eff) * static_cast<double>(m + n) * 4.0;
           wire.recon_flops_per_sf = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
@@ -539,7 +584,9 @@ class ProtocolSim {
     const double finish = start + pre + d2h / cluster_.pcie_bytes_per_sec;
     node.copy_free_at = finish;
     sim_.ScheduleAt(finish, [this, n, layer, iter] {
-      if (wires_[layer].scheme == WireScheme::kOneBit) {
+      // Quantized schemes (1-bit, and the compressed dense-PS codecs) pay
+      // the encode pass on the CPU before any byte moves.
+      if (wires_[layer].quant_cpu_s > 0.0) {
         AuxEngine(n, wires_[layer].quant_cpu_s, [this, n, layer, iter] {
           StartSend(n, layer, iter);
         });
@@ -718,8 +765,12 @@ class ProtocolSim {
     // available (bulk synchronous consistency, §4.1 "Managing Consistency").
     const LayerWire& wire = wires_[layer];
     double apply_s = wire.apply_cpu_s;
-    if (wire.scheme == WireScheme::kOneBit) {
-      apply_s += wire.quant_cpu_s * 2.0;  // dequantize P inputs + requantize
+    if (wire.quant_cpu_s > 0.0) {
+      // Dequantize P inputs + requantize the replies. For a sharded
+      // compressed layer each of the P shards decodes P slices of 1/P of the
+      // layer and re-encodes P reply slices, which sums to the same two
+      // whole-layer passes the unsharded 1-bit row charges.
+      apply_s += wire.quant_cpu_s * 2.0;
     }
     if (wire.scheme == WireScheme::kAdamSf) {
       // Reconstruct P workers' SF outer products on the server.
@@ -796,7 +847,9 @@ class ProtocolSim {
       CopyEngine(w, wires_[layer].dense_bytes,
                  [this, layer, iter, w] { FinishSync(layer, iter, w); });
     };
-    if (wire.scheme == WireScheme::kOneBit) {
+    if (wire.quant_cpu_s > 0.0) {
+      // Dequantize the reply (1-bit levels, or the binary16 frames of the
+      // compressed PS codecs) before staging back to the GPU.
       AuxEngine(w, wire.quant_cpu_s, stage_in);
     } else {
       stage_in();
@@ -914,7 +967,13 @@ class ProtocolSim {
     }
 
     for (int l = 0; l < num_layers_; ++l) {
-      result.layer_schemes[model_.layers[l].name] = WireSchemeName(wires_[l].scheme);
+      // Compressed PS layers report as e.g. "PS+int8" so plan assertions and
+      // bench tables can see the codec choice alongside the scheme.
+      std::string scheme = WireSchemeName(wires_[l].scheme);
+      if (wires_[l].compression != GradCompression::kNone) {
+        scheme += std::string("+") + GradCompressionName(wires_[l].compression);
+      }
+      result.layer_schemes[model_.layers[l].name] = std::move(scheme);
     }
 
     result.expected_transmissions = 1.0 / (1.0 - system_.loss_rate);

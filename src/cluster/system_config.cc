@@ -123,4 +123,15 @@ SystemConfig SspPoseidonSystem(int staleness, int shards) {
   return config;
 }
 
+SystemConfig CompressedPsSystem(GradCompression compression, double topk_density,
+                                bool auto_per_layer) {
+  SystemConfig config = CaffePlusWfbp();
+  config.name = std::string("PS-") +
+                (auto_per_layer ? "auto" : GradCompressionName(compression));
+  config.ps_compression = compression;
+  config.auto_ps_compression = auto_per_layer;
+  config.topk_density = topk_density;
+  return config;
+}
+
 }  // namespace poseidon

@@ -10,7 +10,10 @@
 #ifndef POSEIDON_SRC_CLUSTER_SYSTEM_CONFIG_H_
 #define POSEIDON_SRC_CLUSTER_SYSTEM_CONFIG_H_
 
+#include <cstdint>
 #include <string>
+
+#include "src/models/comm_cost.h"
 
 namespace poseidon {
 
@@ -90,6 +93,19 @@ struct SystemConfig {
   // (SimResult::recovery_stall_s).
   double detect_timeout_s = 0.0;
   double restart_s = 0.0;
+  // ---- wire compression of the PS path (mirrors the runtime's
+  // TrainerOptions::ps_compression; see docs/COMPRESSION.md). A fixed codec
+  // rescales every dense-PS layer clearing `compression_min_floats` by the
+  // per-direction byte rows (PushBytesPerFloat / PullBytesPerFloat);
+  // `auto_ps_compression` instead resolves each layer through
+  // BestCompression — and, under kHybridCollective, routes the scheme choice
+  // through BestSchemeExtendedCompressed so compressed PS competes with SFB
+  // and the collectives on the byte basis. Quantized pushes also charge the
+  // encoder's CPU pass (same aux engine as the 1-bit row).
+  GradCompression ps_compression = GradCompression::kNone;
+  bool auto_ps_compression = false;
+  double topk_density = 0.01;
+  int64_t compression_min_floats = kCompressionMinFloats;
 };
 
 // The named systems from Figures 5-11.
@@ -109,6 +125,11 @@ SystemConfig HybridCollectiveSystem(); // Poseidon++ three-way HybComm
 SystemConfig ShardedPsSystem(int shards, int staleness = 0);
 // Poseidon (WFBP + HybComm) running under an SSP bound.
 SystemConfig SspPoseidonSystem(int staleness, int shards = 1);
+// Dense-PS WFBP with the PS path compressed by `compression` (kAuto per
+// layer when `auto_per_layer`); topk density as configured.
+SystemConfig CompressedPsSystem(GradCompression compression,
+                                double topk_density = 0.01,
+                                bool auto_per_layer = false);
 
 }  // namespace poseidon
 

@@ -2,6 +2,7 @@
 
 #include "src/collective/topology.h"
 #include "src/common/logging.h"
+#include "src/simd/quant.h"
 
 namespace poseidon {
 namespace {
@@ -152,6 +153,121 @@ CommScheme BestScheme(const LayerSpec& layer, int64_t batch_k, int num_workers,
   q.num_workers = num_workers;
   q.num_servers = num_servers;
   return SfbWins(q) ? CommScheme::kSFB : CommScheme::kPS;
+}
+
+const char* GradCompressionName(GradCompression compression) {
+  switch (compression) {
+    case GradCompression::kNone:
+      return "none";
+    case GradCompression::kFp16:
+      return "fp16";
+    case GradCompression::kInt8:
+      return "int8";
+    case GradCompression::kTopK:
+      return "topk";
+  }
+  return "?";
+}
+
+double PushBytesPerFloat(GradCompression compression, double topk_density) {
+  switch (compression) {
+    case GradCompression::kNone:
+      return 4.0;
+    case GradCompression::kFp16:
+      return 2.0;
+    case GradCompression::kInt8:
+      // one byte per element plus a shared fp32 scale per chunk
+      return 1.0 + 4.0 / static_cast<double>(simd::kInt8ChunkSize);
+    case GradCompression::kTopK:
+      CHECK_GT(topk_density, 0.0);
+      CHECK_LE(topk_density, 1.0);
+      return 8.0 * topk_density;  // (index word, exact value) per selected
+  }
+  return 4.0;
+}
+
+double PullBytesPerFloat(GradCompression compression) {
+  return compression == GradCompression::kNone ? 4.0 : 2.0;
+}
+
+double SchemeWireBytes(CommScheme scheme, GradCompression compression,
+                       const CommCostQuery& q, double topk_density) {
+  const double floats = SchemeWorkerFloats(scheme, q);
+  if (scheme != CommScheme::kPS) {
+    return floats * 4.0;  // collectives and SFB move raw fp32
+  }
+  // Every PS push has a matching pull of the same element count, so the
+  // float row splits exactly in half per direction; each half pays its
+  // direction's byte cost.
+  const double per_direction = floats / 2.0;
+  return per_direction * (PushBytesPerFloat(compression, topk_density) +
+                          PullBytesPerFloat(compression));
+}
+
+GradCompression BestCompression(int64_t layer_floats, double topk_density,
+                                int64_t min_floats) {
+  if (layer_floats < min_floats) {
+    return GradCompression::kNone;
+  }
+  GradCompression best = GradCompression::kNone;
+  double best_bytes = PushBytesPerFloat(best, topk_density) + PullBytesPerFloat(best);
+  const GradCompression candidates[] = {GradCompression::kFp16, GradCompression::kInt8,
+                                        GradCompression::kTopK};
+  for (GradCompression candidate : candidates) {
+    if (candidate == GradCompression::kTopK && topk_density <= 0.0) {
+      continue;
+    }
+    const double bytes =
+        PushBytesPerFloat(candidate, topk_density) + PullBytesPerFloat(candidate);
+    if (bytes < best_bytes) {
+      best = candidate;
+      best_bytes = bytes;
+    }
+  }
+  return best;
+}
+
+SchemeChoice BestSchemeExtendedCompressed(const LayerSpec& layer, int64_t batch_k,
+                                          int num_workers, int num_servers,
+                                          int ps_shards, double topk_density) {
+  SchemeChoice choice;
+  CommCostQuery q;
+  q.m = layer.type == LayerType::kFC ? layer.fc_m : layer.params;
+  q.n = layer.type == LayerType::kFC ? layer.fc_n : 1;
+  q.batch_k = batch_k;
+  q.num_workers = num_workers;
+  q.num_servers = num_servers;
+  q.num_shards = ps_shards;
+  if (q.m <= 0 || q.n <= 0) {
+    return choice;  // stateless layer; nothing to synchronize
+  }
+  if (num_workers <= 1) {
+    choice.bytes = SchemeWireBytes(choice.scheme, choice.compression, q, topk_density);
+    return choice;
+  }
+
+  choice.bytes = SchemeWireBytes(CommScheme::kPS, GradCompression::kNone, q, topk_density);
+  auto consider = [&](CommScheme scheme, GradCompression compression) {
+    const double bytes = SchemeWireBytes(scheme, compression, q, topk_density);
+    if (bytes < choice.bytes) {  // strict: ties keep the earlier candidate
+      choice.scheme = scheme;
+      choice.compression = compression;
+      choice.bytes = bytes;
+    }
+  };
+  if (q.m * q.n >= kCompressionMinFloats) {
+    consider(CommScheme::kPS, GradCompression::kFp16);
+    consider(CommScheme::kPS, GradCompression::kInt8);
+    if (topk_density > 0.0) {
+      consider(CommScheme::kPS, GradCompression::kTopK);
+    }
+  }
+  if (layer.type == LayerType::kFC) {
+    consider(CommScheme::kSFB, GradCompression::kNone);
+  }
+  consider(CommScheme::kRing, GradCompression::kNone);
+  consider(CommScheme::kTree, GradCompression::kNone);
+  return choice;
 }
 
 CommScheme BestSchemeExtended(const LayerSpec& layer, int64_t batch_k, int num_workers,

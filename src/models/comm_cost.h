@@ -115,6 +115,69 @@ double SchemeWorkerFloats(CommScheme scheme, const CommCostQuery& q);
 // side is costed at q.num_shards (the paper's Algorithm 1 at the default 1).
 bool SfbWins(const CommCostQuery& q);
 
+// --- Table-1 extension: wire-byte rows for the compressed PS path. ---
+// The paper's rows count floats; the compressed codecs change the bytes each
+// float costs on the wire, so the compressed chooser works in bytes. Only
+// the PS path compresses (the collectives and SFB move raw floats: summing
+// quantized values loses the error-feedback invariant, and factors are
+// already small), so compression rescales the PS rows and leaves the rest at
+// 4 bytes per float.
+
+enum class GradCompression {
+  kNone,  // raw fp32 both directions
+  kFp16,  // binary16 push (stochastic rounding + residual), binary16 reply
+  kInt8,  // int8 push with per-256-chunk scales, binary16 reply
+  kTopK,  // top-k (index, value) push, binary16 reply
+};
+
+const char* GradCompressionName(GradCompression compression);
+
+// Layers below this many floats skip compression: the residual buffer,
+// per-frame headers and the encode pass are not worth saving a few KB.
+constexpr int64_t kCompressionMinFloats = int64_t{1} << 16;
+
+// Wire bytes per gradient element in the push (worker -> server) direction.
+// kTopK sends 8 bytes (index word + exact value) per *selected* element,
+// density of them per gradient element.
+double PushBytesPerFloat(GradCompression compression, double topk_density);
+// Wire bytes per parameter element in the reply (server -> worker)
+// direction: 4 raw, 2 for every compressed mode (binary16 round-to-nearest
+// replies — the reply is stateless, so sparsifying it would silently freeze
+// unselected parameters).
+double PullBytesPerFloat(GradCompression compression);
+
+// Per-worker wire bytes of (scheme, compression) under `q`: the float rows
+// rescaled by the per-direction byte costs. Non-PS schemes ignore
+// `compression` (raw floats, 4 bytes each).
+double SchemeWireBytes(CommScheme scheme, GradCompression compression,
+                       const CommCostQuery& q, double topk_density);
+
+// The cheapest compression for a PS layer of `layer_floats` elements by the
+// byte rows above: kNone below `min_floats` (kCompressionMinFloats unless a
+// test or bench lowers it), otherwise kTopK when density makes it cheapest,
+// else kInt8. What the runtime's "auto" policy resolves per layer.
+GradCompression BestCompression(int64_t layer_floats, double topk_density,
+                                int64_t min_floats = kCompressionMinFloats);
+
+// A (scheme, compression) decision with its modeled per-worker wire bytes.
+struct SchemeChoice {
+  CommScheme scheme = CommScheme::kPS;
+  GradCompression compression = GradCompression::kNone;
+  double bytes = 0.0;
+};
+
+// BestSchemeExtended on the byte basis with compression in the menu:
+// minimizes SchemeWireBytes over the PS candidate at every compression
+// (kNone always; the quantized/sparse rows once the layer clears
+// kCompressionMinFloats, kTopK only at positive density) and the SFB / ring
+// / tree candidates at raw floats. Candidate order keeps the uncompressed
+// PS row first and replaces only on strict improvement, so ties keep the
+// paper's scheme.
+SchemeChoice BestSchemeExtendedCompressed(const LayerSpec& layer, int64_t batch_k,
+                                          int num_workers, int num_servers,
+                                          int ps_shards = 1,
+                                          double topk_density = 0.01);
+
 }  // namespace poseidon
 
 #endif  // POSEIDON_SRC_MODELS_COMM_COST_H_

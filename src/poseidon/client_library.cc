@@ -6,15 +6,22 @@ namespace poseidon {
 
 ClientLibrary::ClientLibrary(int worker, const Coordinator& coordinator,
                              const std::vector<RuntimeScheme>& schemes, Network* net,
-                             MessageBus* bus, const SgdConfig& sgd, int num_threads)
+                             MessageBus* bus, const SgdConfig& sgd, int num_threads,
+                             const std::vector<GradCompression>& compression,
+                             double topk_density)
     : worker_(worker), schemes_(schemes), local_optimizer_(sgd), pool_(num_threads) {
   CHECK_NOTNULL(net);
   CHECK_EQ(static_cast<int>(schemes.size()), net->num_layers());
+  CHECK(compression.empty() || compression.size() == schemes.size());
   syncers_.reserve(schemes.size());
   for (int l = 0; l < net->num_layers(); ++l) {
+    const GradCompression layer_compression =
+        compression.empty() ? GradCompression::kNone
+                            : compression[static_cast<size_t>(l)];
     syncers_.push_back(std::make_unique<Syncer>(worker, l, schemes[static_cast<size_t>(l)],
                                                 coordinator, bus, &net->layer(l),
-                                                &local_optimizer_));
+                                                &local_optimizer_, layer_compression,
+                                                topk_density));
     if (schemes[static_cast<size_t>(l)] != RuntimeScheme::kNone) {
       ++num_sync_layers_;
     }

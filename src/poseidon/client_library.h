@@ -31,9 +31,13 @@ namespace poseidon {
 
 class ClientLibrary {
  public:
+  /// `compression` is the per-layer wire-compression plan
+  /// (ResolveCompression); empty means every layer pushes raw fp32.
   ClientLibrary(int worker, const Coordinator& coordinator,
                 const std::vector<RuntimeScheme>& schemes, Network* net, MessageBus* bus,
-                const SgdConfig& sgd, int num_threads);
+                const SgdConfig& sgd, int num_threads,
+                const std::vector<GradCompression>& compression = {},
+                double topk_density = 0.01);
 
   ClientLibrary(const ClientLibrary&) = delete;
   ClientLibrary& operator=(const ClientLibrary&) = delete;

@@ -22,14 +22,18 @@ int64_t SteadyNowNs() {
 
 KvShard::KvShard(int server_id, int shard_id, int64_t first_iter,
                  const Coordinator& coordinator, const std::vector<RuntimeScheme>& schemes,
-                 Network& init_net, MessageBus* bus, const SgdConfig& sgd)
+                 Network& init_net, MessageBus* bus, const SgdConfig& sgd,
+                 const std::vector<GradCompression>& compression)
     : server_(server_id),
       shard_(shard_id),
       staleness_(coordinator.cluster().staleness),
       coordinator_(coordinator),
       schemes_(schemes),
+      compression_(compression),
       bus_(bus),
       optimizer_(sgd) {
+  CHECK(compression_.empty() ||
+        compression_.size() == static_cast<size_t>(coordinator.num_layers()));
   CHECK_NOTNULL(bus);
   CHECK_LT(shard_id, kMaxShardsPerServer);
   ssp_stall_hist_ = MetricsRegistry::Default().GetHistogram("kv.ssp_stall_ns");
@@ -114,13 +118,60 @@ void KvShard::ServiceLoop() {
   }
 }
 
+GradCompression KvShard::layer_compression(int layer) const {
+  if (compression_.empty()) {
+    return GradCompression::kNone;
+  }
+  return compression_[static_cast<size_t>(layer)];
+}
+
+WireCodec KvShard::ExpectedPushCodec(GradCompression compression) {
+  switch (compression) {
+    case GradCompression::kNone:
+      return WireCodec::kRawFloat;
+    case GradCompression::kFp16:
+      return WireCodec::kFp16;
+    case GradCompression::kInt8:
+      return WireCodec::kInt8;
+    case GradCompression::kTopK:
+      return WireCodec::kTopK;
+  }
+  return WireCodec::kRawFloat;
+}
+
 void KvShard::HandleGradPush(const Message& message) {
   ++pushes_processed_;
   auto it = dense_layers_.find(message.layer);
   CHECK(it != dense_layers_.end()) << "server " << server_ << " shard " << shard_
                                    << " owns no pairs of layer " << message.layer;
   DenseLayerState& state = it->second;
-  CHECK(message.codec == WireCodec::kRawFloat);
+  const GradCompression compression = layer_compression(message.layer);
+  if (compression == GradCompression::kNone) {
+    CHECK(message.codec == WireCodec::kRawFloat);
+  } else {
+    // A compressed frame is sized by the sender, so treat it as wire input:
+    // a codec mismatch or a frame that fails validation (or expands to the
+    // wrong dense count) drops the push whole — no buffering, no reply —
+    // instead of crashing the server or poisoning the clock's aggregate.
+    const WireCodec expected = ExpectedPushCodec(compression);
+    const Codec& codec = CodecRegistry::Get(expected);
+    bool well_formed =
+        message.codec == expected && message.chunks.size() == state.pairs.size();
+    for (size_t p = 0; well_formed && p < state.pairs.size(); ++p) {
+      const WireChunk& chunk = message.chunks[p];
+      const StatusOr<int64_t> dense_count = codec.Validate(chunk.view);
+      well_formed = chunk.offset == state.pairs[p].info.offset && dense_count.ok() &&
+                    *dense_count == state.pairs[p].info.length;
+    }
+    if (!well_formed) {
+      ++rejected_pushes_;
+      LOG(Warning) << "server " << server_ << " shard " << shard_
+                   << ": dropping malformed " << WireCodecName(message.codec)
+                   << " push for layer " << message.layer << " from worker "
+                   << message.worker << " (expected " << WireCodecName(expected) << ")";
+      return;
+    }
+  }
   CHECK_EQ(message.chunks.size(), state.pairs.size());
   const int num_workers = coordinator_.cluster().num_workers;
   const int w = message.worker;
@@ -150,7 +201,9 @@ void KvShard::HandleGradPush(const Message& message) {
       for (size_t p = 0; p < state.pairs.size(); ++p) {
         const WireChunk& chunk = message.chunks[p];
         CHECK_EQ(chunk.offset, state.pairs[p].info.offset);
-        CHECK_EQ(chunk.view.size(), state.pairs[p].info.length);
+        if (compression == GradCompression::kNone) {
+          CHECK_EQ(chunk.view.size(), state.pairs[p].info.length);
+        }
         contribution.push_back(chunk.view);
       }
       per_worker[static_cast<size_t>(w)] = std::move(contribution);
@@ -178,17 +231,30 @@ void KvShard::ApplyDense(int layer, int64_t clock) {
   TraceSpan apply_span("kv.apply", "server", layer);
   const int num_workers = coordinator_.cluster().num_workers;
   DenseLayerState& state = dense_layers_[layer];
+  const GradCompression compression = layer_compression(layer);
+  const Codec* codec = compression == GradCompression::kNone
+                           ? nullptr
+                           : &CodecRegistry::Get(ExpectedPushCodec(compression));
   const auto pending = state.pending.find(clock);
   CHECK(pending != state.pending.end());
+  Tensor decoded;
   for (size_t p = 0; p < state.pairs.size(); ++p) {
     PairState& pair = state.pairs[p];
     // Reduce in worker order for bit-deterministic results, reading each
-    // contribution straight from the sender's slab.
+    // contribution straight from the sender's slab (compressed frames are
+    // expanded first; they were validated on arrival).
     std::vector<float> grad(static_cast<size_t>(pair.info.length), 0.0f);
     for (int w = 0; w < num_workers; ++w) {
       const PayloadView& contribution = pending->second[static_cast<size_t>(w)][p];
-      CHECK_EQ(contribution.size(), static_cast<int64_t>(grad.size()));
-      simd::ReduceAdd(grad.data(), contribution.data(), pair.info.length);
+      if (codec == nullptr) {
+        CHECK_EQ(contribution.size(), static_cast<int64_t>(grad.size()));
+        simd::ReduceAdd(grad.data(), contribution.data(), pair.info.length);
+      } else {
+        const Status status = codec->Decode(contribution, &decoded, nullptr);
+        CHECK(status.ok()) << status.ToString();
+        CHECK_EQ(decoded.size(), pair.info.length);
+        simd::ReduceAdd(grad.data(), decoded.data(), pair.info.length);
+      }
     }
     const float inv = 1.0f / static_cast<float>(num_workers);
     simd::Scale(grad.data(), inv, pair.info.length);
@@ -231,14 +297,14 @@ void KvShard::RecordSspStall(const WaitingRead& read) {
 }
 
 void KvShard::SendReply(int layer, int worker, int64_t clock,
-                        std::vector<WireChunk> chunks) {
+                        std::vector<WireChunk> chunks, WireCodec codec) {
   Message reply;
   reply.type = MessageType::kParamReply;
   reply.from = coordinator_.cluster().ShardAddress(server_, shard_);
   reply.to = Address{worker, kSyncerPortBase + layer};
   reply.layer = layer;
   reply.iter = clock;
-  reply.codec = WireCodec::kRawFloat;
+  reply.codec = codec;
   reply.chunks = std::move(chunks);
   const Status status = bus_->Send(std::move(reply));
   if (status.code() == StatusCode::kNotFound ||
@@ -253,12 +319,15 @@ void KvShard::SendReply(int layer, int worker, int64_t clock,
 
 void KvShard::ReleaseDenseReads(int layer) {
   DenseLayerState& state = dense_layers_[layer];
+  const GradCompression compression = layer_compression(layer);
   // One shared payload for every read released in this pass: the freshest
   // applied values. Under BSP the reply chunks alias the live parameter
   // slab (no copy): the next apply needs every worker's next push, which
   // happens only after each worker consumed its reply. Under SSP a later
   // clock can be applied while a stale reader is still scattering, so the
-  // pass snapshots the slab instead.
+  // pass snapshots the slab instead. Compressed layers instead encode each
+  // pair into a fresh binary16 round-to-nearest frame (stateless, so no
+  // residual; the frame is a snapshot either way, hence SSP-safe).
   std::vector<WireChunk> reply_chunks;
   std::vector<WaitingRead> still_waiting;
   for (WaitingRead& read : state.waiting_reads) {
@@ -269,22 +338,32 @@ void KvShard::ReleaseDenseReads(int layer) {
     }
     if (reply_chunks.empty()) {
       reply_chunks.reserve(state.pairs.size());
-      Payload source = state.params;
-      if (staleness_ > 0) {
-        source = Payload::Allocate(state.params.size());
-        std::copy(state.params.data(), state.params.data() + state.params.size(),
-                  source.data());
-        WireCopyStats::Add(state.params.size());
-      }
-      for (const PairState& pair : state.pairs) {
-        reply_chunks.push_back(
-            {pair.info.offset, source.View(pair.slab_offset, pair.info.length)});
+      if (compression != GradCompression::kNone) {
+        for (const PairState& pair : state.pairs) {
+          Payload frame = Fp16Codec::EncodeRn(state.params.data() + pair.slab_offset,
+                                              pair.info.length, nullptr, 0);
+          reply_chunks.push_back({pair.info.offset, frame.View()});
+        }
+      } else {
+        Payload source = state.params;
+        if (staleness_ > 0) {
+          source = Payload::Allocate(state.params.size());
+          std::copy(state.params.data(), state.params.data() + state.params.size(),
+                    source.data());
+          WireCopyStats::Add(state.params.size());
+        }
+        for (const PairState& pair : state.pairs) {
+          reply_chunks.push_back(
+              {pair.info.offset, source.View(pair.slab_offset, pair.info.length)});
+        }
       }
     }
     max_reply_gap_ = std::max(max_reply_gap_,
                               std::max<int64_t>(0, read.clock - state.applied_clock));
     RecordSspStall(read);
-    SendReply(layer, read.worker, read.clock, reply_chunks);
+    SendReply(layer, read.worker, read.clock, reply_chunks,
+              compression == GradCompression::kNone ? WireCodec::kRawFloat
+                                                    : WireCodec::kFp16);
   }
   state.waiting_reads = std::move(still_waiting);
 }
@@ -400,13 +479,14 @@ void KvShard::ReleaseOneBitReads(int layer) {
 
 KvServer::KvServer(int server_id, int64_t first_iter, const Coordinator& coordinator,
                    const std::vector<RuntimeScheme>& schemes, Network& init_net,
-                   MessageBus* bus, const SgdConfig& sgd)
+                   MessageBus* bus, const SgdConfig& sgd,
+                   const std::vector<GradCompression>& compression)
     : id_(server_id) {
   const int shards = coordinator.cluster().shards_per_server;
   shards_.reserve(static_cast<size_t>(shards));
   for (int s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<KvShard>(server_id, s, first_iter, coordinator,
-                                                schemes, init_net, bus, sgd));
+                                                schemes, init_net, bus, sgd, compression));
   }
 }
 
@@ -442,6 +522,14 @@ int64_t KvServer::reconciled_pushes() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->reconciled_pushes();
+  }
+  return total;
+}
+
+int64_t KvServer::rejected_pushes() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->rejected_pushes();
   }
   return total;
 }

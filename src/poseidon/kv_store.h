@@ -68,9 +68,12 @@ class KvShard {
   /// the same replica). `first_iter` is the clock of the first training
   /// iteration this run will execute (non-zero after a checkpoint restore);
   /// the SSP clock starts at `first_iter - 1`.
+  /// `compression` is the per-layer wire-compression plan
+  /// (ResolveCompression); empty means every layer pushes raw fp32.
   KvShard(int server_id, int shard_id, int64_t first_iter, const Coordinator& coordinator,
           const std::vector<RuntimeScheme>& schemes, Network& init_net, MessageBus* bus,
-          const SgdConfig& sgd);
+          const SgdConfig& sgd,
+          const std::vector<GradCompression>& compression = {});
   ~KvShard();
 
   KvShard(const KvShard&) = delete;
@@ -93,6 +96,9 @@ class KvShard {
   /// Pushes answered without contributing to an aggregate: replays of an
   /// already-applied clock, or duplicates of an already-buffered slot.
   int64_t reconciled_pushes() const { return reconciled_pushes_; }
+  /// Compressed pushes dropped whole for a codec mismatch or a malformed
+  /// frame (a bad frame must never crash the server or poison an aggregate).
+  int64_t rejected_pushes() const { return rejected_pushes_; }
   /// Replies that could not be delivered (receiver endpoint closed — the
   /// crash window between worker death and restart).
   int64_t replies_dropped() const { return replies_dropped_; }
@@ -158,6 +164,10 @@ class KvShard {
   };
 
   void ServiceLoop();
+  /// The layer's wire-compression mode (kNone when no plan was supplied).
+  GradCompression layer_compression(int layer) const;
+  /// The push codec `layer_compression` implies.
+  static WireCodec ExpectedPushCodec(GradCompression compression);
   void HandleGradPush(const Message& message);
   void HandleOneBitPush(const Message& message);
   void ApplyDense(int layer, int64_t clock);
@@ -170,13 +180,15 @@ class KvShard {
   /// Accounts a gated read's stall on release (metric + histogram + trace).
   void RecordSspStall(const WaitingRead& read);
   /// Ships one parameter reply; tolerates a dead destination endpoint.
-  void SendReply(int layer, int worker, int64_t clock, std::vector<WireChunk> chunks);
+  void SendReply(int layer, int worker, int64_t clock, std::vector<WireChunk> chunks,
+                 WireCodec codec = WireCodec::kRawFloat);
 
   const int server_;
   const int shard_;
   const int staleness_;
   const Coordinator& coordinator_;
   const std::vector<RuntimeScheme> schemes_;
+  const std::vector<GradCompression> compression_;
   MessageBus* bus_;
   SgdOptimizer optimizer_;
   std::shared_ptr<MessageBus::Mailbox> mailbox_;
@@ -187,6 +199,7 @@ class KvShard {
   int64_t pushes_processed_ = 0;
   int64_t applies_ = 0;
   int64_t reconciled_pushes_ = 0;
+  int64_t rejected_pushes_ = 0;
   int64_t replies_dropped_ = 0;
   int64_t max_push_lead_ = 0;
   int64_t max_reply_gap_ = 0;
@@ -202,7 +215,8 @@ class KvServer {
  public:
   KvServer(int server_id, int64_t first_iter, const Coordinator& coordinator,
            const std::vector<RuntimeScheme>& schemes, Network& init_net, MessageBus* bus,
-           const SgdConfig& sgd);
+           const SgdConfig& sgd,
+           const std::vector<GradCompression>& compression = {});
 
   KvServer(const KvServer&) = delete;
   KvServer& operator=(const KvServer&) = delete;
@@ -222,6 +236,7 @@ class KvServer {
   /// (the exactly-once accounting; see KvShard).
   int64_t applies() const;
   int64_t reconciled_pushes() const;
+  int64_t rejected_pushes() const;
   int64_t replies_dropped() const;
   /// Layers with state hosted on this server, summed over shards.
   int owned_layers() const;

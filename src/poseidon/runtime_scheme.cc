@@ -97,6 +97,59 @@ std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
   return schemes;
 }
 
+const char* PsCompressionPolicyName(PsCompressionPolicy policy) {
+  switch (policy) {
+    case PsCompressionPolicy::kNone:
+      return "none";
+    case PsCompressionPolicy::kFp16:
+      return "fp16";
+    case PsCompressionPolicy::kInt8:
+      return "int8";
+    case PsCompressionPolicy::kTopK:
+      return "topk";
+    case PsCompressionPolicy::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::vector<GradCompression> ResolveCompression(
+    const Coordinator& coordinator, const std::vector<RuntimeScheme>& schemes,
+    PsCompressionPolicy policy, double topk_density, int64_t min_floats) {
+  CHECK_EQ(schemes.size(), static_cast<size_t>(coordinator.num_layers()));
+  if (policy == PsCompressionPolicy::kTopK || policy == PsCompressionPolicy::kAuto) {
+    CHECK_GT(topk_density, 0.0);
+    CHECK_LE(topk_density, 1.0);
+  }
+  std::vector<GradCompression> plan(schemes.size(), GradCompression::kNone);
+  for (int l = 0; l < coordinator.num_layers(); ++l) {
+    if (schemes[static_cast<size_t>(l)] != RuntimeScheme::kPsDense) {
+      continue;  // only the PS path compresses
+    }
+    const int64_t floats = coordinator.layer(l).total_floats;
+    if (floats < min_floats) {
+      continue;  // headers + residual slab are not worth a few KB
+    }
+    switch (policy) {
+      case PsCompressionPolicy::kNone:
+        break;
+      case PsCompressionPolicy::kFp16:
+        plan[static_cast<size_t>(l)] = GradCompression::kFp16;
+        break;
+      case PsCompressionPolicy::kInt8:
+        plan[static_cast<size_t>(l)] = GradCompression::kInt8;
+        break;
+      case PsCompressionPolicy::kTopK:
+        plan[static_cast<size_t>(l)] = GradCompression::kTopK;
+        break;
+      case PsCompressionPolicy::kAuto:
+        plan[static_cast<size_t>(l)] = BestCompression(floats, topk_density, min_floats);
+        break;
+    }
+  }
+  return plan;
+}
+
 SyncPlan ResolveSchemesSharded(const Coordinator& coordinator, FcSyncPolicy policy,
                                int max_shards) {
   CHECK_GT(max_shards, 0);

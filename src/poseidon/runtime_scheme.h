@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/models/comm_cost.h"
 #include "src/poseidon/coordinator.h"
 
 namespace poseidon {
@@ -54,6 +55,30 @@ struct SyncPlan {
 /// add idle endpoints for smaller layers).
 SyncPlan ResolveSchemesSharded(const Coordinator& coordinator, FcSyncPolicy policy,
                                int max_shards);
+
+/// What the trainer is asked to do about wire bytes on the PS path. The
+/// first four pin one codec for every eligible layer; kAuto lets the byte
+/// rows of the cost model pick per layer (BestCompression).
+enum class PsCompressionPolicy {
+  kNone,  // raw fp32 both directions (the paper's wire format)
+  kFp16,  // binary16 push with stochastic rounding + error feedback
+  kInt8,  // int8 push with per-chunk scales + error feedback
+  kTopK,  // top-k sparse push with error feedback
+  kAuto,  // per-layer: cheapest byte row (HybComm extended to compression)
+};
+
+const char* PsCompressionPolicyName(PsCompressionPolicy policy);
+
+/// Resolves the policy to a per-layer compression plan. Only layers routed
+/// through the PS (RuntimeScheme::kPsDense) compress, and only once they
+/// clear `min_floats` (kCompressionMinFloats by default; tests and benches
+/// with tiny models lower it) — small layers stay raw, so a policy is a
+/// ceiling, not a mandate. `topk_density` must be in (0, 1] when the policy
+/// can select kTopK.
+std::vector<GradCompression> ResolveCompression(
+    const Coordinator& coordinator, const std::vector<RuntimeScheme>& schemes,
+    PsCompressionPolicy policy, double topk_density,
+    int64_t min_floats = kCompressionMinFloats);
 
 }  // namespace poseidon
 

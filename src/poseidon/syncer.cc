@@ -1,6 +1,10 @@
 #include "src/poseidon/syncer.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/common/logging.h"
+#include "src/simd/vec.h"
 #include "src/stats/trace.h"
 #include "src/tensor/ops.h"
 
@@ -8,10 +12,14 @@ namespace poseidon {
 
 Syncer::Syncer(int worker, int layer_index, RuntimeScheme scheme,
                const Coordinator& coordinator, MessageBus* bus, Layer* layer,
-               SgdOptimizer* local_optimizer)
+               SgdOptimizer* local_optimizer, GradCompression compression,
+               double topk_density)
     : worker_(worker),
       layer_index_(layer_index),
       scheme_(scheme),
+      compression_(scheme == RuntimeScheme::kPsDense ? compression
+                                                     : GradCompression::kNone),
+      topk_density_(topk_density),
       coordinator_(coordinator),
       bus_(bus),
       layer_(layer),
@@ -19,6 +27,16 @@ Syncer::Syncer(int worker, int layer_index, RuntimeScheme scheme,
       local_optimizer_(local_optimizer),
       view_(layer->Params()) {
   CHECK_NOTNULL(bus);
+  if (compression_ == GradCompression::kTopK) {
+    CHECK_GT(topk_density_, 0.0);
+    CHECK_LE(topk_density_, 1.0);
+  }
+  if (compression_ != GradCompression::kNone) {
+    // The error-feedback residual: zero-initialized (Payload::Allocate), one
+    // float per parameter, carried across iterations.
+    residual_ = Payload::Allocate(view_.size());
+    quant_ = Payload::Allocate(view_.size());
+  }
   mailbox_ = bus_->Register(Address{worker_, kSyncerPortBase + layer_index_});
   if (scheme_ == RuntimeScheme::kPsDense) {
     const int num_servers = coordinator_.cluster().num_servers;
@@ -111,6 +129,49 @@ void Syncer::Send(int64_t iter) {
 }
 
 void Syncer::SendPs(int64_t iter) {
+  WireCodec codec = WireCodec::kRawFloat;
+  if (compression_ != GradCompression::kNone) {
+    // Error feedback: quantize grad + residual, and let each pair's encoder
+    // fold its slice's rounding error back into the residual. The hash seed
+    // is a pure function of (layer, clock) — identical on every worker — and
+    // each pair passes its flat layer offset as base_index, so the encoding
+    // never depends on how the layer is striped across shards.
+    simd::ReduceAdd(residual_.data(), staged_.data(), view_.size());
+    std::swap(quant_, residual_);  // quant_ now holds grad + residual
+    const uint32_t seed = QuantSeed(layer_index_, iter);
+    push_frames_.clear();
+    push_frames_.reserve(static_cast<size_t>(total_pairs_));
+    for (const ShardDest& dest : pairs_by_shard_) {
+      for (const KvPairInfo& pair : dest.pairs) {
+        const float* q = quant_.data() + pair.offset;
+        float* r = residual_.data() + pair.offset;
+        switch (compression_) {
+          case GradCompression::kFp16:
+            codec = WireCodec::kFp16;
+            push_frames_.push_back(
+                Fp16Codec::EncodeSr(q, pair.length, seed, pair.offset, r, nullptr, 0));
+            break;
+          case GradCompression::kInt8:
+            codec = WireCodec::kInt8;
+            push_frames_.push_back(
+                Int8Codec::EncodeSr(q, pair.length, seed, pair.offset, r, nullptr, 0));
+            break;
+          case GradCompression::kTopK: {
+            codec = WireCodec::kTopK;
+            const int64_t k = std::max<int64_t>(
+                1, std::min<int64_t>(pair.length,
+                                     static_cast<int64_t>(topk_density_ *
+                                                          static_cast<double>(pair.length))));
+            push_frames_.push_back(TopKCodec::Encode(q, pair.length, k, r, nullptr, 0));
+            break;
+          }
+          case GradCompression::kNone:
+            break;
+        }
+      }
+    }
+  }
+  size_t frame = 0;
   for (const ShardDest& dest : pairs_by_shard_) {
     Message push;
     push.type = MessageType::kGradPush;
@@ -119,11 +180,15 @@ void Syncer::SendPs(int64_t iter) {
     push.layer = layer_index_;
     push.worker = worker_;
     push.iter = iter;
-    push.codec = WireCodec::kRawFloat;
+    push.codec = codec;
     push.chunks.reserve(dest.pairs.size());
     for (const KvPairInfo& pair : dest.pairs) {
-      // Zero-copy: the chunk is a view into the staging slab.
-      push.chunks.push_back({pair.offset, staged_.View(pair.offset, pair.length)});
+      if (compression_ == GradCompression::kNone) {
+        // Zero-copy: the chunk is a view into the staging slab.
+        push.chunks.push_back({pair.offset, staged_.View(pair.offset, pair.length)});
+      } else {
+        push.chunks.push_back({pair.offset, push_frames_[frame++].View()});
+      }
     }
     const Status status = bus_->Send(std::move(push));
     CHECK(status.ok()) << status.ToString();
@@ -202,12 +267,25 @@ void Syncer::ReceivePs() {
       return;
     }
     CHECK(message->type == MessageType::kParamReply);
-    CHECK(message->codec == WireCodec::kRawFloat);
-    for (const WireChunk& chunk : message->chunks) {
-      // Move(CPU2GPU): the one staging copy on the receive side.
-      view_.ScatterValueSlice(chunk.offset, chunk.view.data(), chunk.view.size());
-      WireCopyStats::Add(chunk.view.size());
-      ++received;
+    if (compression_ == GradCompression::kNone) {
+      CHECK(message->codec == WireCodec::kRawFloat);
+      for (const WireChunk& chunk : message->chunks) {
+        // Move(CPU2GPU): the one staging copy on the receive side.
+        view_.ScatterValueSlice(chunk.offset, chunk.view.data(), chunk.view.size());
+        WireCopyStats::Add(chunk.view.size());
+        ++received;
+      }
+    } else {
+      // Compressed layers get binary16 round-to-nearest replies regardless
+      // of the push codec (the reply is stateless; see docs/COMPRESSION.md).
+      CHECK(message->codec == WireCodec::kFp16);
+      Tensor dense;
+      for (const WireChunk& chunk : message->chunks) {
+        const Status decoded = Fp16Codec::DecodeDense(chunk.view, &dense);
+        CHECK(decoded.ok()) << decoded.ToString();
+        view_.ScatterValueSlice(chunk.offset, dense.data(), dense.size());
+        ++received;
+      }
     }
   }
 }

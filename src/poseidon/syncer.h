@@ -36,14 +36,19 @@ namespace poseidon {
 class Syncer {
  public:
   /// `local_optimizer` applies SFB updates on the worker (shared across this
-  /// worker's syncers; may be null for PS-only layers).
+  /// worker's syncers; may be null for PS-only layers). `compression` selects
+  /// the wire codec for the PS path (ResolveCompression); non-PS schemes
+  /// ignore it. `topk_density` sizes the top-k selection per pair.
   Syncer(int worker, int layer_index, RuntimeScheme scheme, const Coordinator& coordinator,
-         MessageBus* bus, Layer* layer, SgdOptimizer* local_optimizer);
+         MessageBus* bus, Layer* layer, SgdOptimizer* local_optimizer,
+         GradCompression compression = GradCompression::kNone,
+         double topk_density = 0.01);
 
   Syncer(const Syncer&) = delete;
   Syncer& operator=(const Syncer&) = delete;
 
   RuntimeScheme scheme() const { return scheme_; }
+  GradCompression compression() const { return compression_; }
 
   /// Move(GPU2CPU): stages gradients (or extracts sufficient factors) out of
   /// the layer into send buffers.
@@ -69,6 +74,8 @@ class Syncer {
   const int worker_;
   const int layer_index_;
   const RuntimeScheme scheme_;
+  const GradCompression compression_;
+  const double topk_density_;
   const Coordinator& coordinator_;
   MessageBus* bus_;
   Layer* layer_;
@@ -91,6 +98,14 @@ class Syncer {
   /// while this syncer is the sole owner; reallocated when a receiver still
   /// holds views (possible under SSP staleness > 0).
   Payload staged_;
+  /// Compressed-PS state: the layer-sized error-feedback residual (zeroed at
+  /// construction, carried across iterations), the quantizer input scratch
+  /// (gradient + residual), and the per-pair encoded frames of the most
+  /// recent Send — kept alive here because shards buffer views into them
+  /// until the clock's aggregate is applied.
+  Payload residual_;
+  Payload quant_;
+  std::vector<Payload> push_frames_;
   std::unique_ptr<CollectiveSyncer> collective_;  // ring/tree path
   Payload sf_frame_;                              // SFB frame (factors + bias)
   Payload onebit_frame_;                          // 1-bit frame (signs + levels + bias)

@@ -68,15 +68,19 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
     coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
   }
   schemes_ = ResolveSchemes(*coordinator_, options_.fc_policy);
+  compression_ = ResolveCompression(*coordinator_, schemes_, options_.ps_compression,
+                                    options_.topk_density,
+                                    options_.compression_min_floats);
 
   for (int s = 0; s < options_.num_servers; ++s) {
     servers_.push_back(std::make_unique<KvServer>(s, next_iter_, *coordinator_, schemes_,
-                                                  *init_net_, bus_.get(), options_.sgd));
+                                                  *init_net_, bus_.get(), options_.sgd,
+                                                  compression_));
   }
   for (int w = 0; w < options_.num_workers; ++w) {
     clients_.push_back(std::make_unique<ClientLibrary>(
         w, *coordinator_, schemes_, worker_nets_[static_cast<size_t>(w)].get(), bus_.get(),
-        options_.sgd, options_.syncer_threads));
+        options_.sgd, options_.syncer_threads, compression_, options_.topk_density));
   }
   for (auto& server : servers_) {
     server->Start();
@@ -238,7 +242,7 @@ void PoseidonTrainer::RecoverWorker(int w) {
   // syncer mailbox at the same addresses (sequence streams just continue).
   clients_[static_cast<size_t>(w)] = std::make_unique<ClientLibrary>(
       w, *coordinator_, schemes_, worker_nets_[static_cast<size_t>(w)].get(), bus_.get(),
-      options_.sgd, options_.syncer_threads);
+      options_.sgd, options_.syncer_threads, compression_, options_.topk_density);
 
   // 4. Rejoin the cluster and replay from the checkpoint cursor. The replay
   // re-pushes the in-flight clock; shard reconciliation applies each

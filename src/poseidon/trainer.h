@@ -74,6 +74,16 @@ struct TrainerOptions {
   int batch_per_worker = 16;
   SgdConfig sgd;
   FcSyncPolicy fc_policy = FcSyncPolicy::kHybrid;
+  /// Wire compression for PS-path layers (ResolveCompression): raw fp32 by
+  /// default; fp16/int8/top-k push with error feedback, binary16 replies.
+  /// Quantized trajectories are deterministic (seeded per layer x clock) but
+  /// not bitwise equal to kNone runs.
+  PsCompressionPolicy ps_compression = PsCompressionPolicy::kNone;
+  /// Fraction of each pair's elements the top-k codec keeps, in (0, 1].
+  double topk_density = 0.01;
+  /// Layers below this many floats stay raw under any compression policy
+  /// (tests and benches with tiny models lower it; see ResolveCompression).
+  int64_t compression_min_floats = kCompressionMinFloats;
   int64_t kv_pair_bytes = 2 * 1024 * 1024;
   int syncer_threads = 2;     // client-library pool size per worker
   /// When true, the bus coalesces same-destination wire messages from
@@ -165,6 +175,8 @@ class PoseidonTrainer {
   Network& worker_net(int w);
   const Coordinator& coordinator() const { return *coordinator_; }
   const std::vector<RuntimeScheme>& schemes() const { return schemes_; }
+  /// The resolved per-layer wire-compression plan (parallel to schemes()).
+  const std::vector<GradCompression>& compression() const { return compression_; }
   MessageBus& bus() { return *bus_; }
   /// The failure detector (null unless failure_detection.enabled).
   const FailureDetector* failure_detector() const { return detector_.get(); }
@@ -196,6 +208,7 @@ class PoseidonTrainer {
   std::unique_ptr<Network> init_net_;
   std::unique_ptr<Coordinator> coordinator_;
   std::vector<RuntimeScheme> schemes_;
+  std::vector<GradCompression> compression_;
   std::vector<std::unique_ptr<KvServer>> servers_;
   std::vector<std::unique_ptr<ClientLibrary>> clients_;
   int64_t next_iter_ = 0;

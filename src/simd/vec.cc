@@ -148,5 +148,33 @@ void OneBitDecode(const uint32_t* bits, const float* pos_level,
   Active()->onebit_decode(bits, pos_level, neg_level, rows, cols, out);
 }
 
+void Fp16EncodeSr(const float* src, int64_t n, uint32_t seed, int64_t base_index,
+                  uint16_t* out) {
+  Active()->fp16_encode_sr(src, n, seed, base_index, out);
+}
+
+void Fp16EncodeRn(const float* src, int64_t n, uint16_t* out) {
+  Active()->fp16_encode_rn(src, n, out);
+}
+
+void Fp16Decode(const uint16_t* src, int64_t n, float* out) {
+  Active()->fp16_decode(src, n, out);
+}
+
+void Int8EncodeSr(const float* src, int64_t n, float inv_scale, uint32_t seed,
+                  int64_t base_index, int8_t* out) {
+  Active()->int8_encode_sr(src, n, inv_scale, seed, base_index, out);
+}
+
+void Int8Decode(const int8_t* src, int64_t n, float scale, float* out) {
+  Active()->int8_decode(src, n, scale, out);
+}
+
+float MaxAbs(const float* src, int64_t n) { return Active()->max_abs(src, n); }
+
+int64_t CountAbsGreater(const float* src, int64_t n, float threshold) {
+  return Active()->count_abs_greater(src, n, threshold);
+}
+
 }  // namespace simd
 }  // namespace poseidon

@@ -133,6 +133,47 @@ void OneBitResidualUpdate(const float* grad, int64_t rows, int64_t cols,
 void OneBitDecode(const uint32_t* bits, const float* pos_level,
                   const float* neg_level, int64_t rows, int64_t cols, float* out);
 
+// Quantized-codec kernels (docs/COMPRESSION.md). The rounding noise for the
+// stochastic variants comes from a per-element integer hash of
+// (seed, base_index + i) — src/simd/quant.h — so the encodings are a pure
+// function of (data, seed, flat element index): independent of lane width,
+// of how a layer is sliced across shards, and of which backend runs.
+
+/// fp32 -> fp16 with deterministic stochastic rounding. Magnitudes below the
+/// smallest normal half flush to signed zero; values at or above 2^16 clamp
+/// to the largest finite half (65504). `base_index` is the flat layer offset
+/// of src[0].
+void Fp16EncodeSr(const float* src, int64_t n, uint32_t seed, int64_t base_index,
+                  uint16_t* out);
+
+/// fp32 -> fp16 with round-to-nearest-even (same reduced range as the SR
+/// variant). Used for the stateless parameter-reply direction, where there
+/// is no residual accumulator to absorb rounding noise.
+void Fp16EncodeRn(const float* src, int64_t n, uint16_t* out);
+
+/// Exact fp16 -> fp32 for every 16-bit pattern (hostile frames included).
+void Fp16Decode(const uint16_t* src, int64_t n, float* out);
+
+/// fp32 -> int8 with deterministic stochastic rounding:
+///   t = src[i] * inv_scale; q = floor(t) + (frac(t) > r ? 1 : 0)
+/// with r a 24-bit uniform from the (seed, base_index + i) hash, clamped to
+/// [-127, 127] (NaN squashes to 0 so the cast is always defined).
+void Int8EncodeSr(const float* src, int64_t n, float inv_scale, uint32_t seed,
+                  int64_t base_index, int8_t* out);
+
+/// out[i] = src[i] * scale (int8 -> fp32 is exact; one correctly-rounded
+/// multiply).
+void Int8Decode(const int8_t* src, int64_t n, float scale, float* out);
+
+/// max_i |src[i]|, ignoring NaNs, 0 for n == 0. |x| > m ? |x| : m is
+/// associative over the non-negative magnitudes, so lane order cannot change
+/// the result.
+float MaxAbs(const float* src, int64_t n);
+
+/// Number of elements with |src[i]| > threshold (ordered compare: NaN never
+/// counts). The top-k codec's threshold-selection pass.
+int64_t CountAbsGreater(const float* src, int64_t n, float threshold);
+
 // ---------------------------------------------------------- backend table ---
 
 /// One backend's kernel implementations. Exposed so tests can drive a
@@ -149,6 +190,13 @@ struct Kernels {
                                  const float*, const float*, float*);
   void (*onebit_decode)(const uint32_t*, const float*, const float*, int64_t,
                         int64_t, float*);
+  void (*fp16_encode_sr)(const float*, int64_t, uint32_t, int64_t, uint16_t*);
+  void (*fp16_encode_rn)(const float*, int64_t, uint16_t*);
+  void (*fp16_decode)(const uint16_t*, int64_t, float*);
+  void (*int8_encode_sr)(const float*, int64_t, float, uint32_t, int64_t, int8_t*);
+  void (*int8_decode)(const int8_t*, int64_t, float, float*);
+  float (*max_abs)(const float*, int64_t);
+  int64_t (*count_abs_greater)(const float*, int64_t, float);
 };
 
 /// The scalar reference backend (always available).

@@ -13,7 +13,10 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+
 #include "src/simd/bitpack.h"
+#include "src/simd/quant.h"
 
 namespace poseidon {
 namespace simd {
@@ -200,6 +203,202 @@ POSEIDON_AVX2 void Avx2OneBitDecode(const uint32_t* bits, const float* pos_level
   }
 }
 
+// 8 lanes of the integer hash in src/simd/quant.h — xor/shift/mullo only,
+// so the lanes equal eight scalar MixBits calls bit-for-bit.
+POSEIDON_AVX2 inline __m256i MixBits8(__m256i idx, __m256i seed) {
+  __m256i h = _mm256_xor_si256(idx, seed);
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+  h = _mm256_mullo_epi32(h, _mm256_set1_epi32(static_cast<int>(0x21f0aaadu)));
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 15));
+  h = _mm256_mullo_epi32(h, _mm256_set1_epi32(static_cast<int>(0x735a2d97u)));
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 15));
+  return h;
+}
+
+// 8 lanes of internal::Fp16Pack: clamp-after-round via unsigned min, then
+// the range overrides (mutually exclusive, so blend order is free). All
+// compared quantities are < 2^31, so signed compares stand in for unsigned.
+POSEIDON_AVX2 inline __m256i Fp16Pack8(__m256i u, __m256i rnd13) {
+  const __m256i max_half = _mm256_set1_epi32(0x7BFF);
+  const __m256i sign =
+      _mm256_and_si256(_mm256_srli_epi32(u, 16), _mm256_set1_epi32(0x8000));
+  const __m256i absu = _mm256_and_si256(u, _mm256_set1_epi32(0x7FFFFFFF));
+  __m256i h = _mm256_srli_epi32(
+      _mm256_sub_epi32(_mm256_add_epi32(absu, rnd13),
+                       _mm256_set1_epi32(0x38000000)),
+      13);
+  h = _mm256_min_epu32(h, max_half);
+  const __m256i big = _mm256_cmpgt_epi32(absu, _mm256_set1_epi32(0x477FFFFF));
+  h = _mm256_blendv_epi8(h, max_half, big);
+  const __m256i small = _mm256_cmpgt_epi32(_mm256_set1_epi32(0x38800000), absu);
+  h = _mm256_andnot_si256(small, h);
+  return _mm256_or_si256(sign, h);
+}
+
+// Stores 8 uint16 results held in the low 16 bits of 8 int32 lanes.
+POSEIDON_AVX2 inline void StoreHalf8(uint16_t* out, __m256i r) {
+  const __m256i packed = _mm256_packus_epi32(r, r);
+  const __m256i perm = _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(0, 0, 2, 0));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out),
+                   _mm256_castsi256_si128(perm));
+}
+
+POSEIDON_AVX2 void Avx2Fp16EncodeSr(const float* src, int64_t n, uint32_t seed,
+                                    int64_t base_index, uint16_t* out) {
+  const __m256i vseed = _mm256_set1_epi32(static_cast<int>(seed));
+  const __m256i step = _mm256_set1_epi32(8);
+  __m256i idx = _mm256_add_epi32(
+      _mm256_set1_epi32(static_cast<int>(static_cast<uint32_t>(base_index))),
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i rnd13 = _mm256_srli_epi32(MixBits8(idx, vseed), 19);
+    const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(src + i));
+    StoreHalf8(out + i, Fp16Pack8(u, rnd13));
+    idx = _mm256_add_epi32(idx, step);
+  }
+  ScalarKernels()->fp16_encode_sr(src + i, n - i, seed, base_index + i, out + i);
+}
+
+POSEIDON_AVX2 void Avx2Fp16EncodeRn(const float* src, int64_t n, uint16_t* out) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i u = _mm256_castps_si256(_mm256_loadu_ps(src + i));
+    const __m256i absu = _mm256_and_si256(u, _mm256_set1_epi32(0x7FFFFFFF));
+    const __m256i rnd = _mm256_add_epi32(
+        _mm256_set1_epi32(0xFFF),
+        _mm256_and_si256(_mm256_srli_epi32(absu, 13), _mm256_set1_epi32(1)));
+    StoreHalf8(out + i, Fp16Pack8(u, rnd));
+  }
+  ScalarKernels()->fp16_encode_rn(src + i, n - i, out + i);
+}
+
+POSEIDON_AVX2 void Avx2Fp16Decode(const uint16_t* src, int64_t n, float* out) {
+  const __m256i exp_mask = _mm256_set1_epi32(0x0F800000);
+  const __m256i bias = _mm256_set1_epi32(112 << 23);
+  const __m256 magic = _mm256_castsi256_ps(_mm256_set1_epi32(0x38800000));
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i h = _mm256_cvtepu16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i)));
+    const __m256i sign =
+        _mm256_slli_epi32(_mm256_and_si256(h, _mm256_set1_epi32(0x8000)), 16);
+    __m256i o =
+        _mm256_slli_epi32(_mm256_and_si256(h, _mm256_set1_epi32(0x7FFF)), 13);
+    const __m256i exp = _mm256_and_si256(o, exp_mask);
+    o = _mm256_add_epi32(o, bias);
+    const __m256i is_inf = _mm256_cmpeq_epi32(exp, exp_mask);
+    o = _mm256_blendv_epi8(o, _mm256_add_epi32(o, bias), is_inf);
+    // Subnormal renormalization: the float subtract is exact (same binade),
+    // computed in every lane and blended in where the exponent field is 0.
+    const __m256i is_sub = _mm256_cmpeq_epi32(exp, _mm256_setzero_si256());
+    const __m256i sub_bits = _mm256_castps_si256(_mm256_sub_ps(
+        _mm256_castsi256_ps(_mm256_add_epi32(o, _mm256_set1_epi32(1 << 23))),
+        magic));
+    o = _mm256_blendv_epi8(o, sub_bits, is_sub);
+    _mm256_storeu_ps(out + i, _mm256_castsi256_ps(_mm256_or_si256(sign, o)));
+  }
+  ScalarKernels()->fp16_decode(src + i, n - i, out + i);
+}
+
+POSEIDON_AVX2 void Avx2Int8EncodeSr(const float* src, int64_t n, float inv_scale,
+                                    uint32_t seed, int64_t base_index,
+                                    int8_t* out) {
+  const __m256 vinv = _mm256_set1_ps(inv_scale);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256 vhi = _mm256_set1_ps(127.0f);
+  const __m256 vlo = _mm256_set1_ps(-127.0f);
+  const __m256 v2p24 = _mm256_set1_ps(0x1p-24f);
+  const __m256i vseed = _mm256_set1_epi32(static_cast<int>(seed));
+  const __m256i step = _mm256_set1_epi32(8);
+  __m256i idx = _mm256_add_epi32(
+      _mm256_set1_epi32(static_cast<int>(static_cast<uint32_t>(base_index))),
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(src + i), vinv);
+    const __m256 fl = _mm256_floor_ps(t);
+    const __m256 frac = _mm256_sub_ps(t, fl);
+    const __m256i h = MixBits8(idx, vseed);
+    // (h >> 8) is < 2^24, so the signed int -> float conversion is exact.
+    const __m256 r =
+        _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_srli_epi32(h, 8)), v2p24);
+    const __m256 inc = _mm256_and_ps(_mm256_cmp_ps(frac, r, _CMP_GT_OQ), vone);
+    __m256 q = _mm256_add_ps(fl, inc);
+    q = _mm256_blendv_ps(q, vhi, _mm256_cmp_ps(q, vhi, _CMP_GT_OQ));
+    q = _mm256_blendv_ps(q, vlo, _mm256_cmp_ps(q, vlo, _CMP_LT_OQ));
+    q = _mm256_and_ps(q, _mm256_cmp_ps(q, q, _CMP_ORD_Q));  // NaN squash
+    const __m256i qi = _mm256_cvttps_epi32(q);
+    const __m256i p16 = _mm256_packs_epi32(qi, qi);
+    const __m256i p8 = _mm256_packs_epi16(p16, p16);
+    const __m256i perm = _mm256_permutevar8x32_epi32(
+        p8, _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(perm));
+    idx = _mm256_add_epi32(idx, step);
+  }
+  ScalarKernels()->int8_encode_sr(src + i, n - i, inv_scale, seed, base_index + i,
+                                  out + i);
+}
+
+POSEIDON_AVX2 void Avx2Int8Decode(const int8_t* src, int64_t n, float scale,
+                                  float* out) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i qi = _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i)));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_cvtepi32_ps(qi), vscale));
+  }
+  ScalarKernels()->int8_decode(src + i, n - i, scale, out + i);
+}
+
+POSEIDON_AVX2 float Avx2MaxAbs(const float* src, int64_t n) {
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  __m256 vm = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_and_ps(_mm256_loadu_ps(src + i), absmask);
+    vm = _mm256_blendv_ps(vm, a, _mm256_cmp_ps(a, vm, _CMP_GT_OQ));
+  }
+  // max over non-negative magnitudes (NaNs ignored by the ordered compare)
+  // is associative, so the lane fold equals the scalar sequential max.
+  float lanes[8];
+  _mm256_storeu_ps(lanes, vm);
+  float m = 0.0f;
+  for (int l = 0; l < 8; ++l) {
+    m = lanes[l] > m ? lanes[l] : m;
+  }
+  for (; i < n; ++i) {
+    const float a = std::fabs(src[i]);
+    m = a > m ? a : m;
+  }
+  return m;
+}
+
+POSEIDON_AVX2 int64_t Avx2CountAbsGreater(const float* src, int64_t n,
+                                          float threshold) {
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  const __m256 thr = _mm256_set1_ps(threshold);
+  __m256i cnt = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_and_ps(_mm256_loadu_ps(src + i), absmask);
+    cnt = _mm256_sub_epi32(cnt,
+                           _mm256_castps_si256(_mm256_cmp_ps(a, thr, _CMP_GT_OQ)));
+  }
+  int32_t lanes[8];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), cnt);
+  int64_t count = 0;
+  for (int l = 0; l < 8; ++l) {
+    count += lanes[l];
+  }
+  for (; i < n; ++i) {
+    count += std::fabs(src[i]) > threshold ? 1 : 0;
+  }
+  return count;
+}
+
 #undef POSEIDON_AVX2
 
 const Kernels kAvx2Kernels = {
@@ -207,6 +406,10 @@ const Kernels kAvx2Kernels = {
     Avx2Scale,              Avx2Axpy,
     Avx2SgdStep,            Avx2OneBitEncodeStats,
     Avx2OneBitResidualUpdate, Avx2OneBitDecode,
+    Avx2Fp16EncodeSr,       Avx2Fp16EncodeRn,
+    Avx2Fp16Decode,         Avx2Int8EncodeSr,
+    Avx2Int8Decode,         Avx2MaxAbs,
+    Avx2CountAbsGreater,
 };
 
 }  // namespace

@@ -10,7 +10,10 @@
 
 #include <arm_neon.h>
 
+#include <cmath>
+
 #include "src/simd/bitpack.h"
+#include "src/simd/quant.h"
 
 namespace poseidon {
 namespace simd {
@@ -197,11 +200,202 @@ void NeonOneBitDecode(const uint32_t* bits, const float* pos_level,
   }
 }
 
+// 4 lanes of the integer hash in src/simd/quant.h (xor/shift/mul-low only).
+inline uint32x4_t MixBits4(uint32x4_t idx, uint32x4_t seed) {
+  uint32x4_t h = veorq_u32(idx, seed);
+  h = veorq_u32(h, vshrq_n_u32(h, 16));
+  h = vmulq_u32(h, vdupq_n_u32(0x21f0aaadu));
+  h = veorq_u32(h, vshrq_n_u32(h, 15));
+  h = vmulq_u32(h, vdupq_n_u32(0x735a2d97u));
+  h = veorq_u32(h, vshrq_n_u32(h, 15));
+  return h;
+}
+
+// 4 lanes of internal::Fp16Pack, narrowed to the low 16 bits.
+inline uint16x4_t Fp16Pack4(uint32x4_t u, uint32x4_t rnd13) {
+  const uint32x4_t max_half = vdupq_n_u32(0x7BFF);
+  const uint32x4_t sign = vandq_u32(vshrq_n_u32(u, 16), vdupq_n_u32(0x8000));
+  const uint32x4_t absu = vandq_u32(u, vdupq_n_u32(0x7FFFFFFF));
+  uint32x4_t h = vshrq_n_u32(
+      vsubq_u32(vaddq_u32(absu, rnd13), vdupq_n_u32(0x38000000)), 13);
+  h = vminq_u32(h, max_half);
+  const uint32x4_t big = vcgeq_u32(absu, vdupq_n_u32(0x47800000));
+  h = vbslq_u32(big, max_half, h);
+  const uint32x4_t small = vcltq_u32(absu, vdupq_n_u32(0x38800000));
+  h = vbicq_u32(h, small);
+  return vmovn_u32(vorrq_u32(sign, h));
+}
+
+void NeonFp16EncodeSr(const float* src, int64_t n, uint32_t seed,
+                      int64_t base_index, uint16_t* out) {
+  const uint32x4_t vseed = vdupq_n_u32(seed);
+  const uint32x4_t step = vdupq_n_u32(4);
+  const uint32x4_t ramp = {0u, 1u, 2u, 3u};
+  uint32x4_t idx = vaddq_u32(vdupq_n_u32(static_cast<uint32_t>(base_index)), ramp);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int half = 0; half < 2; ++half) {
+      const int64_t f = i + 4 * half;
+      const uint32x4_t rnd13 = vshrq_n_u32(MixBits4(idx, vseed), 19);
+      const uint32x4_t u = vreinterpretq_u32_f32(vld1q_f32(src + f));
+      vst1_u16(out + f, Fp16Pack4(u, rnd13));
+      idx = vaddq_u32(idx, step);
+    }
+  }
+  ScalarKernels()->fp16_encode_sr(src + i, n - i, seed, base_index + i, out + i);
+}
+
+void NeonFp16EncodeRn(const float* src, int64_t n, uint16_t* out) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int half = 0; half < 2; ++half) {
+      const int64_t f = i + 4 * half;
+      const uint32x4_t u = vreinterpretq_u32_f32(vld1q_f32(src + f));
+      const uint32x4_t absu = vandq_u32(u, vdupq_n_u32(0x7FFFFFFF));
+      const uint32x4_t rnd = vaddq_u32(
+          vdupq_n_u32(0xFFF),
+          vandq_u32(vshrq_n_u32(absu, 13), vdupq_n_u32(1)));
+      vst1_u16(out + f, Fp16Pack4(u, rnd));
+    }
+  }
+  ScalarKernels()->fp16_encode_rn(src + i, n - i, out + i);
+}
+
+void NeonFp16Decode(const uint16_t* src, int64_t n, float* out) {
+  const uint32x4_t exp_mask = vdupq_n_u32(0x0F800000);
+  const uint32x4_t bias = vdupq_n_u32(112u << 23);
+  const float32x4_t magic = vreinterpretq_f32_u32(vdupq_n_u32(0x38800000));
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int half = 0; half < 2; ++half) {
+      const int64_t f = i + 4 * half;
+      const uint32x4_t h = vmovl_u16(vld1_u16(src + f));
+      const uint32x4_t sign =
+          vshlq_n_u32(vandq_u32(h, vdupq_n_u32(0x8000)), 16);
+      uint32x4_t o = vshlq_n_u32(vandq_u32(h, vdupq_n_u32(0x7FFF)), 13);
+      const uint32x4_t exp = vandq_u32(o, exp_mask);
+      o = vaddq_u32(o, bias);
+      const uint32x4_t is_inf = vceqq_u32(exp, exp_mask);
+      o = vbslq_u32(is_inf, vaddq_u32(o, bias), o);
+      // Subnormal renormalization via one exact float subtract (same binade).
+      const uint32x4_t is_sub = vceqq_u32(exp, vdupq_n_u32(0));
+      const uint32x4_t sub_bits = vreinterpretq_u32_f32(vsubq_f32(
+          vreinterpretq_f32_u32(vaddq_u32(o, vdupq_n_u32(1u << 23))), magic));
+      o = vbslq_u32(is_sub, sub_bits, o);
+      vst1q_f32(out + f, vreinterpretq_f32_u32(vorrq_u32(sign, o)));
+    }
+  }
+  ScalarKernels()->fp16_decode(src + i, n - i, out + i);
+}
+
+void NeonInt8EncodeSr(const float* src, int64_t n, float inv_scale, uint32_t seed,
+                      int64_t base_index, int8_t* out) {
+  const float32x4_t vinv = vdupq_n_f32(inv_scale);
+  const float32x4_t vhi = vdupq_n_f32(127.0f);
+  const float32x4_t vlo = vdupq_n_f32(-127.0f);
+  const float32x4_t v2p24 = vdupq_n_f32(0x1p-24f);
+  const uint32x4_t one_bits = vreinterpretq_u32_f32(vdupq_n_f32(1.0f));
+  const uint32x4_t vseed = vdupq_n_u32(seed);
+  const uint32x4_t step = vdupq_n_u32(4);
+  const uint32x4_t ramp = {0u, 1u, 2u, 3u};
+  uint32x4_t idx = vaddq_u32(vdupq_n_u32(static_cast<uint32_t>(base_index)), ramp);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    int32x4_t qi[2];
+    for (int half = 0; half < 2; ++half) {
+      const int64_t f = i + 4 * half;
+      const float32x4_t t = vmulq_f32(vld1q_f32(src + f), vinv);
+      const float32x4_t fl = vrndmq_f32(t);  // floor
+      const float32x4_t frac = vsubq_f32(t, fl);
+      const uint32x4_t h = MixBits4(idx, vseed);
+      // (h >> 8) < 2^24, so the unsigned int -> float conversion is exact.
+      const float32x4_t r =
+          vmulq_f32(vcvtq_f32_u32(vshrq_n_u32(h, 8)), v2p24);
+      const float32x4_t inc = vreinterpretq_f32_u32(
+          vandq_u32(vcgtq_f32(frac, r), one_bits));
+      float32x4_t q = vaddq_f32(fl, inc);
+      q = vbslq_f32(vcgtq_f32(q, vhi), vhi, q);
+      q = vbslq_f32(vcltq_f32(q, vlo), vlo, q);
+      q = vreinterpretq_f32_u32(
+          vandq_u32(vreinterpretq_u32_f32(q), vceqq_f32(q, q)));  // NaN squash
+      qi[half] = vcvtq_s32_f32(q);  // truncates toward zero, like the cast
+      idx = vaddq_u32(idx, step);
+    }
+    const int16x8_t p16 = vcombine_s16(vmovn_s32(qi[0]), vmovn_s32(qi[1]));
+    vst1_s8(out + i, vmovn_s16(p16));
+  }
+  ScalarKernels()->int8_encode_sr(src + i, n - i, inv_scale, seed, base_index + i,
+                                  out + i);
+}
+
+void NeonInt8Decode(const int8_t* src, int64_t n, float scale, float* out) {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const int16x8_t w = vmovl_s8(vld1_s8(src + i));
+    const int32x4_t lo = vmovl_s16(vget_low_s16(w));
+    const int32x4_t hi = vmovl_s16(vget_high_s16(w));
+    vst1q_f32(out + i, vmulq_f32(vcvtq_f32_s32(lo), vscale));
+    vst1q_f32(out + i + 4, vmulq_f32(vcvtq_f32_s32(hi), vscale));
+  }
+  ScalarKernels()->int8_decode(src + i, n - i, scale, out + i);
+}
+
+float NeonMaxAbs(const float* src, int64_t n) {
+  float32x4_t vm = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int half = 0; half < 2; ++half) {
+      const float32x4_t a = vabsq_f32(vld1q_f32(src + i + 4 * half));
+      vm = vbslq_f32(vcgtq_f32(a, vm), a, vm);
+    }
+  }
+  // max over non-negative magnitudes (NaNs ignored) is associative, so the
+  // lane fold equals the scalar sequential max.
+  float lanes[4];
+  vst1q_f32(lanes, vm);
+  float m = 0.0f;
+  for (int l = 0; l < 4; ++l) {
+    m = lanes[l] > m ? lanes[l] : m;
+  }
+  for (; i < n; ++i) {
+    const float a = std::fabs(src[i]);
+    m = a > m ? a : m;
+  }
+  return m;
+}
+
+int64_t NeonCountAbsGreater(const float* src, int64_t n, float threshold) {
+  const float32x4_t thr = vdupq_n_f32(threshold);
+  uint32x4_t cnt = vdupq_n_u32(0);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int half = 0; half < 2; ++half) {
+      const float32x4_t a = vabsq_f32(vld1q_f32(src + i + 4 * half));
+      cnt = vsubq_u32(cnt, vcgtq_f32(a, thr));
+    }
+  }
+  uint32_t lanes[4];
+  vst1q_u32(lanes, cnt);
+  int64_t count = 0;
+  for (int l = 0; l < 4; ++l) {
+    count += lanes[l];
+  }
+  for (; i < n; ++i) {
+    count += std::fabs(src[i]) > threshold ? 1 : 0;
+  }
+  return count;
+}
+
 const Kernels kNeonKernels = {
     Level::kNeon,           NeonReduceAdd,
     NeonScale,              NeonAxpy,
     NeonSgdStep,            NeonOneBitEncodeStats,
     NeonOneBitResidualUpdate, NeonOneBitDecode,
+    NeonFp16EncodeSr,       NeonFp16EncodeRn,
+    NeonFp16Decode,         NeonInt8EncodeSr,
+    NeonInt8Decode,         NeonMaxAbs,
+    NeonCountAbsGreater,
 };
 
 }  // namespace

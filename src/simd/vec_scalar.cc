@@ -3,7 +3,10 @@
 // -fno-tree-vectorize -ffp-contract=off so it stays an honest scalar
 // baseline (no autovectorization inflating the roofline denominator, no
 // fused multiply-adds changing rounding on FMA-capable ISAs).
+#include <cmath>
+
 #include "src/simd/bitpack.h"
+#include "src/simd/quant.h"
 #include "src/simd/vec.h"
 
 namespace poseidon {
@@ -87,11 +90,79 @@ void ScalarOneBitDecode(const uint32_t* bits, const float* pos_level,
   }
 }
 
+void ScalarFp16EncodeSr(const float* src, int64_t n, uint32_t seed,
+                        int64_t base_index, uint16_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t rnd13 =
+        internal::MixBits(seed, static_cast<uint32_t>(base_index + i)) >> 19;
+    out[i] = internal::Fp16Pack(internal::FloatBits(src[i]), rnd13);
+  }
+}
+
+void ScalarFp16EncodeRn(const float* src, int64_t n, uint16_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t u = internal::FloatBits(src[i]);
+    out[i] = internal::Fp16Pack(u, internal::Fp16RnIncrement(u & 0x7FFFFFFFu));
+  }
+}
+
+void ScalarFp16Decode(const uint16_t* src, int64_t n, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = internal::Fp16Unpack(src[i]);
+  }
+}
+
+void ScalarInt8EncodeSr(const float* src, int64_t n, float inv_scale, uint32_t seed,
+                        int64_t base_index, int8_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float t = src[i] * inv_scale;
+    const float fl = std::floor(t);
+    const float frac = t - fl;
+    const uint32_t h =
+        internal::MixBits(seed, static_cast<uint32_t>(base_index + i));
+    // 24-bit uniform in [0, 1): the int -> float conversion and the
+    // power-of-two multiply are both exact.
+    const float r = static_cast<float>(h >> 8) * 0x1p-24f;
+    float q = fl + (frac > r ? 1.0f : 0.0f);
+    q = q > 127.0f ? 127.0f : q;
+    q = q < -127.0f ? -127.0f : q;
+    q = q == q ? q : 0.0f;  // NaN squash: the cast below must be defined
+    out[i] = static_cast<int8_t>(static_cast<int32_t>(q));
+  }
+}
+
+void ScalarInt8Decode(const int8_t* src, int64_t n, float scale, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(src[i]) * scale;
+  }
+}
+
+float ScalarMaxAbs(const float* src, int64_t n) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = std::fabs(src[i]);
+    m = a > m ? a : m;  // ordered compare: NaNs never enter the max
+  }
+  return m;
+}
+
+int64_t ScalarCountAbsGreater(const float* src, int64_t n, float threshold) {
+  int64_t count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    count += std::fabs(src[i]) > threshold ? 1 : 0;
+  }
+  return count;
+}
+
 const Kernels kScalarKernels = {
     Level::kScalar,          ScalarReduceAdd,
     ScalarScale,             ScalarAxpy,
     ScalarSgdStep,           ScalarOneBitEncodeStats,
     ScalarOneBitResidualUpdate, ScalarOneBitDecode,
+    ScalarFp16EncodeSr,      ScalarFp16EncodeRn,
+    ScalarFp16Decode,        ScalarInt8EncodeSr,
+    ScalarInt8Decode,        ScalarMaxAbs,
+    ScalarCountAbsGreater,
 };
 
 }  // namespace

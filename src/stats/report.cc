@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "src/common/table.h"
+#include "src/nn/builders.h"
+#include "src/poseidon/trainer.h"
 
 namespace poseidon {
 namespace {
@@ -129,6 +131,46 @@ std::string FormatLossAblation(const std::string& title, const ModelSpec& model,
       << " GbE)\n"
       << table.ToString();
   return out.str();
+}
+
+CompressionAblationPoint RunCompressionAblation(PsCompressionPolicy policy,
+                                                double topk_density, int iters) {
+  DatasetConfig data;
+  data.num_classes = 3;
+  data.channels = 1;
+  data.height = 8;
+  data.width = 8;
+  data.train_size = 96;
+  data.seed = 7;
+  SyntheticDataset dataset(data);
+  NetworkFactory factory = [] {
+    Rng rng(13);
+    return BuildMlp(/*input_dim=*/64, /*hidden_dim=*/24, /*hidden_layers=*/2,
+                    /*classes=*/3, rng);
+  };
+  TrainerOptions options;
+  options.num_workers = 2;
+  options.num_servers = 2;
+  options.batch_per_worker = 4;
+  options.fc_policy = FcSyncPolicy::kDense;  // every layer on the PS path
+  options.kv_pair_bytes = 1024;
+  options.ps_compression = policy;
+  options.topk_density = topk_density;
+  options.compression_min_floats = 1;  // the tiny MLP sits under the gate
+  PoseidonTrainer trainer(factory, options);
+
+  trainer.bus().FlushEgress();
+  trainer.bus().ResetTraffic();
+  const std::vector<IterationStats> stats = trainer.Train(dataset, iters);
+  trainer.bus().FlushEgress();
+
+  CompressionAblationPoint point;
+  for (int64_t bytes : trainer.bus().TxBytes()) {
+    point.wire_bytes_per_iter += static_cast<double>(bytes) / iters;
+  }
+  point.first_loss = stats.front().mean_loss;
+  point.final_loss = stats.back().mean_loss;
+  return point;
 }
 
 }  // namespace poseidon

@@ -11,6 +11,7 @@
 #include "src/cluster/protocol_sim.h"
 #include "src/cluster/system_config.h"
 #include "src/models/model_spec.h"
+#include "src/poseidon/runtime_scheme.h"
 
 namespace poseidon {
 
@@ -48,6 +49,22 @@ std::string FormatBatchAblation(const std::string& title, const ModelSpec& model
 std::string FormatLossAblation(const std::string& title, const ModelSpec& model,
                                SystemConfig system, int nodes, double gbps, Engine engine,
                                const std::vector<double>& loss_rates);
+
+// One point of the wire-compression ablation (bench_ext_compression and the
+// micro-benchmark's recorded trajectory): a real small-cluster training run
+// under one PS wire codec, with the bus's measured egress bytes and the loss
+// trajectory. Runs are seeded and bitwise deterministic per configuration.
+struct CompressionAblationPoint {
+  double wire_bytes_per_iter = 0.0;  // measured bus egress, framing included
+  double first_loss = 0.0;
+  double final_loss = 0.0;
+};
+
+// Trains a small seeded MLP for `iters` iterations under `policy` (the size
+// gate is lowered so every PS layer actually runs the codec; density applies
+// to the top-k codec only).
+CompressionAblationPoint RunCompressionAblation(PsCompressionPolicy policy,
+                                                double topk_density, int iters);
 
 }  // namespace poseidon
 

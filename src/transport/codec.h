@@ -1,10 +1,10 @@
 /// \file
 /// The unified wire-codec registry: every gradient representation that
-/// crosses the wire (raw floats, 1-bit quantized, sufficient factors) is
-/// serialized into a Payload slab by exactly one Codec, and every receiver
-/// decodes through the same codec. No scheme-specific encode/decode logic
-/// lives in the syncers or the KV store; adding a compression (e.g. top-k)
-/// is one codec class registered here.
+/// crosses the wire (raw floats, 1-bit quantized, sufficient factors, fp16,
+/// int8, top-k sparse) is serialized into a Payload slab by exactly one
+/// Codec, and every receiver decodes through the same codec. No
+/// scheme-specific encode/decode logic lives in the syncers or the KV store;
+/// adding a compression is one codec class registered here.
 ///
 /// Frame layout (in 4-byte float words; integers are bit-cast into words
 /// with memcpy, never read as floats):
@@ -16,6 +16,16 @@
 ///                       [bias: bias_len]
 ///   sufficient factor   [m][n][k][bias_len]
 ///                       [u: m*k][v: n*k][bias: bias_len]
+///   fp16                [n][bias_len]
+///                       [halves: ceil(n/2), two binary16 per word, low first]
+///                       [bias: bias_len]
+///   int8                [n][bias_len]
+///                       [scales: ceil(n/256), one fp32 per chunk]
+///                       [packed: ceil(n/4), four int8 per word, low first]
+///                       [bias: bias_len]
+///   top-k               [n][k][bias_len]
+///                       [indices: k, uint32, strictly increasing, < n]
+///                       [values: k][bias: bias_len]
 ///
 /// Decoding validates framing and returns Status on truncated or corrupt
 /// buffers — a malformed frame must never crash the server. Decode
@@ -42,9 +52,19 @@ enum class WireCodec : uint8_t {
   kRawFloat = 0,
   kOneBit = 1,
   kSufficientFactor = 2,
+  kFp16 = 3,
+  kInt8 = 4,
+  kTopK = 5,
 };
 
 const char* WireCodecName(WireCodec id);
+
+/// The per-(layer, clock) seed for the stochastically rounded codecs.
+/// Derived from a fixed base through Rng::Split (src/common/rng.h), so every
+/// worker — and every rerun — draws the same rounding noise for the same
+/// (layer, clock) pair, which is what keeps quantized trajectories bitwise
+/// reproducible (docs/COMPRESSION.md).
+uint32_t QuantSeed(int layer_index, int64_t clock);
 
 /// One gradient representation's serializer/deserializer. Concrete codecs
 /// additionally expose typed encode entry points (their inputs differ:
@@ -156,9 +176,135 @@ class SufficientFactorCodec : public Codec {
   static Status DecodeReconstruct(const PayloadView& frame, Tensor* out);
 };
 
-/// Process-wide codec registry. The three paper codecs are always present;
-/// extensions register once at startup and are then addressable by id from
-/// any Message.
+/// IEEE binary16 frames with the encoder's reduced range (subnormal halves
+/// flush to signed zero, magnitudes >= 2^16 clamp to 65504 — error feedback
+/// re-injects both next clock). Two encode modes: stochastic rounding with a
+/// carried residual for the gradient-push direction, and round-to-nearest
+/// (stateless) for the parameter-reply direction.
+class Fp16Codec : public Codec {
+ public:
+  /// Parsed frame: spans into the slab (bias may be empty). Halves are
+  /// bit-cast two to a word; read them through half(), not as floats.
+  struct Frame {
+    int64_t n = 0;
+    int64_t bias_len = 0;
+    PayloadView halves;  ///< ceil(n/2) words (bit-cast floats)
+    PayloadView bias;
+
+    /// The i-th packed binary16 value, i in [0, n).
+    uint16_t half(int64_t i) const;
+  };
+
+  WireCodec id() const override { return WireCodec::kFp16; }
+  const char* name() const override { return "fp16"; }
+  StatusOr<int64_t> Validate(const PayloadView& frame) const override;
+  Status Decode(const PayloadView& frame, Tensor* dense,
+                std::vector<float>* bias) const override;
+
+  /// Stochastically rounds `quant` (the gradient slice with the error
+  /// residual already added, n floats) into one frame. The rounding noise is
+  /// a pure function of (seed, base_index + i) — pass the slice's flat layer
+  /// offset as `base_index` so sharding never changes the bits. When
+  /// `residual` is non-null it is overwritten with quant - decode(frame),
+  /// the error-feedback carry.
+  static Payload EncodeSr(const float* quant, int64_t n, uint32_t seed,
+                          int64_t base_index, float* residual, const float* bias,
+                          int64_t bias_len);
+
+  /// Round-to-nearest-even encode for the stateless reply direction.
+  static Payload EncodeRn(const float* src, int64_t n, const float* bias,
+                          int64_t bias_len);
+
+  /// Validated zero-copy access to a frame's regions.
+  static StatusOr<Frame> Parse(const PayloadView& frame);
+
+  /// Reconstructs the dense (1-D) gradient via the exact Fp16Unpack formula.
+  static Status DecodeDense(const PayloadView& frame, Tensor* out);
+};
+
+/// int8 frames with one fp32 scale per 256-element chunk
+/// (simd::kInt8ChunkSize) and deterministic stochastic rounding. A chunk
+/// whose max|x| is zero or non-finite gets scale 0 and decodes to zeros —
+/// the residual re-injects the content next clock.
+class Int8Codec : public Codec {
+ public:
+  /// Parsed frame: spans into the slab (bias may be empty). Packed bytes are
+  /// bit-cast four to a word; read them through DecodeDense.
+  struct Frame {
+    int64_t n = 0;
+    int64_t bias_len = 0;
+    PayloadView scales;  ///< ceil(n/256) per-chunk scales
+    PayloadView packed;  ///< ceil(n/4) words (bit-cast floats)
+    PayloadView bias;
+  };
+
+  WireCodec id() const override { return WireCodec::kInt8; }
+  const char* name() const override { return "int8"; }
+  StatusOr<int64_t> Validate(const PayloadView& frame) const override;
+  Status Decode(const PayloadView& frame, Tensor* dense,
+                std::vector<float>* bias) const override;
+
+  /// Stochastically rounds `quant` (gradient + residual, n floats) into one
+  /// frame; same (seed, base_index) contract as Fp16Codec::EncodeSr. When
+  /// `residual` is non-null it is overwritten with quant - decode(frame).
+  static Payload EncodeSr(const float* quant, int64_t n, uint32_t seed,
+                          int64_t base_index, float* residual, const float* bias,
+                          int64_t bias_len);
+
+  /// Validated zero-copy access to a frame's regions.
+  static StatusOr<Frame> Parse(const PayloadView& frame);
+
+  /// Reconstructs the dense (1-D) gradient: out[i] = q[i] * scale[chunk].
+  static Status DecodeDense(const PayloadView& frame, Tensor* out);
+};
+
+/// Top-k sparse frames: the k largest-magnitude elements as (index, value)
+/// pairs, values sent exact. Selection is deterministic — threshold from the
+/// k-th largest magnitude, ties broken in index order — and the residual
+/// keeps everything that was not sent, so every coordinate eventually
+/// escapes (error feedback).
+class TopKCodec : public Codec {
+ public:
+  /// Parsed frame: spans into the slab (bias may be empty). Indices are
+  /// bit-cast uint32, validated strictly increasing and < n; read them
+  /// through index(), not as floats.
+  struct Frame {
+    int64_t n = 0;
+    int64_t k = 0;
+    int64_t bias_len = 0;
+    PayloadView indices;  ///< k words (bit-cast floats)
+    PayloadView values;   ///< k floats
+    PayloadView bias;
+
+    /// The i-th selected flat index, i in [0, k).
+    int64_t index(int64_t i) const;
+  };
+
+  WireCodec id() const override { return WireCodec::kTopK; }
+  const char* name() const override { return "topk"; }
+  StatusOr<int64_t> Validate(const PayloadView& frame) const override;
+  Status Decode(const PayloadView& frame, Tensor* dense,
+                std::vector<float>* bias) const override;
+
+  /// Selects the k largest-magnitude elements of `quant` (gradient +
+  /// residual, n floats; 1 <= k <= n) and serializes them exactly. When
+  /// `residual` is non-null it is overwritten with quant everywhere except
+  /// the selected coordinates, which carry zero residual.
+  static Payload Encode(const float* quant, int64_t n, int64_t k, float* residual,
+                        const float* bias, int64_t bias_len);
+
+  /// Validated zero-copy access to a frame's regions (including the
+  /// strictly-increasing index scan).
+  static StatusOr<Frame> Parse(const PayloadView& frame);
+
+  /// Scatters the (index, value) pairs into a zeroed dense (1-D) gradient.
+  static Status DecodeDense(const PayloadView& frame, Tensor* out);
+};
+
+/// Process-wide codec registry. The six built-in codecs (the three paper
+/// representations plus the fp16/int8/top-k compressions) are always
+/// present; extensions register once at startup and are then addressable by
+/// id from any Message.
 class CodecRegistry {
  public:
   /// The codec for `id`; CHECK-fails on an unknown id (use Find on wire

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,22 @@
 #include "src/transport/socket_transport.h"
 
 namespace poseidon {
+namespace {
+
+// Runs its action on every scope exit — early error returns included — so
+// the bench can never leave the /tmp socket directory behind.
+class ScopeExit {
+ public:
+  explicit ScopeExit(std::function<void()> action) : action_(std::move(action)) {}
+  ~ScopeExit() { action_(); }
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  std::function<void()> action_;
+};
+
+}  // namespace
 
 StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
     const SocketBandwidthOptions& options) {
@@ -49,7 +66,7 @@ StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
 
   std::unique_ptr<MessageBus> bus[2];
   std::shared_ptr<SocketTransport> transport[2];
-  auto teardown = [&] {
+  ScopeExit teardown([&] {
     for (int p = 0; p < 2; ++p) {
       if (bus[p] != nullptr) {
         bus[p]->CloseAll();
@@ -64,7 +81,7 @@ StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
       }
       rmdir(dir.c_str());
     }
-  };
+  });
 
   for (int p = 0; p < 2; ++p) {
     SocketTransportOptions topts;
@@ -76,14 +93,12 @@ StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
     bus[p]->AttachTransport(transport[p]);
     const Status started = transport[p]->Start(bus[p].get());
     if (!started.ok()) {
-      teardown();
       return started;
     }
   }
   for (int p = 0; p < 2; ++p) {
     const Status connected = transport[p]->ConnectAll();
     if (!connected.ok()) {
-      teardown();
       return connected;
     }
   }
@@ -109,13 +124,11 @@ StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
   for (int i = 0; i < options.warmup_frames; ++i) {
     const Status sent = send_frame(i);
     if (!sent.ok()) {
-      teardown();
       return sent;
     }
   }
   for (int i = 0; i < options.warmup_frames; ++i) {
     if (!sink->Pop().has_value()) {
-      teardown();
       return InternalError("socket bench warmup frame lost");
     }
   }
@@ -125,13 +138,11 @@ StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
   for (int i = 0; i < options.frames; ++i) {
     const Status sent = send_frame(options.warmup_frames + i);
     if (!sent.ok()) {
-      teardown();
       return sent;
     }
   }
   for (int i = 0; i < options.frames; ++i) {
     if (!sink->Pop().has_value()) {
-      teardown();
       return InternalError("socket bench timed frame lost");
     }
   }
@@ -152,7 +163,6 @@ StatusOr<SocketBandwidthResult> MeasureSocketBandwidth(
     result.wire_gbps =
         static_cast<double>(result.wire_bytes) * 8.0 / result.seconds / 1e9;
   }
-  teardown();
   return result;
 }
 

@@ -183,5 +183,91 @@ TEST(CollectiveCostTest, ResNet152SpecPrefersCollectiveConv) {
   EXPECT_GT(collective_layers, 0);
 }
 
+// The compressed chooser is optimal on the byte basis by construction;
+// verify against brute force over every admissible (scheme, codec) pair.
+TEST(CollectiveCostTest, BestSchemeExtendedCompressedNeverDominated) {
+  const double density = 0.05;
+  for (int p : {2, 3, 8, 32}) {
+    for (int64_t m : {16, 1000, 4096}) {
+      for (int64_t n : {16, 1024, 25088}) {
+        for (LayerType type : {LayerType::kFC, LayerType::kConv}) {
+          LayerSpec layer;
+          layer.name = "l";
+          layer.type = type;
+          layer.fc_m = type == LayerType::kFC ? m : 0;
+          layer.fc_n = type == LayerType::kFC ? n : 0;
+          layer.params = m * n;
+          const SchemeChoice choice =
+              BestSchemeExtendedCompressed(layer, /*batch_k=*/32, p, p,
+                                           /*ps_shards=*/1, density);
+          CommCostQuery q = MakeQuery(type == LayerType::kFC ? m : m * n,
+                                      type == LayerType::kFC ? n : 1, 32, p);
+          EXPECT_DOUBLE_EQ(choice.bytes,
+                           SchemeWireBytes(choice.scheme, choice.compression, q, density));
+          for (CommScheme alt : {CommScheme::kPS, CommScheme::kSFB, CommScheme::kRing,
+                                 CommScheme::kTree}) {
+            if (alt == CommScheme::kSFB && type != LayerType::kFC) {
+              continue;  // not admissible for conv
+            }
+            for (GradCompression codec :
+                 {GradCompression::kNone, GradCompression::kFp16, GradCompression::kInt8,
+                  GradCompression::kTopK}) {
+              if (codec != GradCompression::kNone &&
+                  (alt != CommScheme::kPS || m * n < kCompressionMinFloats)) {
+                continue;  // only the PS path compresses, above the size gate
+              }
+              EXPECT_LE(choice.bytes, SchemeWireBytes(alt, codec, q, density))
+                  << CommSchemeName(choice.scheme) << "+"
+                  << GradCompressionName(choice.compression) << " dominated by "
+                  << CommSchemeName(alt) << "+" << GradCompressionName(codec)
+                  << " at P=" << p << " m=" << m << " n=" << n;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Acceptance scenario for the byte-basis chooser: on ResNet-152 at 32
+// workers the big conv layers leave raw PS for a *compressed* PS row (the
+// quantized round trip undercuts even ring allreduce), while layers under
+// the size gate stay raw.
+TEST(CollectiveCostTest, CompressedChooserMovesLargeConvOntoCompressedPs) {
+  const ModelSpec model = MakeResNet152();
+  int compressed_ps = 0;
+  for (const LayerSpec& layer : model.layers) {
+    const SchemeChoice choice = BestSchemeExtendedCompressed(
+        layer, /*batch_k=*/32, /*num_workers=*/32, /*num_servers=*/32);
+    if (choice.compression != GradCompression::kNone) {
+      EXPECT_EQ(choice.scheme, CommScheme::kPS) << layer.name;
+      EXPECT_GE(layer.params, kCompressionMinFloats) << layer.name;
+      ++compressed_ps;
+    }
+  }
+  EXPECT_GT(compressed_ps, 0)
+      << "no layer class chose a compressed scheme on the byte basis";
+}
+
+TEST(CollectiveCostTest, CompressedChooserBreaksTiesTowardEarlierCandidate) {
+  // Density chosen so top-k's round trip (8d + 2) exactly ties int8's
+  // (1 + 4/256 + 2); the strict-improvement rule keeps the earlier int8.
+  const double tie_density = (1.0 + 4.0 / 256.0) / 8.0;
+  LayerSpec layer;
+  layer.name = "conv";
+  layer.type = LayerType::kConv;
+  layer.params = int64_t{1} << 20;
+  const SchemeChoice choice = BestSchemeExtendedCompressed(
+      layer, /*batch_k=*/32, /*num_workers=*/32, /*num_servers=*/32,
+      /*ps_shards=*/1, tie_density);
+  EXPECT_EQ(choice.compression, GradCompression::kInt8);
+
+  // And a single worker never compresses: there is no wire to save.
+  const SchemeChoice solo = BestSchemeExtendedCompressed(
+      layer, /*batch_k=*/32, /*num_workers=*/1, /*num_servers=*/1);
+  EXPECT_EQ(solo.scheme, CommScheme::kPS);
+  EXPECT_EQ(solo.compression, GradCompression::kNone);
+}
+
 }  // namespace
 }  // namespace poseidon

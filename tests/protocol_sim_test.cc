@@ -165,5 +165,83 @@ TEST(ProtocolSimTest, MultiGpuNodeAggregatesLocally) {
   EXPECT_LE(result.speedup, 32.5);
 }
 
+double TotalTxGbits(const SimResult& result) {
+  double total = 0.0;
+  for (double gbits : result.tx_gbits_per_iter) {
+    total += gbits;
+  }
+  return total;
+}
+
+TEST(ProtocolSimTest, CompressedPsCutsWireTraffic) {
+  // The simulator's byte accounting must mirror the runtime codecs: fp16
+  // roughly halves PS traffic (small layers stay raw under the size gate,
+  // and frame headers don't shrink), int8 cuts deeper, top-k at 1% deeper
+  // still. Scheme labels expose the per-layer codec choice.
+  const ModelSpec model = MakeVgg19();
+  const ClusterSpec cluster = Cluster(8, 40.0);
+  const SimResult raw =
+      RunProtocolSimulation(model, CaffePlusWfbp(), cluster, Engine::kCaffe);
+  const SimResult fp16 = RunProtocolSimulation(
+      model, CompressedPsSystem(GradCompression::kFp16), cluster, Engine::kCaffe);
+  const SimResult int8 = RunProtocolSimulation(
+      model, CompressedPsSystem(GradCompression::kInt8), cluster, Engine::kCaffe);
+  const SimResult topk = RunProtocolSimulation(
+      model, CompressedPsSystem(GradCompression::kTopK, 0.01), cluster, Engine::kCaffe);
+
+  EXPECT_LT(TotalTxGbits(fp16), 0.6 * TotalTxGbits(raw));
+  EXPECT_LT(TotalTxGbits(int8), TotalTxGbits(fp16));
+  EXPECT_LT(TotalTxGbits(topk), TotalTxGbits(int8));
+
+  EXPECT_EQ(fp16.layer_schemes.at("fc6"), "PS+fp16");
+  EXPECT_EQ(int8.layer_schemes.at("fc6"), "PS+int8");
+  EXPECT_EQ(topk.layer_schemes.at("fc6"), "PS+topk");
+  // conv1_1 (1728 params) sits under kCompressionMinFloats and stays raw.
+  EXPECT_EQ(fp16.layer_schemes.at("conv1_1"), "PS");
+
+  // At 40 GbE WFBP already hides the wire, so compression must not hurt; on
+  // a starved 5 GbE fabric (comm-bound) the byte savings must win end to end
+  // despite the extra CPU quantization passes.
+  EXPECT_LE(fp16.iter_time_s, raw.iter_time_s + 1e-9);
+  const ClusterSpec starved = Cluster(8, 5.0);
+  const SimResult raw_slow =
+      RunProtocolSimulation(model, CaffePlusWfbp(), starved, Engine::kCaffe);
+  const SimResult fp16_slow = RunProtocolSimulation(
+      model, CompressedPsSystem(GradCompression::kFp16), starved, Engine::kCaffe);
+  EXPECT_LT(fp16_slow.iter_time_s, 0.7 * raw_slow.iter_time_s);
+}
+
+TEST(ProtocolSimTest, AutoCompressionJoinsHybridCollectiveChooser) {
+  const ModelSpec model = MakeVgg19();
+  const ClusterSpec cluster = Cluster(16, 10.0);
+  const SimResult plain = RunProtocolSimulation(model, HybridCollectiveSystem(), cluster,
+                                                Engine::kCaffe);
+  SystemConfig compressed = HybridCollectiveSystem();
+  compressed.auto_ps_compression = true;
+  const SimResult mixed =
+      RunProtocolSimulation(model, compressed, cluster, Engine::kCaffe);
+
+  int compressed_layers = 0;
+  for (const auto& [layer, scheme] : mixed.layer_schemes) {
+    if (scheme.find('+') != std::string::npos) {
+      ++compressed_layers;
+    }
+  }
+  EXPECT_GT(compressed_layers, 0)
+      << "the byte-basis chooser never picked a compressed PS row";
+  EXPECT_LT(TotalTxGbits(mixed), TotalTxGbits(plain));
+}
+
+TEST(ProtocolSimTest, CompressedRunsStayDeterministic) {
+  const ModelSpec model = MakeVgg19();
+  const SystemConfig system = CompressedPsSystem(GradCompression::kInt8);
+  const SimResult a =
+      RunProtocolSimulation(model, system, Cluster(8, 10.0), Engine::kCaffe);
+  const SimResult b =
+      RunProtocolSimulation(model, system, Cluster(8, 10.0), Engine::kCaffe);
+  EXPECT_DOUBLE_EQ(a.iter_time_s, b.iter_time_s);
+  EXPECT_EQ(a.tx_gbits_per_iter, b.tx_gbits_per_iter);
+}
+
 }  // namespace
 }  // namespace poseidon

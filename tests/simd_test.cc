@@ -209,6 +209,67 @@ TEST(SimdKernelTest, OneBitKernelsMatchScalarBitwise) {
   }
 }
 
+TEST(SimdKernelTest, QuantKernelsMatchScalarBitwise) {
+  std::mt19937 gen(20260808);
+  const simd::Kernels* scalar = simd::KernelsFor(simd::Level::kScalar);
+  for (simd::Level level : VectorLevels()) {
+    const simd::Kernels* vec = simd::KernelsFor(level);
+    ASSERT_NE(vec, nullptr);
+    for (int64_t n : FuzzLengths()) {
+      SCOPED_TRACE(std::string(simd::LevelName(level)) + " n=" + std::to_string(n));
+      const std::vector<float> x = FuzzFloats(&gen, static_cast<size_t>(n));
+      const uint32_t seed = gen();
+      const int64_t base = static_cast<int64_t>(gen() % 4096);
+
+      std::vector<uint16_t> ha(static_cast<size_t>(n), 0), hb = ha;
+      scalar->fp16_encode_sr(x.data(), n, seed, base, ha.data());
+      vec->fp16_encode_sr(x.data(), n, seed, base, hb.data());
+      EXPECT_EQ(ha, hb) << "fp16_encode_sr";
+
+      std::fill(ha.begin(), ha.end(), 0);
+      std::fill(hb.begin(), hb.end(), 0);
+      scalar->fp16_encode_rn(x.data(), n, ha.data());
+      vec->fp16_encode_rn(x.data(), n, hb.data());
+      EXPECT_EQ(ha, hb) << "fp16_encode_rn";
+
+      // Decode every 16-bit pattern the encoder produced plus raw junk
+      // halves (a hostile frame can carry any bits, inf/NaN included).
+      std::vector<uint16_t> halves(static_cast<size_t>(n));
+      for (auto& h : halves) {
+        h = static_cast<uint16_t>(gen());
+      }
+      std::vector<float> fa(static_cast<size_t>(n), 0.0f), fb = fa;
+      scalar->fp16_decode(halves.data(), n, fa.data());
+      vec->fp16_decode(halves.data(), n, fb.data());
+      EXPECT_TRUE(BitwiseEqual(fa, fb)) << "fp16_decode";
+
+      const float max_abs_a = scalar->max_abs(x.data(), n);
+      const float max_abs_b = vec->max_abs(x.data(), n);
+      EXPECT_EQ(std::memcmp(&max_abs_a, &max_abs_b, sizeof(float)), 0) << "max_abs";
+
+      const float inv_scale = max_abs_a > 0.0f ? 127.0f / max_abs_a : 0.0f;
+      std::vector<int8_t> qa(static_cast<size_t>(n), 0), qb = qa;
+      scalar->int8_encode_sr(x.data(), n, inv_scale, seed, base, qa.data());
+      vec->int8_encode_sr(x.data(), n, inv_scale, seed, base, qb.data());
+      EXPECT_EQ(qa, qb) << "int8_encode_sr";
+
+      const float scale = max_abs_a / 127.0f;
+      std::fill(fa.begin(), fa.end(), 0.0f);
+      std::fill(fb.begin(), fb.end(), 0.0f);
+      scalar->int8_decode(qa.data(), n, scale, fa.data());
+      vec->int8_decode(qa.data(), n, scale, fb.data());
+      EXPECT_TRUE(BitwiseEqual(fa, fb)) << "int8_decode";
+
+      EXPECT_EQ(scalar->count_abs_greater(x.data(), n, 0.5f),
+                vec->count_abs_greater(x.data(), n, 0.5f))
+          << "count_abs_greater";
+      EXPECT_EQ(scalar->count_abs_greater(x.data(), n, 0.0f),
+                vec->count_abs_greater(x.data(), n, 0.0f))
+          << "count_abs_greater at zero threshold";
+    }
+  }
+}
+
 // The end-to-end stake in the ground: a full small-cluster training run —
 // quantized gradients, collectives, server applies, SGD — lands on exactly
 // the same losses and final weights with vectorization on and off.

@@ -40,7 +40,26 @@ MICRO_REQUIRED = {
     "ring_reduce_floats_per_s_scalar": 0.0,
     "ring_reduce_floats_per_s_simd": 0.0,
     "mem_bw_gbps": 0.0,
+    # Compressed-PS bytes-vs-loss trajectory (docs/COMPRESSION.md): measured
+    # bus egress per codec on a seeded training run, plus the headline
+    # reduction gated below.
+    "ext_compression_raw_bytes_per_iter": 0.0,
+    "ext_compression_fp16_bytes_per_iter": 0.0,
+    "ext_compression_int8_bytes_per_iter": 0.0,
+    "ext_compression_topk_bytes_per_iter": 0.0,
+    "ext_compression_raw_final_loss": 0.0,
+    "ext_compression_fp16_final_loss": 0.0,
+    "ext_compression_int8_final_loss": 0.0,
+    "ext_compression_topk_final_loss": 0.0,
+    "ext_compression_best_matched_reduction": 0.0,
 }
+
+# Minimum wire-byte reduction of the best codec whose run stayed loss-matched
+# with raw fp32 (the binary computes "matched" as recovering >= 90% of raw's
+# loss improvement). Under 2x means compression quietly stopped paying for
+# itself — e.g. a codec regressed to raw frames or the error feedback broke
+# convergence on every codec.
+COMPRESSION_MIN_REDUCTION = 2.0
 
 OVERHEAD_BUDGET = 0.02
 
@@ -92,6 +111,11 @@ def check_file(path):
             if any(not math.isfinite(v) or v <= minimum for v in values
                    if isinstance(v, (int, float))):
                 ok = fail(path, f"series '{name}' has samples <= {minimum}: {values}")
+        reduction = series.get("ext_compression_best_matched_reduction") or []
+        if reduction and max(reduction) < COMPRESSION_MIN_REDUCTION:
+            ok = fail(path, f"best loss-matched compression reduction "
+                            f"{max(reduction):.2f}x is below the "
+                            f"{COMPRESSION_MIN_REDUCTION}x floor")
         overhead = series.get("telemetry_overhead_frac", [])
         if overhead and max(overhead) >= OVERHEAD_BUDGET:
             ok = fail(path, f"disabled-tracing overhead {max(overhead):.4f} "
