@@ -111,8 +111,8 @@ void CostTablePart(const std::vector<int>& workers) {
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& bandwidths,
-                  bool batch_egress) {
+void SimSweepPart(const BenchArgs& args, const std::vector<int>& nodes,
+                  const std::vector<double>& bandwidths, bool batch_egress) {
   std::vector<SystemConfig> systems = {
       CaffePlusWfbp(),       SfbOnlySystem(),       PoseidonSystem(),
       RingAllreduceSystem(), TreeAllreduceSystem(), HybridCollectiveSystem(),
@@ -126,12 +126,20 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
   for (const char* name : {"resnet-152", "vgg19-22k"}) {
     const ModelSpec model = ModelByName(name).value();
     for (double gbps : bandwidths) {
-      const auto results = RunScalingSweep(model, systems, nodes, gbps, Engine::kCaffe);
+      // --plan=auto|fixed: the planner's joint choice replaces the
+      // hand-enumerated scheme menu above.
+      const auto results =
+          RunPlannedScalingSweep(args, model, systems, nodes, gbps, Engine::kCaffe);
       char title[160];
       std::snprintf(title, sizeof(title),
                     "Allreduce extension: %s @ %.0f GbE (Caffe engine)",
                     model.name.c_str(), gbps);
       std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
+    }
+    const std::string plan_summary =
+        FormatPlanSummary(args, model, nodes.back(), bandwidths.front());
+    if (!plan_summary.empty()) {
+      std::printf("%s\n", plan_summary.c_str());
     }
   }
 
@@ -172,7 +180,7 @@ int main(int argc, char** argv) {
   poseidon::InitBenchTelemetry(args);
   const std::vector<int> nodes = args.NodesOr({2, 4, 8, 16, 32, 64});
   poseidon::CostTablePart(nodes);
-  poseidon::SimSweepPart(nodes, args.GbpsOr({10.0, 40.0}), args.batch_egress);
+  poseidon::SimSweepPart(args, nodes, args.GbpsOr({10.0, 40.0}), args.batch_egress);
   poseidon::FinishBenchTelemetry(args);
   return 0;
 }

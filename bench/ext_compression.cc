@@ -145,7 +145,8 @@ void RuntimeAblationPart(int iters, const std::vector<double>& densities,
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& bandwidths) {
+void SimSweepPart(const BenchArgs& args, const std::vector<int>& nodes,
+                  const std::vector<double>& bandwidths) {
   std::vector<SystemConfig> systems = {
       CaffePlusWfbp(),
       CompressedPsSystem(GradCompression::kFp16),
@@ -156,7 +157,10 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
   };
   const ModelSpec model = ModelByName("vgg19").value();
   for (double gbps : bandwidths) {
-    const auto results = RunScalingSweep(model, systems, nodes, gbps, Engine::kCaffe);
+    // --plan=auto|fixed: the planner's joint scheme+codec choice replaces
+    // the fixed per-codec system list above.
+    const auto results =
+        RunPlannedScalingSweep(args, model, systems, nodes, gbps, Engine::kCaffe);
     char title[160];
     std::snprintf(title, sizeof(title),
                   "Compressed-PS extension: %s @ %.0f GbE (Caffe engine)",
@@ -177,6 +181,11 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
     }
     std::printf("%s\n", traffic.ToString().c_str());
   }
+  const std::string plan_summary =
+      FormatPlanSummary(args, model, nodes.back(), bandwidths.front());
+  if (!plan_summary.empty()) {
+    std::printf("%s\n", plan_summary.c_str());
+  }
 }
 
 }  // namespace
@@ -194,7 +203,7 @@ int main(int argc, char** argv) {
   record.SetMeta("iters", static_cast<double>(iters));
   poseidon::CostTablePart(nodes, /*density=*/0.05);
   poseidon::RuntimeAblationPart(iters, densities, &record);
-  poseidon::SimSweepPart(nodes, bandwidths);
+  poseidon::SimSweepPart(args, nodes, bandwidths);
   poseidon::FinishBenchTelemetry(args, &record);
   return 0;
 }

@@ -112,9 +112,9 @@ void CostTablePart(const std::vector<int>& workers, const std::vector<int>& shar
   std::printf("%s\n", table.ToString().c_str());
 }
 
-void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& bandwidths,
-                  const std::vector<int>& shards, const std::vector<int>& staleness,
-                  bool batch_egress) {
+void SimSweepPart(const BenchArgs& args, const std::vector<int>& nodes,
+                  const std::vector<double>& bandwidths, const std::vector<int>& shards,
+                  const std::vector<int>& staleness, bool batch_egress) {
   std::vector<SystemConfig> systems;
   for (int s : shards) {
     systems.push_back(ShardedPsSystem(s, /*staleness=*/0));
@@ -134,12 +134,20 @@ void SimSweepPart(const std::vector<int>& nodes, const std::vector<double>& band
 
   const ModelSpec model = ModelByName("vgg19").value();
   for (double gbps : bandwidths) {
-    const auto results = RunScalingSweep(model, systems, nodes, gbps, Engine::kCaffe);
+    // --plan=auto|fixed: the planner's shard/staleness/codec choice replaces
+    // the hand-enumerated shard x staleness grid above.
+    const auto results =
+        RunPlannedScalingSweep(args, model, systems, nodes, gbps, Engine::kCaffe);
     char title[160];
     std::snprintf(title, sizeof(title),
                   "Sharded PS / SSP extension: %s @ %.0f GbE (Caffe engine)",
                   model.name.c_str(), gbps);
     std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
+  }
+  const std::string plan_summary =
+      FormatPlanSummary(args, model, nodes.back(), bandwidths.front());
+  if (!plan_summary.empty()) {
+    std::printf("%s\n", plan_summary.c_str());
   }
   if (batch_egress) {
     std::printf("%s\n", FormatBatchAblation("Egress-batcher ablation: sharded PS", model,
@@ -196,7 +204,7 @@ int main(int argc, char** argv) {
     bandwidths.push_back(measured_gbps);
   }
   poseidon::CostTablePart(nodes, shards);
-  poseidon::SimSweepPart(nodes, bandwidths, shards, staleness, args.batch_egress);
+  poseidon::SimSweepPart(args, nodes, bandwidths, shards, staleness, args.batch_egress);
   poseidon::StragglerPart(nodes, bandwidths.front(), staleness);
   poseidon::FinishBenchTelemetry(args, &record);
   return 0;

@@ -61,12 +61,19 @@ void Run(const BenchArgs& args, double measured_gbps) {
       sweep.push_back(measured_gbps);
     }
     for (double gbps : sweep) {
-      const auto results =
-          RunScalingSweep(model, {ps, poseidon_sys}, nodes, gbps, Engine::kCaffe);
+      // --plan=auto|fixed: replaces the hand-picked shard/batching stack
+      // above with the CommPlanner's (or the dumped plan's) configuration.
+      const auto results = RunPlannedScalingSweep(args, model, {ps, poseidon_sys}, nodes,
+                                                  gbps, Engine::kCaffe);
       char title[128];
       std::snprintf(title, sizeof(title), "Fig 8: %s @ %.0f GbE (Caffe engine)",
                     model.name.c_str(), gbps);
       std::printf("%s\n", FormatSpeedupTable(title, results).c_str());
+    }
+    const std::string plan_summary =
+        FormatPlanSummary(args, model, nodes.back(), sweep.front());
+    if (!plan_summary.empty()) {
+      std::printf("%s\n", plan_summary.c_str());
     }
     if (args.batch_egress) {
       std::printf("%s\n",

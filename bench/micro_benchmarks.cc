@@ -16,7 +16,10 @@
 #include "src/stats/report.h"
 #include "src/stats/stopwatch.h"
 #include "src/stats/trace.h"
+#include "src/models/zoo.h"
 #include "src/nn/builders.h"
+#include "src/planner/comm_planner.h"
+#include "src/planner/plan_cache.h"
 #include "src/poseidon/trainer.h"
 #include "src/sim/fabric.h"
 #include "src/sim/simulator.h"
@@ -466,6 +469,74 @@ bool RecordCompressionAblation(BenchRecord* record) {
   return true;
 }
 
+// ------------------------------------------------------ planner trajectory ----
+//
+// CommPlanner cost trajectory (docs/PLANNER.md). Recorded series:
+//   planner_cold_search_us      full joint search, vgg19 @ 16 nodes
+//   planner_cached_lookup_us    the same request through a warm PlanCache
+//   planner_cache_speedup       cold / cached — the memoization headline;
+//                               the acceptance bar (and the CI gate in
+//                               tools/check_bench_json.py) is >= 100x
+//   planner_default_bytes_per_iter   paper-default predicted wire bytes
+//   planner_planned_bytes_per_iter   joint-plan predicted wire bytes
+//   planner_bytes_ratio              default / planned, >= 1: the joint
+//                                    search may never predict more traffic
+//                                    than the hand-picked configuration
+bool RecordPlanner(BenchRecord* record) {
+  const ModelSpec model = ModelByName("vgg19").value();
+  const int nodes = 16;
+  const PlanRequest joint = JointAutoRequest(model, nodes, /*nic_gbps=*/40.0,
+                                             /*max_shards=*/8);
+
+  double cold_us = 0.0;
+  double cached_us = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double cold_ns = NsPerCall([&] {
+      CommPlan plan = PlanComm(joint);
+      benchmark::DoNotOptimize(&plan);
+    });
+    record->Append("planner_cold_search_us", cold_ns / 1e3);
+    cold_us = cold_ns / 1e3;
+
+    PlanCache cache;
+    auto warm = cache.GetOrPlan(joint);  // prime: one miss, then all hits
+    benchmark::DoNotOptimize(warm.get());
+    const double cached_ns = NsPerCall([&] {
+      benchmark::DoNotOptimize(cache.GetOrPlan(joint).get());
+    });
+    record->Append("planner_cached_lookup_us", cached_ns / 1e3);
+    cached_us = cached_ns / 1e3;
+  }
+  const double speedup = cold_us / cached_us;
+  record->Append("planner_cache_speedup", speedup);
+
+  const CommPlan planned = PlanComm(JointAutoRequest(model, nodes, /*nic_gbps=*/0.0,
+                                                     /*max_shards=*/8));
+  const CommPlan fallback = PlanComm(PaperDefaultRequest(model, nodes));
+  const double ratio = fallback.predicted_wire_bytes / planned.predicted_wire_bytes;
+  record->Append("planner_default_bytes_per_iter", fallback.predicted_wire_bytes);
+  record->Append("planner_planned_bytes_per_iter", planned.predicted_wire_bytes);
+  record->Append("planner_bytes_ratio", ratio);
+
+  std::printf("planner: cold search %.1f us, cached lookup %.3f us (%.0fx), "
+              "planned %.1f MB/iter vs default %.1f MB/iter (%.2fx)\n",
+              cold_us, cached_us, speedup, planned.predicted_wire_bytes / 1e6,
+              fallback.predicted_wire_bytes / 1e6, ratio);
+  if (speedup < 100.0) {
+    std::fprintf(stderr,
+                 "FAIL: plan-cache speedup %.0fx is below the 100x floor\n", speedup);
+    return false;
+  }
+  if (ratio < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: joint plan predicts %.2fx the default's wire bytes; the "
+                 "search must never lose to the hand-picked configuration\n",
+                 1.0 / ratio);
+    return false;
+  }
+  return true;
+}
+
 bool SelfCheckAndRecord(BenchRecord* record) {
   record->SetMeta("wire_workers", 2.0);
   record->SetMeta("wire_iters", 4.0);
@@ -511,6 +582,11 @@ bool SelfCheckAndRecord(BenchRecord* record) {
 
   // Compressed-PS bytes-vs-loss trajectory and its 2x matched-loss gate.
   if (!RecordCompressionAblation(record)) {
+    return false;
+  }
+
+  // CommPlanner search cost, cache speedup, and the bytes-never-worse gate.
+  if (!RecordPlanner(record)) {
     return false;
   }
 

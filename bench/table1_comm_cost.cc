@@ -6,8 +6,13 @@
 #include <cstdio>
 
 #include "src/common/cli.h"
+#include "src/common/logging.h"
 #include "src/common/table.h"
 #include "src/models/comm_cost.h"
+#include "src/models/model_spec.h"
+#include "src/planner/comm_plan.h"
+#include "src/planner/comm_planner.h"
+#include "src/planner/plan_cache.h"
 #include "src/transport/bus.h"
 
 namespace poseidon {
@@ -33,6 +38,56 @@ void PrintCostRow(TextTable* table, const CommCostQuery& q) {
   });
 }
 
+// --plan companion to the float-cost table. Under auto, each of the table's
+// (layer, K, P) shapes runs through the CommPlanner's joint search as a
+// one-layer model (byte basis, memoized in the process plan cache) and the
+// planner's scheme+codec+shards pick is printed next to Algorithm 1's
+// float-basis "best" column. Under fixed:<path>, the dumped plan's per-layer
+// table is printed instead — the table then documents what a planned run
+// would actually put on the wire.
+void PlanPart(const BenchArgs& args, const std::vector<int>& workers) {
+  if (args.FixedPlan()) {
+    StatusOr<CommPlan> loaded = CommPlan::LoadFromFile(args.FixedPlanPath());
+    CHECK(loaded.ok()) << "--plan=" << args.plan << ": " << loaded.status().ToString();
+    std::printf("Fixed plan %s:\n%s\n", args.FixedPlanPath().c_str(),
+                loaded.value().Summary().c_str());
+    return;
+  }
+  if (!args.AutoPlan()) {
+    return;
+  }
+  struct Shape {
+    int64_t m, n, k;
+  };
+  const std::vector<Shape> shapes = {
+      {4096, 4096, 32}, {4096, 25088, 32}, {21841, 4096, 32}, {1000, 1024, 128}};
+  std::printf("CommPlanner joint choices (byte basis, shard cap 8):\n");
+  TextTable table({"layer", "K", "P", "plan", "shards", "MB/iter"});
+  for (const Shape& shape : shapes) {
+    for (int p : workers) {
+      if (p < 2) {
+        continue;
+      }
+      ModelSpec model;
+      model.name = "fc" + std::to_string(shape.m) + "x" + std::to_string(shape.n);
+      model.default_batch = static_cast<int>(shape.k);
+      model.layers = {FcLayer("fc", shape.m, shape.n)};
+      const auto plan = PlanCache::Global().GetOrPlan(
+          JointAutoRequest(model, p, /*nic_gbps=*/0.0, /*max_shards=*/8));
+      const PlanLayerChoice& choice = plan->layers.front();
+      std::string label = PlannedSchemeName(choice.scheme);
+      if (choice.compression != GradCompression::kNone) {
+        label += std::string("+") + GradCompressionName(choice.compression);
+      }
+      table.AddRow({std::to_string(shape.m) + "x" + std::to_string(shape.n),
+                    std::to_string(shape.k), std::to_string(p), label,
+                    std::to_string(plan->ps_shards),
+                    TextTable::Num(plan->predicted_wire_bytes / 1e6, 2)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
 void Run(const BenchArgs& args) {
   const int shards = args.FirstShardOr(1);
   std::printf("Table 1: communication cost model (millions of floats per iteration),\n");
@@ -54,6 +109,8 @@ void Run(const BenchArgs& args) {
   PrintCostRow(&table, {1000, 1024, 128, 4, 4, shards});
   PrintCostRow(&table, {1000, 1024, 128, 16, 16, shards});
   std::printf("%s\n", table.ToString().c_str());
+
+  PlanPart(args, args.NodesOr({2, 4, 16, 32}));
 
   if (args.batch_egress) {
     // Wire-message companion to the float-cost table: per iteration a

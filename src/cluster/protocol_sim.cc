@@ -51,6 +51,23 @@ WireScheme WireFromCommScheme(CommScheme scheme) {
   return WireScheme::kPsDense;
 }
 
+WireScheme WireFromPlannedScheme(PlannedScheme scheme) {
+  switch (scheme) {
+    case PlannedScheme::kNone:
+    case PlannedScheme::kPS:
+      return WireScheme::kPsDense;
+    case PlannedScheme::kSFB:
+      return WireScheme::kSfb;
+    case PlannedScheme::kOneBit:
+      return WireScheme::kOneBit;
+    case PlannedScheme::kRing:
+      return WireScheme::kRing;
+    case PlannedScheme::kTree:
+      return WireScheme::kTree;
+  }
+  return WireScheme::kPsDense;
+}
+
 // Static per-layer wire plan, precomputed before the simulation starts
 // (HybComm's point: the model and cluster are known upfront, so the best
 // scheme is decidable before any byte moves).
@@ -131,7 +148,22 @@ class ProtocolSim {
       // schemes only to FC layers.
       wire.scheme = WireScheme::kPsDense;
       GradCompression compression = GradCompression::kNone;
-      if (p > 1) {
+      // A CommPlan overrides the policy switches: the planner already made
+      // the per-layer call, this simulator just prices it. Layers the plan
+      // does not name (or marks stateless) fall through to the policies.
+      bool planned = false;
+      if (system_.plan != nullptr) {
+        const PlanLayerChoice* choice = system_.plan->Find(layer.name);
+        if (choice != nullptr && choice->scheme != PlannedScheme::kNone) {
+          planned = true;
+          if (p > 1) {
+            wire.scheme = WireFromPlannedScheme(choice->scheme);
+            compression = choice->compression;
+          }
+          // p == 1 degenerates to the raw dense PS, like the runtime.
+        }
+      }
+      if (!planned && p > 1) {
         switch (system_.fc_scheme) {
           case FcScheme::kRing:
             wire.scheme = WireScheme::kRing;
@@ -184,7 +216,7 @@ class ProtocolSim {
       // configured codec, or its per-layer BestCompression pick under auto.
       // The hybrid-collective chooser above resolved it jointly with the
       // scheme instead.
-      if (p > 1 && wire.scheme == WireScheme::kPsDense &&
+      if (!planned && p > 1 && wire.scheme == WireScheme::kPsDense &&
           system_.fc_scheme != FcScheme::kHybridCollective) {
         if (system_.auto_ps_compression) {
           compression = BestCompression(layer.params, system_.topk_density,

@@ -11,9 +11,11 @@
 #define POSEIDON_SRC_CLUSTER_SYSTEM_CONFIG_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/models/comm_cost.h"
+#include "src/planner/comm_plan.h"
 
 namespace poseidon {
 
@@ -106,6 +108,12 @@ struct SystemConfig {
   bool auto_ps_compression = false;
   double topk_density = 0.01;
   int64_t compression_min_floats = kCompressionMinFloats;
+  // ---- CommPlanner integration. When set, per-layer schemes and codecs come
+  // from the plan's assignments (looked up by layer name) instead of the
+  // fc_scheme/compression policy switches above; shards/staleness/batching
+  // were copied from the plan by PlannedSystem(). Layers the plan does not
+  // name fall back to the policy switches.
+  std::shared_ptr<const CommPlan> plan;
 };
 
 // The named systems from Figures 5-11.
@@ -130,6 +138,11 @@ SystemConfig SspPoseidonSystem(int staleness, int shards = 1);
 SystemConfig CompressedPsSystem(GradCompression compression,
                                 double topk_density = 0.01,
                                 bool auto_per_layer = false);
+// WFBP system driven by a CommPlan: per-layer schemes/codecs from the plan's
+// assignments, shard count / staleness / egress batching / top-k density from
+// its global knobs. This is what `--plan=auto` and `--plan=fixed:<path>`
+// simulate.
+SystemConfig PlannedSystem(std::shared_ptr<const CommPlan> plan);
 
 }  // namespace poseidon
 

@@ -56,6 +56,9 @@ void Usage(const char* argv0) {
       "  --fault-restart-ms=R1,...  worker restart costs to sweep (ms)\n"
       "  --simd=auto|avx2|neon|scalar  SIMD dispatch level for the hot\n"
       "           kernels (default: POSEIDON_SIMD env, else CPUID)\n"
+      "  --plan=paper|auto|fixed:<path.json>  communication plan source:\n"
+      "           hand-picked paper defaults, the CommPlanner's joint search,\n"
+      "           or a CommPlan JSON dump (planner-aware benches)\n"
       "  --json-out=PATH      write the bench result record as JSON\n"
       "  --trace-out=PATH     enable span tracing; export Chrome trace JSON\n"
       "  --metrics-json=PATH  export the process metrics registry as JSON\n",
@@ -217,6 +220,15 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       if (!simd::SetLevelFromString(args.simd)) {
         std::fprintf(stderr, "invalid --simd value: '%s' (auto|avx2|neon|scalar)\n",
                      args.simd.c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--plan", 0) == 0) {
+      args.plan = value_of("--plan");
+      if (args.plan != "paper" && args.plan != "auto" &&
+          (args.plan.rfind("fixed:", 0) != 0 || args.plan.size() <= 6)) {
+        std::fprintf(stderr,
+                     "invalid --plan value: '%s' (paper|auto|fixed:<path.json>)\n",
+                     args.plan.c_str());
         std::exit(2);
       }
     } else if (arg.rfind("--json-out", 0) == 0) {

@@ -56,6 +56,12 @@ struct BenchArgs {
   // bench runs (ParseBenchArgs applies it immediately). Empty = leave the
   // POSEIDON_SIMD / CPUID-derived default in place.
   std::string simd;
+  // --plan=paper|auto|fixed:<path.json>: how the planner-aware benches pick
+  // their communication configuration. "paper" (default) keeps the bench's
+  // hand-picked paper-mode settings; "auto" runs the CommPlanner's joint
+  // search per sweep point (memoized in the plan cache); "fixed:<path>"
+  // adopts a CommPlan JSON dump verbatim (CommPlan::LoadFromFile).
+  std::string plan = "paper";
   // Telemetry sinks (empty = off); see InitBenchTelemetry/FinishBenchTelemetry.
   std::string json_out;
   std::string trace_out;
@@ -75,6 +81,13 @@ struct BenchArgs {
   // --transport asked for a socket backend (tcp or unix).
   bool SocketTransportRequested() const { return transport != "inproc"; }
   bool UnixTransport() const { return transport == "unix"; }
+  // --plan mode helpers (cli stays planner-independent; benches do the I/O).
+  bool AutoPlan() const { return plan == "auto"; }
+  bool FixedPlan() const { return plan.rfind("fixed:", 0) == 0; }
+  // The <path.json> of --plan=fixed:<path.json> (empty otherwise).
+  std::string FixedPlanPath() const {
+    return FixedPlan() ? plan.substr(6) : std::string();
+  }
   // For single-configuration benches that cannot sweep: the first entry,
   // with a stderr warning when a multi-value list was given (so a truncated
   // sweep never looks like it completed).

@@ -1,0 +1,63 @@
+#include "src/planner/plan_cache.h"
+
+namespace poseidon {
+
+std::shared_ptr<const CommPlan> PlanCache::GetOrPlan(const PlanRequest& request) {
+  const PlanKey key = PlanRequestKey(request);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Search outside the lock: cold plans can take a while on deep models and
+  // must not serialize concurrent trainers. A racing duplicate search yields
+  // a bitwise-identical plan (PlanComm is pure), so last-write-wins is safe.
+  auto plan = std::make_shared<const CommPlan>(PlanComm(request));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const CommPlan> PlanCache::Lookup(const PlanRequest& request) const {
+  const PlanKey key = PlanRequestKey(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  return it == plans_.end() ? nullptr : it->second;
+}
+
+int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();  // leaked: outlives all trainers
+  return *cache;
+}
+
+}  // namespace poseidon

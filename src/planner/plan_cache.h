@@ -1,0 +1,54 @@
+/// \file
+/// Memoized CommPlan store in the style of a poplibs plan cache: search once
+/// per canonical (model spec, cluster signature) digest, then every repeated
+/// trainer construction and bench sweep point is a map lookup. Keys are the
+/// 128-bit PlanRequestKey digest — computed with a few integer mixes per
+/// layer, no string assembly — so a cache hit is orders of magnitude cheaper
+/// than the cold search it replaces (the `planner_cache_speedup` series in
+/// BENCH_micro.json gates the ratio at >= 100x).
+///
+/// Determinism contract: PlanComm is a pure function of the request, so a
+/// cold miss and a warm hit hand back bitwise-identical plans; the cache can
+/// never change an answer, only its latency. See docs/PLANNER.md.
+#ifndef POSEIDON_SRC_PLANNER_PLAN_CACHE_H_
+#define POSEIDON_SRC_PLANNER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/planner/comm_plan.h"
+#include "src/planner/comm_planner.h"
+
+namespace poseidon {
+
+/// Thread-safe memo table from PlanRequest digests to immutable plans.
+class PlanCache {
+ public:
+  /// The plan for `request`: the memoized copy when the digest repeats,
+  /// otherwise a cold PlanComm search whose result is stored and shared.
+  /// The returned plan is immutable and safe to hold across cache lifetime.
+  std::shared_ptr<const CommPlan> GetOrPlan(const PlanRequest& request);
+
+  /// Lookup without planning: nullptr when the digest misses.
+  std::shared_ptr<const CommPlan> Lookup(const PlanRequest& request) const;
+
+  int64_t hits() const;
+  int64_t misses() const;
+  size_t size() const;
+  void Clear();
+
+  /// Process-wide cache shared by the trainer and the benches.
+  static PlanCache& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, std::shared_ptr<const CommPlan>, PlanKeyHash> plans_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace poseidon
+
+#endif  // POSEIDON_SRC_PLANNER_PLAN_CACHE_H_

@@ -1,27 +1,129 @@
 #include "src/poseidon/runtime_scheme.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/planner/comm_planner.h"
+#include "src/planner/plan_cache.h"
 
 namespace poseidon {
 namespace {
 
-RuntimeScheme FromCommScheme(CommScheme scheme) {
+// The legacy resolvers below are thin wrappers over the CommPlanner's paper
+// mode, which reproduces their original sequential decisions bit for bit
+// (tests/planner_test.cc pins the equivalence). Routing them through
+// PlanCache::Global() means repeated trainer construction and every bench
+// sweep point reuse the memoized plan instead of re-searching.
+
+PlannedScheme ToPlanned(RuntimeScheme scheme) {
   switch (scheme) {
-    case CommScheme::kPS:
-      return RuntimeScheme::kPsDense;
-    case CommScheme::kSFB:
-      return RuntimeScheme::kSfb;
-    case CommScheme::kRing:
-      return RuntimeScheme::kRingAllreduce;
-    case CommScheme::kTree:
-      return RuntimeScheme::kTreeAllreduce;
+    case RuntimeScheme::kNone:
+      return PlannedScheme::kNone;
+    case RuntimeScheme::kPsDense:
+      return PlannedScheme::kPS;
+    case RuntimeScheme::kSfb:
+      return PlannedScheme::kSFB;
+    case RuntimeScheme::kOneBit:
+      return PlannedScheme::kOneBit;
+    case RuntimeScheme::kRingAllreduce:
+      return PlannedScheme::kRing;
+    case RuntimeScheme::kTreeAllreduce:
+      return PlannedScheme::kTree;
   }
-  return RuntimeScheme::kPsDense;
+  return PlannedScheme::kNone;
 }
 
 }  // namespace
+
+PlanPolicy PlanPolicyFromFcPolicy(FcSyncPolicy policy) {
+  switch (policy) {
+    case FcSyncPolicy::kDense:
+      return PlanPolicy::kDense;
+    case FcSyncPolicy::kSfb:
+      return PlanPolicy::kSfb;
+    case FcSyncPolicy::kHybrid:
+      return PlanPolicy::kHybrid;
+    case FcSyncPolicy::kOneBit:
+      return PlanPolicy::kOneBit;
+    case FcSyncPolicy::kRingAllreduce:
+      return PlanPolicy::kRingAllreduce;
+    case FcSyncPolicy::kTreeAllreduce:
+      return PlanPolicy::kTreeAllreduce;
+    case FcSyncPolicy::kHybridCollective:
+      return PlanPolicy::kHybridCollective;
+  }
+  return PlanPolicy::kDense;
+}
+
+PlanCodecPolicy PlanCodecPolicyFromCompression(PsCompressionPolicy policy) {
+  switch (policy) {
+    case PsCompressionPolicy::kNone:
+      return PlanCodecPolicy::kNone;
+    case PsCompressionPolicy::kFp16:
+      return PlanCodecPolicy::kFp16;
+    case PsCompressionPolicy::kInt8:
+      return PlanCodecPolicy::kInt8;
+    case PsCompressionPolicy::kTopK:
+      return PlanCodecPolicy::kTopK;
+    case PsCompressionPolicy::kAuto:
+      return PlanCodecPolicy::kAuto;
+  }
+  return PlanCodecPolicy::kNone;
+}
+
+namespace {
+
+/// Paper-mode request mirroring `coordinator`'s model and cluster shape. The
+/// scheme pass is costed at the coordinator's configured shard count, exactly
+/// where the legacy resolvers costed it.
+PlanRequest RequestFor(const Coordinator& coordinator, FcSyncPolicy policy) {
+  const ClusterInfo& cluster = coordinator.cluster();
+  PlanRequest req;
+  req.model_name = "runtime";
+  req.layers.reserve(static_cast<size_t>(coordinator.num_layers()));
+  for (int l = 0; l < coordinator.num_layers(); ++l) {
+    const LayerInfo& info = coordinator.layer(l);
+    LayerSpec spec;
+    spec.name = info.name;
+    spec.type = info.type;
+    spec.params = info.total_floats;
+    spec.fc_m = info.fc_m;
+    spec.fc_n = info.fc_n;
+    req.layers.push_back(std::move(spec));
+  }
+  req.num_workers = cluster.num_workers;
+  req.num_servers = cluster.num_servers;
+  req.batch_per_worker = cluster.batch_per_worker;
+  req.kv_pair_bytes = cluster.kv_pair_bytes;
+  req.staleness = cluster.staleness;
+  req.ps_shards_pinned = std::max(1, cluster.shards_per_server);
+  req.paper_eval_shards = std::max(1, cluster.shards_per_server);
+  req.policy = PlanPolicyFromFcPolicy(policy);
+  req.codec = PlanCodecPolicy::kNone;
+  req.joint = false;
+  return req;
+}
+
+}  // namespace
+
+RuntimeScheme RuntimeSchemeFromPlanned(PlannedScheme scheme) {
+  switch (scheme) {
+    case PlannedScheme::kNone:
+      return RuntimeScheme::kNone;
+    case PlannedScheme::kPS:
+      return RuntimeScheme::kPsDense;
+    case PlannedScheme::kSFB:
+      return RuntimeScheme::kSfb;
+    case PlannedScheme::kOneBit:
+      return RuntimeScheme::kOneBit;
+    case PlannedScheme::kRing:
+      return RuntimeScheme::kRingAllreduce;
+    case PlannedScheme::kTree:
+      return RuntimeScheme::kTreeAllreduce;
+  }
+  return RuntimeScheme::kNone;
+}
 
 const char* RuntimeSchemeName(RuntimeScheme scheme) {
   switch (scheme) {
@@ -43,56 +145,12 @@ const char* RuntimeSchemeName(RuntimeScheme scheme) {
 
 std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
                                           FcSyncPolicy policy) {
-  // A collective over one worker is a no-op that would leave gradients
-  // unapplied; fall back to the PS, which handles the degenerate world.
-  const bool multi_worker = coordinator.cluster().num_workers > 1;
+  const std::shared_ptr<const CommPlan> plan =
+      PlanCache::Global().GetOrPlan(RequestFor(coordinator, policy));
   std::vector<RuntimeScheme> schemes;
-  schemes.reserve(static_cast<size_t>(coordinator.num_layers()));
-  for (int l = 0; l < coordinator.num_layers(); ++l) {
-    const LayerInfo& info = coordinator.layer(l);
-    if (info.total_floats == 0) {
-      schemes.push_back(RuntimeScheme::kNone);
-      continue;
-    }
-    // Collective policies cover every parameter layer, conv included.
-    if (policy == FcSyncPolicy::kRingAllreduce) {
-      schemes.push_back(multi_worker ? RuntimeScheme::kRingAllreduce
-                                     : RuntimeScheme::kPsDense);
-      continue;
-    }
-    if (policy == FcSyncPolicy::kTreeAllreduce) {
-      schemes.push_back(multi_worker ? RuntimeScheme::kTreeAllreduce
-                                     : RuntimeScheme::kPsDense);
-      continue;
-    }
-    if (policy == FcSyncPolicy::kHybridCollective) {
-      schemes.push_back(FromCommScheme(coordinator.BestSchemeExtended(l)));
-      continue;
-    }
-    if (info.type != LayerType::kFC) {
-      schemes.push_back(RuntimeScheme::kPsDense);
-      continue;
-    }
-    switch (policy) {
-      case FcSyncPolicy::kDense:
-        schemes.push_back(RuntimeScheme::kPsDense);
-        break;
-      case FcSyncPolicy::kSfb:
-        schemes.push_back(RuntimeScheme::kSfb);
-        break;
-      case FcSyncPolicy::kHybrid:
-        schemes.push_back(coordinator.BestScheme(l) == CommScheme::kSFB
-                              ? RuntimeScheme::kSfb
-                              : RuntimeScheme::kPsDense);
-        break;
-      case FcSyncPolicy::kOneBit:
-        schemes.push_back(RuntimeScheme::kOneBit);
-        break;
-      case FcSyncPolicy::kRingAllreduce:
-      case FcSyncPolicy::kTreeAllreduce:
-      case FcSyncPolicy::kHybridCollective:
-        break;  // handled above
-    }
+  schemes.reserve(plan->layers.size());
+  for (const PlanLayerChoice& choice : plan->layers) {
+    schemes.push_back(RuntimeSchemeFromPlanned(choice.scheme));
   }
   return schemes;
 }
@@ -121,33 +179,23 @@ std::vector<GradCompression> ResolveCompression(
     CHECK_GT(topk_density, 0.0);
     CHECK_LE(topk_density, 1.0);
   }
-  std::vector<GradCompression> plan(schemes.size(), GradCompression::kNone);
-  for (int l = 0; l < coordinator.num_layers(); ++l) {
-    if (schemes[static_cast<size_t>(l)] != RuntimeScheme::kPsDense) {
-      continue;  // only the PS path compresses
-    }
-    const int64_t floats = coordinator.layer(l).total_floats;
-    if (floats < min_floats) {
-      continue;  // headers + residual slab are not worth a few KB
-    }
-    switch (policy) {
-      case PsCompressionPolicy::kNone:
-        break;
-      case PsCompressionPolicy::kFp16:
-        plan[static_cast<size_t>(l)] = GradCompression::kFp16;
-        break;
-      case PsCompressionPolicy::kInt8:
-        plan[static_cast<size_t>(l)] = GradCompression::kInt8;
-        break;
-      case PsCompressionPolicy::kTopK:
-        plan[static_cast<size_t>(l)] = GradCompression::kTopK;
-        break;
-      case PsCompressionPolicy::kAuto:
-        plan[static_cast<size_t>(l)] = BestCompression(floats, topk_density, min_floats);
-        break;
-    }
+  // Pin the caller's schemes so the planner only decides the codec column;
+  // only PS layers clearing the size gate compress, as before.
+  PlanRequest req = RequestFor(coordinator, FcSyncPolicy::kDense);
+  req.pinned_schemes.reserve(schemes.size());
+  for (RuntimeScheme scheme : schemes) {
+    req.pinned_schemes.push_back(ToPlanned(scheme));
   }
-  return plan;
+  req.codec = PlanCodecPolicyFromCompression(policy);
+  req.topk_density = topk_density;
+  req.compression_min_floats = min_floats;
+  const std::shared_ptr<const CommPlan> plan = PlanCache::Global().GetOrPlan(req);
+  std::vector<GradCompression> compression;
+  compression.reserve(plan->layers.size());
+  for (const PlanLayerChoice& choice : plan->layers) {
+    compression.push_back(choice.compression);
+  }
+  return compression;
 }
 
 SyncPlan ResolveSchemesSharded(const Coordinator& coordinator, FcSyncPolicy policy,
@@ -155,20 +203,14 @@ SyncPlan ResolveSchemesSharded(const Coordinator& coordinator, FcSyncPolicy poli
   CHECK_GT(max_shards, 0);
   SyncPlan plan;
   plan.schemes = ResolveSchemes(coordinator, policy);
-  const ClusterInfo& cluster = coordinator.cluster();
-  for (int l = 0; l < coordinator.num_layers(); ++l) {
-    if (plan.schemes[static_cast<size_t>(l)] != RuntimeScheme::kPsDense) {
-      continue;
-    }
-    const LayerInfo& info = coordinator.layer(l);
-    CommCostQuery q;
-    q.m = info.type == LayerType::kFC ? info.fc_m : info.total_floats;
-    q.n = info.type == LayerType::kFC ? info.fc_n : 1;
-    q.batch_k = cluster.batch_per_worker;
-    q.num_workers = cluster.num_workers;
-    q.num_servers = cluster.num_servers;
-    plan.ps_shards = std::max(plan.ps_shards, BestPsShardCount(q, max_shards));
-  }
+  // The shard pass searches [1, max_shards] with the scheme pass still costed
+  // at the coordinator's configured count (the legacy two-phase order the
+  // trainer's rebuild-then-re-resolve flow depends on).
+  PlanRequest req = RequestFor(coordinator, policy);
+  req.ps_shards_pinned = 0;
+  req.max_shards = max_shards;
+  const std::shared_ptr<const CommPlan> sharded = PlanCache::Global().GetOrPlan(req);
+  plan.ps_shards = sharded->ps_shards;
   return plan;
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/models/comm_cost.h"
+#include "src/planner/comm_plan.h"
+#include "src/planner/comm_planner.h"
 #include "src/poseidon/coordinator.h"
 
 namespace poseidon {
@@ -36,6 +38,11 @@ enum class RuntimeScheme {
 };
 
 const char* RuntimeSchemeName(RuntimeScheme scheme);
+
+/// Maps a CommPlan assignment onto the runtime's scheme vocabulary (the two
+/// enums are 1:1; the planner's lives in src/planner so the planner does not
+/// depend on src/poseidon).
+RuntimeScheme RuntimeSchemeFromPlanned(PlannedScheme scheme);
 
 /// Resolves the policy against the coordinator's information book.
 std::vector<RuntimeScheme> ResolveSchemes(const Coordinator& coordinator,
@@ -68,6 +75,11 @@ enum class PsCompressionPolicy {
 };
 
 const char* PsCompressionPolicyName(PsCompressionPolicy policy);
+
+/// Planner-side equivalents of the runtime policies (1:1 mappings; the
+/// trainer uses them to express its options as a PlanRequest).
+PlanPolicy PlanPolicyFromFcPolicy(FcSyncPolicy policy);
+PlanCodecPolicy PlanCodecPolicyFromCompression(PsCompressionPolicy policy);
 
 /// Resolves the policy to a per-layer compression plan. Only layers routed
 /// through the PS (RuntimeScheme::kPsDense) compress, and only once they

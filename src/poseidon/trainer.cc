@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/planner/plan_cache.h"
 #include "src/stats/stopwatch.h"
 #include "src/stats/trace.h"
 
@@ -59,18 +61,39 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
   cluster.batch_per_worker = options_.batch_per_worker;
   cluster.kv_pair_bytes = options_.kv_pair_bytes;
   coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
-  if (options_.shards_per_server == 0) {
-    // Auto-sharding: let the multi-shard cost rows size the shard pool, then
-    // repartition the KV pairs over the chosen endpoint space.
-    const SyncPlan plan =
-        ResolveSchemesSharded(*coordinator_, options_.fc_policy, kMaxAutoShards);
-    cluster.shards_per_server = plan.ps_shards;
-    coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+  switch (options_.plan_mode) {
+    case TrainerPlanMode::kPaper: {
+      if (options_.shards_per_server == 0) {
+        // Auto-sharding: let the multi-shard cost rows size the shard pool,
+        // then repartition the KV pairs over the chosen endpoint space.
+        const SyncPlan plan =
+            ResolveSchemesSharded(*coordinator_, options_.fc_policy, kMaxAutoShards);
+        cluster.shards_per_server = plan.ps_shards;
+        coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+      }
+      schemes_ = ResolveSchemes(*coordinator_, options_.fc_policy);
+      compression_ = ResolveCompression(*coordinator_, schemes_,
+                                        options_.ps_compression, options_.topk_density,
+                                        options_.compression_min_floats);
+      // Record the equivalent plan so plan() always answers (the wrappers
+      // above went through the same paper-mode search, so this is a hit).
+      plan_ = PlanCache::Global().GetOrPlan(BuildPlanRequest());
+      break;
+    }
+    case TrainerPlanMode::kAuto:
+      plan_ = PlanCache::Global().GetOrPlan(BuildPlanRequest());
+      cluster.shards_per_server = plan_->ps_shards;
+      coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+      ApplyPlanSchemes();
+      break;
+    case TrainerPlanMode::kFixed:
+      CHECK(options_.fixed_plan != nullptr) << "plan_mode = kFixed needs a fixed_plan";
+      plan_ = options_.fixed_plan;
+      cluster.shards_per_server = plan_->ps_shards;
+      coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+      ApplyPlanSchemes();
+      break;
   }
-  schemes_ = ResolveSchemes(*coordinator_, options_.fc_policy);
-  compression_ = ResolveCompression(*coordinator_, schemes_, options_.ps_compression,
-                                    options_.topk_density,
-                                    options_.compression_min_floats);
 
   for (int s = 0; s < options_.num_servers; ++s) {
     servers_.push_back(std::make_unique<KvServer>(s, next_iter_, *coordinator_, schemes_,
@@ -86,6 +109,16 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
     server->Start();
   }
 
+  if (options_.plan_feedback) {
+    CHECK(options_.plan_mode == TrainerPlanMode::kAuto)
+        << "bandwidth feedback re-plans the joint search; use plan_mode = kAuto";
+    CHECK(!options_.crash.active() && !options_.failure_detection.enabled)
+        << "plan swaps and failure recovery cannot compose";
+    bus_->EnableLinkStats();
+    replanner_ = std::make_unique<Replanner>(
+        BuildPlanRequest(), options_.replan_options, &PlanCache::Global());
+  }
+
   if (options_.failure_detection.enabled) {
     detector_ = std::make_unique<FailureDetector>(
         bus_.get(), options_.num_workers, options_.failure_detection,
@@ -96,6 +129,170 @@ PoseidonTrainer::PoseidonTrainer(NetworkFactory factory, TrainerOptions options)
                                                            options_.failure_detection));
     }
   }
+}
+
+PlanRequest PoseidonTrainer::BuildPlanRequest() const {
+  const ClusterInfo& cluster = coordinator_->cluster();
+  PlanRequest req;
+  req.model_name = options_.model_name;
+  req.layers.reserve(static_cast<size_t>(coordinator_->num_layers()));
+  for (int l = 0; l < coordinator_->num_layers(); ++l) {
+    const LayerInfo& info = coordinator_->layer(l);
+    LayerSpec spec;
+    spec.name = info.name;
+    spec.type = info.type;
+    spec.params = info.total_floats;
+    spec.fc_m = info.fc_m;
+    spec.fc_n = info.fc_n;
+    req.layers.push_back(std::move(spec));
+  }
+  req.num_workers = options_.num_workers;
+  req.num_servers = options_.num_servers;
+  req.batch_per_worker = options_.batch_per_worker;
+  req.kv_pair_bytes = options_.kv_pair_bytes;
+  req.staleness = options_.staleness;
+  req.max_staleness = options_.staleness;
+  req.topk_density = options_.topk_density;
+  req.compression_min_floats = options_.compression_min_floats;
+  req.batch_max_messages = options_.batch_options.max_batch_messages;
+  if (options_.plan_mode == TrainerPlanMode::kAuto) {
+    // Joint search over everything the options left open; a non-zero
+    // shards_per_server stays a hard pin.
+    req.ps_shards_pinned = options_.shards_per_server;
+    req.max_shards = kMaxAutoShards;
+    req.batch_egress = options_.batch_egress;
+    req.allow_batching = true;
+    req.policy = PlanPolicy::kAuto;
+    req.codec = PlanCodecPolicy::kAuto;
+    req.joint = true;
+  } else {
+    // Paper mode: express the resolved legacy decisions (the coordinator
+    // already carries the final shard count) as a plan.
+    req.ps_shards_pinned = std::max(1, cluster.shards_per_server);
+    req.paper_eval_shards = std::max(1, cluster.shards_per_server);
+    req.batch_egress = options_.batch_egress;
+    req.policy = PlanPolicyFromFcPolicy(options_.fc_policy);
+    req.codec = PlanCodecPolicyFromCompression(options_.ps_compression);
+    req.joint = false;
+  }
+  return req;
+}
+
+void PoseidonTrainer::ApplyPlanSchemes() {
+  CHECK_EQ(plan_->layers.size(), static_cast<size_t>(coordinator_->num_layers()))
+      << "plan does not match the model (layer count)";
+  schemes_.clear();
+  compression_.clear();
+  for (int l = 0; l < coordinator_->num_layers(); ++l) {
+    const PlanLayerChoice& choice = plan_->layers[static_cast<size_t>(l)];
+    CHECK(choice.layer == coordinator_->layer(l).name)
+        << "plan layer " << l << " is '" << choice.layer << "', model has '"
+        << coordinator_->layer(l).name << "'";
+    schemes_.push_back(RuntimeSchemeFromPlanned(choice.scheme));
+    compression_.push_back(choice.compression);
+  }
+  if (plan_->batch_egress && !options_.batch_egress) {
+    bus_->EnableBatching(options_.batch_options);
+  }
+}
+
+void PoseidonTrainer::AdoptPlan(std::shared_ptr<const CommPlan> new_plan) {
+  CHECK(!shut_down_);
+  CHECK(new_plan != nullptr);
+  if (plan_ != nullptr && new_plan->hash == plan_->hash) {
+    return;  // already running this plan
+  }
+  CHECK_EQ(options_.staleness, 0)
+      << "plan swaps need BSP: replicas must be identical at the boundary";
+  CHECK_EQ(new_plan->staleness, 0);
+  CHECK(!options_.crash.active() && detector_ == nullptr)
+      << "plan swaps and failure recovery cannot compose";
+  CHECK_EQ(new_plan->layers.size(), static_cast<size_t>(coordinator_->num_layers()))
+      << "plan does not match the model (layer count)";
+
+  // Quiesce the old communication stack. Workers are parked between Train()
+  // windows, so nothing is in flight beyond the shards' run loops.
+  for (auto& server : servers_) {
+    for (int shard = 0; shard < server->num_shards(); ++shard) {
+      Message shutdown;
+      shutdown.type = MessageType::kShutdown;
+      shutdown.from = Address{0, kSyncerPortBase};
+      shutdown.to = coordinator_->cluster().ShardAddress(server->id(), shard);
+      const Status status = bus_->Send(std::move(shutdown));
+      CHECK(status.ok()) << status.ToString();
+    }
+  }
+  for (auto& server : servers_) {
+    server->Join();
+  }
+  bus_->CloseAll();
+  clients_.clear();
+  servers_.clear();
+
+  // Fresh fabric under the new plan's knobs.
+  const int num_nodes = std::max(options_.num_workers,
+                                 options_.server_node_base + options_.num_servers);
+  bus_ = std::make_unique<MessageBus>(num_nodes);
+  if (options_.batch_egress) {
+    bus_->EnableBatching(options_.batch_options);
+  }
+  if (options_.enable_faults || options_.fault_plan.any()) {
+    bus_->EnableFaultInjection(options_.fault_plan);
+  }
+  if (replanner_ != nullptr) {
+    bus_->EnableLinkStats();
+  }
+
+  // Under BSP the replicas are identical here; refresh the init net so the
+  // new KV masters adopt the live parameters bitwise.
+  auto src = worker_nets_[0]->LayerParams();
+  auto dst = init_net_->LayerParams();
+  CHECK_EQ(src.size(), dst.size());
+  for (size_t l = 0; l < src.size(); ++l) {
+    CHECK_EQ(src[l].size(), dst[l].size());
+    for (size_t b = 0; b < src[l].size(); ++b) {
+      const Tensor& from = *src[l][b].value;
+      Tensor& to = *dst[l][b].value;
+      CHECK_EQ(from.size(), to.size());
+      std::copy(from.data(), from.data() + from.size(), to.data());
+    }
+  }
+
+  ClusterInfo cluster = coordinator_->cluster();
+  cluster.shards_per_server = new_plan->ps_shards;
+  coordinator_ = std::make_unique<Coordinator>(*init_net_, cluster);
+  plan_ = std::move(new_plan);
+  ApplyPlanSchemes();
+
+  for (int s = 0; s < options_.num_servers; ++s) {
+    servers_.push_back(std::make_unique<KvServer>(s, next_iter_, *coordinator_, schemes_,
+                                                  *init_net_, bus_.get(), options_.sgd,
+                                                  compression_));
+  }
+  for (int w = 0; w < options_.num_workers; ++w) {
+    clients_.push_back(std::make_unique<ClientLibrary>(
+        w, *coordinator_, schemes_, worker_nets_[static_cast<size_t>(w)].get(),
+        bus_.get(), options_.sgd, options_.syncer_threads, compression_,
+        options_.topk_density));
+  }
+  for (auto& server : servers_) {
+    server->Start();
+  }
+}
+
+void PoseidonTrainer::MaybeReplan() {
+  const ObservedLinkStats window = bus_->SnapshotLinkStatsDelta();
+  const ReplanDecision decision = replanner_->Observe(window);
+  if (!decision.replan || decision.plan == nullptr ||
+      decision.plan->hash == plan_->hash) {
+    return;
+  }
+  LOG(Info) << "replanning at iteration " << next_iter_ << ": observed "
+            << decision.observed_gbps << " Gbps (divergence " << decision.divergence
+            << "), plan " << std::hex << plan_->hash << " -> " << decision.plan->hash
+            << std::dec;
+  ++replan_count_;
+  AdoptPlan(decision.plan);
 }
 
 PoseidonTrainer::~PoseidonTrainer() { Shutdown(); }
@@ -310,6 +507,12 @@ std::vector<IterationStats> PoseidonTrainer::Train(const SyntheticDataset& datas
     recovery_threads_.clear();
   }
   next_iter_ += iterations;
+  if (replanner_ != nullptr) {
+    // Bandwidth feedback fires only at this window boundary, never mid-
+    // iteration, so the swap schedule is a pure function of the observed
+    // windows (determinism contract, docs/PLANNER.md).
+    MaybeReplan();
+  }
 
   std::vector<IterationStats> stats(static_cast<size_t>(iterations));
   for (int i = 0; i < iterations; ++i) {

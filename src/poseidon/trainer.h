@@ -30,6 +30,8 @@
 #include "src/poseidon/failure_detector.h"
 #include "src/poseidon/kv_store.h"
 #include "src/poseidon/runtime_scheme.h"
+#include "src/planner/comm_plan.h"
+#include "src/planner/replanner.h"
 #include "src/transport/bus.h"
 
 namespace poseidon {
@@ -51,6 +53,20 @@ struct CrashPlan {
   int layers_before_crash = 0;
 
   bool active() const { return worker >= 0 && iter >= 0; }
+};
+
+/// How the trainer picks its communication configuration.
+enum class TrainerPlanMode {
+  /// The paper's sequential decisions (fc_policy + ps_compression +
+  /// shards_per_server), resolved through the planner's paper mode — bitwise
+  /// identical to the pre-planner trainer.
+  kPaper,
+  /// Joint CommPlanner search over scheme x shards x codec x batching; the
+  /// resulting plan supersedes fc_policy / ps_compression / shards_per_server
+  /// / batch_egress.
+  kAuto,
+  /// Adopt a caller-provided CommPlan verbatim (e.g. --plan=fixed:<path>).
+  kFixed,
 };
 
 struct TrainerOptions {
@@ -116,6 +132,22 @@ struct TrainerOptions {
   /// Test-injected crash (requires failure_detection.enabled and recovery
   /// checkpoints, or training will hang waiting for the dead worker).
   CrashPlan crash;
+  /// Communication-plan source (see TrainerPlanMode). kPaper routes through
+  /// the planner's paper mode and stays bitwise identical to the legacy flow.
+  TrainerPlanMode plan_mode = TrainerPlanMode::kPaper;
+  /// The plan to adopt when plan_mode = kFixed (layer names must match the
+  /// model; shards/staleness/batching come from the plan).
+  std::shared_ptr<const CommPlan> fixed_plan;
+  /// Labels the plan request (plan cache keys hash the layer specs, so the
+  /// name is cosmetic).
+  std::string model_name = "trainer";
+  /// Bandwidth-feedback re-planning (kAuto only): sample windowed link-stats
+  /// deltas after each Train() window and re-plan when the observed bandwidth
+  /// diverges past replan_options.hysteresis. Plan swaps happen only between
+  /// windows, so trajectories stay deterministic given the same swap
+  /// schedule; disabled, runs are bitwise identical to plan_feedback = false.
+  bool plan_feedback = false;
+  ReplanOptions replan_options;
 };
 
 /// Upper bound for shards_per_server = 0 (auto) selection.
@@ -188,6 +220,19 @@ class PoseidonTrainer {
   int shards_per_server() const;
   const KvServer& server(int s) const { return *servers_[static_cast<size_t>(s)]; }
 
+  /// The communication plan in force (never null; paper mode's legacy
+  /// decisions are expressed as a plan too).
+  std::shared_ptr<const CommPlan> plan() const { return plan_; }
+  /// Swaps the communication stack onto `new_plan` at an iteration boundary
+  /// (call between Train() windows only; CHECKs staleness = 0 and no crash
+  /// machinery). Parameters carry over bitwise — a swap changes how gradients
+  /// move, never their values — so two runs adopting the same plans at the
+  /// same boundaries train bitwise identically. No-op when the plan's hash
+  /// already matches.
+  void AdoptPlan(std::shared_ptr<const CommPlan> new_plan);
+  /// Replan decisions taken so far (plan_feedback only).
+  int64_t replan_count() const { return replan_count_; }
+
  private:
   void Shutdown();
   /// One worker's training loop from `from_iter` through the end of the
@@ -201,6 +246,15 @@ class PoseidonTrainer {
   void MaybeCheckpoint(int w, int64_t next_iter);
   std::string CheckpointPath(int w) const;
 
+  /// Builds the paper-mode or joint-auto PlanRequest for the current model
+  /// and cluster shape.
+  PlanRequest BuildPlanRequest() const;
+  /// Applies plan-driven knobs (schemes, compression, batching) after the
+  /// coordinator exists.
+  void ApplyPlanSchemes();
+  /// Feedback hook run after each Train() window.
+  void MaybeReplan();
+
   TrainerOptions options_;
   NetworkFactory factory_;
   std::unique_ptr<MessageBus> bus_;
@@ -211,6 +265,9 @@ class PoseidonTrainer {
   std::vector<GradCompression> compression_;
   std::vector<std::unique_ptr<KvServer>> servers_;
   std::vector<std::unique_ptr<ClientLibrary>> clients_;
+  std::shared_ptr<const CommPlan> plan_;
+  std::unique_ptr<Replanner> replanner_;
+  int64_t replan_count_ = 0;
   int64_t next_iter_ = 0;
   bool shut_down_ = false;
 

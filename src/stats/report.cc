@@ -5,8 +5,11 @@
 #include <set>
 #include <sstream>
 
+#include "src/common/logging.h"
 #include "src/common/table.h"
 #include "src/nn/builders.h"
+#include "src/planner/comm_planner.h"
+#include "src/planner/plan_cache.h"
 #include "src/poseidon/trainer.h"
 
 namespace poseidon {
@@ -41,6 +44,53 @@ std::vector<SweepResult> RunScalingSweep(const ModelSpec& model,
     }
   }
   return results;
+}
+
+std::shared_ptr<const CommPlan> PlanForBench(const BenchArgs& args, const ModelSpec& model,
+                                             int nodes, double gbps) {
+  if (args.AutoPlan()) {
+    return PlanCache::Global().GetOrPlan(
+        JointAutoRequest(model, nodes, gbps, kMaxAutoShards));
+  }
+  if (args.FixedPlan()) {
+    StatusOr<CommPlan> loaded = CommPlan::LoadFromFile(args.FixedPlanPath());
+    CHECK(loaded.ok()) << "--plan=" << args.plan << ": "
+                       << loaded.status().ToString();
+    return std::make_shared<const CommPlan>(std::move(loaded).value());
+  }
+  return nullptr;
+}
+
+std::vector<SweepResult> RunPlannedScalingSweep(const BenchArgs& args, const ModelSpec& model,
+                                                const std::vector<SystemConfig>& paper_systems,
+                                                const std::vector<int>& node_counts,
+                                                double gbps, Engine engine) {
+  if (!args.AutoPlan() && !args.FixedPlan()) {
+    return RunScalingSweep(model, paper_systems, node_counts, gbps, engine);
+  }
+  // The plan depends on the cluster shape, so each node count gets its own
+  // (memoized) plan; a fixed plan is simply the same file at every point.
+  std::vector<SweepResult> results;
+  for (int nodes : node_counts) {
+    const auto point =
+        RunScalingSweep(model, {PlannedSystem(PlanForBench(args, model, nodes, gbps))},
+                        {nodes}, gbps, engine);
+    results.insert(results.end(), point.begin(), point.end());
+  }
+  return results;
+}
+
+std::string FormatPlanSummary(const BenchArgs& args, const ModelSpec& model, int nodes,
+                              double gbps) {
+  const std::shared_ptr<const CommPlan> plan = PlanForBench(args, model, nodes, gbps);
+  if (plan == nullptr) {
+    return std::string();
+  }
+  std::ostringstream out;
+  out << "Plan (" << args.plan << ") for " << model.name << " on " << nodes
+      << " nodes @ " << gbps << " GbE:\n"
+      << plan->Summary();
+  return out.str();
 }
 
 std::string FormatSpeedupTable(const std::string& title,

@@ -4,13 +4,16 @@
 #ifndef POSEIDON_SRC_STATS_REPORT_H_
 #define POSEIDON_SRC_STATS_REPORT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cluster/cluster_spec.h"
 #include "src/cluster/protocol_sim.h"
 #include "src/cluster/system_config.h"
+#include "src/common/cli.h"
 #include "src/models/model_spec.h"
+#include "src/planner/comm_plan.h"
 #include "src/poseidon/runtime_scheme.h"
 
 namespace poseidon {
@@ -27,6 +30,31 @@ std::vector<SweepResult> RunScalingSweep(const ModelSpec& model,
                                          const std::vector<SystemConfig>& systems,
                                          const std::vector<int>& node_counts, double gbps,
                                          Engine engine);
+
+// The communication plan a bench's --plan flag selects at one sweep point:
+// nullptr under --plan=paper (the bench keeps its hand-picked systems);
+// the CommPlanner's memoized joint search for (model, nodes, gbps) under
+// --plan=auto (every sweep point hits the process-wide PlanCache); the
+// CommPlan JSON dump under --plan=fixed:<path> (fatal if the file does not
+// load — a bench must never silently fall back to different settings).
+std::shared_ptr<const CommPlan> PlanForBench(const BenchArgs& args, const ModelSpec& model,
+                                             int nodes, double gbps);
+
+// RunScalingSweep honoring --plan: under paper it is RunScalingSweep exactly;
+// under auto/fixed the hand-picked `paper_systems` are replaced by one
+// "Planned" system per sweep point (PlannedSystem over PlanForBench), so the
+// planner's joint choice is what gets priced instead of the per-bench flag
+// stacks.
+std::vector<SweepResult> RunPlannedScalingSweep(const BenchArgs& args, const ModelSpec& model,
+                                                const std::vector<SystemConfig>& paper_systems,
+                                                const std::vector<int>& node_counts,
+                                                double gbps, Engine engine);
+
+// Per-layer dump of the plan driving a planned sweep at its largest
+// configuration (empty string under --plan=paper), so planned tables are
+// self-describing in the bench output.
+std::string FormatPlanSummary(const BenchArgs& args, const ModelSpec& model, int nodes,
+                              double gbps);
 
 // Renders a figure-style speedup table: one row per node count, one column
 // per system (plus the linear ideal).
